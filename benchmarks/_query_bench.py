@@ -1,0 +1,23 @@
+"""Shared body of the Fig. 3/4/5 query benchmarks (one module per dataset)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_PROFILE, make_query_runner, recall_of
+
+
+def run_query_benchmark(
+    benchmark, dataset, method, coverage, index_store, workloads, query_ranges
+):
+    """Time range-filtered queries for one (dataset, method, coverage) cell.
+
+    Attaches the measured Recall@k and the coverage to ``extra_info`` so the
+    benchmark JSON carries the same two series the paper's figures plot.
+    """
+    index = index_store(dataset)[method]
+    workload = workloads[dataset]
+    ranges = query_ranges[(dataset, coverage)]
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["coverage"] = coverage
+    benchmark.extra_info["recall_at_k"] = recall_of(index, workload, ranges)
+    benchmark(make_query_runner(index, workload, ranges))

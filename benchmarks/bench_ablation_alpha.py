@@ -1,0 +1,45 @@
+"""Ablation — weight-balance parameter α (Def. 3.2).
+
+Smaller α tolerates more skew (fewer rebuilds, taller tree); larger α keeps
+the tree shorter at the price of more frequent subtree rebuilds.  This
+benchmark measures insertion cost under sorted-order inserts — the
+adversarial pattern for balance maintenance — across the admissible range.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import BENCH_PROFILE, SEED
+from repro.eval.harness import _fresh_objects, build_indexes
+
+ALPHAS = (0.05, 0.1, 0.2, 0.25)
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_ablation_alpha_insert(benchmark, alpha, workloads, substrates):
+    workload = workloads["sift"]
+    from repro.core import RangePQ
+
+    ivf = substrates["sift"].clone_empty()
+    index = RangePQ.build(
+        workload.vectors, workload.attrs, ivf=ivf, alpha=alpha
+    )
+    ids, vectors, attrs = _fresh_objects(workload, 2000, SEED)
+    # Sorted-order attrs: the worst case for balance maintenance.
+    order = attrs.argsort()
+    pool = itertools.cycle(
+        list(zip(vectors[order], attrs[order]))
+    )
+    fresh = itertools.count(40_000_000)
+
+    def insert_one():
+        vector, attr = next(pool)
+        index.insert(next(fresh), vector, attr)
+
+    benchmark.extra_info["alpha"] = alpha
+    benchmark.pedantic(insert_one, rounds=BENCH_PROFILE.num_update_ops, iterations=1)
+    benchmark.extra_info["rebuilds"] = index.tree.rebuild_count
+    benchmark.extra_info["height"] = index.tree.height()

@@ -1,0 +1,80 @@
+"""Ablation — attribute-directory backend: sorted list vs B+-tree.
+
+The baselines need a secondary attribute index.  The sorted-Python-list
+directory pays an ``O(n)`` memmove per update; the order-t B+-tree pays
+``O(log n)`` with node splits.  Range *reads* favor the contiguous list.
+This bench quantifies both sides at benchmark scale so the trade-off
+documented in ``repro/btree`` is measured, not asserted.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines import AttributeDirectory
+from repro.btree import BPlusAttributeDirectory
+
+N = 20_000
+BACKENDS = {
+    "sorted-list": AttributeDirectory,
+    "b+tree": BPlusAttributeDirectory,
+}
+
+
+@pytest.fixture(scope="module")
+def populated():
+    rng = np.random.default_rng(0)
+    attrs = rng.uniform(0, 10_000, size=N)
+    built = {}
+    for name, factory in BACKENDS.items():
+        directory = factory()
+        for oid in range(N):
+            directory.add(oid, float(attrs[oid]))
+        built[name] = directory
+    return built, attrs
+
+
+@pytest.mark.parametrize("backend", list(BACKENDS))
+def test_directory_insert(benchmark, backend, populated):
+    built, attrs = populated
+    directory = built[backend]
+    rng = np.random.default_rng(1)
+    fresh = itertools.count(10_000_000)
+
+    def insert_one():
+        directory.add(next(fresh), float(rng.uniform(0, 10_000)))
+
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["operation"] = "insert"
+    benchmark.pedantic(insert_one, rounds=200, iterations=1)
+
+
+@pytest.mark.parametrize("backend", list(BACKENDS))
+def test_directory_range_count(benchmark, backend, populated):
+    built, attrs = populated
+    directory = built[backend]
+    rng = np.random.default_rng(2)
+    bounds = [
+        (lo, lo + 1000.0) for lo in rng.uniform(0, 9000, size=64)
+    ]
+    cycle = itertools.cycle(bounds)
+
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["operation"] = "count_in_range"
+    benchmark(lambda: directory.count_in_range(*next(cycle)))
+
+
+@pytest.mark.parametrize("backend", list(BACKENDS))
+def test_directory_range_extract(benchmark, backend, populated):
+    built, attrs = populated
+    directory = built[backend]
+    rng = np.random.default_rng(3)
+    bounds = [(lo, lo + 500.0) for lo in rng.uniform(0, 9000, size=64)]
+    cycle = itertools.cycle(bounds)
+
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["operation"] = "ids_in_range"
+    benchmark(lambda: directory.ids_in_range(*next(cycle)))

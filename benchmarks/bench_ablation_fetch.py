@@ -1,0 +1,45 @@
+"""Ablation — object-fetch path inside SearchByCCenters (DESIGN.md §4.3).
+
+The paper's ``FetchNewObject`` issues one ``O(log n)`` rank query per
+retrieved object; this library's default path walks each cover subtree once
+per cluster (``O(log n + output)``).  Both return the same objects (verified
+in tests/test_fetch_modes.py); this benchmark quantifies the constant-factor
+gap that motivated the guided iterator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_PROFILE, SEED, make_query_runner
+from repro.eval.harness import build_indexes
+
+COVERAGE = 0.40  # wide range -> many fetches -> the paths diverge most
+
+
+@pytest.fixture(scope="module")
+def rangepq_index(workloads, substrates):
+    return build_indexes(
+        workloads["sift"], methods=("RangePQ",), base=substrates["sift"],
+        seed=SEED, k=BENCH_PROFILE.k,
+    )["RangePQ"]
+
+
+@pytest.mark.parametrize("mode", ("guided", "rank"))
+def test_ablation_fetch_mode(
+    benchmark, mode, rangepq_index, workloads, query_ranges
+):
+    workload = workloads["sift"]
+    ranges = query_ranges[("sift", COVERAGE)]
+    import itertools
+
+    cycle = itertools.cycle(list(zip(workload.queries, ranges)))
+
+    def run():
+        query, (lo, hi) = next(cycle)
+        return rangepq_index.query(
+            query, lo, hi, BENCH_PROFILE.k, fetch_mode=mode
+        )
+
+    benchmark.extra_info["fetch_mode"] = mode
+    benchmark(run)

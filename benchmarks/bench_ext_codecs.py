@@ -1,0 +1,70 @@
+"""Extension — codec study: plain PQ vs OPQ vs residual IVFADC.
+
+Quantifies two substrate choices DESIGN.md documents:
+
+* §4.1 non-residual codes: RangePQ needs one ADC table per query, so it
+  cannot use residual encoding.  This bench shows what residual IVFADC
+  buys on plain (unfiltered) search — the price RangePQ pays by design.
+* OPQ (Ge et al.): an orthogonal pre-rotation that cuts quantization error
+  on correlated data; drop-in compatible with the PQ API.
+
+Each benchmark times a plain top-k search and attaches the measured
+intersection recall against exact search in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_PROFILE, SEED
+from repro.ivf import IVFPQIndex, ResidualIVFPQIndex
+from repro.quantization import OptimizedProductQuantizer
+
+K = BENCH_PROFILE.k
+NPROBE = 10
+
+
+def exact_topk(vectors, query, k):
+    return np.argsort(((vectors - query) ** 2).sum(axis=1))[:k]
+
+
+@pytest.fixture(scope="module")
+def codec_indexes(workloads):
+    workload = workloads["gist"]  # correlated data: where codecs differ
+    vectors = workload.vectors
+    m = workload.dim // 8
+
+    plain = IVFPQIndex(m, num_codewords=64, seed=SEED)
+    plain.train(vectors)
+    plain.add(range(len(vectors)), vectors)
+
+    residual = ResidualIVFPQIndex(m, num_codewords=64, seed=SEED)
+    residual.train(vectors)
+    residual.add(range(len(vectors)), vectors)
+
+    opq_index = IVFPQIndex(m, num_codewords=64, seed=SEED)
+    opq_index.pq = OptimizedProductQuantizer(
+        m, 64, opq_iterations=4, seed=SEED
+    )
+    opq_index.train(vectors)
+    opq_index.add(range(len(vectors)), vectors)
+
+    return {"pq": plain, "opq": opq_index, "residual-pq": residual}
+
+
+@pytest.mark.parametrize("codec", ("pq", "opq", "residual-pq"))
+def test_codec_search(benchmark, codec, codec_indexes, workloads):
+    workload = workloads["gist"]
+    index = codec_indexes[codec]
+    recalls = []
+    for query in workload.queries:
+        exact = exact_topk(workload.vectors, query, K)
+        got = index.search(query, K, nprobe=NPROBE).ids
+        recalls.append(len(set(got.tolist()) & set(exact.tolist())) / K)
+    benchmark.extra_info["codec"] = codec
+    benchmark.extra_info["overlap_at_k"] = float(np.mean(recalls))
+    cycle = itertools.cycle(workload.queries)
+    benchmark(lambda: index.search(next(cycle), K, nprobe=NPROBE))

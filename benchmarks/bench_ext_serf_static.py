@@ -1,0 +1,78 @@
+"""Extension — static SeRF-style segment graph vs RangePQ+ (half-bounded).
+
+The paper excludes SeRF from its experiments because it cannot handle
+updates; this benchmark fills in the static half of that comparison on the
+query regime SeRF's 1-D segment graph supports exactly: half-bounded
+filters ``attr <= y``.  Expected shape: the graph answers narrow prefixes
+quickly with high recall (it replays a dedicated proximity graph per
+prefix), while RangePQ+ stays competitive *and* supports arbitrary two-sided
+ranges plus updates.  The memory stamp of the segment graph's edge history
+is attached as ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_PROFILE, SEED
+from repro.eval.harness import build_indexes
+from repro.graph import SegmentGraphIndex
+
+PREFIX_COVERAGES = (0.10, 0.50)
+
+
+@pytest.fixture(scope="module")
+def serf_index(workloads):
+    workload = workloads["sift"]
+    return SegmentGraphIndex.build(
+        workload.vectors, workload.attrs, m=8, ef_construction=60
+    )
+
+
+@pytest.fixture(scope="module")
+def rangepq_plus(workloads, substrates):
+    return build_indexes(
+        workloads["sift"], methods=("RangePQ+",), base=substrates["sift"],
+        seed=SEED, k=BENCH_PROFILE.k,
+    )["RangePQ+"]
+
+
+def prefix_bound(workload, coverage):
+    ordered = np.sort(workload.attrs)
+    return float(ordered[int(coverage * (len(ordered) - 1))])
+
+
+@pytest.mark.parametrize("coverage", PREFIX_COVERAGES)
+def test_serf_prefix_query(benchmark, coverage, serf_index, workloads):
+    workload = workloads["sift"]
+    bound = prefix_bound(workload, coverage)
+    cycle = itertools.cycle(workload.queries)
+
+    def run():
+        return serf_index.query_prefix(next(cycle), bound, BENCH_PROFILE.k)
+
+    benchmark.extra_info["method"] = "SeRF-1D (static)"
+    benchmark.extra_info["coverage"] = coverage
+    benchmark.extra_info["memory_mb"] = serf_index.memory_bytes() / 1e6
+    benchmark(run)
+
+
+@pytest.mark.parametrize("coverage", PREFIX_COVERAGES)
+def test_rangepq_plus_prefix_query(
+    benchmark, coverage, rangepq_plus, workloads
+):
+    workload = workloads["sift"]
+    bound = prefix_bound(workload, coverage)
+    lo = float(workload.attrs.min())
+    cycle = itertools.cycle(workload.queries)
+
+    def run():
+        return rangepq_plus.query(next(cycle), lo, bound, BENCH_PROFILE.k)
+
+    benchmark.extra_info["method"] = "RangePQ+"
+    benchmark.extra_info["coverage"] = coverage
+    benchmark.extra_info["memory_mb"] = rangepq_plus.memory_bytes() / 1e6
+    benchmark(run)

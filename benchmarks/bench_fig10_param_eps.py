@@ -1,0 +1,44 @@
+"""Fig. 10 — impact of the bucket size ε on RangePQ+.
+
+Paper series: memory, query time, and recall of RangePQ+ as ε varies.
+Expected shape: smaller ε → more first-layer nodes → more memory; larger ε
+→ longer O(ε) endpoint scans; ε = Θ(K) balances both.  Full series:
+``python -m repro.eval.harness --figure 10``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_PROFILE, SEED, make_query_runner, recall_of
+from repro.eval.harness import build_indexes
+
+EPS_FACTORS = (0.25, 1.0, 4.0, 16.0)
+COVERAGE = 0.10
+
+
+@pytest.fixture(scope="module")
+def indexes_by_eps(workloads, substrates):
+    workload = workloads["sift"]
+    base = substrates["sift"]
+    built = {}
+    for factor in EPS_FACTORS:
+        epsilon = max(1, int(round(base.num_clusters * factor)))
+        built[factor] = build_indexes(
+            workload, methods=("RangePQ+",), base=base, seed=SEED,
+            epsilon=epsilon, k=BENCH_PROFILE.k,
+        )["RangePQ+"]
+    return built
+
+
+@pytest.mark.parametrize("factor", EPS_FACTORS)
+def test_fig10_eps_sweep(
+    benchmark, factor, indexes_by_eps, workloads, query_ranges
+):
+    index = indexes_by_eps[factor]
+    workload = workloads["sift"]
+    ranges = query_ranges[("sift", COVERAGE)]
+    benchmark.extra_info["epsilon"] = index.epsilon
+    benchmark.extra_info["index_mb"] = index.memory_bytes() / 1e6
+    benchmark.extra_info["recall_at_k"] = recall_of(index, workload, ranges)
+    benchmark(make_query_runner(index, workload, ranges))

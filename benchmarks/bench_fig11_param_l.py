@@ -1,0 +1,46 @@
+"""Fig. 11 — impact of L at fixed 10% range coverage.
+
+Paper series: RangePQ+ query time and recall for L ∈ {500, 1000, 2000,
+3000, 4000} at a 10% range (this calibrates L_base).  Here L is scaled to
+the benchmark n (see ``scaled_l_base``).  Expected shape: time grows
+~linearly with L, recall saturates.  Full series:
+``python -m repro.eval.harness --figure 11``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_PROFILE, SEED, make_query_runner, recall_of
+from repro.core import FixedLPolicy
+from repro.eval.harness import build_indexes, scaled_l_base
+
+L_MULTIPLIERS = (0.5, 1.0, 2.0, 3.0, 4.0)
+COVERAGE = 0.10
+
+
+@pytest.fixture(scope="module")
+def indexes_by_l(workloads, substrates):
+    workload = workloads["sift"]
+    l_base = scaled_l_base("sift", workload.num_objects, BENCH_PROFILE.k)
+    built = {}
+    for multiplier in L_MULTIPLIERS:
+        l_value = max(1, int(l_base * multiplier))
+        built[multiplier] = (
+            l_value,
+            build_indexes(
+                workload, methods=("RangePQ+",), base=substrates["sift"],
+                seed=SEED, l_policy=FixedLPolicy(l=l_value), k=BENCH_PROFILE.k,
+            )["RangePQ+"],
+        )
+    return built
+
+
+@pytest.mark.parametrize("multiplier", L_MULTIPLIERS)
+def test_fig11_l_sweep(benchmark, multiplier, indexes_by_l, workloads, query_ranges):
+    l_value, index = indexes_by_l[multiplier]
+    workload = workloads["sift"]
+    ranges = query_ranges[("sift", COVERAGE)]
+    benchmark.extra_info["L"] = l_value
+    benchmark.extra_info["recall_at_k"] = recall_of(index, workload, ranges)
+    benchmark(make_query_runner(index, workload, ranges))

@@ -1,0 +1,36 @@
+"""Fig. 12 — fixed L across range coverages (motivates the adaptive policy).
+
+Paper series: RangePQ+ with a *fixed* L queried at growing coverages;
+Recall@100 collapses as the range grows because L stays constant while the
+candidate population explodes.  The adaptive policy (used everywhere else)
+keeps recall flat.  Full series: ``python -m repro.eval.harness --figure 12``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_PROFILE, SEED, make_query_runner, recall_of
+from repro.core import FixedLPolicy
+from repro.eval.harness import build_indexes, scaled_l_base
+
+
+@pytest.fixture(scope="module")
+def fixed_l_index(workloads, substrates):
+    workload = workloads["sift"]
+    l_base = scaled_l_base("sift", workload.num_objects, BENCH_PROFILE.k)
+    return build_indexes(
+        workload, methods=("RangePQ+",), base=substrates["sift"], seed=SEED,
+        l_policy=FixedLPolicy(l=l_base), k=BENCH_PROFILE.k,
+    )["RangePQ+"]
+
+
+@pytest.mark.parametrize("coverage", BENCH_PROFILE.coverages)
+def test_fig12_fixed_l(benchmark, coverage, fixed_l_index, workloads, query_ranges):
+    workload = workloads["sift"]
+    ranges = query_ranges[("sift", coverage)]
+    benchmark.extra_info["coverage"] = coverage
+    benchmark.extra_info["recall_at_k"] = recall_of(
+        fixed_l_index, workload, ranges
+    )
+    benchmark(make_query_runner(fixed_l_index, workload, ranges))

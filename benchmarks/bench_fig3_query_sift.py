@@ -1,0 +1,25 @@
+"""Fig. 3 — range-filtered query performance on the SIFT-like workload.
+
+Paper series: query time and Recall@100 vs range coverage, all five methods.
+Expected shape: RangePQ+ fastest overall; RangePQ close behind; RII slower;
+VBase/Milvus slowest in their scan regimes; RangePQ/RangePQ+ recall flat.
+Full nine-coverage series: ``python -m repro.eval.harness --figure 3``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._query_bench import run_query_benchmark
+from benchmarks.conftest import BENCH_PROFILE
+from repro.eval.harness import METHOD_NAMES
+
+
+@pytest.mark.parametrize("coverage", BENCH_PROFILE.coverages)
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_fig3_sift_query(
+    benchmark, method, coverage, index_store, workloads, query_ranges
+):
+    run_query_benchmark(
+        benchmark, "sift", method, coverage, index_store, workloads, query_ranges
+    )

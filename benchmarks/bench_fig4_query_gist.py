@@ -1,0 +1,24 @@
+"""Fig. 4 — range-filtered query performance on the GIST-like workload.
+
+Same protocol as Fig. 3 on the dense correlated-descriptor analogue (the
+regime where the paper raises ``L_base`` to 3000).  Full series:
+``python -m repro.eval.harness --figure 4``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._query_bench import run_query_benchmark
+from benchmarks.conftest import BENCH_PROFILE
+from repro.eval.harness import METHOD_NAMES
+
+
+@pytest.mark.parametrize("coverage", BENCH_PROFILE.coverages)
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_fig4_gist_query(
+    benchmark, method, coverage, index_store, workloads, query_ranges
+):
+    run_query_benchmark(
+        benchmark, "gist", method, coverage, index_store, workloads, query_ranges
+    )

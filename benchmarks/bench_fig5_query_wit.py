@@ -1,0 +1,24 @@
+"""Fig. 5 — range-filtered query performance on the WIT-like workload.
+
+Same protocol as Fig. 3 on ReLU-sparse CNN-style embeddings whose size
+attribute is *correlated* with vector position.  Full series:
+``python -m repro.eval.harness --figure 5``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._query_bench import run_query_benchmark
+from benchmarks.conftest import BENCH_PROFILE
+from repro.eval.harness import METHOD_NAMES
+
+
+@pytest.mark.parametrize("coverage", BENCH_PROFILE.coverages)
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_fig5_wit_query(
+    benchmark, method, coverage, index_store, workloads, query_ranges
+):
+    run_query_benchmark(
+        benchmark, "wit", method, coverage, index_store, workloads, query_ranges
+    )

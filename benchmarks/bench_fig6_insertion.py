@@ -1,0 +1,55 @@
+"""Fig. 6 — insertion cost per index.
+
+Paper series: mean time to insert one object into each built index, per
+dataset.  Expected shape: all PQ-backed methods cluster together (the
+``O(KM)`` coarse assignment dominates) while the Milvus-like index is far
+cheaper because it only buffers into a growing segment.  Full series:
+``python -m repro.eval.harness --figure 6``.
+
+Each benchmark builds a private index copy (insertion mutates state) and
+times single-object inserts with fresh IDs drawn from an unseen pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import BENCH_PROFILE, SEED
+from repro.eval.harness import METHOD_NAMES, build_indexes
+from repro.eval.harness import _fresh_objects  # noqa: PLC2701 - harness helper
+
+
+@pytest.fixture(scope="module")
+def insertion_pools(workloads):
+    """Per-dataset pool of unseen (id, vector, attr) triples to insert."""
+    pools = {}
+    for dataset, workload in workloads.items():
+        ids, vectors, attrs = _fresh_objects(workload, 3000, SEED)
+        pools[dataset] = list(zip(ids, vectors, attrs))
+    return pools
+
+
+@pytest.mark.parametrize("dataset", ("sift", "gist", "wit"))
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_fig6_insertion(
+    benchmark, dataset, method, workloads, substrates, insertion_pools
+):
+    index = build_indexes(
+        workloads[dataset],
+        methods=(method,),
+        base=substrates[dataset],
+        seed=SEED,
+        k=BENCH_PROFILE.k,
+    )[method]
+    pool = itertools.cycle(insertion_pools[dataset])
+    fresh = itertools.count(20_000_000)
+
+    def insert_one():
+        _, vector, attr = next(pool)
+        index.insert(next(fresh), vector, attr)
+
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method
+    benchmark.pedantic(insert_one, rounds=BENCH_PROFILE.num_update_ops, iterations=1)

@@ -1,0 +1,49 @@
+"""Fig. 7 — deletion cost per index.
+
+Paper series: mean time to delete one object from each built index, per
+dataset.  Expected shape: RangePQ+ cheapest (few auxiliary structures,
+small constants); RangePQ close; RII pays for rewriting its external data
+frame.  Full series: ``python -m repro.eval.harness --figure 7``.
+
+Deletion consumes objects, so each round's victim is inserted in the
+(untimed) setup phase and only the ``delete`` call is measured.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import BENCH_PROFILE, SEED
+from repro.eval.harness import METHOD_NAMES, build_indexes
+from repro.eval.harness import _fresh_objects  # noqa: PLC2701 - harness helper
+
+
+@pytest.mark.parametrize("dataset", ("sift", "gist", "wit"))
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_fig7_deletion(benchmark, dataset, method, workloads, substrates):
+    workload = workloads[dataset]
+    index = build_indexes(
+        workload,
+        methods=(method,),
+        base=substrates[dataset],
+        seed=SEED,
+        k=BENCH_PROFILE.k,
+    )[method]
+    ids, vectors, attrs = _fresh_objects(workload, 2000, SEED)
+    pool = itertools.cycle(zip(ids, vectors, attrs))
+    fresh = itertools.count(30_000_000)
+
+    def setup():
+        _, vector, attr = next(pool)
+        oid = next(fresh)
+        index.insert(oid, vector, attr)
+        return (oid,), {}
+
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method
+    benchmark.pedantic(
+        index.delete, setup=setup, rounds=BENCH_PROFILE.num_update_ops,
+        iterations=1,
+    )

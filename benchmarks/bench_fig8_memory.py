@@ -1,0 +1,30 @@
+"""Fig. 8 — memory usage of each index.
+
+The paper reports resident index size per method and dataset, compared with
+the raw data size.  Memory is not a timing quantity, so this benchmark times
+the (cheap) accounting call and carries the actual figure values in
+``extra_info``: the index's C-equivalent bytes and the raw data bytes.
+Expected shape: RangePQ+ ≪ RangePQ; RangePQ+ ≈ RII ≈ VBase; Milvus largest
+linear method (float-stored codes); all below the raw data.  Full series:
+``python -m repro.eval.harness --figure 8``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import METHOD_NAMES
+
+
+@pytest.mark.parametrize("dataset", ("sift", "gist", "wit"))
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_fig8_memory(benchmark, dataset, method, index_store, workloads):
+    index = index_store(dataset)[method]
+    workload = workloads[dataset]
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["index_mb"] = index.memory_bytes() / 1e6
+    benchmark.extra_info["raw_data_mb"] = (
+        4 * workload.num_objects * workload.dim / 1e6
+    )
+    benchmark(index.memory_bytes)

@@ -1,0 +1,48 @@
+"""Fig. 9 — impact of the PQ subspace count M on RangePQ+.
+
+Paper series: query time and recall of RangePQ+ for M ∈ {d/16, d/8, d/4,
+d/2} on every dataset.  Expected shape: larger M (finer codes) raises both
+recall and per-candidate cost; M = d/4 is the sweet spot.  Full series:
+``python -m repro.eval.harness --figure 9``.
+
+Each M needs its own PQ training run, so this file keeps to the SIFT-like
+workload; the harness covers all datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_PROFILE, SEED, make_query_runner, recall_of
+from repro.eval.harness import build_indexes, train_substrate
+
+DIVISORS = (16, 8, 4, 2)
+COVERAGE = 0.10
+
+
+@pytest.fixture(scope="module")
+def indexes_by_m(workloads):
+    workload = workloads["sift"]
+    built = {}
+    for divisor in DIVISORS:
+        m = workload.dim // divisor
+        if m < 1 or workload.dim % m:
+            continue
+        base = train_substrate(workload, num_subspaces=m, seed=SEED)
+        built[divisor] = build_indexes(
+            workload, methods=("RangePQ+",), base=base, seed=SEED,
+            k=BENCH_PROFILE.k,
+        )["RangePQ+"]
+    return built
+
+
+@pytest.mark.parametrize("divisor", DIVISORS)
+def test_fig9_m_sweep(benchmark, divisor, indexes_by_m, workloads, query_ranges):
+    if divisor not in indexes_by_m:
+        pytest.skip(f"d/{divisor} is not a valid subspace count here")
+    index = indexes_by_m[divisor]
+    workload = workloads["sift"]
+    ranges = query_ranges[("sift", COVERAGE)]
+    benchmark.extra_info["M"] = f"d/{divisor}"
+    benchmark.extra_info["recall_at_k"] = recall_of(index, workload, ranges)
+    benchmark(make_query_runner(index, workload, ranges))

@@ -1,0 +1,56 @@
+"""Extension — mixed read/write workload throughput (not a paper figure).
+
+The paper times queries, inserts, and deletes in isolation; production
+vector stores interleave all three.  This benchmark drives each index with
+a fixed op mix (70% queries, 20% inserts, 10% deletes) and times the whole
+step stream, exposing interactions the isolated figures hide (e.g. Milvus'
+growing segment making *queries* pay for cheap inserts, RangePQ+ rebuild
+pauses amortizing away).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_PROFILE, SEED
+from repro.eval.harness import METHOD_NAMES, _fresh_objects, build_indexes
+
+
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_mixed_workload(benchmark, method, workloads, substrates, query_ranges):
+    workload = workloads["sift"]
+    index = build_indexes(
+        workload, methods=(method,), base=substrates["sift"], seed=SEED,
+        k=BENCH_PROFILE.k,
+    )[method]
+    ids, vectors, attrs = _fresh_objects(workload, 3000, SEED)
+    insert_pool = itertools.cycle(zip(vectors, attrs))
+    fresh = itertools.count(50_000_000)
+    inserted: list[int] = []
+    ranges = itertools.cycle(query_ranges[("sift", 0.10)])
+    queries = itertools.cycle(workload.queries)
+    rng = np.random.default_rng(SEED)
+    # Deterministic op schedule: 7 queries, 2 inserts, 1 delete per block.
+    schedule = itertools.cycle("qqqqqqqiid")
+
+    def step():
+        op = next(schedule)
+        if op == "q":
+            query = next(queries)
+            lo, hi = next(ranges)
+            index.query(query, lo, hi, BENCH_PROFILE.k)
+        elif op == "i":
+            vector, attr = next(insert_pool)
+            oid = next(fresh)
+            index.insert(oid, vector, attr)
+            inserted.append(oid)
+        else:
+            if inserted:
+                index.delete(inserted.pop(int(rng.integers(len(inserted)))))
+
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["mix"] = "70q/20i/10d"
+    benchmark.pedantic(step, rounds=100, iterations=1)

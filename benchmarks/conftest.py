@@ -1,0 +1,118 @@
+"""Shared fixtures for the per-figure benchmark suite.
+
+Everything expensive (workload generation, k-means training, index builds)
+happens once per session; each benchmark then times only the operation the
+corresponding paper figure measures.  The benchmark profile is intentionally
+small so ``pytest benchmarks/ --benchmark-only`` completes in minutes; the
+full paper-shaped sweeps (all nine coverages, larger n) are produced by
+``python -m repro.eval.harness --figure N --scale default``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import (
+    METHOD_NAMES,
+    ScaleProfile,
+    build_indexes,
+    make_workload,
+    train_substrate,
+)
+from repro.eval.groundtruth import exact_range_knn
+from repro.eval.metrics import mean_metric, nn_recall_at_k
+
+#: Benchmark-scale profile (fast; see module docstring).
+BENCH_PROFILE = ScaleProfile(
+    name="bench",
+    n=1500,
+    dims={"sift": 64, "gist": 96, "wit": 128},
+    num_queries=10,
+    k=20,
+    coverages=(0.01, 0.10, 0.40),
+    num_update_ops=30,
+)
+
+DATASETS = ("sift", "gist", "wit")
+SEED = 0
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """One scaled synthetic workload per paper dataset."""
+    return {name: make_workload(name, BENCH_PROFILE, seed=SEED) for name in DATASETS}
+
+
+@pytest.fixture(scope="session")
+def substrates(workloads):
+    """One trained IVFPQ substrate per dataset, shared by all methods."""
+    return {
+        name: train_substrate(workload, seed=SEED)
+        for name, workload in workloads.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def index_store(workloads, substrates):
+    """Lazily built (dataset, method) -> index cache.
+
+    Query benchmarks share these instances; update benchmarks build their
+    own private copies (they mutate state).
+    """
+    cache: dict[str, dict[str, object]] = {}
+
+    def get(dataset: str):
+        if dataset not in cache:
+            cache[dataset] = build_indexes(
+                workloads[dataset],
+                base=substrates[dataset],
+                seed=SEED,
+                k=BENCH_PROFILE.k,
+            )
+        return cache[dataset]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def query_ranges(workloads):
+    """Deterministic per-(dataset, coverage) query ranges, one per query."""
+    rng = np.random.default_rng(SEED + 1)
+    ranges: dict[tuple[str, float], list[tuple[float, float]]] = {}
+    for dataset, workload in workloads.items():
+        for coverage in BENCH_PROFILE.coverages:
+            ranges[(dataset, coverage)] = [
+                workload.range_for_coverage(coverage, rng)
+                for _ in range(len(workload.queries))
+            ]
+    return ranges
+
+
+def make_query_runner(index, workload, ranges, k=BENCH_PROFILE.k):
+    """Round-robin query closure for ``benchmark(...)``."""
+    cycle = itertools.cycle(list(zip(workload.queries, ranges)))
+
+    def run():
+        query, (lo, hi) = next(cycle)
+        return index.query(query, lo, hi, k)
+
+    return run
+
+
+def recall_of(index, workload, ranges, k=BENCH_PROFILE.k) -> float:
+    """Mean Recall@k of an index over the fixed (query, range) grid."""
+    recalls = []
+    for query, (lo, hi) in zip(workload.queries, ranges):
+        truth = exact_range_knn(workload.vectors, workload.attrs, query, lo, hi, k)
+        result = index.query(query, lo, hi, k)
+        recalls.append(nn_recall_at_k(result.ids, truth, k))
+    return mean_metric(recalls)
+
+
+def pytest_make_parametrize_id(config, val, argname):
+    if isinstance(val, float):
+        return f"{val:g}"
+    return None

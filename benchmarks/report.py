@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Turn a pytest-benchmark JSON dump into per-figure tables.
+
+The per-figure benchmark files attach the paper's figure coordinates
+(dataset, method, coverage, recall, …) to every benchmark via
+``extra_info``.  This script groups a ``--benchmark-json`` dump back into
+those figures::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python benchmarks/report.py bench.json
+
+Output: one table per benchmark module, rows = (params + extra_info +
+mean/median microseconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+# Allow running as a plain script from the repo root.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.eval.reporting import format_table  # noqa: E402
+
+
+def load_benchmarks(path: Path) -> list[dict]:
+    """Load and lightly validate the pytest-benchmark JSON payload."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if "benchmarks" not in payload:
+        raise SystemExit(f"{path} is not a pytest-benchmark JSON dump")
+    return payload["benchmarks"]
+
+
+def group_by_module(benchmarks: list[dict]) -> dict[str, list[dict]]:
+    groups: dict[str, list[dict]] = defaultdict(list)
+    for bench in benchmarks:
+        module = bench["fullname"].split("::")[0]
+        groups[Path(module).stem].append(bench)
+    return dict(sorted(groups.items()))
+
+
+def table_for(benches: list[dict]) -> tuple[list[str], list[list]]:
+    """Build (headers, rows) from one module's benchmarks."""
+    info_keys: list[str] = []
+    for bench in benches:
+        for key in bench.get("extra_info", {}):
+            if key not in info_keys:
+                info_keys.append(key)
+    headers = ["benchmark", *info_keys, "mean_us", "median_us"]
+    rows = []
+    for bench in benches:
+        info = bench.get("extra_info", {})
+        stats = bench["stats"]
+        rows.append(
+            [
+                bench["name"],
+                *[info.get(key, "") for key in info_keys],
+                stats["mean"] * 1e6,
+                stats["median"] * 1e6,
+            ]
+        )
+    rows.sort(key=lambda row: str(row[1:]))
+    return headers, rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", type=Path)
+    args = parser.parse_args(argv)
+    benchmarks = load_benchmarks(args.json_path)
+    for module, benches in group_by_module(benchmarks).items():
+        print(f"\n=== {module} ({len(benches)} benchmarks)")
+        headers, rows = table_for(benches)
+        print(format_table(headers, rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

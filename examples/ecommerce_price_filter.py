@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""E-commerce scenario: "items like this image, priced between X and Y".
+
+This is the motivating example from the paper's introduction: an items table
+where every product has a feature vector (from an image encoder) and a price
+attribute, queried with a range filter.
+
+The script contrasts three ways of answering the same filtered query:
+
+* **post-filtering** (vector-first): fetch θ·k nearest items, drop the ones
+  outside the price range, retry with a larger θ if fewer than k remain —
+  the strategy whose "proper k' is challenging in practice" per the paper;
+* **pre-filtering** (range-first): scan every in-range item;
+* **RangePQ+**: the paper's index, which touches only in-range objects and
+  only the coarse clusters that contain them.
+
+Run with::
+
+    python examples/ecommerce_price_filter.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import RangePQPlus
+from repro.baselines import MilvusLikeIndex, MilvusStrategy
+from repro.eval import exact_range_knn, nn_recall_at_k
+
+
+def make_catalog(n: int = 8000, dim: int = 96, seed: int = 0):
+    """Synthetic product catalog: clustered image embeddings + skewed prices."""
+    rng = np.random.default_rng(seed)
+    styles = rng.normal(scale=8.0, size=(40, dim))  # 40 visual "styles"
+    style_of_item = rng.integers(0, 40, size=n)
+    embeddings = styles[style_of_item] + rng.normal(size=(n, dim))
+    # Prices are log-normal (many cheap items, long expensive tail).
+    prices = np.round(np.exp(rng.normal(3.5, 0.9, size=n)), 2)
+    return embeddings, prices, styles, rng
+
+
+def main() -> None:
+    embeddings, prices, styles, rng = make_catalog()
+    n = len(embeddings)
+    print(f"catalog: {n} items, prices ${prices.min():.2f}-${prices.max():.2f}")
+
+    # One shared PQ substrate would be fairer still; for a readable example
+    # each index trains its own (identical seed).
+    # L_base sized for this catalog: ~2% of the items of a 10%-coverage
+    # band (the library default of 1000 targets 100k+ corpora).
+    from repro.core import AdaptiveLPolicy
+
+    rangepq = RangePQPlus.build(
+        embeddings, prices, seed=0,
+        l_policy=AdaptiveLPolicy(l_base=150, r_base=0.10),
+    )
+    post_filter = MilvusLikeIndex.build(
+        embeddings, prices, seed=0, strategy=MilvusStrategy.VECTOR_FIRST
+    )
+    pre_filter = MilvusLikeIndex.build(
+        embeddings, prices, seed=0, strategy=MilvusStrategy.ATTR_FIRST_SCAN
+    )
+
+    # A shopper looks at one item and wants similar items in a price band.
+    query_item = styles[7] + rng.normal(size=embeddings.shape[1])
+    bands = [(10.0, 25.0), (25.0, 60.0), (5.0, 300.0)]
+    k = 10
+
+    header = f"{'price band':>16} {'method':>14} {'ms':>8} {'recall@10':>10}"
+    print("\n" + header)
+    print("-" * len(header))
+    for lo, hi in bands:
+        truth = exact_range_knn(embeddings, prices, query_item, lo, hi, k)
+        for name, index in [
+            ("RangePQ+", rangepq),
+            ("post-filter", post_filter),
+            ("pre-filter", pre_filter),
+        ]:
+            start = time.perf_counter()
+            result = index.query(query_item, lo, hi, k)
+            elapsed = (time.perf_counter() - start) * 1000
+            recall = nn_recall_at_k(result.ids, truth, k)
+            print(
+                f"${lo:6.0f}-${hi:6.0f} {name:>14} {elapsed:8.2f} {recall:10.0%}"
+            )
+
+    # The adaptive-L behaviour: widening the band raises the budget.
+    narrow = rangepq.query(query_item, 10.0, 15.0, k)
+    wide = rangepq.query(query_item, 5.0, 500.0, k)
+    print(
+        f"\nadaptive L: narrow band used L={narrow.stats.l_used}, "
+        f"wide band used L={wide.stats.l_used}"
+    )
+
+
+if __name__ == "__main__":
+    main()

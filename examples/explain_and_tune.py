@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Diagnosing and tuning a RangePQ+ deployment with the built-in tooling.
+
+Walks the workflow from docs/tuning.md on a live index:
+
+1. measure the latency distribution (p50/p95/p99) of a workload,
+2. EXPLAIN one slow query to see where the time goes,
+3. check index health after heavy churn,
+4. re-calibrate ``L_base`` with a quick Fig.-11-style sweep.
+
+Run with::
+
+    python examples/explain_and_tune.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AdaptiveLPolicy, FixedLPolicy, RangePQPlus
+from repro.datasets import sift_like
+from repro.eval import exact_range_knn, intersection_recall, mean_metric
+from repro.eval.explain import explain_query
+from repro.eval.health import index_health, render_health
+from repro.eval.latency import measure_latencies
+
+
+def main() -> None:
+    workload = sift_like(n=6000, d=64, num_queries=30, seed=1)
+    index = RangePQPlus.build(
+        workload.vectors,
+        workload.attrs,
+        l_policy=AdaptiveLPolicy(l_base=120, r_base=0.10),
+        seed=0,
+    )
+    rng = np.random.default_rng(0)
+
+    # --- 1. Latency distribution at a mid coverage.
+    ranges = [
+        workload.range_for_coverage(0.10, rng)
+        for _ in range(len(workload.queries))
+    ]
+    report = measure_latencies(index, workload.queries, ranges, k=10)
+    print("workload latency:", report)
+
+    # --- 2. EXPLAIN the widest query (the slow tail).
+    wide = workload.range_for_coverage(0.80, rng)
+    print("\nEXPLAIN of an 80%-coverage query:")
+    print(explain_query(index, workload.queries[0], *wide, k=10))
+
+    # --- 3. Health after churn.
+    for oid in range(0, 2400, 2):
+        index.delete(oid)
+    print("\nafter deleting 1200 objects:")
+    print(render_health(index_health(index)))
+
+    # --- 4. L_base calibration sweep (Fig. 11 in miniature).
+    print("\nL sweep at 10% coverage (pick the recall knee):")
+    lo, hi = workload.range_for_coverage(0.10, rng)
+    for l_value in (30, 60, 120, 240, 480):
+        trial = RangePQPlus(
+            index.ivf, epsilon=index.epsilon, l_policy=FixedLPolicy(l=l_value)
+        )
+        trial._attr = dict(index._attr)
+        trial._rebucket_all()
+        recalls = []
+        for query in workload.queries[:15]:
+            truth = exact_range_knn(
+                workload.vectors, workload.attrs, query, lo, hi, 10
+            )
+            live_truth = [oid for oid in truth if oid in trial._attr]
+            result = trial.query(query, lo, hi, k=10)
+            recalls.append(
+                intersection_recall(result.ids, np.asarray(live_truth), 10)
+            )
+        print(f"  L={l_value:4d}: overlap@10 = {mean_metric(recalls):.0%}")
+    print(
+        "\npick the smallest L where the curve saturates as L_base (here the"
+        "\ncurve is already flat: easy data — even the smallest L suffices);"
+        "\nthe adaptive policy extrapolates it to other coverages."
+    )
+
+
+if __name__ == "__main__":
+    main()

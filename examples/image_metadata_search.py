@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Image-library scenario: CNN embeddings filtered by (correlated) file size.
+
+Mirrors the paper's WIT experiment: ResNet-style embeddings where the filter
+attribute — the image's size — is *correlated* with the embedding (larger
+photos tend to be visually richer and cluster together).  Correlation is the
+regime where independence-assuming index compressions degrade; RangePQ's
+cover decomposition makes no distributional assumption.
+
+The example also demonstrates why the adaptive L policy matters (the
+paper's Exp. 6 / Fig. 12): with a fixed L, recall collapses on wide ranges.
+
+Run with::
+
+    python examples/image_metadata_search.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RangePQPlus
+from repro.core import AdaptiveLPolicy, FixedLPolicy
+from repro.datasets import attribute_vector_correlation, wit_like
+from repro.eval import exact_range_knn, mean_metric, nn_recall_at_k
+
+
+def main() -> None:
+    workload = wit_like(n=5000, d=256, num_queries=25, seed=3)
+    corr = attribute_vector_correlation(workload.attrs, workload.components)
+    print(
+        f"library: {workload.num_objects} images, {workload.dim}-d embeddings, "
+        f"size attribute (correlation ratio with clusters: {corr:.2f})"
+    )
+
+    l_base = 100
+    adaptive = RangePQPlus.build(
+        workload.vectors,
+        workload.attrs,
+        l_policy=AdaptiveLPolicy(l_base=l_base, r_base=0.10),
+        seed=0,
+    )
+    fixed = RangePQPlus(
+        adaptive.ivf, l_policy=FixedLPolicy(l=l_base), epsilon=adaptive.epsilon
+    )
+    fixed._attr = dict(adaptive._attr)
+    fixed._rebucket_all()
+
+    rng = np.random.default_rng(0)
+    print(f"\n{'coverage':>9} {'adaptive L':>11} {'recall':>7} | "
+          f"{'fixed L':>8} {'recall':>7}")
+    for coverage in (0.05, 0.20, 0.60):
+        recalls_adaptive, recalls_fixed, l_used = [], [], 0
+        for query in workload.queries:
+            lo, hi = workload.range_for_coverage(coverage, rng)
+            truth = exact_range_knn(
+                workload.vectors, workload.attrs, query, lo, hi, 10
+            )
+            res_a = adaptive.query(query, lo, hi, k=10)
+            res_f = fixed.query(query, lo, hi, k=10)
+            l_used = res_a.stats.l_used
+            recalls_adaptive.append(nn_recall_at_k(res_a.ids, truth, 10))
+            recalls_fixed.append(nn_recall_at_k(res_f.ids, truth, 10))
+        print(
+            f"{coverage:9.0%} {l_used:11d} {mean_metric(recalls_adaptive):7.0%} | "
+            f"{l_base:8d} {mean_metric(recalls_fixed):7.0%}"
+        )
+
+    print(
+        "\nadaptive L keeps recall flat as the range widens; "
+        "fixed L degrades — the paper's Fig. 12 effect."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+``pip install -e .`` needs the ``wheel`` package for PEP 660 editable
+installs; in fully offline environments without it, this shim allows the
+legacy ``python setup.py develop`` fallback.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""RangePQ / RangePQ+ — dynamic indexing for range-filtered ANN search.
+
+Reproduction of *Efficient Dynamic Indexing for Range Filtered Approximate
+Nearest Neighbor Search* (Zhang, Jiang, Hou, Wang).  The package provides:
+
+* :class:`repro.core.RangePQ` — the ``O(n log K)``-space tree-augmented
+  PQ index (Sec. 3.1);
+* :class:`repro.core.RangePQPlus` — the linear-space hybrid two-layer
+  index (Sec. 3.3);
+* :mod:`repro.ivf` / :mod:`repro.quantization` — the PQ/IVF substrate built
+  from scratch (k-means, product quantization, inverted lists);
+* :mod:`repro.baselines` — faithful reimplementations of the paper's
+  competitors (Milvus-like strategies, RII, VBase, brute force);
+* :mod:`repro.datasets` — synthetic SIFT/GIST/WIT-like workload generators;
+* :mod:`repro.eval` — ground truth, Recall@k, and the per-figure experiment
+  harness (``python -m repro.eval.harness --figure 3``).
+"""
+
+from .core import (
+    AdaptiveLPolicy,
+    FixedLPolicy,
+    LPolicy,
+    QueryResult,
+    QueryStats,
+    RangePQ,
+    RangePQPlus,
+)
+from .ivf import IVFPQIndex
+from .quantization import ProductQuantizer
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "RangePQ",
+    "RangePQPlus",
+    "IVFPQIndex",
+    "ProductQuantizer",
+    "AdaptiveLPolicy",
+    "FixedLPolicy",
+    "LPolicy",
+    "QueryResult",
+    "QueryStats",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""``python -m repro``: package banner and a quick self-check.
+
+Prints the version, the module map, and runs a 2-second smoke test (build a
+tiny index, query it, verify against brute force) so a fresh install can be
+validated with one command.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+import repro
+
+
+def _smoke_test() -> bool:
+    rng = np.random.default_rng(0)
+    vectors = rng.normal(size=(400, 16))
+    attrs = rng.integers(0, 50, size=400).astype(float)
+    index = repro.RangePQPlus.build(
+        vectors, attrs, num_subspaces=4, num_clusters=10, num_codewords=32,
+        seed=0,
+    )
+    result = index.query(vectors[0], 10.0, 40.0, k=5, l_budget=10**6)
+    universe = index.query(vectors[0], 10.0, 40.0, k=10**6, l_budget=10**6)
+    expected = {i for i, a in enumerate(attrs) if 10 <= a <= 40}
+    return (
+        len(result) == 5
+        and set(universe.ids.tolist()) == expected
+    )
+
+
+def main() -> int:
+    """Print the banner and run the smoke test; exit 0 on success."""
+    print(f"repro {repro.__version__} — RangePQ / RangePQ+ reproduction")
+    print(__doc__.splitlines()[0])
+    print()
+    print("entry points:")
+    print("  python -m repro.eval.harness --figure <3..12>   regenerate a figure")
+    print("  python -m repro.eval.regression                 reproduction CI")
+    print("  pytest tests/                                   test suite")
+    print("  pytest benchmarks/ --benchmark-only             benchmark suite")
+    print()
+    ok = _smoke_test()
+    print(f"self-check: {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

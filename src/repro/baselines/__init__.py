@@ -1,0 +1,17 @@
+"""Baseline range-filtered indexes the paper compares against."""
+
+from .base import AttributeDirectory, RangeFilteredIndex
+from .bruteforce import BruteForceRangeIndex
+from .milvus_like import MilvusLikeIndex, MilvusStrategy
+from .rii import RIIIndex
+from .vbase import VBaseIndex
+
+__all__ = [
+    "RangeFilteredIndex",
+    "AttributeDirectory",
+    "BruteForceRangeIndex",
+    "MilvusLikeIndex",
+    "MilvusStrategy",
+    "RIIIndex",
+    "VBaseIndex",
+]

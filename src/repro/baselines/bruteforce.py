@@ -1,0 +1,128 @@
+"""Exact brute-force range-filtered index.
+
+Serves two roles: the ground-truth oracle for dynamic test scenarios (it is
+exact by construction, including after arbitrary updates), and the
+"range-first + linear scan over raw vectors" lower bound that VBase falls
+back to at low selectivity.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.results import QueryResult, QueryStats
+from ..quantization import squared_l2
+
+__all__ = ["BruteForceRangeIndex"]
+
+
+class BruteForceRangeIndex:
+    """Exact range-filtered k-NN over raw vectors with dynamic updates.
+
+    Storage is a growable row store with a free list, so inserts and deletes
+    are ``O(1)`` (plus the vector copy) and queries are one vectorized scan.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self._vectors = np.empty((0, dim), dtype=np.float64)
+        self._attrs = np.empty(0, dtype=np.float64)
+        self._row_of: dict[int, int] = {}
+        self._oid_of_row = np.empty(0, dtype=np.int64)
+        self._free_rows: list[int] = []
+
+    @classmethod
+    def build(
+        cls,
+        vectors: np.ndarray,
+        attrs: Sequence[float],
+        *,
+        ids: Sequence[int] | None = None,
+    ) -> "BruteForceRangeIndex":
+        """Bulk-build from a dataset (IDs default to ``0..n-1``)."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        index = cls(vectors.shape[1])
+        if ids is None:
+            ids = range(len(vectors))
+        for oid, vector, attr in zip(ids, vectors, attrs):
+            index.insert(oid, vector, attr)
+        return index
+
+    def __len__(self) -> int:
+        return len(self._row_of)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._row_of
+
+    def _grow(self) -> None:
+        capacity = len(self._oid_of_row)
+        if len(self._row_of) < capacity:
+            return
+        new_capacity = max(16, 2 * capacity)
+        grown = np.empty((new_capacity, self.dim), dtype=np.float64)
+        grown[:capacity] = self._vectors
+        self._vectors = grown
+        self._attrs = np.concatenate(
+            [self._attrs, np.full(new_capacity - capacity, np.nan)]
+        )
+        self._oid_of_row = np.concatenate(
+            [self._oid_of_row, np.full(new_capacity - capacity, -1, dtype=np.int64)]
+        )
+        self._free_rows.extend(range(new_capacity - 1, capacity - 1, -1))
+
+    def insert(self, oid: int, vector: np.ndarray, attr: float) -> None:
+        """Insert one object (KeyError if the ID is present)."""
+        if oid in self._row_of:
+            raise KeyError(f"object {oid} already present")
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected vector of shape ({self.dim},)")
+        self._grow()
+        row = self._free_rows.pop()
+        self._vectors[row] = vector
+        self._attrs[row] = float(attr)
+        self._row_of[oid] = row
+        self._oid_of_row[row] = oid
+
+    def delete(self, oid: int) -> None:
+        """Delete one object (KeyError if absent)."""
+        row = self._row_of.pop(oid)
+        self._attrs[row] = np.nan  # NaN never satisfies a range predicate
+        self._oid_of_row[row] = -1
+        self._free_rows.append(row)
+
+    def query(
+        self, query_vector: np.ndarray, lo: float, hi: float, k: int
+    ) -> QueryResult:
+        """Exact top-``k`` among objects with attribute in ``[lo, hi]``."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        stats = QueryStats()
+        mask = (self._attrs >= lo) & (self._attrs <= hi)
+        rows = np.flatnonzero(mask)
+        stats.num_in_range = len(rows)
+        stats.num_candidates = len(rows)
+        if len(rows) == 0:
+            return QueryResult.empty(stats)
+        distances = squared_l2(self._vectors[rows], np.asarray(query_vector))
+        ids = self._oid_of_row[rows]
+        k = min(k, len(rows))
+        part = (
+            np.argpartition(distances, k - 1)[:k]
+            if k < len(distances)
+            else np.arange(len(distances))
+        )
+        order = part[np.lexsort((ids[part], distances[part]))]
+        return QueryResult(
+            ids=ids[order].astype(np.int64),
+            distances=distances[order],
+            stats=stats,
+        )
+
+    def memory_bytes(self) -> int:
+        """C-equivalent bytes: float32 vectors + attr + ID per object."""
+        return len(self) * (4 * self.dim + 8 + 4)

@@ -1,0 +1,5 @@
+"""B+-tree attribute index (the baselines' secondary index, done properly)."""
+
+from .bptree import BPlusAttributeDirectory, BPlusTree
+
+__all__ = ["BPlusTree", "BPlusAttributeDirectory"]

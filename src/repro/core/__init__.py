@@ -1,0 +1,21 @@
+"""Core contribution: RangePQ, RangePQ+, and the adaptive L policy."""
+
+from .adaptive import AdaptiveLPolicy, FixedLPolicy, LPolicy
+from .multiattr import MultiAttrRangePQ
+from .rangepq import RangePQ
+from .rangepq_plus import HybridNode, RangePQPlus
+from .results import QueryResult, QueryStats
+from .search import search_by_coarse_centers
+
+__all__ = [
+    "RangePQ",
+    "RangePQPlus",
+    "MultiAttrRangePQ",
+    "HybridNode",
+    "AdaptiveLPolicy",
+    "FixedLPolicy",
+    "LPolicy",
+    "QueryResult",
+    "QueryStats",
+    "search_by_coarse_centers",
+]

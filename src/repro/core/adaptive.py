@@ -1,0 +1,71 @@
+"""Policies choosing ``L``, the number of objects SearchByCCenters retrieves.
+
+``L`` trades query time against recall (Sec. 3.1, "The choice of L").  The
+paper's adaptive mechanism scales a base value with the query range's
+coverage percentage:
+
+    L = max(L_base * r_Q / r_base, L_base)
+
+where ``r_Q`` is the fraction of live objects whose attribute falls in the
+query range and ``r_base`` is the coverage at which ``L_base`` was tuned
+(10% in the paper).  Experiments Exp. 6 / Figs. 11–12 evaluate exactly this
+policy against fixed ``L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LPolicy", "AdaptiveLPolicy", "FixedLPolicy"]
+
+
+class LPolicy:
+    """Interface: map a query's coverage fraction to an ``L`` value."""
+
+    def choose(self, coverage: float) -> int:
+        """Return ``L`` for a query covering ``coverage`` of the objects.
+
+        Args:
+            coverage: Fraction of live objects inside the range, in [0, 1].
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AdaptiveLPolicy(LPolicy):
+    """The paper's adaptive policy ``L = max(L_base * r_Q / r_base, L_base)``.
+
+    Args:
+        l_base: Base number of objects to retrieve (paper: 1000 for SIFT and
+            WIT, 3000 for GIST).
+        r_base: Coverage percentage at which ``l_base`` was calibrated
+            (paper: 0.10, i.e. 10%).
+    """
+
+    l_base: int = 1000
+    r_base: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.l_base < 1:
+            raise ValueError(f"l_base must be >= 1, got {self.l_base}")
+        if not 0.0 < self.r_base <= 1.0:
+            raise ValueError(f"r_base must be in (0, 1], got {self.r_base}")
+
+    def choose(self, coverage: float) -> int:
+        if coverage < 0.0:
+            raise ValueError(f"coverage must be >= 0, got {coverage}")
+        return max(int(self.l_base * coverage / self.r_base), self.l_base)
+
+
+@dataclass(frozen=True)
+class FixedLPolicy(LPolicy):
+    """Constant ``L`` regardless of coverage (the Fig. 12 ablation)."""
+
+    l: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.l < 1:
+            raise ValueError(f"l must be >= 1, got {self.l}")
+
+    def choose(self, coverage: float) -> int:
+        return self.l

@@ -1,0 +1,70 @@
+"""Result and statistics containers shared by all range-filtered indexes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QueryStats", "QueryResult"]
+
+
+@dataclass
+class QueryStats:
+    """Counters describing the work one range-filtered query performed.
+
+    Attributes:
+        num_candidate_clusters: ``C_Q`` — coarse clusters holding at least
+            one in-range object (or, for baselines, clusters probed).
+        num_candidates: Objects whose asymmetric distance was evaluated.
+        num_in_range: Objects whose attribute lies in the query range
+            (``|O_Q|``), when the method can know it cheaply; else -1.
+        cover_nodes: Tree cover pieces visited (RangePQ/RangePQ+ only).
+        l_used: The ``L`` budget the query ran with (RangePQ family only).
+        decompose_ms: Time in the tree cover decomposition (Alg. 1/5 step 1).
+        table_ms: Time building the ``O(d·Z)`` ADC distance table.
+        rank_ms: Time ranking candidate coarse centers by distance.
+        fetch_ms: Time fetching in-range object IDs from the cover.
+        adc_ms: Time in asymmetric-distance lookups and top-k selection.
+
+    Phase timings are filled by the RangePQ-family query paths only; they
+    stay 0.0 for baselines.
+    """
+
+    num_candidate_clusters: int = 0
+    num_candidates: int = 0
+    num_in_range: int = -1
+    cover_nodes: int = 0
+    l_used: int = 0
+    decompose_ms: float = 0.0
+    table_ms: float = 0.0
+    rank_ms: float = 0.0
+    fetch_ms: float = 0.0
+    adc_ms: float = 0.0
+
+
+@dataclass
+class QueryResult:
+    """Top-``k`` answer of a range-filtered ANN query.
+
+    Attributes:
+        ids: Object IDs sorted ascending by approximate distance.
+        distances: Matching approximate squared distances.
+        stats: Work counters for the query.
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @staticmethod
+    def empty(stats: QueryStats | None = None) -> "QueryResult":
+        """An empty result (no object satisfied the filter)."""
+        return QueryResult(
+            ids=np.empty(0, dtype=np.int64),
+            distances=np.empty(0, dtype=np.float64),
+            stats=stats or QueryStats(),
+        )

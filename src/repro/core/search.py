@@ -1,0 +1,128 @@
+"""SearchByCCenters (Alg. 2): the shared second phase of RangePQ queries.
+
+Both RangePQ and RangePQ+ reduce a range-filtered query to the same problem:
+given the candidate set ``C`` of coarse clusters that contain in-range
+objects, and a way to enumerate each cluster's in-range members, retrieve up
+to ``L`` objects in ascending order of *cluster-center* distance to the query
+vector and rank them by asymmetric (ADC) distance.  This module implements
+that phase once, parameterized by per-cluster iterators.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..ivf import IVFPQIndex
+from .results import QueryResult, QueryStats
+
+__all__ = ["search_by_coarse_centers"]
+
+
+def search_by_coarse_centers(
+    ivf: IVFPQIndex,
+    query: np.ndarray,
+    k: int,
+    l_budget: int,
+    candidate_clusters: Sequence[int],
+    cluster_members: Callable[[int], Iterable],
+    stats: QueryStats,
+    *,
+    chunked: bool = False,
+) -> QueryResult:
+    """Retrieve the top-``k`` in-range neighbors from candidate clusters.
+
+    Args:
+        ivf: The PQ-based index providing coarse centers and ADC codes.
+        query: Query vector of shape ``(d,)``.
+        k: Number of results to return.
+        l_budget: ``L`` — stop once this many objects have been retrieved
+            (Alg. 2 line 11).
+        candidate_clusters: The set ``C`` of coarse-cluster IDs that contain
+            at least one in-range object.
+        cluster_members: Callable yielding the in-range object IDs of one
+            cluster (RangePQ passes a tree-guided iterator, RangePQ+ a
+            bucket/hash-table iterator).
+        stats: Mutated in place with work counters.
+        chunked: When True, ``cluster_members`` yields *sequences* of IDs
+            (e.g. one list per bucket) instead of individual IDs; draining
+            whole chunks avoids per-object Python iteration and is how
+            RangePQ+ exploits its bucket layout.
+
+    Returns:
+        A :class:`QueryResult` with up to ``k`` objects.
+    """
+    stats.num_candidate_clusters = len(candidate_clusters)
+    stats.l_used = l_budget
+    if not candidate_clusters:
+        return QueryResult.empty(stats)
+
+    # Alg. 2 lines 1-4: rank candidate clusters by center distance.
+    tick = time.perf_counter()
+    clusters = np.asarray(list(candidate_clusters), dtype=np.int64)
+    center_dist = ivf.center_distances(query)[clusters]
+    clusters = clusters[np.argsort(center_dist, kind="stable")]
+    stats.rank_ms = (time.perf_counter() - tick) * 1000.0
+
+    tick = time.perf_counter()
+    table = ivf.distance_table(query)
+    stats.table_ms = (time.perf_counter() - tick) * 1000.0
+
+    # Alg. 2 lines 5-13: drain clusters nearest-first until L objects.
+    # The per-object distances are independent of the drain order and the
+    # early stop (|R| = L) depends only on counts, so the ADC lookups are
+    # deferred into one batched call after collection.
+    remaining = l_budget
+    collected: list[int] = []
+    take = _take_chunks if chunked else _take
+    tick = time.perf_counter()
+    for cluster in clusters:
+        batch = take(cluster_members(int(cluster)), remaining)
+        if not batch:
+            continue
+        collected.extend(batch)
+        remaining -= len(batch)
+        if remaining <= 0:
+            break
+    stats.fetch_ms = (time.perf_counter() - tick) * 1000.0
+
+    if not collected:
+        return QueryResult.empty(stats)
+    tick = time.perf_counter()
+    ids = np.asarray(collected, dtype=np.int64)
+    distances = ivf.adc_for_ids(table, collected)
+    stats.num_candidates = len(ids)
+
+    if k < len(ids):
+        part = np.argpartition(distances, k - 1)[:k]
+        order = part[np.argsort(distances[part], kind="stable")]
+    else:
+        order = np.argsort(distances, kind="stable")
+    stats.adc_ms += (time.perf_counter() - tick) * 1000.0
+    return QueryResult(ids=ids[order], distances=distances[order], stats=stats)
+
+
+def _take(iterable: Iterable[int], limit: int) -> list[int]:
+    """First ``limit`` items of ``iterable`` as a list."""
+    out: list[int] = []
+    iterator: Iterator[int] = iter(iterable)
+    for item in iterator:
+        out.append(item)
+        if len(out) >= limit:
+            break
+    return out
+
+
+def _take_chunks(chunks: Iterable[Sequence[int]], limit: int) -> list[int]:
+    """First ``limit`` items across an iterable of ID sequences."""
+    out: list[int] = []
+    for chunk in chunks:
+        need = limit - len(out)
+        if need <= 0:
+            break
+        if len(chunk) > need:
+            chunk = list(chunk)[:need]
+        out.extend(chunk)
+    return out

@@ -1,0 +1,36 @@
+"""Synthetic workload generators for the paper's three evaluation datasets."""
+
+from .attributes import (
+    attribute_vector_correlation,
+    correlated_lognormal_attributes,
+    uniform_int_attributes,
+    zipfian_attributes,
+)
+from .loaders import read_bvecs, read_fvecs, read_ivecs, write_fvecs
+from .synthetic import (
+    WORKLOAD_NAMES,
+    Workload,
+    gaussian_mixture,
+    gist_like,
+    load_workload,
+    sift_like,
+    wit_like,
+)
+
+__all__ = [
+    "Workload",
+    "gaussian_mixture",
+    "sift_like",
+    "gist_like",
+    "wit_like",
+    "load_workload",
+    "WORKLOAD_NAMES",
+    "uniform_int_attributes",
+    "zipfian_attributes",
+    "correlated_lognormal_attributes",
+    "attribute_vector_correlation",
+    "read_fvecs",
+    "read_ivecs",
+    "read_bvecs",
+    "write_fvecs",
+]

@@ -1,0 +1,82 @@
+"""Readers for the TEXMEX vector file formats (.fvecs / .ivecs / .bvecs).
+
+The paper's real datasets — SIFT1M and GIST1M from the TEXMEX corpus —
+ship in these formats: each vector is stored as a little-endian ``int32``
+dimensionality header followed by ``d`` components (``float32`` for fvecs,
+``int32`` for ivecs, ``uint8`` for bvecs).  This environment has no network
+access, so the benchmarks run on synthetic analogues, but anyone holding
+the real files can load them here and pass the arrays straight to
+``RangePQ.build`` / the experiment harness.
+
+Example::
+
+    vectors = read_fvecs("sift/sift_base.fvecs")
+    queries = read_fvecs("sift/sift_query.fvecs")
+    truth = read_ivecs("sift/sift_groundtruth.ivecs")
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["read_fvecs", "read_ivecs", "read_bvecs", "write_fvecs"]
+
+
+def _read_vecs(
+    path: str | Path, component_dtype: np.dtype, component_size: int
+) -> np.ndarray:
+    path = Path(path)
+    raw = np.fromfile(path, dtype=np.uint8)
+    if raw.size == 0:
+        return np.empty((0, 0), dtype=component_dtype)
+    if raw.size < 4:
+        raise ValueError(f"{path}: truncated file")
+    dim = int(np.frombuffer(raw[:4].tobytes(), dtype="<i4")[0])
+    if dim <= 0:
+        raise ValueError(f"{path}: invalid dimensionality header {dim}")
+    record = 4 + dim * component_size
+    if raw.size % record:
+        raise ValueError(
+            f"{path}: size {raw.size} is not a multiple of the "
+            f"{record}-byte record implied by d={dim}"
+        )
+    count = raw.size // record
+    table = raw.reshape(count, record)
+    headers = table[:, :4].copy().view("<i4").ravel()
+    if not (headers == dim).all():
+        raise ValueError(f"{path}: inconsistent dimensionality headers")
+    body = table[:, 4:].copy()
+    return body.view(component_dtype).reshape(count, dim)
+
+
+def read_fvecs(path: str | Path) -> np.ndarray:
+    """Read a ``.fvecs`` file into a float32 array of shape ``(n, d)``."""
+    return _read_vecs(path, np.dtype("<f4"), 4)
+
+
+def read_ivecs(path: str | Path) -> np.ndarray:
+    """Read a ``.ivecs`` file (e.g. ground-truth ID lists) into int32."""
+    return _read_vecs(path, np.dtype("<i4"), 4)
+
+
+def read_bvecs(path: str | Path) -> np.ndarray:
+    """Read a ``.bvecs`` file (byte vectors, e.g. SIFT1B) into uint8."""
+    return _read_vecs(path, np.dtype(np.uint8), 1)
+
+
+def write_fvecs(path: str | Path, vectors: np.ndarray) -> None:
+    """Write a float array of shape ``(n, d)`` as ``.fvecs``.
+
+    Useful for exporting synthetic workloads to tools expecting TEXMEX
+    files, and for round-trip tests.
+    """
+    vectors = np.asarray(vectors, dtype="<f4")
+    if vectors.ndim != 2 or vectors.shape[1] == 0:
+        raise ValueError(f"expected a non-empty 2-D array, got {vectors.shape}")
+    n, dim = vectors.shape
+    record = np.empty((n, 1 + dim), dtype="<i4")
+    record[:, 0] = dim
+    record[:, 1:] = vectors.view("<i4")
+    record.tofile(Path(path))

@@ -1,0 +1,260 @@
+"""Synthetic stand-ins for the paper's evaluation datasets.
+
+The paper evaluates on SIFT1M (128-d image features), GIST1M (960-d global
+descriptors) and WIT (2048-d ResNet-50 embeddings) — all million-scale, none
+shippable here, and far beyond what a pure-Python tree can traverse in a
+benchmark loop.  These generators produce scaled-down analogues that keep the
+properties the algorithms actually react to:
+
+* **cluster structure** — vectors drawn from a Gaussian mixture, so the IVF
+  coarse clustering is meaningful and unevenly sized;
+* **dimension regime** — "sift" is moderate-d and blocky non-negative,
+  "gist" is dense/correlated (slow distance tables, needs larger ``L``),
+  "wit" is ReLU-sparse high-d like CNN embeddings;
+* **attribute coupling** — for the WIT analogue the attribute (image size)
+  is *correlated* with cluster identity, reproducing the non-independence
+  the paper highlights as breaking SeRF-style assumptions.
+
+Every generator is fully deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .attributes import correlated_lognormal_attributes, uniform_int_attributes
+
+__all__ = [
+    "Workload",
+    "gaussian_mixture",
+    "sift_like",
+    "gist_like",
+    "wit_like",
+    "load_workload",
+    "WORKLOAD_NAMES",
+]
+
+WORKLOAD_NAMES = ("sift", "gist", "wit")
+
+
+@dataclass
+class Workload:
+    """A ready-to-index dataset plus its query set.
+
+    Attributes:
+        name: Workload identifier (``sift``, ``gist``, ``wit``, ...).
+        vectors: Base vectors of shape ``(n, d)``.
+        attrs: Attribute value per base vector.
+        queries: Query vectors of shape ``(q, d)`` (disjoint from the base).
+        components: Mixture-component label per base vector (useful for
+            correlation diagnostics; not used by any index).
+        attr_low / attr_high: The attribute domain, for building range
+            filters at a given coverage.
+    """
+
+    name: str
+    vectors: np.ndarray
+    attrs: np.ndarray
+    queries: np.ndarray
+    components: np.ndarray = field(repr=False, default=None)
+    attr_low: float = 0.0
+    attr_high: float = 1.0
+
+    @property
+    def num_objects(self) -> int:
+        return self.vectors.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.vectors.shape[1]
+
+    def range_for_coverage(
+        self, coverage: float, rng: np.random.Generator
+    ) -> tuple[float, float]:
+        """A random attribute range covering ``coverage`` of the objects.
+
+        Picks a random starting rank and spans exactly
+        ``round(coverage * n)`` consecutive attribute values, mirroring the
+        paper's coverage-controlled query ranges.
+        """
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+        ordered = np.sort(self.attrs)
+        span = max(1, int(round(coverage * len(ordered))))
+        start = int(rng.integers(0, len(ordered) - span + 1))
+        return float(ordered[start]), float(ordered[start + span - 1])
+
+    def half_bounded_for_coverage(
+        self, coverage: float, *, side: str = "left"
+    ) -> tuple[float, float]:
+        """A half-bounded range (prefix or suffix) covering ``coverage``.
+
+        ``side="left"`` yields ``[min_attr, y]`` (the SeRF-supported regime);
+        ``side="right"`` yields ``[x, max_attr]`` (the e-commerce
+        "price at least t" query from the paper's introduction).
+        """
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        ordered = np.sort(self.attrs)
+        span = max(1, int(round(coverage * len(ordered))))
+        if side == "left":
+            return float(ordered[0]), float(ordered[span - 1])
+        return float(ordered[-span]), float(ordered[-1])
+
+
+def gaussian_mixture(
+    n: int,
+    d: int,
+    num_components: int,
+    *,
+    center_scale: float = 10.0,
+    noise_scale: float = 1.0,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``n`` points from a random ``num_components`` Gaussian mixture.
+
+    Component weights are Dirichlet-distributed so cluster sizes are skewed,
+    as in real feature corpora.
+
+    Returns:
+        ``(points, labels)`` with shapes ``(n, d)`` and ``(n,)``.
+    """
+    if num_components < 1:
+        raise ValueError(f"num_components must be >= 1, got {num_components}")
+    centers = rng.normal(scale=center_scale, size=(num_components, d))
+    weights = rng.dirichlet(np.full(num_components, 2.0))
+    labels = rng.choice(num_components, size=n, p=weights)
+    points = centers[labels] + rng.normal(scale=noise_scale, size=(n, d))
+    return points, labels
+
+
+def sift_like(
+    n: int = 10000,
+    d: int = 128,
+    *,
+    num_queries: int = 100,
+    num_components: int = 64,
+    seed: int | None = 0,
+) -> Workload:
+    """SIFT-style workload: moderate-d, non-negative, clustered features.
+
+    Attributes are uniform random integers in ``[1, 10^4]``, exactly the
+    protocol the paper uses for SIFT and GIST.
+    """
+    rng = np.random.default_rng(seed)
+    raw, labels = gaussian_mixture(
+        n + num_queries, d, num_components, center_scale=30.0, noise_scale=8.0,
+        rng=rng,
+    )
+    # SIFT descriptors are non-negative gradient histograms: shift and clip.
+    raw = np.clip(raw + 60.0, 0.0, None)
+    vectors, queries = raw[:n], raw[n:]
+    attrs = uniform_int_attributes(n, low=1, high=10**4, rng=rng)
+    return Workload(
+        name="sift",
+        vectors=vectors,
+        attrs=attrs,
+        queries=queries,
+        components=labels[:n],
+        attr_low=1.0,
+        attr_high=float(10**4),
+    )
+
+
+def gist_like(
+    n: int = 8000,
+    d: int = 240,
+    *,
+    num_queries: int = 100,
+    num_components: int = 48,
+    latent_dim: int = 24,
+    seed: int | None = 0,
+) -> Workload:
+    """GIST-style workload: dense, strongly correlated global descriptors.
+
+    Points live near a ``latent_dim``-dimensional subspace (low-rank mixing
+    plus noise), which is what makes GIST "hard" for PQ: subspaces are
+    correlated, quantization error is higher, and the paper compensates with
+    ``L_base = 3000`` instead of 1000.
+    """
+    rng = np.random.default_rng(seed)
+    mixing = rng.normal(size=(latent_dim, d)) / np.sqrt(latent_dim)
+    latent, labels = gaussian_mixture(
+        n + num_queries, latent_dim, num_components, center_scale=4.0,
+        noise_scale=1.0, rng=rng,
+    )
+    raw = latent @ mixing + rng.normal(scale=0.05, size=(n + num_queries, d))
+    vectors, queries = raw[:n], raw[n:]
+    attrs = uniform_int_attributes(n, low=1, high=10**4, rng=rng)
+    return Workload(
+        name="gist",
+        vectors=vectors,
+        attrs=attrs,
+        queries=queries,
+        components=labels[:n],
+        attr_low=1.0,
+        attr_high=float(10**4),
+    )
+
+
+def wit_like(
+    n: int = 6000,
+    d: int = 512,
+    *,
+    num_queries: int = 100,
+    num_components: int = 40,
+    seed: int | None = 0,
+) -> Workload:
+    """WIT-style workload: ReLU-sparse CNN embeddings, size attribute.
+
+    The attribute simulates the paper's "image size": log-normal, with the
+    per-component median tied to the mixture component — so attribute value
+    and vector position are *dependent*, the regime where independence-based
+    compression arguments (SeRF) break down.
+    """
+    rng = np.random.default_rng(seed)
+    raw, labels = gaussian_mixture(
+        n + num_queries, d, num_components, center_scale=2.0, noise_scale=1.0,
+        rng=rng,
+    )
+    raw = np.maximum(raw, 0.0)  # ReLU activations
+    vectors, queries = raw[:n], raw[n:]
+    attrs = correlated_lognormal_attributes(labels[:n], rng=rng)
+    return Workload(
+        name="wit",
+        vectors=vectors,
+        attrs=attrs,
+        queries=queries,
+        components=labels[:n],
+        attr_low=float(attrs.min()),
+        attr_high=float(attrs.max()),
+    )
+
+
+def load_workload(
+    name: str,
+    *,
+    n: int | None = None,
+    d: int | None = None,
+    num_queries: int = 100,
+    seed: int | None = 0,
+) -> Workload:
+    """Factory: build one of the three paper-analogue workloads by name.
+
+    ``n``/``d`` override the default object count and dimensionality (useful
+    for fast benchmark profiles); both default to each workload's standard
+    size.
+    """
+    factories = {"sift": sift_like, "gist": gist_like, "wit": wit_like}
+    if name not in factories:
+        raise ValueError(f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
+    kwargs = {"num_queries": num_queries, "seed": seed}
+    if n is not None:
+        kwargs["n"] = n
+    if d is not None:
+        kwargs["d"] = d
+    return factories[name](**kwargs)

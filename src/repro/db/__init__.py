@@ -1,0 +1,5 @@
+"""Vector-database façade: the items-table abstraction over RangePQ+."""
+
+from .table import RangePredicate, Row, SearchHit, VectorTable
+
+__all__ = ["VectorTable", "RangePredicate", "Row", "SearchHit"]

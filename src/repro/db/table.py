@@ -1,0 +1,326 @@
+"""VectorTable: a small vector-database façade over RangePQ+.
+
+The paper motivates range-filtered ANN with an e-commerce *items table*:
+rows with an ID, a feature vector, and a filterable attribute.  This module
+packages the index family behind exactly that abstraction, so downstream
+code can adopt the system without touching index internals:
+
+* schema-checked rows (fixed dimensionality, scalar attribute),
+* ``insert`` / ``upsert`` / ``delete`` / ``get`` row operations,
+* ``search`` with a :class:`RangePredicate` (``between`` / ``at_least`` /
+  ``at_most`` / ``any``), returning row objects,
+* persistence via :mod:`repro.io` (``save`` / ``open``),
+* an index back end chosen at creation: ``"rangepq+"`` (default, linear
+  space) or ``"rangepq"``.
+
+Example::
+
+    table = VectorTable.create(dim=128, metric_attr="price")
+    table.train(sample_vectors)
+    table.insert(1, vector, price=19.99)
+    hits = table.search(query, k=10, predicate=RangePredicate.between(10, 50))
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core import AdaptiveLPolicy, LPolicy, RangePQ, RangePQPlus
+from ..io import load_index, save_index
+from ..ivf import IVFPQIndex
+
+__all__ = ["VectorTable", "RangePredicate", "Row", "SearchHit"]
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """An inclusive attribute filter ``lo <= attr <= hi``.
+
+    Use the constructors rather than raw bounds::
+
+        RangePredicate.between(10, 50)
+        RangePredicate.at_least(100)   # the paper's "price >= t" example
+        RangePredicate.at_most(3)
+        RangePredicate.any()
+    """
+
+    lo: float = -math.inf
+    hi: float = math.inf
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError("predicate bounds must not be NaN")
+
+    @classmethod
+    def between(cls, lo: float, hi: float) -> "RangePredicate":
+        """Both-sided range; ``lo`` may exceed ``hi`` (matches nothing)."""
+        return cls(float(lo), float(hi))
+
+    @classmethod
+    def at_least(cls, lo: float) -> "RangePredicate":
+        """Half-bounded ``attr >= lo``."""
+        return cls(lo=float(lo))
+
+    @classmethod
+    def at_most(cls, hi: float) -> "RangePredicate":
+        """Half-bounded ``attr <= hi``."""
+        return cls(hi=float(hi))
+
+    @classmethod
+    def any(cls) -> "RangePredicate":
+        """Match every row (plain ANN search)."""
+        return cls()
+
+    def matches(self, attr: float) -> bool:
+        """Whether one attribute value satisfies the predicate."""
+        return self.lo <= attr <= self.hi
+
+
+@dataclass(frozen=True)
+class Row:
+    """One stored row (the vector is not materialized; PQ codes only)."""
+
+    id: int
+    attr: float
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One search result row with its approximate distance."""
+
+    id: int
+    attr: float
+    distance: float
+
+
+class VectorTable:
+    """An items-table abstraction over the RangePQ index family.
+
+    Args:
+        dim: Vector dimensionality of the table.
+        metric_attr: Display name of the attribute column (documentation
+            only; e.g. ``"price"``).
+        backend: ``"rangepq+"`` (default) or ``"rangepq"``.
+        l_policy: Retrieval budget policy (default: adaptive).
+        num_subspaces / num_clusters / num_codewords / epsilon / seed:
+            Forwarded to the underlying index.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        metric_attr: str = "attr",
+        backend: str = "rangepq+",
+        l_policy: LPolicy | None = None,
+        num_subspaces: int | None = None,
+        num_clusters: int | None = None,
+        num_codewords: int = 256,
+        epsilon: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if backend not in ("rangepq", "rangepq+"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.dim = dim
+        self.metric_attr = metric_attr
+        self.backend = backend
+        self._l_policy = l_policy or AdaptiveLPolicy()
+        self._num_subspaces = num_subspaces or max(1, dim // 4)
+        self._num_clusters = num_clusters
+        self._num_codewords = num_codewords
+        self._epsilon = epsilon
+        self._seed = seed
+        self._index: RangePQ | RangePQPlus | None = None
+
+    # ------------------------------------------------------------------
+    # Creation / training
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, dim: int, **kwargs) -> "VectorTable":
+        """Create an empty, untrained table (call :meth:`train` next)."""
+        return cls(dim, **kwargs)
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether the table's quantizers have been trained."""
+        return self._index is not None
+
+    def train(self, sample_vectors: np.ndarray) -> "VectorTable":
+        """Train the PQ/IVF quantizers on representative vectors.
+
+        The sample is used for k-means only; no rows are inserted.
+        """
+        sample_vectors = np.asarray(sample_vectors, dtype=np.float64)
+        if sample_vectors.ndim != 2 or sample_vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"expected training sample of shape (n, {self.dim}), "
+                f"got {sample_vectors.shape}"
+            )
+        ivf = IVFPQIndex(
+            self._num_subspaces,
+            num_clusters=self._num_clusters,
+            num_codewords=self._num_codewords,
+            seed=self._seed,
+        )
+        ivf.train(sample_vectors)
+        if self.backend == "rangepq":
+            self._index = RangePQ(ivf, l_policy=self._l_policy)
+        else:
+            self._index = RangePQPlus(
+                ivf, epsilon=self._epsilon, l_policy=self._l_policy
+            )
+        return self
+
+    def _require_index(self) -> RangePQ | RangePQPlus:
+        if self._index is None:
+            raise RuntimeError("table is not trained; call train() first")
+        return self._index
+
+    # ------------------------------------------------------------------
+    # Row operations
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return 0 if self._index is None else len(self._index)
+
+    def __contains__(self, row_id: int) -> bool:
+        return self._index is not None and row_id in self._index
+
+    def get(self, row_id: int) -> Row | None:
+        """Fetch one row's metadata (None if absent)."""
+        index = self._require_index()
+        if row_id not in index:
+            return None
+        return Row(id=row_id, attr=index.attribute_of(row_id))
+
+    def insert(self, row_id: int, vector: np.ndarray, attr: float) -> None:
+        """Insert a new row (KeyError if the ID exists)."""
+        vector = self._check_vector(vector)
+        self._require_index().insert(row_id, vector, float(attr))
+
+    def insert_batch(
+        self, ids: Sequence[int], vectors: np.ndarray, attrs: Sequence[float]
+    ) -> None:
+        """Insert many rows with vectorized encoding."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if vectors.shape[1:] != (self.dim,):
+            raise ValueError(f"expected vectors of width {self.dim}")
+        self._require_index().insert_many(ids, vectors, attrs)
+
+    def upsert(self, row_id: int, vector: np.ndarray, attr: float) -> bool:
+        """Insert or replace a row.
+
+        Returns:
+            True if an existing row was replaced.
+        """
+        vector = self._check_vector(vector)
+        index = self._require_index()
+        replaced = row_id in index
+        if replaced:
+            index.delete(row_id)
+        index.insert(row_id, vector, float(attr))
+        return replaced
+
+    def delete(self, row_id: int) -> None:
+        """Delete one row (KeyError if absent)."""
+        self._require_index().delete(row_id)
+
+    def _check_vector(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(
+                f"expected a vector of shape ({self.dim},), got {vector.shape}"
+            )
+        if not np.isfinite(vector).all():
+            raise ValueError("vector contains NaN or infinity")
+        return vector
+
+    def scan(self, predicate: RangePredicate | None = None) -> Iterator[Row]:
+        """Yield rows matching the predicate, unordered."""
+        index = self._require_index()
+        predicate = predicate or RangePredicate.any()
+        for oid, attr in index._attr.items():
+            if predicate.matches(attr):
+                yield Row(id=oid, attr=attr)
+
+    def count(self, predicate: RangePredicate | None = None) -> int:
+        """Number of rows matching the predicate."""
+        return sum(1 for _ in self.scan(predicate))
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        predicate: RangePredicate | None = None,
+        l_budget: int | None = None,
+    ) -> list[SearchHit]:
+        """Filtered approximate top-``k`` search.
+
+        Args:
+            query: Vector of shape ``(dim,)``.
+            k: Result count.
+            predicate: Attribute filter (default: match everything).
+            l_budget: Optional ``L`` override.
+
+        Returns:
+            Up to ``k`` :class:`SearchHit` rows, nearest first.
+        """
+        query = self._check_vector(query)
+        index = self._require_index()
+        predicate = predicate or RangePredicate.any()
+        result = index.query(
+            query, predicate.lo, predicate.hi, k, l_budget=l_budget
+        )
+        return [
+            SearchHit(
+                id=int(oid),
+                attr=index.attribute_of(int(oid)),
+                distance=float(dist),
+            )
+            for oid, dist in zip(result.ids, result.distances)
+        ]
+
+    # ------------------------------------------------------------------
+    # Persistence / introspection
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Persist the table's index to a ``.npz`` archive."""
+        return save_index(self._require_index(), path)
+
+    @classmethod
+    def open(cls, path: str | Path, *, metric_attr: str = "attr") -> "VectorTable":
+        """Load a table previously written by :meth:`save`."""
+        index = load_index(path)
+        backend = "rangepq" if isinstance(index, RangePQ) else "rangepq+"
+        table = cls(index.ivf.pq.dim, metric_attr=metric_attr, backend=backend)
+        table._index = index
+        return table
+
+    def stats(self) -> dict[str, object]:
+        """Operational snapshot: sizes, parameters, memory."""
+        index = self._require_index()
+        info: dict[str, object] = {
+            "rows": len(index),
+            "backend": self.backend,
+            "dim": self.dim,
+            "metric_attr": self.metric_attr,
+            "num_clusters": index.ivf.num_clusters,
+            "num_subspaces": index.ivf.pq.num_subspaces,
+            "memory_bytes": index.memory_bytes(),
+        }
+        if isinstance(index, RangePQPlus):
+            info["epsilon"] = index.epsilon
+            info["buckets"] = index.node_count
+        else:
+            info["tree_nodes"] = index.tree.node_count
+        return info

@@ -1,0 +1,27 @@
+"""Evaluation substrate: ground truth, metrics, and the experiment harness.
+
+Heavier tooling lives in submodules imported on demand:
+:mod:`repro.eval.harness` (figure regeneration), :mod:`repro.eval.regression`
+(reproduction CI), :mod:`repro.eval.explain`, :mod:`repro.eval.health`,
+:mod:`repro.eval.latency`, :mod:`repro.eval.memory`, :mod:`repro.eval.plots`.
+"""
+
+from .explain import QueryExplanation, explain_query
+from .groundtruth import GroundTruth, exact_range_knn
+from .health import index_health, render_health
+from .latency import LatencyReport, measure_latencies
+from .metrics import intersection_recall, mean_metric, nn_recall_at_k
+
+__all__ = [
+    "GroundTruth",
+    "exact_range_knn",
+    "nn_recall_at_k",
+    "intersection_recall",
+    "mean_metric",
+    "explain_query",
+    "QueryExplanation",
+    "index_health",
+    "render_health",
+    "measure_latencies",
+    "LatencyReport",
+]

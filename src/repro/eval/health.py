@@ -1,0 +1,134 @@
+"""Index health diagnostics: occupancy, balance, and drift indicators.
+
+Operational counterpart of the query EXPLAIN: summarizes whether a live
+index is still in good shape after a stream of updates —
+
+* tree height vs the balanced ideal,
+* lazy-deletion / sparse-bucket pressure (distance to the next rebuild),
+* bucket-occupancy histogram (RangePQ+) and IVF cluster skew,
+
+as a plain dict (for monitoring) plus a rendered report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from ..core import RangePQ, RangePQPlus
+from ..core.rangepq_plus import _inorder as _hybrid_inorder
+
+__all__ = ["index_health", "render_health"]
+
+IndexType = Union[RangePQ, RangePQPlus]
+
+
+def index_health(index: IndexType) -> dict[str, object]:
+    """Collect health metrics for a RangePQ-family index.
+
+    Returns:
+        Flat dict of counters and ratios; see :func:`render_health` for a
+        readable rendering.
+    """
+    n = len(index)
+    sizes = index.ivf.cluster_sizes()
+    populated = sizes[sizes > 0]
+    info: dict[str, object] = {
+        "kind": type(index).__name__,
+        "live_objects": n,
+        "ivf_clusters": int(index.ivf.num_clusters),
+        "ivf_empty_clusters": int(np.sum(sizes == 0)),
+        "ivf_max_cluster": int(sizes.max()) if sizes.size else 0,
+        "ivf_cluster_skew": (
+            float(sizes.max() / populated.mean()) if populated.size else 0.0
+        ),
+        "memory_bytes": index.memory_bytes(),
+    }
+    if isinstance(index, RangePQ):
+        tree = index.tree
+        ideal = math.ceil(math.log2(tree.node_count + 1)) if tree.node_count else 0
+        info.update(
+            {
+                "tree_nodes": tree.node_count,
+                "tree_height": tree.height(),
+                "tree_height_ideal": ideal,
+                "invalid_nodes": tree.invalid_count,
+                "rebuild_pressure": (
+                    2 * tree.invalid_count / tree.node_count
+                    if tree.node_count
+                    else 0.0
+                ),
+                "rebuilds": tree.rebuild_count,
+                "rebuild_work": tree.rebuild_work,
+            }
+        )
+    else:
+        buckets = [node.bucket_len() for node in _hybrid_inorder(index.root)]
+        node_count = len(buckets)
+        ideal = math.ceil(math.log2(node_count + 1)) if node_count else 0
+        height = _hybrid_height(index.root)
+        info.update(
+            {
+                "buckets": node_count,
+                "tree_height": height,
+                "tree_height_ideal": ideal,
+                "epsilon": index.epsilon,
+                "bucket_fill_mean": (
+                    float(np.mean(buckets)) / index.epsilon if buckets else 0.0
+                ),
+                "bucket_fill_min": (
+                    min(buckets) / index.epsilon if buckets else 0.0
+                ),
+                "bucket_fill_max": (
+                    max(buckets) / index.epsilon if buckets else 0.0
+                ),
+                "sparse_buckets": index.sparse_count,
+                "rebuild_pressure": (
+                    2 * index.sparse_count / node_count if node_count else 0.0
+                ),
+                "rebuilds": index.rebuild_count,
+            }
+        )
+    return info
+
+
+def _hybrid_height(node) -> int:
+    if node is None:
+        return 0
+    return 1 + max(_hybrid_height(node.left), _hybrid_height(node.right))
+
+
+def render_health(info: dict[str, object]) -> str:
+    """Human-readable multi-line health report."""
+    lines = [f"{info['kind']} health — {info['live_objects']} live objects"]
+    lines.append(
+        f"  IVF: {info['ivf_clusters']} clusters "
+        f"({info['ivf_empty_clusters']} empty, "
+        f"skew x{info['ivf_cluster_skew']:.1f})"
+    )
+    if "buckets" in info:
+        lines.append(
+            f"  tree: {info['buckets']} buckets, height "
+            f"{info['tree_height']} (ideal {info['tree_height_ideal']}), "
+            f"fill {info['bucket_fill_mean']:.0%} of ε={info['epsilon']}"
+        )
+        lines.append(
+            f"  churn: {info['sparse_buckets']} sparse buckets, rebuild "
+            f"pressure {info['rebuild_pressure']:.0%}, "
+            f"{info['rebuilds']} rebuilds so far"
+        )
+    else:
+        lines.append(
+            f"  tree: {info['tree_nodes']} nodes, height "
+            f"{info['tree_height']} (ideal {info['tree_height_ideal']})"
+        )
+        lines.append(
+            f"  churn: {info['invalid_nodes']} lazy-deleted nodes, rebuild "
+            f"pressure {info['rebuild_pressure']:.0%}, "
+            f"{info['rebuilds']} rebuilds / {info['rebuild_work']} nodes "
+            f"touched"
+        )
+    lines.append(f"  memory: {info['memory_bytes'] / 1e6:.2f} MB (cost model)")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Latency-distribution measurement (p50/p95/p99), DB-style.
+
+The paper reports mean query time; operators care about tails.  This
+utility runs a fixed (query, range) workload against any index exposing the
+common ``query`` interface and reports the latency distribution and
+throughput, with warmup to exclude first-touch effects.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LatencyReport", "measure_latencies"]
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Summary of one latency run (all times in milliseconds).
+
+    Attributes:
+        count: Number of timed queries.
+        mean_ms / p50_ms / p95_ms / p99_ms / max_ms: Distribution points.
+        qps: Throughput implied by the total timed duration.
+    """
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+    qps: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.count} queries: mean {self.mean_ms:.2f} ms, "
+            f"p50 {self.p50_ms:.2f}, p95 {self.p95_ms:.2f}, "
+            f"p99 {self.p99_ms:.2f}, max {self.max_ms:.2f} "
+            f"({self.qps:.0f} qps)"
+        )
+
+
+def measure_latencies(
+    index,
+    queries: np.ndarray,
+    ranges: Sequence[tuple[float, float]],
+    k: int,
+    *,
+    repeats: int = 1,
+    warmup: int = 2,
+) -> LatencyReport:
+    """Time every (query, range) pair and summarize the distribution.
+
+    Args:
+        index: Any object with ``query(vector, lo, hi, k)``.
+        queries: Array of shape ``(q, d)``.
+        ranges: One ``(lo, hi)`` per query.
+        k: Result count per query.
+        repeats: Passes over the whole workload (all timed).
+        warmup: Untimed leading queries (caches, lazy arrays).
+
+    Returns:
+        A :class:`LatencyReport`.
+    """
+    if len(queries) != len(ranges):
+        raise ValueError(f"{len(queries)} queries but {len(ranges)} ranges")
+    if len(queries) == 0:
+        raise ValueError("need at least one query")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    pairs = list(zip(queries, ranges))
+    for query, (lo, hi) in pairs[: max(0, warmup)]:
+        index.query(query, lo, hi, k)
+    samples_ms: list[float] = []
+    for _ in range(repeats):
+        for query, (lo, hi) in pairs:
+            start = time.perf_counter()
+            index.query(query, lo, hi, k)
+            samples_ms.append((time.perf_counter() - start) * 1000.0)
+    array = np.asarray(samples_ms)
+    total_seconds = array.sum() / 1000.0
+    return LatencyReport(
+        count=len(array),
+        mean_ms=float(array.mean()),
+        p50_ms=float(np.percentile(array, 50)),
+        p95_ms=float(np.percentile(array, 95)),
+        p99_ms=float(np.percentile(array, 99)),
+        max_ms=float(array.max()),
+        qps=float(len(array) / total_seconds) if total_seconds > 0 else 0.0,
+    )

@@ -1,0 +1,55 @@
+"""Quality metrics for range-filtered ANN answers.
+
+The paper's headline metric is **Recall@k** in the classical sense of Jégou
+et al.: the fraction of queries whose *true nearest neighbor* appears in the
+returned top ``k`` (Definition in Sec. 2.1).  We also report **intersection
+recall** (``|returned ∩ true top-k| / k``), the stricter set-overlap measure
+common in ANN benchmarking, because it exposes quality differences Recall@k
+can hide.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["nn_recall_at_k", "intersection_recall", "mean_metric"]
+
+
+def nn_recall_at_k(
+    returned_ids: np.ndarray, true_ids: np.ndarray, k: int
+) -> float:
+    """Paper's Recall@k for one query: is the true NN in the returned top-k?
+
+    Args:
+        returned_ids: IDs returned by the index, best first.
+        true_ids: Exact IDs, best first (may be shorter than ``k``).
+        k: Cutoff.
+
+    Returns:
+        1.0 or 0.0; an empty ground truth counts as a hit (nothing to find).
+    """
+    true_ids = np.asarray(true_ids)
+    if true_ids.size == 0:
+        return 1.0
+    return float(true_ids[0] in set(np.asarray(returned_ids)[:k].tolist()))
+
+
+def intersection_recall(
+    returned_ids: np.ndarray, true_ids: np.ndarray, k: int
+) -> float:
+    """Set-overlap recall for one query: ``|returned∩true| / |true|`` at k."""
+    true_top = np.asarray(true_ids)[:k]
+    if true_top.size == 0:
+        return 1.0
+    returned_top = set(np.asarray(returned_ids)[:k].tolist())
+    hits = sum(1 for oid in true_top.tolist() if oid in returned_top)
+    return hits / len(true_top)
+
+
+def mean_metric(values: Sequence[float]) -> float:
+    """Average of per-query metric values (0.0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    return float(np.mean(values))

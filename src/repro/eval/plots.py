@@ -1,0 +1,116 @@
+"""ASCII plotting for terminal-friendly figure rendering.
+
+No matplotlib in this environment, and the harness targets terminals
+anyway: these helpers render the paper's figure *shapes* — one line series
+per method over the coverage axis, or grouped bars — as plain text, so
+``python -m repro.eval.harness --figure 3 --plot`` shows the crossover
+structure at a glance instead of a wall of numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_line_chart", "ascii_bar_chart", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline for a numeric series."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if math.isclose(lo, hi):
+        return _SPARK_LEVELS[0] * len(values)
+    scale = (len(_SPARK_LEVELS) - 1) / (hi - lo)
+    return "".join(
+        _SPARK_LEVELS[int(round((v - lo) * scale))] for v in values
+    )
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float], *, width: int = 48, unit: str = ""
+) -> str:
+    """Horizontal bars, one per labelled value.
+
+    Args:
+        values: Label -> value (non-negative).
+        width: Character budget of the longest bar.
+        unit: Suffix appended to the printed values.
+    """
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar = "" if peak <= 0 else "█" * max(
+            1 if value > 0 else 0, int(round(width * value / peak))
+        )
+        lines.append(f"{label.rjust(label_width)} │{bar.ljust(width)} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    x_labels: Sequence[str],
+    height: int = 12,
+    title: str = "",
+    log_y: bool = False,
+) -> str:
+    """Multi-series character plot over a shared categorical x-axis.
+
+    Each series gets its own marker; points landing on the same cell show
+    the marker of the last series plotted (noted in the legend order).
+
+    Args:
+        series: Series name -> y values (same length as ``x_labels``).
+        x_labels: Category labels for the x axis.
+        height: Plot rows.
+        title: Optional heading.
+        log_y: Plot ``log10`` of the values (for wide dynamic ranges).
+    """
+    if not series:
+        return "(no data)"
+    for name, ys in series.items():
+        if len(ys) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected {len(x_labels)}"
+            )
+    markers = "ox+*#@%&"
+
+    def transform(value: float) -> float:
+        if not log_y:
+            return value
+        return math.log10(max(value, 1e-12))
+
+    all_values = [transform(v) for ys in series.values() for v in ys]
+    lo, hi = min(all_values), max(all_values)
+    if math.isclose(lo, hi):
+        hi = lo + 1.0
+    columns = len(x_labels)
+    grid = [[" "] * columns for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for col, value in enumerate(ys):
+            row = int(round((transform(value) - lo) / (hi - lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    left_labels = [f"{hi:8.3g} ┤", *([" " * 9 + "│"] * (height - 2)), f"{lo:8.3g} ┤"]
+    lines = []
+    if title:
+        lines.append(title)
+    for label, row in zip(left_labels, grid):
+        lines.append(label + " ".join(row))
+    lines.append(" " * 9 + "└" + "─" * (2 * columns - 1))
+    lines.append(" " * 10 + " ".join(label[:1] for label in x_labels))
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"x: {', '.join(x_labels)}")
+    lines.append(f"legend: {legend}" + ("  (log y)" if log_y else ""))
+    return "\n".join(lines)

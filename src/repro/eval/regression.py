@@ -1,0 +1,278 @@
+"""Reproduction CI: codified qualitative claims, checked in one command.
+
+EXPERIMENTS.md records *numbers*; this module records the paper's
+*qualitative claims* as executable checks, so a refactor that silently
+breaks a shape (say, RangePQ+ stops beating RangePQ, or adaptive-L recall
+sags) fails loudly::
+
+    python -m repro.eval.regression            # PASS/FAIL per claim
+    python -m repro.eval.regression --scale small --seed 3
+
+Each claim re-derives its inputs from a fresh harness run at the chosen
+profile, so the checks exercise the same code paths as the figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .harness import (
+    METHOD_NAMES,
+    PROFILES,
+    ScaleProfile,
+    figure_6,
+    figure_7,
+    figure_8,
+    figure_12,
+    run_query_experiment,
+)
+from .reporting import format_table
+
+__all__ = ["Claim", "ClaimResult", "run_regression", "main", "CLAIMS"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One executable claim about the reproduction."""
+
+    id: str
+    description: str
+    check: Callable[["_Context"], tuple[bool, str]]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """Outcome of evaluating one claim."""
+
+    claim: Claim
+    passed: bool
+    detail: str
+
+
+class _Context:
+    """Lazily computed shared measurements for the claim checks."""
+
+    def __init__(self, profile: ScaleProfile, seed: int) -> None:
+        self.profile = profile
+        self.seed = seed
+        self._query_points = None
+        self._fig6 = None
+        self._fig7 = None
+        self._fig8 = None
+        self._fig12 = None
+
+    @property
+    def query_points(self):
+        if self._query_points is None:
+            self._query_points = run_query_experiment(
+                "sift", self.profile, seed=self.seed
+            )
+        return self._query_points
+
+    def by_method(self, metric: str) -> dict[str, list[float]]:
+        """metric per method across coverages, in coverage order."""
+        out: dict[str, list[float]] = {name: [] for name in METHOD_NAMES}
+        for point in self.query_points:
+            out[point.method].append(getattr(point, metric))
+        return out
+
+    @property
+    def fig6(self):
+        if self._fig6 is None:
+            self._fig6 = figure_6(self.profile, seed=self.seed)[1]
+        return self._fig6
+
+    @property
+    def fig7(self):
+        if self._fig7 is None:
+            self._fig7 = figure_7(self.profile, seed=self.seed)[1]
+        return self._fig7
+
+    @property
+    def fig8(self):
+        if self._fig8 is None:
+            self._fig8 = figure_8(self.profile, seed=self.seed)[1]
+        return self._fig8
+
+    @property
+    def fig12(self):
+        if self._fig12 is None:
+            self._fig12 = figure_12(self.profile, seed=self.seed)[1]
+        return self._fig12
+
+
+def _claim_recall_flat(ctx: _Context) -> tuple[bool, str]:
+    recalls = ctx.by_method("recall")
+    worst = min(min(recalls["RangePQ"]), min(recalls["RangePQ+"]))
+    return worst >= 0.85, f"worst RangePQ-family Recall@k = {worst:.2f}"
+
+
+def _claim_plus_faster(ctx: _Context) -> tuple[bool, str]:
+    times = ctx.by_method("mean_ms")
+    plus = float(np.mean(times["RangePQ+"]))
+    flat = float(np.mean(times["RangePQ"]))
+    return plus <= flat, f"mean ms RangePQ+ {plus:.2f} vs RangePQ {flat:.2f}"
+
+
+def _claim_family_best_quality(ctx: _Context) -> tuple[bool, str]:
+    overlaps = ctx.by_method("overlap")
+    family = np.mean(overlaps["RangePQ+"])
+    rivals = max(
+        np.mean(overlaps[name]) for name in ("Milvus", "RII", "VBase")
+    )
+    return family >= rivals - 0.02, (
+        f"mean overlap RangePQ+ {family:.3f} vs best rival {rivals:.3f}"
+    )
+
+
+def _claim_candidates_bounded(ctx: _Context) -> tuple[bool, str]:
+    for point in ctx.query_points:
+        if point.method in ("RangePQ", "RangePQ+"):
+            in_range = point.coverage * ctx.profile.n
+            if point.mean_candidates > 1.05 * in_range + 1:
+                return False, (
+                    f"{point.method} scanned {point.mean_candidates:.0f} "
+                    f"candidates with only ~{in_range:.0f} in range"
+                )
+    return True, "candidates never exceed the in-range population"
+
+
+def _claim_milvus_insert_cheap(ctx: _Context) -> tuple[bool, str]:
+    rows = {(row[0], row[1]): row[2] for row in ctx.fig6}
+    for dataset in ("sift", "gist", "wit"):
+        milvus = rows[(dataset, "Milvus")]
+        others = min(
+            rows[(dataset, m)] for m in METHOD_NAMES if m != "Milvus"
+        )
+        if milvus >= others:
+            return False, f"Milvus insert not cheapest on {dataset}"
+    return True, "Milvus segment insert cheapest on all datasets"
+
+
+def _claim_delete_ordering(ctx: _Context) -> tuple[bool, str]:
+    rows = {(row[0], row[1]): row[2] for row in ctx.fig7}
+    for dataset in ("sift", "gist", "wit"):
+        plus = rows[(dataset, "RangePQ+")]
+        flat = rows[(dataset, "RangePQ")]
+        rii = rows[(dataset, "RII")]
+        if not (plus <= flat <= rii * 1.2 and plus < rii):
+            return False, (
+                f"{dataset}: delete ms RangePQ+={plus:.4f}, "
+                f"RangePQ={flat:.4f}, RII={rii:.4f}"
+            )
+    return True, "RangePQ+ <= RangePQ < RII on every dataset"
+
+
+def _claim_memory_ordering(ctx: _Context) -> tuple[bool, str]:
+    rows = {(row[0], row[1]): row[2] for row in ctx.fig8}
+    for dataset in ("sift", "gist", "wit"):
+        raw = rows[(dataset, "raw data")]
+        plus = rows[(dataset, "RangePQ+")]
+        flat = rows[(dataset, "RangePQ")]
+        rii = rows[(dataset, "RII")]
+        milvus = rows[(dataset, "Milvus")]
+        if not plus < flat:
+            return False, f"{dataset}: RangePQ+ not smaller than RangePQ"
+        if not milvus > rii:
+            return False, f"{dataset}: Milvus float codes not larger than RII"
+        if not max(plus, flat, rii, milvus) < raw:
+            return False, f"{dataset}: an index exceeded the raw data size"
+    return True, "RangePQ+ < RangePQ, RII < Milvus, all < raw"
+
+
+def _claim_fixed_l_collapse(ctx: _Context) -> tuple[bool, str]:
+    sift = [row for row in ctx.fig12 if row[0] == "sift"]
+    first, last = sift[0][5], sift[-1][5]  # overlap@k columns
+    return last <= first, (
+        f"fixed-L overlap {first:.2f} -> {last:.2f} across coverages"
+    )
+
+
+CLAIMS: Sequence[Claim] = (
+    Claim(
+        "recall-flat",
+        "RangePQ family holds high recall at every coverage (adaptive L)",
+        _claim_recall_flat,
+    ),
+    Claim(
+        "plus-faster",
+        "RangePQ+ is at least as fast as RangePQ on average",
+        _claim_plus_faster,
+    ),
+    Claim(
+        "family-quality",
+        "RangePQ+ matches or beats every baseline's mean overlap",
+        _claim_family_best_quality,
+    ),
+    Claim(
+        "output-optimal",
+        "RangePQ-family candidate count never exceeds the in-range set",
+        _claim_candidates_bounded,
+    ),
+    Claim(
+        "milvus-insert",
+        "Milvus-like segment inserts are the cheapest (Fig. 6 shape)",
+        _claim_milvus_insert_cheap,
+    ),
+    Claim(
+        "delete-order",
+        "Deletion cost: RangePQ+ <= RangePQ < RII (Fig. 7 shape)",
+        _claim_delete_ordering,
+    ),
+    Claim(
+        "memory-order",
+        "Memory: RangePQ+ < RangePQ; RII < Milvus; all < raw (Fig. 8 shape)",
+        _claim_memory_ordering,
+    ),
+    Claim(
+        "fixed-l-collapse",
+        "Fixed L degrades overlap as coverage grows (Fig. 12 shape)",
+        _claim_fixed_l_collapse,
+    ),
+)
+
+
+def run_regression(
+    profile: ScaleProfile, seed: int = 0, claims: Sequence[Claim] = CLAIMS
+) -> list[ClaimResult]:
+    """Evaluate all claims at the given scale; returns per-claim results."""
+    ctx = _Context(profile, seed)
+    results = []
+    for claim in claims:
+        try:
+            passed, detail = claim.check(ctx)
+        except Exception as error:  # surface, don't crash the sweep
+            passed, detail = False, f"check raised {type(error).__name__}: {error}"
+        results.append(ClaimResult(claim=claim, passed=passed, detail=detail))
+    return results
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI: print PASS/FAIL per claim; exit 1 if any claim fails."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=list(PROFILES))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    results = run_regression(PROFILES[args.scale], seed=args.seed)
+    rows = [
+        [
+            "PASS" if result.passed else "FAIL",
+            result.claim.id,
+            result.claim.description,
+            result.detail,
+        ]
+        for result in results
+    ]
+    print(format_table(["status", "claim", "description", "measured"], rows))
+    failures = sum(1 for result in results if not result.passed)
+    print(f"\n{len(results) - failures}/{len(results)} claims hold")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

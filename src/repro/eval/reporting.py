@@ -1,0 +1,61 @@
+"""Plain-text and Markdown table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_markdown", "fmt"]
+
+
+def fmt(value: object) -> str:
+    """Render one cell: floats get 4 significant digits, rest use str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _stringify(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> tuple[list[str], list[list[str]]]:
+    header_cells = [str(h) for h in headers]
+    row_cells = [[fmt(cell) for cell in row] for row in rows]
+    for row in row_cells:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(header_cells)}"
+            )
+    return header_cells, row_cells
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width console table."""
+    header_cells, row_cells = _stringify(headers, rows)
+    widths = [len(h) for h in header_cells]
+    for row in row_cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header_cells, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in row_cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """GitHub-flavored Markdown table (used to fill EXPERIMENTS.md)."""
+    header_cells, row_cells = _stringify(headers, rows)
+    lines = [
+        "| " + " | ".join(header_cells) + " |",
+        "|" + "|".join("---" for _ in header_cells) + "|",
+    ]
+    for row in row_cells:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

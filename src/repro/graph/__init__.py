@@ -1,0 +1,7 @@
+"""Graph-based ANN substrate: HNSW and the SeRF-style segment graph."""
+
+from .hnsw import HNSWIndex
+from .range_adapter import HNSWRangeIndex
+from .serf import SegmentGraphIndex
+
+__all__ = ["HNSWIndex", "HNSWRangeIndex", "SegmentGraphIndex"]

@@ -1,0 +1,290 @@
+"""HNSW (Hierarchical Navigable Small World) graph index, from scratch.
+
+The paper's related-work section positions graph indexes (HNSW, NSW) as the
+strongest unfiltered-ANN family and builds its SeRF discussion on them; its
+future work proposes exploring "other types of ANN indexes" for the range
+filtered problem.  This module provides that substrate: a self-contained
+HNSW (Malkov & Yashunin, TPAMI'20) with
+
+* multi-layer construction (geometric level assignment, greedy descent,
+  ``ef_construction`` beam search, neighbor-selection heuristic, pruning to
+  ``M``/``2M`` out-degree),
+* ``ef``-controlled top-k search, and
+* optional **predicate-filtered search** — the ANN-first strategy over a
+  graph: traversal uses all edges for navigability, but only nodes passing
+  the predicate enter the result set.
+
+Deletions are not supported (classic HNSW's limitation; exactly why the
+paper's dynamic setting favors PQ-based designs).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["HNSWIndex"]
+
+
+class HNSWIndex:
+    """Hierarchical navigable small-world graph over raw vectors.
+
+    Args:
+        dim: Vector dimensionality.
+        m: Target out-degree per node per layer (layer 0 allows ``2M``).
+        ef_construction: Beam width during insertion.
+        seed: Level-assignment randomness.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        m: int = 16,
+        ef_construction: int = 100,
+        seed: int | None = None,
+    ) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if m < 2:
+            raise ValueError(f"m must be >= 2, got {m}")
+        if ef_construction < 1:
+            raise ValueError("ef_construction must be >= 1")
+        self.dim = dim
+        self.m = m
+        self.ef_construction = ef_construction
+        self._level_scale = 1.0 / math.log(m)
+        self._rng = np.random.default_rng(seed)
+
+        self._vectors = np.empty((0, dim), dtype=np.float64)
+        self._count = 0
+        self._oid_of: list[int] = []
+        self._idx_of: dict[int, int] = {}
+        #: per node: list over layers of neighbor-index lists
+        self._neighbors: list[list[list[int]]] = []
+        self._entry: int | None = None
+        self._max_level = -1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._idx_of
+
+    @property
+    def max_level(self) -> int:
+        """Highest populated layer (-1 when empty)."""
+        return self._max_level
+
+    def vector_of(self, oid: int) -> np.ndarray:
+        """Stored vector of an object (a copy)."""
+        return self._vectors[self._idx_of[oid]].copy()
+
+    # ------------------------------------------------------------------
+    # Distance helpers
+    # ------------------------------------------------------------------
+    def _distance(self, query: np.ndarray, idx: int) -> float:
+        diff = self._vectors[idx] - query
+        return float(diff @ diff)
+
+    def _distances(self, query: np.ndarray, idxs: Sequence[int]) -> np.ndarray:
+        block = self._vectors[np.asarray(idxs, dtype=np.int64)]
+        diff = block - query
+        return np.einsum("ij,ij->i", diff, diff)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        capacity = len(self._vectors)
+        if self._count < capacity:
+            return
+        new_capacity = max(16, 2 * capacity)
+        grown = np.empty((new_capacity, self.dim), dtype=np.float64)
+        grown[:capacity] = self._vectors
+        self._vectors = grown
+
+    def _draw_level(self) -> int:
+        return int(-math.log(max(self._rng.random(), 1e-12)) * self._level_scale)
+
+    def add(self, oid: int, vector: np.ndarray) -> None:
+        """Insert one object (KeyError if the ID exists)."""
+        if oid in self._idx_of:
+            raise KeyError(f"object {oid} already present")
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected vector of shape ({self.dim},)")
+        self._grow()
+        idx = self._count
+        self._vectors[idx] = vector
+        self._count += 1
+        self._oid_of.append(oid)
+        self._idx_of[oid] = idx
+        level = self._draw_level()
+        self._neighbors.append([[] for _ in range(level + 1)])
+
+        if self._entry is None:
+            self._entry = idx
+            self._max_level = level
+            return
+
+        entry = self._entry
+        # Greedy descent through layers above the new node's level.
+        for layer in range(self._max_level, level, -1):
+            entry = self._greedy_step(vector, entry, layer)
+        # Beam search + connect on each shared layer.
+        entries = [entry]
+        for layer in range(min(level, self._max_level), -1, -1):
+            candidates = self._search_layer(
+                vector, entries, self.ef_construction, layer
+            )
+            limit = self.m if layer > 0 else 2 * self.m
+            chosen = self._select_neighbors(vector, [c[1] for c in candidates],
+                                            self.m)
+            self._neighbors[idx][layer] = list(chosen)
+            for neighbor in chosen:
+                links = self._neighbors[neighbor][layer]
+                links.append(idx)
+                if len(links) > limit:
+                    pruned = self._select_neighbors(
+                        self._vectors[neighbor], links, limit
+                    )
+                    self._neighbors[neighbor][layer] = list(pruned)
+            entries = [c[1] for c in candidates]
+        if level > self._max_level:
+            self._entry = idx
+            self._max_level = level
+
+    def _greedy_step(self, query: np.ndarray, entry: int, layer: int) -> int:
+        """Greedy walk to the local minimum of one upper layer."""
+        current = entry
+        current_dist = self._distance(query, current)
+        improved = True
+        while improved:
+            improved = False
+            for neighbor in self._neighbors[current][layer]:
+                dist = self._distance(query, neighbor)
+                if dist < current_dist:
+                    current, current_dist = neighbor, dist
+                    improved = True
+        return current
+
+    def _search_layer(
+        self,
+        query: np.ndarray,
+        entries: Sequence[int],
+        ef: int,
+        layer: int,
+    ) -> list[tuple[float, int]]:
+        """Beam (best-first) search on one layer; returns sorted (dist, idx)."""
+        visited = set(entries)
+        candidates: list[tuple[float, int]] = []
+        results: list[tuple[float, int]] = []  # max-heap via negated dist
+        for idx in entries:
+            dist = self._distance(query, idx)
+            heapq.heappush(candidates, (dist, idx))
+            heapq.heappush(results, (-dist, idx))
+        while candidates:
+            dist, idx = heapq.heappop(candidates)
+            if results and dist > -results[0][0]:
+                break
+            for neighbor in self._neighbors[idx][layer]:
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                neighbor_dist = self._distance(query, neighbor)
+                if len(results) < ef or neighbor_dist < -results[0][0]:
+                    heapq.heappush(candidates, (neighbor_dist, neighbor))
+                    heapq.heappush(results, (-neighbor_dist, neighbor))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return sorted((-d, i) for d, i in results)
+
+    def _select_neighbors(
+        self, base: np.ndarray, candidates: Sequence[int], count: int
+    ) -> list[int]:
+        """Malkov's heuristic: prefer candidates not dominated by a closer pick."""
+        unique = list(dict.fromkeys(candidates))
+        if len(unique) <= count:
+            return unique
+        order = np.argsort(self._distances(base, unique), kind="stable")
+        chosen: list[int] = []
+        for position in order:
+            candidate = unique[int(position)]
+            candidate_dist = self._distance(base, candidate)
+            dominated = any(
+                self._distance(self._vectors[candidate], picked) < candidate_dist
+                for picked in chosen
+            )
+            if not dominated:
+                chosen.append(candidate)
+                if len(chosen) == count:
+                    return chosen
+        # Backfill with nearest remaining if the heuristic was too strict.
+        for position in order:
+            candidate = unique[int(position)]
+            if candidate not in chosen:
+                chosen.append(candidate)
+                if len(chosen) == count:
+                    break
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        ef: int | None = None,
+        predicate: Callable[[int], bool] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` search, optionally filtered by a predicate on object IDs.
+
+        With a predicate the traversal still walks all edges (filtered nodes
+        remain navigable waypoints) but only passing nodes are returned —
+        the graph flavor of the ANN-first strategy.
+
+        Returns:
+            ``(oids, squared_distances)`` sorted ascending.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if self._entry is None:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        query = np.asarray(query, dtype=np.float64)
+        if ef is None:
+            ef = max(self.ef_construction // 2, k)
+        ef = max(ef, k)
+        entry = self._entry
+        for layer in range(self._max_level, 0, -1):
+            entry = self._greedy_step(query, entry, layer)
+        candidates = self._search_layer(query, [entry], ef, 0)
+        hits: list[tuple[float, int]] = []
+        for dist, idx in candidates:
+            oid = self._oid_of[idx]
+            if predicate is None or predicate(oid):
+                hits.append((dist, oid))
+            if len(hits) == k:
+                break
+        return (
+            np.asarray([oid for _, oid in hits], dtype=np.int64),
+            np.asarray([dist for dist, _ in hits], dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------------
+    # Memory model
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Float32 vectors + 4 B per directed edge + 8 B per node record."""
+        edges = sum(
+            len(layer) for node in self._neighbors for layer in node
+        )
+        return self._count * (4 * self.dim + 8) + 4 * edges

@@ -1,0 +1,200 @@
+"""HNSWRangeIndex: the paper's future-work direction, made concrete.
+
+The conclusion of the paper proposes exploring "other types of ANN indexes
+for handling range filtered ANN search in dynamic scenarios".  This adapter
+does exactly that for the graph family: it wraps :class:`HNSWIndex` with
+
+* an attribute directory (the same component the baselines use),
+* ANN-first **predicate search with ``ef`` escalation** — traverse the graph
+  ignoring the filter for navigability, keep only in-range nodes, and double
+  ``ef`` until ``k`` survivors are found (or a cap is reached), falling back
+  to an exact in-range scan for very selective filters, and
+* **soft deletion** — classic HNSW cannot remove nodes, so deleted objects
+  stay as navigable waypoints but are filtered from results; the graph is
+  rebuilt from live objects once more than half the nodes are tombstones
+  (the same half-occupancy rebuild rule RangePQ uses for its tree).
+
+It implements the shared ``insert/delete/query/memory_bytes`` interface, so
+it can be benchmarked against RangePQ+ directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..baselines.base import AttributeDirectory
+from ..core.results import QueryResult, QueryStats
+from ..quantization import squared_l2
+from .hnsw import HNSWIndex
+
+__all__ = ["HNSWRangeIndex"]
+
+
+class HNSWRangeIndex:
+    """Dynamic range-filtered ANN over an HNSW graph with soft deletes.
+
+    Args:
+        dim: Vector dimensionality.
+        m: HNSW out-degree parameter.
+        ef_construction: HNSW construction beam width.
+        ef_search: Initial query beam width (doubles on under-fill).
+        max_ef: Escalation cap.
+        scan_selectivity: Coverage below which an exact in-range scan is
+            used instead of graph traversal (graph ANN-first degenerates
+            when almost nothing passes the filter).
+        seed: Level-assignment randomness.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        m: int = 16,
+        ef_construction: int = 100,
+        ef_search: int = 64,
+        max_ef: int = 1024,
+        scan_selectivity: float = 0.01,
+        seed: int | None = None,
+    ) -> None:
+        self.dim = dim
+        self.m = m
+        self.ef_construction = ef_construction
+        self.ef_search = ef_search
+        self.max_ef = max_ef
+        self.scan_selectivity = scan_selectivity
+        self.seed = seed
+        self.graph = HNSWIndex(dim, m=m, ef_construction=ef_construction, seed=seed)
+        self.directory = AttributeDirectory()
+        self._tombstones: set[int] = set()
+        self._rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        vectors: np.ndarray,
+        attrs: Sequence[float],
+        *,
+        ids: Sequence[int] | None = None,
+        **kwargs,
+    ) -> "HNSWRangeIndex":
+        """Bulk-build from a dataset (IDs default to ``0..n-1``)."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        index = cls(vectors.shape[1], **kwargs)
+        if ids is None:
+            ids = range(len(vectors))
+        for oid, vector, attr in zip(ids, vectors, attrs):
+            index.insert(oid, vector, attr)
+        return index
+
+    # ------------------------------------------------------------------
+    # Introspection / updates
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.directory)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self.directory
+
+    @property
+    def tombstone_count(self) -> int:
+        """Soft-deleted nodes still present in the graph."""
+        return len(self._tombstones)
+
+    @property
+    def rebuild_count(self) -> int:
+        """Graph rebuilds triggered by tombstone accumulation."""
+        return self._rebuilds
+
+    def insert(self, oid: int, vector: np.ndarray, attr: float) -> None:
+        """Insert one object (KeyError if the ID is live).
+
+        Re-inserting a tombstoned ID is allowed and replaces it.
+        """
+        if oid in self.directory:
+            raise KeyError(f"object {oid} already present")
+        if oid in self._tombstones:
+            # The stale graph node keeps the old vector under this ID; a
+            # rebuild (from live IDs only) clears it before re-adding.
+            self._rebuild()
+        self.directory.add(oid, attr)
+        self.graph.add(oid, vector)
+
+    def delete(self, oid: int) -> None:
+        """Soft-delete; rebuild the graph once tombstones exceed half."""
+        self.directory.remove(oid)  # raises KeyError if absent
+        self._tombstones.add(oid)
+        if 2 * len(self._tombstones) > len(self.graph):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Rebuild the graph from live objects, dropping all tombstones."""
+        fresh = HNSWIndex(
+            self.dim, m=self.m, ef_construction=self.ef_construction,
+            seed=self.seed,
+        )
+        for oid in self.directory._attr_of:
+            fresh.add(oid, self.graph.vector_of(oid))
+        self.graph = fresh
+        self._tombstones = set()
+        self._rebuilds += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self, query_vector: np.ndarray, lo: float, hi: float, k: int
+    ) -> QueryResult:
+        """Range-filtered top-``k`` via predicate search with ef escalation."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        query_vector = np.asarray(query_vector, dtype=np.float64)
+        stats = QueryStats()
+        in_range = self.directory.count_in_range(lo, hi)
+        stats.num_in_range = in_range
+        if in_range == 0:
+            return QueryResult.empty(stats)
+        coverage = in_range / max(len(self), 1)
+        if coverage <= self.scan_selectivity:
+            return self._scan(query_vector, lo, hi, k, stats)
+
+        def predicate(oid: int) -> bool:
+            if oid in self._tombstones:
+                return False
+            return lo <= self.directory.attribute_of(oid) <= hi
+
+        ef = max(self.ef_search, k)
+        while True:
+            ids, distances = self.graph.search(
+                query_vector, k, ef=ef, predicate=predicate
+            )
+            stats.num_candidates = ef
+            if len(ids) >= min(k, in_range) or ef >= self.max_ef:
+                return QueryResult(ids=ids, distances=distances, stats=stats)
+            ef = min(2 * ef, self.max_ef)
+
+    def _scan(
+        self, query: np.ndarray, lo: float, hi: float, k: int, stats: QueryStats
+    ) -> QueryResult:
+        """Exact scan over the (few) in-range vectors."""
+        ids = self.directory.ids_in_range(lo, hi)
+        vectors = np.stack([self.graph.vector_of(int(oid)) for oid in ids])
+        distances = squared_l2(vectors, query)
+        stats.num_candidates = len(ids)
+        k = min(k, len(ids))
+        order = np.argsort(distances, kind="stable")[:k]
+        return QueryResult(
+            ids=ids[order].astype(np.int64), distances=distances[order],
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Memory model
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Graph storage (vectors + edges) plus the attribute directory."""
+        return self.graph.memory_bytes() + self.directory.memory_bytes()

@@ -1,0 +1,246 @@
+"""SeRF-style segment graph for half-bounded range-filtered ANN search.
+
+SeRF (Zuo et al., SIGMOD'24) is the range-index competitor the paper
+discusses at length but excludes from its experiments because it cannot
+handle updates.  Its core trick: insert objects in **ascending attribute
+order** with an incremental proximity-graph construction, and stamp every
+edge with the insertion-step interval during which it existed.  The graph
+"as of step p" — i.e., the graph one would have built over only the p
+smallest-attribute objects — can then be replayed for free: an edge created
+at step ``birth`` and pruned at step ``death`` belongs to prefix ``p`` iff
+``birth <= p < death``.
+
+This module implements that *1-D segment graph* faithfully for half-bounded
+filters ``attr(o) <= y`` (SeRF's building block; the full 2-D compression
+for arbitrary ``[x, y]`` multiplies this construction and is out of scope —
+see DESIGN.md §6).  It demonstrates exactly the two limitations the paper
+leverages:
+
+* construction requires the full sorted dataset up front — ``insert`` on a
+  built index raises unless the attribute exceeds the current maximum, and
+  deletion is unsupported;
+* the edge-interval bookkeeping multiplies memory relative to one graph.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from bisect import bisect_right
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SegmentGraphIndex"]
+
+
+class _Edge:
+    """Directed edge with its validity interval in insertion steps."""
+
+    __slots__ = ("target", "birth", "death")
+
+    def __init__(self, target: int, birth: int) -> None:
+        self.target = target
+        self.birth = birth
+        self.death = math.inf
+
+    def alive_at(self, prefix: int) -> bool:
+        return self.birth <= prefix < self.death
+
+
+class SegmentGraphIndex:
+    """1-D segment graph: ANN search over any attribute *prefix*.
+
+    Args:
+        m: Target live out-degree per node.
+        ef_construction: Beam width during construction.
+        ef_search: Default beam width at query time.
+    """
+
+    def __init__(
+        self, *, m: int = 16, ef_construction: int = 100, ef_search: int = 64
+    ) -> None:
+        if m < 2:
+            raise ValueError(f"m must be >= 2, got {m}")
+        self.m = m
+        self.ef_construction = ef_construction
+        self.ef_search = ef_search
+        self._vectors: np.ndarray | None = None
+        self._attrs: np.ndarray | None = None
+        self._oids: np.ndarray | None = None
+        self._edges: list[list[_Edge]] = []
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        vectors: np.ndarray,
+        attrs: Sequence[float],
+        *,
+        ids: Sequence[int] | None = None,
+        m: int = 16,
+        ef_construction: int = 100,
+        ef_search: int = 64,
+    ) -> "SegmentGraphIndex":
+        """Sort by attribute and insert incrementally, stamping edges."""
+        vectors = np.asarray(vectors, dtype=np.float64)
+        attrs = np.asarray(attrs, dtype=np.float64)
+        if vectors.ndim != 2 or len(vectors) != len(attrs):
+            raise ValueError("vectors/attrs shape mismatch")
+        if ids is None:
+            ids = np.arange(len(vectors), dtype=np.int64)
+        ids = np.asarray(ids, dtype=np.int64)
+        order = np.lexsort((ids, attrs))
+        index = cls(m=m, ef_construction=ef_construction, ef_search=ef_search)
+        index._vectors = vectors[order]
+        index._attrs = attrs[order]
+        index._oids = ids[order]
+        index._edges = [[] for _ in range(len(vectors))]
+        for step in range(len(vectors)):
+            index._insert_step(step)
+        index._built = True
+        return index
+
+    def _distance(self, a: int, b: int) -> float:
+        diff = self._vectors[a] - self._vectors[b]
+        return float(diff @ diff)
+
+    def _insert_step(self, idx: int) -> None:
+        """Insert node ``idx`` into the graph of nodes ``0..idx-1``."""
+        if idx == 0:
+            return
+        prefix = idx  # current graph holds nodes < idx
+        query = self._vectors[idx]
+        nearest = self._beam_search(
+            query, prefix, self.ef_construction, entry=0
+        )
+        chosen = [node for _, node in nearest[: self.m]]
+        step = idx + 1  # 1-based step after inserting idx
+        self._edges[idx] = [_Edge(node, step) for node in chosen]
+        for node in chosen:
+            self._edges[node].append(_Edge(idx, step))
+            self._prune(node, step)
+
+    def _prune(self, node: int, step: int) -> None:
+        """Keep the ``m`` nearest *live* out-edges; stamp the rest dead.
+
+        This is SeRF's compression point: instead of deleting the pruned
+        edge (as plain incremental HNSW would), its validity interval is
+        closed so earlier prefixes can still traverse it.
+        """
+        live = [edge for edge in self._edges[node] if edge.death == math.inf]
+        if len(live) <= 2 * self.m:
+            return
+        live.sort(key=lambda edge: self._distance(node, edge.target))
+        for edge in live[self.m :]:
+            edge.death = step
+
+    def _beam_search(
+        self, query: np.ndarray, prefix: int, ef: int, entry: int
+    ) -> list[tuple[float, int]]:
+        """Best-first search over the graph restricted to nodes < prefix."""
+        def dist_to(node: int) -> float:
+            diff = self._vectors[node] - query
+            return float(diff @ diff)
+
+        visited = {entry}
+        start = dist_to(entry)
+        candidates = [(start, entry)]
+        results = [(-start, entry)]
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if results and dist > -results[0][0]:
+                break
+            for edge in self._edges[node]:
+                target = edge.target
+                if target >= prefix or not edge.alive_at(prefix):
+                    continue
+                if target in visited:
+                    continue
+                visited.add(target)
+                target_dist = dist_to(target)
+                if len(results) < ef or target_dist < -results[0][0]:
+                    heapq.heappush(candidates, (target_dist, target))
+                    heapq.heappush(results, (-target_dist, target))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return sorted((-d, n) for d, n in results)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return 0 if self._vectors is None else len(self._vectors)
+
+    def query_prefix(
+        self, query: np.ndarray, max_attr: float, k: int, *, ef: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` among objects with ``attr <= max_attr`` (half-bounded).
+
+        Replays the proximity graph as it existed when only those objects
+        had been inserted — no filtering during traversal, by construction.
+
+        Returns:
+            ``(oids, squared_distances)`` ascending.
+        """
+        if not self._built:
+            raise RuntimeError("index is not built")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        prefix = int(bisect_right(self._attrs.tolist(), max_attr))
+        if prefix == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        query = np.asarray(query, dtype=np.float64)
+        ef = max(ef or self.ef_search, k)
+        nearest = self._beam_search(query, prefix, ef, entry=0)[:k]
+        return (
+            np.asarray([self._oids[node] for _, node in nearest], dtype=np.int64),
+            np.asarray([dist for dist, _ in nearest], dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------------
+    # The update limitation, made explicit
+    # ------------------------------------------------------------------
+    def insert(self, oid: int, vector: np.ndarray, attr: float) -> None:
+        """Append-only insert: allowed only in ascending attribute order.
+
+        Raises:
+            ValueError: If ``attr`` is below the current maximum — the
+                segment-graph construction cannot accept it (the paper's
+                core criticism of SeRF), so a full rebuild would be needed.
+        """
+        if not self._built:
+            raise RuntimeError("index is not built")
+        if len(self) and attr < float(self._attrs[-1]):
+            raise ValueError(
+                "SegmentGraphIndex only supports ascending-attribute "
+                "appends; rebuild required for out-of-order inserts"
+            )
+        self._vectors = np.vstack([self._vectors, np.asarray(vector)[None, :]])
+        self._attrs = np.append(self._attrs, float(attr))
+        self._oids = np.append(self._oids, np.int64(oid))
+        self._edges.append([])
+        self._insert_step(len(self) - 1)
+
+    def delete(self, oid: int) -> None:
+        """Unsupported, as in SeRF.
+
+        Raises:
+            NotImplementedError: Always.
+        """
+        raise NotImplementedError(
+            "SeRF-style segment graphs do not support deletion"
+        )
+
+    # ------------------------------------------------------------------
+    # Memory model
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Float32 vectors + 12 B per stamped edge (target, birth, death)."""
+        edges = sum(len(adjacency) for adjacency in self._edges)
+        n = len(self)
+        dim = 0 if self._vectors is None else self._vectors.shape[1]
+        return n * (4 * dim + 12) + 12 * edges

@@ -1,0 +1,5 @@
+"""Index persistence (save/load to .npz archives)."""
+
+from .serialization import FORMAT_VERSION, SerializationError, load_index, save_index
+
+__all__ = ["save_index", "load_index", "SerializationError", "FORMAT_VERSION"]

@@ -1,0 +1,212 @@
+"""Index persistence: save/load to a single ``.npz`` file.
+
+Operational completeness for the reproduction: a trained index (k-means
+output + codes + attribute map) is expensive to build, so deployments need
+to persist it.  The format is one compressed numpy archive holding the
+trained quantizers, the encoded storage, the attribute map, and a JSON
+metadata record (format version, index kind, parameters).
+
+Trees are *not* serialized node-by-node: both RangePQ's BST and RangePQ+'s
+bucket layer rebuild deterministically from the (attr, oid, cluster) triples
+in ``O(n log n)``, which keeps the format simple and version-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core import AdaptiveLPolicy, FixedLPolicy, LPolicy, RangePQ, RangePQPlus
+from ..ivf import IVFPQIndex
+
+__all__ = [
+    "FORMAT_VERSION",
+    "save_index",
+    "load_index",
+    "SerializationError",
+]
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(RuntimeError):
+    """Raised when an archive is missing, corrupt, or from a newer format."""
+
+
+def _policy_to_dict(policy: LPolicy) -> dict:
+    if isinstance(policy, AdaptiveLPolicy):
+        return {"kind": "adaptive", "l_base": policy.l_base, "r_base": policy.r_base}
+    if isinstance(policy, FixedLPolicy):
+        return {"kind": "fixed", "l": policy.l}
+    raise SerializationError(
+        f"cannot serialize custom L policy {type(policy).__name__}"
+    )
+
+
+def _policy_from_dict(data: dict) -> LPolicy:
+    if data["kind"] == "adaptive":
+        return AdaptiveLPolicy(l_base=data["l_base"], r_base=data["r_base"])
+    if data["kind"] == "fixed":
+        return FixedLPolicy(l=data["l"])
+    raise SerializationError(f"unknown L policy kind {data['kind']!r}")
+
+
+def _pack_ivf(ivf: IVFPQIndex) -> dict[str, np.ndarray]:
+    """Arrays fully describing a trained, populated IVFPQIndex."""
+    if not ivf.is_trained:
+        raise SerializationError("cannot save an untrained index")
+    from ..quantization import ProductQuantizer
+
+    if type(ivf.pq) is not ProductQuantizer:
+        # An OPQ (or other codec) has state beyond the codebooks (e.g. the
+        # rotation matrix); loading it as a plain PQ would silently corrupt
+        # distances, so refuse instead.
+        raise SerializationError(
+            f"archive format v{FORMAT_VERSION} only stores plain "
+            f"ProductQuantizer codecs, not {type(ivf.pq).__name__}"
+        )
+    oids = np.asarray(ivf.ids(), dtype=np.int64)
+    rows = np.asarray([ivf._row_of[int(oid)] for oid in oids], dtype=np.int64)
+    return {
+        "codebooks": ivf.pq.codebooks,
+        "coarse_centers": ivf.coarse.centers,
+        "oids": oids,
+        "codes": ivf._codes[rows],
+        "clusters": ivf._clusters[rows],
+    }
+
+
+def _unpack_ivf(archive, meta: dict) -> IVFPQIndex:
+    ivf = IVFPQIndex(
+        int(meta["num_subspaces"]),
+        num_clusters=int(meta["num_clusters"]),
+        num_codewords=int(meta["num_codewords"]),
+        seed=meta.get("seed"),
+    )
+    ivf.pq.codebooks = archive["codebooks"]
+    ivf.pq._dim = int(meta["dim"])
+    from ..ivf.coarse import CoarseQuantizer
+
+    coarse = CoarseQuantizer(int(meta["num_clusters"]), seed=meta.get("seed"))
+    coarse.centers = archive["coarse_centers"]
+    ivf.coarse = coarse
+    from ..ivf.ivfpq import _InvertedList
+
+    ivf._lists = [_InvertedList() for _ in range(ivf.num_clusters)]
+    ivf._codes = np.empty((0, ivf.pq.num_subspaces), dtype=ivf.pq.code_dtype)
+
+    oids = archive["oids"]
+    codes = archive["codes"]
+    clusters = archive["clusters"]
+    ivf._grow(len(oids))
+    for oid, code, cluster in zip(oids.tolist(), codes, clusters.tolist()):
+        row = ivf._free_rows.pop()
+        ivf._row_of[oid] = row
+        ivf._oid_of_row[row] = oid
+        ivf._codes[row] = code
+        ivf._clusters[row] = cluster
+        ivf._lists[int(cluster)].add(oid)
+    return ivf
+
+
+def save_index(index: RangePQ | RangePQPlus, path: str | Path) -> Path:
+    """Persist a RangePQ or RangePQ+ index to ``path`` (``.npz``).
+
+    Args:
+        index: A populated index.
+        path: Destination; a ``.npz`` suffix is appended if missing.
+
+    Returns:
+        The path actually written.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    if isinstance(index, RangePQ):
+        kind = "rangepq"
+        extra: dict = {"alpha": index.tree.alpha}
+    elif isinstance(index, RangePQPlus):
+        kind = "rangepq_plus"
+        extra = {"alpha": index.alpha, "epsilon": index.epsilon}
+    else:
+        raise SerializationError(f"unsupported index type {type(index).__name__}")
+
+    ivf = index.ivf
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "kind": kind,
+        "num_subspaces": ivf.pq.num_subspaces,
+        "num_codewords": ivf.pq.num_codewords,
+        "num_clusters": ivf.num_clusters,
+        "dim": ivf.pq.dim,
+        "seed": ivf.seed,
+        "l_policy": _policy_to_dict(index.l_policy),
+        **extra,
+    }
+    arrays = _pack_ivf(ivf)
+    attr_oids = np.asarray(list(index._attr), dtype=np.int64)
+    attr_values = np.asarray(
+        [index._attr[int(oid)] for oid in attr_oids], dtype=np.float64
+    )
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        attr_oids=attr_oids,
+        attr_values=attr_values,
+        **arrays,
+    )
+    return path
+
+
+def load_index(path: str | Path) -> RangePQ | RangePQPlus:
+    """Load an index saved by :func:`save_index`.
+
+    Raises:
+        SerializationError: On missing files, foreign archives, or a newer
+            format version.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such file: {path}")
+    with np.load(path) as archive:
+        if "meta" not in archive:
+            raise SerializationError(f"{path} is not a repro index archive")
+        meta = json.loads(bytes(archive["meta"].tobytes()).decode())
+        if meta.get("format_version", 0) > FORMAT_VERSION:
+            raise SerializationError(
+                f"archive format v{meta['format_version']} is newer than "
+                f"supported v{FORMAT_VERSION}"
+            )
+        ivf = _unpack_ivf(archive, meta)
+        policy = _policy_from_dict(meta["l_policy"])
+        attrs = dict(
+            zip(
+                archive["attr_oids"].tolist(),
+                archive["attr_values"].tolist(),
+            )
+        )
+        if set(attrs) != set(ivf.ids()):
+            raise SerializationError("attribute map and IVF storage disagree")
+        kind = meta["kind"]
+        if kind == "rangepq":
+            index: RangePQ | RangePQPlus = RangePQ(
+                ivf, l_policy=policy, alpha=float(meta["alpha"])
+            )
+            index.tree.build(
+                (attr, oid, ivf.cluster_of(oid)) for oid, attr in attrs.items()
+            )
+            index._attr = attrs
+        elif kind == "rangepq_plus":
+            index = RangePQPlus(
+                ivf,
+                epsilon=int(meta["epsilon"]),
+                l_policy=policy,
+                alpha=float(meta["alpha"]),
+            )
+            index._attr = attrs
+            index._rebucket_all()
+        else:
+            raise SerializationError(f"unknown index kind {kind!r}")
+    return index

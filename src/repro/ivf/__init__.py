@@ -1,0 +1,16 @@
+"""Inverted-file (IVF) substrate: coarse quantizer and the dynamic IVFPQ index."""
+
+from .coarse import CoarseQuantizer, default_num_clusters
+from .flat import IVFFlatIndex
+from .ivfpq import DEFAULT_NPROBE_FRACTION, IVFPQIndex, IVFSearchResult
+from .residual import ResidualIVFPQIndex
+
+__all__ = [
+    "CoarseQuantizer",
+    "default_num_clusters",
+    "IVFPQIndex",
+    "IVFFlatIndex",
+    "IVFSearchResult",
+    "ResidualIVFPQIndex",
+    "DEFAULT_NPROBE_FRACTION",
+]

@@ -1,0 +1,126 @@
+"""Coarse quantizer: the IVF layer's ``K`` cluster centers.
+
+The inverted-file (IVF) construction partitions the object set into
+``K = Θ(√n)`` coarse clusters (Sec. 2.2 of the paper).  This module owns the
+coarse centers: training them, assigning vectors to their nearest center, and
+ranking centers by distance to a query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quantization import assign_to_centroids, kmeans, pairwise_squared_l2
+
+__all__ = ["CoarseQuantizer", "default_num_clusters"]
+
+
+def default_num_clusters(num_objects: int) -> int:
+    """The paper's default coarse cluster count, ``K = ⌈√n⌉`` (min 1)."""
+    return max(1, int(round(num_objects**0.5)))
+
+
+class CoarseQuantizer:
+    """K-means coarse quantizer over full-dimensional vectors.
+
+    Args:
+        num_clusters: ``K``, the number of coarse clusters.
+        seed: Seed for k-means initialization.
+
+    Attributes:
+        centers: After :meth:`fit`, array of shape ``(K, d)``.
+    """
+
+    def __init__(self, num_clusters: int, *, seed: int | None = None) -> None:
+        if num_clusters < 1:
+            raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+        self.num_clusters = num_clusters
+        self.seed = seed
+        self.centers: np.ndarray | None = None
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self.centers is not None
+
+    def _require_trained(self) -> np.ndarray:
+        if self.centers is None:
+            raise RuntimeError("CoarseQuantizer is not trained; call fit() first")
+        return self.centers
+
+    def fit(
+        self,
+        training_vectors: np.ndarray,
+        *,
+        max_iter: int = 20,
+        max_training_points: int | None = 50000,
+    ) -> "CoarseQuantizer":
+        """Learn the ``K`` coarse centers from training data.
+
+        Args:
+            training_vectors: Array of shape ``(n, d)`` with ``n >= K``.
+            max_iter: Lloyd iterations.
+            max_training_points: Optional subsample cap for large inputs.
+
+        Returns:
+            ``self``, for chaining.
+        """
+        training_vectors = np.asarray(training_vectors, dtype=np.float64)
+        if training_vectors.ndim != 2:
+            raise ValueError(
+                f"training vectors must be 2-D, got {training_vectors.shape}"
+            )
+        n = training_vectors.shape[0]
+        if n < self.num_clusters:
+            raise ValueError(
+                f"need at least K={self.num_clusters} training points, got {n}"
+            )
+        if max_training_points is not None and n > max_training_points:
+            rng = np.random.default_rng(self.seed)
+            sample = rng.choice(n, size=max_training_points, replace=False)
+            training_vectors = training_vectors[sample]
+        result = kmeans(
+            training_vectors, self.num_clusters, max_iter=max_iter, seed=self.seed
+        )
+        self.centers = result.centroids
+        return self
+
+    def assign(self, vectors: np.ndarray) -> np.ndarray:
+        """Nearest coarse-cluster ID for each row of ``vectors``.
+
+        Args:
+            vectors: Array of shape ``(n, d)``.
+
+        Returns:
+            Integer array of shape ``(n,)`` with entries in ``[0, K)``.
+        """
+        centers = self._require_trained()
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        labels, _ = assign_to_centroids(vectors, centers)
+        return labels
+
+    def center_distances(self, query: np.ndarray) -> np.ndarray:
+        """Squared distances from ``query`` to every coarse center.
+
+        Args:
+            query: Array of shape ``(d,)``.
+
+        Returns:
+            Array of shape ``(K,)``.
+        """
+        centers = self._require_trained()
+        query = np.asarray(query, dtype=np.float64)
+        return pairwise_squared_l2(query[None, :], centers)[0]
+
+    def nearest_centers(self, query: np.ndarray, count: int) -> np.ndarray:
+        """IDs of the ``count`` coarse centers nearest to ``query``."""
+        dist = self.center_distances(query)
+        count = min(count, self.num_clusters)
+        order = np.argpartition(dist, count - 1)[:count]
+        return order[np.argsort(dist[order])]
+
+    def center_bytes(self) -> int:
+        """C-equivalent bytes of the stored centers (float32)."""
+        if self.centers is None:
+            return 0
+        return int(self.centers.size) * 4

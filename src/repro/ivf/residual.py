@@ -1,0 +1,162 @@
+"""Residual IVFADC: the classic IVF+PQ variant that encodes residuals.
+
+The canonical IVFADC of Jégou et al. PQ-encodes ``x − c(x)`` — the residual
+against the assigned coarse center — which concentrates the quantizer's
+resolution around each cell and typically improves recall.  The price is
+that the ADC table depends on the *cluster*: for a probed cluster ``i`` the
+query side of the asymmetric distance is ``q − c_i``, so one ``(M, Z)``
+table must be built **per probed cluster** instead of once per query.
+
+That per-cluster coupling is exactly why RangePQ's substrate
+(:class:`repro.ivf.IVFPQIndex`) encodes raw vectors instead: its
+``SearchByCCenters`` pulls objects from arbitrary, range-dependent cluster
+subsets and needs one table to serve them all (DESIGN.md §4.1).  This class
+exists to (a) complete the substrate family and (b) quantify what that
+design decision costs/buys (``benchmarks/bench_ext_codecs.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..quantization import ProductQuantizer, adc_distances
+from .coarse import CoarseQuantizer, default_num_clusters
+from .ivfpq import IVFSearchResult, _top_k
+
+__all__ = ["ResidualIVFPQIndex"]
+
+
+class ResidualIVFPQIndex:
+    """IVFADC with residual encoding (static-friendly, per-cluster tables).
+
+    Args:
+        num_subspaces: PQ ``M``.
+        num_clusters: Coarse ``K``; defaults to ``⌈√n⌉`` of the training set.
+        num_codewords: PQ ``Z``.
+        seed: Seed for both k-means stages.
+    """
+
+    def __init__(
+        self,
+        num_subspaces: int,
+        *,
+        num_clusters: int | None = None,
+        num_codewords: int = 256,
+        seed: int | None = None,
+    ) -> None:
+        self._requested_clusters = num_clusters
+        self.pq = ProductQuantizer(num_subspaces, num_codewords, seed=seed)
+        self.coarse: CoarseQuantizer | None = None
+        self.seed = seed
+        #: cluster id -> (list of oids, uint8 code matrix rows in sync)
+        self._members: list[list[int]] = []
+        self._codes: list[list[np.ndarray]] = []
+
+    @property
+    def is_trained(self) -> bool:
+        return self.coarse is not None and self.pq.is_trained
+
+    @property
+    def num_clusters(self) -> int:
+        if self.coarse is None:
+            raise RuntimeError("index is not trained")
+        return self.coarse.num_clusters
+
+    def __len__(self) -> int:
+        return sum(len(members) for members in self._members)
+
+    # ------------------------------------------------------------------
+    # Training / storage
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        training_vectors: np.ndarray,
+        *,
+        max_iter: int = 20,
+        max_training_points: int | None = 20000,
+    ) -> "ResidualIVFPQIndex":
+        """Fit coarse centers, then PQ on the training residuals."""
+        training_vectors = np.asarray(training_vectors, dtype=np.float64)
+        k = self._requested_clusters or default_num_clusters(len(training_vectors))
+        self.coarse = CoarseQuantizer(k, seed=self.seed).fit(
+            training_vectors,
+            max_iter=max_iter,
+            max_training_points=max_training_points,
+        )
+        labels = self.coarse.assign(training_vectors)
+        residuals = training_vectors - self.coarse.centers[labels]
+        self.pq.fit(
+            residuals, max_iter=max_iter, max_training_points=max_training_points
+        )
+        self._members = [[] for _ in range(k)]
+        self._codes = [[] for _ in range(k)]
+        return self
+
+    def add(self, ids: Sequence[int], vectors: np.ndarray) -> np.ndarray:
+        """Insert vectors; codes are computed on per-cluster residuals."""
+        if self.coarse is None:
+            raise RuntimeError("index is not trained; call train() first")
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        ids = list(ids)
+        if len(ids) != vectors.shape[0]:
+            raise ValueError(f"{len(ids)} ids but {vectors.shape[0]} vectors")
+        labels = self.coarse.assign(vectors)
+        residuals = vectors - self.coarse.centers[labels]
+        codes = self.pq.encode(residuals)
+        for oid, label, code in zip(ids, labels, codes):
+            self._members[int(label)].append(oid)
+            self._codes[int(label)].append(code)
+        return labels.astype(np.int32)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(
+        self, query: np.ndarray, k: int, *, nprobe: int | None = None
+    ) -> IVFSearchResult:
+        """IVFADC top-``k``: one residual ADC table per probed cluster."""
+        if self.coarse is None:
+            raise RuntimeError("index is not trained")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        query = np.asarray(query, dtype=np.float64)
+        if nprobe is None:
+            nprobe = max(1, self.num_clusters // 10)
+        probed = self.coarse.nearest_centers(query, nprobe)
+        id_chunks: list[np.ndarray] = []
+        dist_chunks: list[np.ndarray] = []
+        candidates = 0
+        for cluster in probed:
+            members = self._members[int(cluster)]
+            if not members:
+                continue
+            # The query-side residual against this cluster's center.
+            table = self.pq.distance_table(
+                query - self.coarse.centers[int(cluster)]
+            )
+            codes = np.stack(self._codes[int(cluster)])
+            distances = adc_distances(table, codes)
+            id_chunks.append(np.asarray(members, dtype=np.int64))
+            dist_chunks.append(distances)
+            candidates += len(members)
+        if not id_chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return IVFSearchResult(empty, empty.astype(np.float64), 0, len(probed))
+        ids = np.concatenate(id_chunks)
+        distances = np.concatenate(dist_chunks)
+        top_ids, top_dists = _top_k(ids, distances, k)
+        return IVFSearchResult(top_ids, top_dists, candidates, len(probed))
+
+    # ------------------------------------------------------------------
+    # Memory model
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Same cost model as the non-residual index."""
+        n = len(self)
+        per_object = self.pq.code_bytes_per_vector() + 4 + 4
+        static = self.pq.codebook_bytes()
+        if self.coarse is not None:
+            static += self.coarse.center_bytes()
+        return n * per_object + static

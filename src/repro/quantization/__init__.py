@@ -1,0 +1,18 @@
+"""Quantization substrate: k-means, product quantization, distance kernels."""
+
+from .distances import adc_distances, pairwise_squared_l2, squared_l2
+from .kmeans import KMeansResult, assign_to_centroids, kmeans, kmeans_plus_plus_init
+from .opq import OptimizedProductQuantizer
+from .pq import ProductQuantizer
+
+__all__ = [
+    "ProductQuantizer",
+    "OptimizedProductQuantizer",
+    "KMeansResult",
+    "kmeans",
+    "kmeans_plus_plus_init",
+    "assign_to_centroids",
+    "squared_l2",
+    "pairwise_squared_l2",
+    "adc_distances",
+]

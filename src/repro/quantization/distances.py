@@ -1,0 +1,103 @@
+"""Distance kernels shared by the quantization and index layers.
+
+All kernels operate on ``float32``/``float64`` numpy arrays and return squared
+Euclidean distances.  Squared distances are used throughout the library (as in
+the paper and in PQ practice) because the square root is monotone and therefore
+irrelevant for nearest-neighbor ranking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "squared_l2",
+    "pairwise_squared_l2",
+    "adc_distances",
+]
+
+#: Rows per chunk when materializing pairwise distance blocks.  Bounds the
+#: temporary memory of :func:`pairwise_squared_l2` to ``CHUNK_ROWS * len(b)``
+#: floats regardless of the size of ``a``.
+CHUNK_ROWS = 4096
+
+
+def squared_l2(points: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance from each row of ``points`` to ``query``.
+
+    Args:
+        points: Array of shape ``(n, d)``.
+        query: Array of shape ``(d,)``.
+
+    Returns:
+        Array of shape ``(n,)`` with ``||points[i] - query||^2``.
+    """
+    points = np.asarray(points)
+    query = np.asarray(query)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    if query.shape != (points.shape[1],):
+        raise ValueError(
+            f"query shape {query.shape} incompatible with points {points.shape}"
+        )
+    diff = points - query
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def pairwise_squared_l2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All-pairs squared Euclidean distances between rows of ``a`` and ``b``.
+
+    Uses the expansion ``||x - y||^2 = ||x||^2 - 2 x.y + ||y||^2`` with row
+    chunking so peak memory stays bounded for large ``a``.  Negative values
+    caused by floating-point cancellation are clipped to zero.
+
+    Args:
+        a: Array of shape ``(n, d)``.
+        b: Array of shape ``(m, d)``.
+
+    Returns:
+        Array of shape ``(n, m)``.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError(f"incompatible shapes {a.shape} and {b.shape}")
+    b_norms = np.einsum("ij,ij->i", b, b)
+    out = np.empty((a.shape[0], b.shape[0]), dtype=np.result_type(a, b, np.float32))
+    for start in range(0, a.shape[0], CHUNK_ROWS):
+        stop = min(start + CHUNK_ROWS, a.shape[0])
+        chunk = a[start:stop]
+        block = chunk @ b.T
+        block *= -2.0
+        block += np.einsum("ij,ij->i", chunk, chunk)[:, None]
+        block += b_norms[None, :]
+        np.maximum(block, 0.0, out=block)
+        out[start:stop] = block
+    return out
+
+
+def adc_distances(table: np.ndarray, codes: np.ndarray) -> np.ndarray:
+    """Asymmetric distances from a query to PQ-encoded vectors.
+
+    Given the per-query distance table ``A`` (``A[m, z]`` = squared distance
+    between the ``m``-th sub-vector of the query and codeword ``z`` of the
+    ``m``-th sub-codebook) and PQ codes, computes
+    ``d_A(q, x) = sum_m A[m, codes[x, m]]``.
+
+    Args:
+        table: Array of shape ``(M, Z)``.
+        codes: Integer array of shape ``(n, M)`` with entries in ``[0, Z)``.
+
+    Returns:
+        Array of shape ``(n,)`` of approximate squared distances.
+    """
+    table = np.asarray(table)
+    codes = np.asarray(codes)
+    if codes.ndim == 1:
+        codes = codes[None, :]
+    if table.ndim != 2 or codes.shape[1] != table.shape[0]:
+        raise ValueError(
+            f"codes shape {codes.shape} incompatible with table {table.shape}"
+        )
+    m = table.shape[0]
+    return table[np.arange(m)[None, :], codes].sum(axis=1)

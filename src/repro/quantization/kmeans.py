@@ -1,0 +1,173 @@
+"""Vectorized k-means clustering with k-means++ seeding.
+
+This is the clustering workhorse used twice by the PQ/IVF substrate:
+
+* once per PQ subspace to learn the ``Z`` sub-codewords, and
+* once on full vectors to learn the ``K`` coarse IVF centers.
+
+Only numpy is used; no scikit-learn dependency.  The implementation is plain
+Lloyd's algorithm with chunked distance computation, deterministic given a
+seed, and with explicit empty-cluster repair (an empty cluster is re-seeded at
+the point currently farthest from its assigned centroid) so downstream code
+can rely on every centroid being meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distances import pairwise_squared_l2
+
+__all__ = ["KMeansResult", "kmeans", "kmeans_plus_plus_init", "assign_to_centroids"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a :func:`kmeans` run.
+
+    Attributes:
+        centroids: Array of shape ``(k, d)``.
+        labels: Array of shape ``(n,)`` with the centroid index of each point.
+        inertia: Sum of squared distances of points to their centroid.
+        n_iter: Number of Lloyd iterations actually performed.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+
+    @property
+    def k(self) -> int:
+        """Number of centroids."""
+        return self.centroids.shape[0]
+
+
+def kmeans_plus_plus_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Pick ``k`` initial centroids with the k-means++ D^2 weighting.
+
+    Args:
+        data: Array of shape ``(n, d)`` with ``n >= k``.
+        k: Number of centroids.
+        rng: Source of randomness.
+
+    Returns:
+        Array of shape ``(k, d)``.
+    """
+    n = data.shape[0]
+    if k > n:
+        raise ValueError(f"cannot seed {k} centroids from {n} points")
+    centroids = np.empty((k, data.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centroids[0] = data[first]
+    closest_sq = pairwise_squared_l2(data, centroids[0:1])[:, 0]
+    for i in range(1, k):
+        total = float(closest_sq.sum())
+        if total <= 0.0:
+            # All remaining points coincide with chosen centroids; fall back
+            # to uniform sampling so we still return k rows.
+            choice = int(rng.integers(n))
+        else:
+            choice = int(rng.choice(n, p=closest_sq / total))
+        centroids[i] = data[choice]
+        new_sq = pairwise_squared_l2(data, centroids[i : i + 1])[:, 0]
+        np.minimum(closest_sq, new_sq, out=closest_sq)
+    return centroids
+
+
+def assign_to_centroids(
+    data: np.ndarray, centroids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assign each row of ``data`` to its nearest centroid.
+
+    Args:
+        data: Array of shape ``(n, d)``.
+        centroids: Array of shape ``(k, d)``.
+
+    Returns:
+        ``(labels, distances)`` where ``labels`` has shape ``(n,)`` and
+        ``distances[i]`` is the squared distance to the chosen centroid.
+    """
+    dist = pairwise_squared_l2(data, centroids)
+    labels = dist.argmin(axis=1)
+    return labels, dist[np.arange(data.shape[0]), labels]
+
+
+def _repair_empty_clusters(
+    data: np.ndarray,
+    centroids: np.ndarray,
+    labels: np.ndarray,
+    point_sq: np.ndarray,
+) -> bool:
+    """Re-seed any empty cluster at the currently worst-fit point.
+
+    Returns:
+        True if at least one cluster was repaired (labels are then stale and
+        the caller must re-assign).
+    """
+    counts = np.bincount(labels, minlength=centroids.shape[0])
+    empty = np.flatnonzero(counts == 0)
+    if empty.size == 0:
+        return False
+    # Claim the farthest points, one per empty cluster, without duplicates.
+    order = np.argsort(point_sq)[::-1]
+    for cluster, point in zip(empty, order[: empty.size]):
+        centroids[cluster] = data[point]
+    return True
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    *,
+    max_iter: int = 25,
+    tol: float = 1e-4,
+    seed: int | None = None,
+) -> KMeansResult:
+    """Cluster ``data`` into ``k`` groups with Lloyd's algorithm.
+
+    Args:
+        data: Array of shape ``(n, d)``; converted to ``float64`` internally.
+        k: Number of clusters; must satisfy ``1 <= k <= n``.
+        max_iter: Maximum Lloyd iterations.
+        tol: Relative inertia improvement below which iteration stops.
+        seed: Seed for the k-means++ initialization.
+
+    Returns:
+        A :class:`KMeansResult`.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {data.shape}")
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} out of range for n={n}")
+    rng = np.random.default_rng(seed)
+    centroids = kmeans_plus_plus_init(data, k, rng)
+
+    labels, point_sq = assign_to_centroids(data, centroids)
+    inertia = float(point_sq.sum())
+    n_iter = 0
+    for n_iter in range(1, max_iter + 1):
+        # Update step: mean of each cluster, vectorized via np.add.at.
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, labels, data)
+        counts = np.bincount(labels, minlength=k).astype(np.float64)
+        nonzero = counts > 0
+        centroids[nonzero] = sums[nonzero] / counts[nonzero, None]
+
+        labels, point_sq = assign_to_centroids(data, centroids)
+        if _repair_empty_clusters(data, centroids, labels, point_sq):
+            labels, point_sq = assign_to_centroids(data, centroids)
+        new_inertia = float(point_sq.sum())
+        if inertia > 0 and (inertia - new_inertia) < tol * inertia:
+            inertia = new_inertia
+            break
+        inertia = new_inertia
+    return KMeansResult(
+        centroids=centroids, labels=labels, inertia=inertia, n_iter=n_iter
+    )

@@ -1,0 +1,175 @@
+"""Optimized Product Quantization (OPQ, Ge et al., CVPR'13).
+
+Plain PQ quantizes fixed coordinate blocks, which is wasteful when the
+data's variance is unevenly spread or correlated across blocks — exactly
+the regime of the GIST-like workload.  OPQ learns an orthogonal rotation
+``R`` jointly with the codebooks by alternating minimization:
+
+1. fix ``R``, train PQ on the rotated data;
+2. fix the codes' reconstructions ``Y`` and solve the orthogonal
+   Procrustes problem ``min_R ||X R − Y||_F`` via one SVD.
+
+Because ``R`` is orthogonal, Euclidean distances are preserved
+(``‖xR − qR‖ = ‖x − q‖``), so the asymmetric-distance machinery is
+unchanged: queries are rotated once, then use the ordinary table lookups.
+The class mirrors :class:`ProductQuantizer`'s API and can be dropped into
+any component that only calls ``fit/encode/decode/distance_table/adc``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distances import adc_distances
+from .pq import ProductQuantizer
+
+__all__ = ["OptimizedProductQuantizer"]
+
+
+class OptimizedProductQuantizer:
+    """Product quantizer with a learned orthogonal pre-rotation.
+
+    Args:
+        num_subspaces: ``M``; must divide the dimensionality.
+        num_codewords: ``Z`` per sub-codebook.
+        opq_iterations: Alternating-minimization rounds.
+        seed: Randomness for the inner k-means runs.
+    """
+
+    def __init__(
+        self,
+        num_subspaces: int,
+        num_codewords: int = 256,
+        *,
+        opq_iterations: int = 8,
+        seed: int | None = None,
+    ) -> None:
+        if opq_iterations < 1:
+            raise ValueError(f"opq_iterations must be >= 1, got {opq_iterations}")
+        self.opq_iterations = opq_iterations
+        self.seed = seed
+        self._pq = ProductQuantizer(num_subspaces, num_codewords, seed=seed)
+        self.rotation: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection (mirrors ProductQuantizer)
+    # ------------------------------------------------------------------
+    @property
+    def num_subspaces(self) -> int:
+        return self._pq.num_subspaces
+
+    @property
+    def num_codewords(self) -> int:
+        return self._pq.num_codewords
+
+    @property
+    def is_trained(self) -> bool:
+        return self.rotation is not None and self._pq.is_trained
+
+    @property
+    def dim(self) -> int:
+        return self._pq.dim
+
+    @property
+    def code_dtype(self) -> np.dtype:
+        return self._pq.code_dtype
+
+    @property
+    def codebooks(self) -> np.ndarray | None:
+        """Sub-codebooks in the *rotated* space."""
+        return self._pq.codebooks
+
+    def _require_trained(self) -> np.ndarray:
+        if self.rotation is None:
+            raise RuntimeError(
+                "OptimizedProductQuantizer is not trained; call fit() first"
+            )
+        return self.rotation
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        training_vectors: np.ndarray,
+        *,
+        max_iter: int = 10,
+        max_training_points: int | None = 20000,
+    ) -> "OptimizedProductQuantizer":
+        """Alternately optimize the rotation and the codebooks.
+
+        Args:
+            training_vectors: Array of shape ``(n, d)``.
+            max_iter: Lloyd iterations per inner PQ training round.
+            max_training_points: Subsample cap (applied once, up front).
+
+        Returns:
+            ``self``, for chaining.
+        """
+        data = np.asarray(training_vectors, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError(f"training vectors must be 2-D, got {data.shape}")
+        n, d = data.shape
+        if d % self.num_subspaces != 0:
+            raise ValueError(
+                f"dimensionality {d} not divisible by M={self.num_subspaces}"
+            )
+        rng = np.random.default_rng(self.seed)
+        if max_training_points is not None and n > max_training_points:
+            data = data[rng.choice(n, size=max_training_points, replace=False)]
+
+        rotation = np.eye(d)
+        for _ in range(self.opq_iterations):
+            rotated = data @ rotation
+            self._pq.fit(rotated, max_iter=max_iter, max_training_points=None)
+            reconstructed = self._pq.decode(self._pq.encode(rotated))
+            # Orthogonal Procrustes: argmin_R ||X R - Y||_F = U V^T for
+            # SVD(X^T Y) = U S V^T.
+            u, _, vt = np.linalg.svd(data.T @ reconstructed)
+            rotation = u @ vt
+        # Final codebook training under the converged rotation.
+        self._pq.fit(data @ rotation, max_iter=max_iter, max_training_points=None)
+        self.rotation = rotation
+        return self
+
+    # ------------------------------------------------------------------
+    # Encoding / distances (rotate, then delegate)
+    # ------------------------------------------------------------------
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """PQ codes of the rotated vectors."""
+        rotation = self._require_trained()
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        return self._pq.encode(vectors @ rotation)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Approximate vectors in the *original* space (rotated back)."""
+        rotation = self._require_trained()
+        return self._pq.decode(codes) @ rotation.T
+
+    def distance_table(self, query: np.ndarray) -> np.ndarray:
+        """ADC table for the rotated query (distances are R-invariant)."""
+        rotation = self._require_trained()
+        query = np.asarray(query, dtype=np.float64)
+        return self._pq.distance_table(query @ rotation)
+
+    def adc(self, query: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Asymmetric distances from ``query`` to PQ codes."""
+        return adc_distances(self.distance_table(query), codes)
+
+    def quantization_error(self, vectors: np.ndarray) -> float:
+        """Mean squared reconstruction error in the original space."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        reconstructed = self.decode(self.encode(vectors))
+        return float(np.mean(np.sum((vectors - reconstructed) ** 2, axis=1)))
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    def codebook_bytes(self) -> int:
+        """Codebooks plus the dense rotation matrix (float32)."""
+        extra = 0 if self.rotation is None else 4 * self.rotation.size
+        return self._pq.codebook_bytes() + extra
+
+    def code_bytes_per_vector(self) -> int:
+        """Bytes one stored code occupies (same as the inner PQ)."""
+        return self._pq.code_bytes_per_vector()

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def blob_data(rng: np.random.Generator) -> np.ndarray:
+    """600 points in 8-D drawn from 3 well-separated Gaussian blobs."""
+    centers = np.array(
+        [
+            [0.0] * 8,
+            [10.0] * 8,
+            [-10.0, 10.0] * 4,
+        ]
+    )
+    parts = [center + rng.normal(scale=0.5, size=(200, 8)) for center in centers]
+    return np.concatenate(parts).astype(np.float64)

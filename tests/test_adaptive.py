@@ -1,0 +1,47 @@
+"""Tests for the L-selection policies."""
+
+import pytest
+
+from repro.core import AdaptiveLPolicy, FixedLPolicy
+
+
+class TestAdaptiveLPolicy:
+    def test_base_below_r_base(self):
+        policy = AdaptiveLPolicy(l_base=1000, r_base=0.10)
+        assert policy.choose(0.01) == 1000
+        assert policy.choose(0.10) == 1000
+
+    def test_scales_above_r_base(self):
+        policy = AdaptiveLPolicy(l_base=1000, r_base=0.10)
+        assert policy.choose(0.20) == 2000
+        assert policy.choose(0.80) == 8000
+
+    def test_paper_gist_setting(self):
+        policy = AdaptiveLPolicy(l_base=3000, r_base=0.10)
+        assert policy.choose(0.40) == 12000
+
+    def test_zero_coverage(self):
+        assert AdaptiveLPolicy(l_base=500).choose(0.0) == 500
+
+    def test_negative_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveLPolicy().choose(-0.1)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveLPolicy(l_base=0)
+        with pytest.raises(ValueError):
+            AdaptiveLPolicy(r_base=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveLPolicy(r_base=1.5)
+
+
+class TestFixedLPolicy:
+    def test_constant(self):
+        policy = FixedLPolicy(l=2000)
+        assert policy.choose(0.001) == 2000
+        assert policy.choose(0.999) == 2000
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            FixedLPolicy(l=0)

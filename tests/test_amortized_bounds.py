@@ -1,0 +1,71 @@
+"""Empirical checks of the paper's amortized-cost theorems.
+
+These tests measure *work*, not wall-clock: the tree exposes the total
+number of nodes touched by rebuild operations (``rebuild_work``), which is
+exactly the quantity Lemma 3.4 / Theorems 3.7 and 3.12 amortize.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tree import RangeTree
+
+
+class TestTreeAmortization:
+    @pytest.mark.parametrize("n", [1000, 4000])
+    def test_sorted_inserts_rebuild_work_is_nlogn(self, n):
+        """Adversarial (sorted) inserts: total rebuild work must stay within
+        a constant factor of n log n — far below the Θ(n²) of naive
+        rebalancing with aggregate reconstruction."""
+        tree = RangeTree(alpha=0.2)
+        for i in range(n):
+            tree.insert(float(i), i, i % 7)
+        bound = 8 * n * math.log2(n)
+        assert tree.rebuild_work <= bound
+        # And per-insert amortized work is logarithmic, not linear.
+        assert tree.rebuild_work / n <= 8 * math.log2(n)
+
+    def test_random_inserts_rebuild_work_smaller_than_sorted(self):
+        rng = np.random.default_rng(0)
+        n = 2000
+        sorted_tree = RangeTree()
+        random_tree = RangeTree()
+        for i in range(n):
+            sorted_tree.insert(float(i), i, 0)
+        for i, attr in enumerate(rng.permutation(n)):
+            random_tree.insert(float(attr), i, 0)
+        assert random_tree.rebuild_work <= sorted_tree.rebuild_work
+
+    def test_deletions_amortize_via_global_rebuild(self):
+        """Deleting everything costs one global rebuild per halving —
+        O(n) total work over n deletes, i.e. O(1) amortized (Thm. 3.8)."""
+        n = 2048
+        tree = RangeTree()
+        for i in range(n):
+            tree.insert(float(i), i, 0)
+        work_before = tree.rebuild_work
+        for i in range(n):
+            tree.delete(float(i), i)
+        delete_work = tree.rebuild_work - work_before
+        # Geometric series of halving rebuilds: < 2n nodes touched.
+        assert delete_work <= 2 * n
+
+    def test_interleaved_work_stays_logarithmic(self):
+        rng = np.random.default_rng(1)
+        tree = RangeTree()
+        live: list[tuple[float, int]] = []
+        operations = 4000
+        for step in range(operations):
+            if live and rng.random() < 0.4:
+                attr, oid = live.pop(int(rng.integers(len(live))))
+                tree.delete(attr, oid)
+            else:
+                attr = float(rng.integers(0, 500))
+                tree.insert(attr, step, step % 5)
+                live.append((attr, step))
+        assert tree.rebuild_work <= 8 * operations * math.log2(operations)
+        tree.check_invariants()

@@ -1,0 +1,77 @@
+"""Tests for the extended attribute/range-generator utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import sift_like
+from repro.datasets.attributes import zipfian_attributes
+
+
+class TestZipfianAttributes:
+    def test_domain(self):
+        rng = np.random.default_rng(0)
+        attrs = zipfian_attributes(5000, num_values=100, rng=rng)
+        assert attrs.min() >= 1
+        assert attrs.max() <= 100
+
+    def test_heavy_head(self):
+        rng = np.random.default_rng(0)
+        attrs = zipfian_attributes(10_000, num_values=1000, exponent=1.2, rng=rng)
+        head_share = np.mean(attrs <= 10)
+        tail_share = np.mean(attrs > 500)
+        # The first 1% of values capture far more mass than the last 50%.
+        assert head_share > 0.3
+        assert head_share > 5 * tail_share
+
+    def test_higher_exponent_more_skew(self):
+        rng = np.random.default_rng(0)
+        mild = zipfian_attributes(10_000, exponent=0.8, rng=np.random.default_rng(1))
+        harsh = zipfian_attributes(10_000, exponent=2.0, rng=np.random.default_rng(1))
+        assert np.mean(harsh <= 5) > np.mean(mild <= 5)
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            zipfian_attributes(10, num_values=0, rng=rng)
+        with pytest.raises(ValueError):
+            zipfian_attributes(10, exponent=0.0, rng=rng)
+
+    def test_equal_width_ranges_have_skewed_coverage(self):
+        """The property that stresses selectivity estimation: equal-width
+        attribute ranges cover very different object counts."""
+        rng = np.random.default_rng(2)
+        attrs = zipfian_attributes(20_000, num_values=1000, rng=rng)
+        low_band = np.mean((attrs >= 1) & (attrs <= 100))
+        high_band = np.mean((attrs >= 900) & (attrs <= 1000))
+        assert low_band > 20 * max(high_band, 1e-6)
+
+
+class TestHalfBoundedRanges:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return sift_like(n=2000, d=16, num_queries=3, seed=0)
+
+    def test_left_prefix_coverage(self, workload):
+        lo, hi = workload.half_bounded_for_coverage(0.25, side="left")
+        assert lo == float(np.min(workload.attrs))
+        actual = np.mean((workload.attrs >= lo) & (workload.attrs <= hi))
+        assert 0.2 <= actual <= 0.3
+
+    def test_right_suffix_coverage(self, workload):
+        lo, hi = workload.half_bounded_for_coverage(0.25, side="right")
+        assert hi == float(np.max(workload.attrs))
+        actual = np.mean((workload.attrs >= lo) & (workload.attrs <= hi))
+        assert 0.2 <= actual <= 0.3
+
+    def test_full_coverage(self, workload):
+        lo, hi = workload.half_bounded_for_coverage(1.0, side="left")
+        assert lo == float(np.min(workload.attrs))
+        assert hi == float(np.max(workload.attrs))
+
+    def test_invalid_inputs(self, workload):
+        with pytest.raises(ValueError):
+            workload.half_bounded_for_coverage(0.0)
+        with pytest.raises(ValueError):
+            workload.half_bounded_for_coverage(0.5, side="middle")

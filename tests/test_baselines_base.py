@@ -1,0 +1,138 @@
+"""Tests for the shared baseline components (AttributeDirectory, brute force)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import AttributeDirectory, BruteForceRangeIndex
+
+
+class TestAttributeDirectory:
+    def test_add_and_count(self):
+        directory = AttributeDirectory()
+        for oid, attr in enumerate([5.0, 1.0, 9.0, 5.0, 3.0]):
+            directory.add(oid, attr)
+        assert len(directory) == 5
+        assert directory.count_in_range(3.0, 5.0) == 3
+        assert directory.count_in_range(10.0, 20.0) == 0
+
+    def test_duplicate_oid_rejected(self):
+        directory = AttributeDirectory()
+        directory.add(1, 2.0)
+        with pytest.raises(KeyError):
+            directory.add(1, 3.0)
+
+    def test_remove(self):
+        directory = AttributeDirectory()
+        directory.add(1, 2.0)
+        directory.add(2, 2.0)
+        assert directory.remove(1) == 2.0
+        assert 1 not in directory
+        assert directory.count_in_range(0.0, 5.0) == 1
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(KeyError):
+            AttributeDirectory().remove(7)
+
+    def test_ids_in_range_sorted_by_attr(self):
+        directory = AttributeDirectory()
+        for oid, attr in [(10, 5.0), (11, 1.0), (12, 3.0)]:
+            directory.add(oid, attr)
+        np.testing.assert_array_equal(
+            directory.ids_in_range(0.0, 10.0), [11, 12, 10]
+        )
+
+    def test_mask_in_range(self):
+        directory = AttributeDirectory()
+        for oid, attr in [(0, 1.0), (3, 5.0), (5, 9.0)]:
+            directory.add(oid, attr)
+        mask = directory.mask_in_range(2.0, 9.0, universe=6)
+        np.testing.assert_array_equal(
+            mask, [False, False, False, True, False, True]
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        attrs=st.lists(st.integers(0, 30), max_size=40),
+        lo=st.integers(-2, 32),
+        span=st.integers(0, 34),
+    )
+    def test_matches_naive_filter(self, attrs, lo, span):
+        hi = lo + span
+        directory = AttributeDirectory()
+        for oid, attr in enumerate(attrs):
+            directory.add(oid, float(attr))
+        expected = sorted(
+            oid for oid, attr in enumerate(attrs) if lo <= attr <= hi
+        )
+        assert sorted(directory.ids_in_range(lo, hi).tolist()) == expected
+        assert directory.count_in_range(lo, hi) == len(expected)
+
+
+class TestBruteForce:
+    @pytest.fixture
+    def index(self, rng):
+        vectors = rng.normal(size=(200, 8))
+        attrs = rng.integers(0, 40, size=200).astype(float)
+        return BruteForceRangeIndex.build(vectors, attrs), vectors, attrs
+
+    def test_exactness(self, index, rng):
+        idx, vectors, attrs = index
+        query = rng.normal(size=8)
+        result = idx.query(query, 10.0, 30.0, k=5)
+        mask = (attrs >= 10) & (attrs <= 30)
+        exact = ((vectors[mask] - query) ** 2).sum(axis=1)
+        candidates = np.flatnonzero(mask)
+        expected = candidates[np.argsort(exact)[:5]]
+        np.testing.assert_array_equal(np.sort(result.ids), np.sort(expected))
+
+    def test_respects_filter(self, index, rng):
+        idx, _, attrs = index
+        result = idx.query(rng.normal(size=8), 12.0, 13.0, k=100)
+        assert all(12 <= attrs[oid] <= 13 for oid in result.ids)
+
+    def test_empty_range(self, index, rng):
+        idx, *_ = index
+        assert len(idx.query(rng.normal(size=8), 100.0, 200.0, k=3)) == 0
+
+    def test_insert_delete(self, index, rng):
+        idx, vectors, attrs = index
+        vec = rng.normal(size=8)
+        idx.insert(999, vec, 20.0)
+        assert 999 in idx
+        result = idx.query(vec, 20.0, 20.0, k=1)
+        assert result.ids[0] == 999
+        idx.delete(999)
+        assert 999 not in idx
+        result = idx.query(vec, 0.0, 40.0, k=300)
+        assert 999 not in result.ids
+
+    def test_row_reuse(self, index, rng):
+        idx, vectors, _ = index
+        for cycle in range(3):
+            idx.delete(0)
+            idx.insert(0, vectors[0], 5.0)
+        assert len(idx) == 200
+
+    def test_duplicate_insert_rejected(self, index):
+        idx, vectors, attrs = index
+        with pytest.raises(KeyError):
+            idx.insert(0, vectors[0], attrs[0])
+
+    def test_delete_absent_rejected(self, index):
+        idx, *_ = index
+        with pytest.raises(KeyError):
+            idx.delete(12345)
+
+    def test_wrong_dim_rejected(self, index, rng):
+        idx, *_ = index
+        with pytest.raises(ValueError):
+            idx.insert(500, rng.normal(size=5), 1.0)
+
+    def test_bad_k_rejected(self, index, rng):
+        idx, *_ = index
+        with pytest.raises(ValueError):
+            idx.query(rng.normal(size=8), 0.0, 1.0, k=0)

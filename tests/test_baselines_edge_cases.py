@@ -1,0 +1,147 @@
+"""Edge-case and failure-injection tests for the baseline systems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MilvusLikeIndex,
+    MilvusStrategy,
+    RIIIndex,
+    VBaseIndex,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    rng = np.random.default_rng(111)
+    vectors = rng.normal(size=(300, 8))
+    attrs = rng.integers(0, 30, size=300).astype(float)
+    return vectors, attrs, rng
+
+
+BUILD = dict(num_subspaces=4, num_clusters=10, num_codewords=32, seed=0)
+
+
+class TestMilvusEdgeCases:
+    def test_invalid_params_rejected(self, tiny):
+        vectors, attrs, _ = tiny
+        base = MilvusLikeIndex.build(vectors, attrs, **BUILD)
+        with pytest.raises(ValueError):
+            MilvusLikeIndex(base.ivf, theta=1.0)
+        with pytest.raises(ValueError):
+            MilvusLikeIndex(base.ivf, segment_threshold=0)
+
+    def test_flush_on_empty_segment_is_noop(self, tiny):
+        vectors, attrs, _ = tiny
+        index = MilvusLikeIndex.build(vectors, attrs, **BUILD)
+        before = index.flush_count
+        index.flush()
+        assert index.flush_count == before
+
+    def test_query_with_everything_in_segment(self, tiny):
+        """A cold index whose objects all live in the growing segment must
+        still answer queries (pure segment scan)."""
+        vectors, attrs, rng = tiny
+        base = MilvusLikeIndex.build(vectors[:200], attrs[:200], **BUILD)
+        cold = MilvusLikeIndex(base.ivf.clone_empty(), segment_threshold=10**6)
+        for oid in range(50):
+            cold.insert(oid, vectors[200 + oid], float(attrs[200 + oid]))
+        result = cold.query(vectors[200], 0.0, 30.0, 10)
+        assert len(result) > 0
+        assert result.stats.num_candidates >= len(result)
+
+    def test_k_one(self, tiny):
+        vectors, attrs, _ = tiny
+        index = MilvusLikeIndex.build(vectors, attrs, **BUILD)
+        result = index.query(vectors[0], 0.0, 30.0, 1)
+        assert len(result) == 1
+
+    def test_segment_objects_respect_filter(self, tiny):
+        vectors, attrs, _ = tiny
+        index = MilvusLikeIndex.build(
+            vectors[:250], attrs[:250], segment_threshold=10**6, **BUILD
+        )
+        index.insert(9000, vectors[250], 5.0)
+        index.insert(9001, vectors[251], 25.0)
+        result = index.query(vectors[250], 20.0, 30.0, 300)
+        assert 9001 in result.ids
+        assert 9000 not in result.ids
+
+
+class TestRIIEdgeCases:
+    def test_invalid_params_rejected(self, tiny):
+        vectors, attrs, _ = tiny
+        base = RIIIndex.build(vectors, attrs, **BUILD)
+        with pytest.raises(ValueError):
+            RIIIndex(base.ivf, l_candidates=0)
+        with pytest.raises(ValueError):
+            RIIIndex(base.ivf, theta=-1)
+        with pytest.raises(ValueError):
+            RIIIndex(base.ivf, reconstruct_factor=1.0)
+
+    def test_theta_zero_always_probes(self, tiny):
+        vectors, attrs, _ = tiny
+        index = RIIIndex.build(vectors, attrs, theta=0, **BUILD)
+        result = index.query(vectors[0], 10.0, 11.0, 5)
+        # Even a tiny subset goes through the probe path; filter holds.
+        assert all(10 <= attrs[int(oid)] <= 11 for oid in result.ids)
+
+    def test_probe_count_scales_inversely_with_subset(self, tiny):
+        """RII probes ⌈K·L/|S|⌉ clusters: smaller subsets probe more."""
+        vectors, attrs, _ = tiny
+        index = RIIIndex.build(vectors, attrs, l_candidates=50, theta=1, **BUILD)
+        narrow = index.query(vectors[0], 10.0, 12.0, 5)
+        wide = index.query(vectors[0], 0.0, 30.0, 5)
+        assert (
+            narrow.stats.num_candidate_clusters
+            >= wide.stats.num_candidate_clusters
+        )
+
+    def test_duplicate_insert_rejected(self, tiny):
+        vectors, attrs, _ = tiny
+        index = RIIIndex.build(vectors, attrs, **BUILD)
+        with pytest.raises(KeyError):
+            index.insert(0, vectors[0], attrs[0])
+
+    def test_contains(self, tiny):
+        vectors, attrs, _ = tiny
+        index = RIIIndex.build(vectors, attrs, **BUILD)
+        assert 0 in index
+        assert 10**6 not in index
+
+
+class TestVBaseEdgeCases:
+    def test_invalid_window_rejected(self, tiny):
+        vectors, attrs, _ = tiny
+        base = VBaseIndex.build(vectors, attrs, **BUILD)
+        with pytest.raises(ValueError):
+            VBaseIndex(base.ivf, window=0)
+
+    def test_scan_threshold_zero_always_iterates(self, tiny):
+        vectors, attrs, _ = tiny
+        index = VBaseIndex.build(vectors, attrs, scan_selectivity=0.0, **BUILD)
+        result = index.query(vectors[0], 10.0, 10.0, 3)
+        assert all(attrs[int(oid)] == 10 for oid in result.ids)
+
+    def test_relaxed_monotonicity_vs_full_drain(self, tiny):
+        """Termination must fire before the iterator drains the corpus on
+        easy queries, and widening the window only increases traversal."""
+        vectors, attrs, _ = tiny
+        short = VBaseIndex.build(vectors, attrs, window=8, patience=16, **BUILD)
+        long = VBaseIndex.build(
+            vectors, attrs, window=128, patience=200, **BUILD
+        )
+        query = vectors[3]
+        a = short.query(query, 0.0, 30.0, 5)
+        b = long.query(query, 0.0, 30.0, 5)
+        assert a.stats.num_candidates <= b.stats.num_candidates
+        assert a.stats.num_candidates < 300
+
+    def test_k_exceeding_matches_returns_all(self, tiny):
+        vectors, attrs, _ = tiny
+        index = VBaseIndex.build(vectors, attrs, **BUILD)
+        count = int(np.sum(attrs == 7))
+        result = index.query(vectors[0], 7.0, 7.0, count + 50)
+        assert len(result) == count

@@ -1,0 +1,289 @@
+"""Tests for the Milvus-like, RII, and VBase baseline systems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BruteForceRangeIndex,
+    MilvusLikeIndex,
+    MilvusStrategy,
+    RIIIndex,
+    VBaseIndex,
+)
+from repro.eval import exact_range_knn, nn_recall_at_k
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(21)
+    centers = rng.normal(scale=8.0, size=(10, 16))
+    labels = rng.integers(0, 10, size=900)
+    vectors = centers[labels] + rng.normal(size=(900, 16))
+    attrs = rng.integers(0, 100, size=900).astype(np.float64)
+    queries = centers[rng.integers(0, 10, size=12)] + rng.normal(size=(12, 16))
+    return vectors, attrs, queries
+
+
+BUILD_KWARGS = dict(
+    num_subspaces=8, num_clusters=24, num_codewords=128, seed=0
+)
+
+
+@pytest.fixture(scope="module")
+def milvus(dataset):
+    vectors, attrs, _ = dataset
+    return MilvusLikeIndex.build(vectors, attrs, **BUILD_KWARGS)
+
+
+@pytest.fixture(scope="module")
+def rii(dataset):
+    vectors, attrs, _ = dataset
+    return RIIIndex.build(vectors, attrs, l_candidates=400, **BUILD_KWARGS)
+
+
+@pytest.fixture(scope="module")
+def vbase(dataset):
+    vectors, attrs, _ = dataset
+    return VBaseIndex.build(vectors, attrs, **BUILD_KWARGS)
+
+
+def check_filter_respected(index, attrs, query, lo, hi, k=50):
+    result = index.query(query, lo, hi, k)
+    assert all(lo <= attrs[int(oid)] <= hi for oid in result.ids)
+    return result
+
+
+class TestMilvusLike:
+    def test_all_strategies_respect_filter(self, milvus, dataset):
+        vectors, attrs, queries = dataset
+        for strategy in (
+            MilvusStrategy.ATTR_FIRST_SCAN,
+            MilvusStrategy.ATTR_FIRST_BITMAP,
+            MilvusStrategy.VECTOR_FIRST,
+        ):
+            result = milvus.query(
+                queries[0], 20.0, 60.0, 10, strategy=strategy
+            )
+            assert all(
+                20 <= attrs[int(oid)] <= 60 for oid in result.ids
+            ), strategy
+
+    def test_scan_strategy_examines_exactly_in_range(self, milvus, dataset):
+        vectors, attrs, queries = dataset
+        result = milvus.query(
+            queries[0], 42.0, 42.0, 10, strategy=MilvusStrategy.ATTR_FIRST_SCAN
+        )
+        expected = int(np.sum(attrs == 42))
+        assert result.stats.num_candidates == expected
+
+    def test_auto_strategy_switches_with_coverage(self, milvus, dataset):
+        vectors, attrs, queries = dataset
+        # Pick the rarest attribute value so coverage is safely below the
+        # 1% scan threshold.
+        counts = np.bincount(attrs.astype(int), minlength=100)
+        rare = int(np.argmin(np.where(counts > 0, counts, counts.max() + 1)))
+        narrow = milvus.query(queries[0], float(rare), float(rare), 10)
+        wide = milvus.query(queries[0], 0.0, 99.0, 10)
+        # AUTO at minimal coverage scans only the in-range objects; at full
+        # coverage it runs the vector-first plan, probing far fewer than n.
+        assert narrow.stats.num_candidates == int(counts[rare])
+        assert wide.stats.num_candidates < len(attrs)
+
+    def test_scan_strategy_recall(self, milvus, dataset):
+        vectors, attrs, queries = dataset
+        recalls = []
+        for query in queries:
+            truth = exact_range_knn(vectors, attrs, query, 10.0, 35.0, 10)
+            result = milvus.query(
+                query, 10.0, 35.0, 10, strategy=MilvusStrategy.ATTR_FIRST_SCAN
+            )
+            recalls.append(nn_recall_at_k(result.ids, truth, 10))
+        assert np.mean(recalls) >= 0.8
+
+    def test_vector_first_escalates_theta(self, milvus, dataset):
+        vectors, attrs, queries = dataset
+        # A selective filter forces k' escalation but must still respect it.
+        result = milvus.query(
+            queries[0], 5.0, 8.0, 5, strategy=MilvusStrategy.VECTOR_FIRST
+        )
+        assert all(5 <= attrs[int(oid)] <= 8 for oid in result.ids)
+
+    def test_empty_range(self, milvus, dataset):
+        _, _, queries = dataset
+        assert len(milvus.query(queries[0], 500.0, 600.0, 5)) == 0
+
+    def test_segment_buffering(self, dataset):
+        vectors, attrs, queries = dataset
+        index = MilvusLikeIndex.build(
+            vectors[:500], attrs[:500], segment_threshold=100, **BUILD_KWARGS
+        )
+        for i in range(50):
+            index.insert(2000 + i, vectors[500 + i], 50.0)
+        assert index.segment_size == 50
+        assert index.flush_count == 0
+        # Segment objects are still visible to queries.
+        result = index.query(vectors[500], 50.0, 50.0, 100)
+        assert 2000 in result.ids
+        # Crossing the threshold flushes.
+        for i in range(50, 110):
+            index.insert(2000 + i, vectors[500 + i], 50.0)
+        assert index.flush_count >= 1
+        assert index.segment_size < 100
+
+    def test_delete_from_segment_and_sealed(self, dataset):
+        vectors, attrs, queries = dataset
+        index = MilvusLikeIndex.build(
+            vectors[:300], attrs[:300], segment_threshold=1000, **BUILD_KWARGS
+        )
+        index.insert(5000, vectors[300], 10.0)
+        index.delete(5000)  # from segment
+        index.delete(0)  # from sealed data
+        assert 5000 not in index and 0 not in index
+        result = index.query(vectors[0], 0.0, 100.0, 500)
+        assert 0 not in result.ids and 5000 not in result.ids
+
+    def test_duplicate_insert_rejected(self, milvus, dataset):
+        vectors, attrs, _ = dataset
+        with pytest.raises(KeyError):
+            milvus.insert(0, vectors[0], attrs[0])
+
+    def test_memory_model_uses_float_codes(self, milvus, rii):
+        # Milvus stores codes as floats: more bytes than RII's uint8 codes.
+        assert milvus.memory_bytes() > rii.memory_bytes()
+
+
+class TestRII:
+    def test_respects_filter(self, rii, dataset):
+        vectors, attrs, queries = dataset
+        for query in queries[:5]:
+            check_filter_respected(rii, attrs, query, 20.0, 70.0)
+
+    def test_small_subset_linear_scan(self, rii, dataset):
+        vectors, attrs, queries = dataset
+        result = rii.query(queries[0], 13.0, 14.0, 10)
+        expected = int(np.sum((attrs >= 13) & (attrs <= 14)))
+        # theta=64 > expected: the fallback scans the whole subset.
+        assert result.stats.num_candidates == expected
+
+    def test_large_subset_probe_caps_candidates(self, rii, dataset):
+        _, _, queries = dataset
+        result = rii.query(queries[0], 0.0, 99.0, 10)
+        assert result.stats.num_candidates <= rii.l_candidates + 900 // 24
+
+    def test_recall_reasonable(self, rii, dataset):
+        vectors, attrs, queries = dataset
+        recalls = []
+        for query in queries:
+            truth = exact_range_knn(vectors, attrs, query, 20.0, 70.0, 10)
+            result = rii.query(query, 20.0, 70.0, 10)
+            recalls.append(nn_recall_at_k(result.ids, truth, 10))
+        assert np.mean(recalls) >= 0.7
+
+    def test_insert_visible(self, dataset):
+        vectors, attrs, _ = dataset
+        index = RIIIndex.build(vectors[:300], attrs[:300], **BUILD_KWARGS)
+        index.insert(9000, vectors[300], 55.0)
+        result = index.query(vectors[300], 55.0, 55.0, 10)
+        assert 9000 in result.ids
+
+    def test_delete_invisible(self, dataset):
+        vectors, attrs, _ = dataset
+        index = RIIIndex.build(vectors[:300], attrs[:300], **BUILD_KWARGS)
+        index.delete(5)
+        result = index.query(vectors[5], 0.0, 100.0, 300)
+        assert 5 not in result.ids
+
+    def test_delete_absent_rejected(self, rii):
+        with pytest.raises(KeyError):
+            rii.delete(123456)
+
+    def test_reconstruction_on_growth(self, dataset):
+        vectors, attrs, _ = dataset
+        index = RIIIndex.build(
+            vectors[:300], attrs[:300], reconstruct_factor=1.2, **BUILD_KWARGS
+        )
+        rng = np.random.default_rng(0)
+        for i in range(80):
+            index.insert(10_000 + i, vectors[300 + i], float(rng.integers(100)))
+        assert index.reconstruction_count >= 1
+
+    def test_empty_range(self, rii, dataset):
+        _, _, queries = dataset
+        assert len(rii.query(queries[0], -50.0, -10.0, 5)) == 0
+
+
+class TestVBase:
+    def test_respects_filter(self, vbase, dataset):
+        vectors, attrs, queries = dataset
+        for query in queries[:5]:
+            check_filter_respected(vbase, attrs, query, 20.0, 70.0)
+
+    def test_scan_plan_is_exact(self, vbase, dataset):
+        vectors, attrs, queries = dataset
+        # 1-value range: coverage ~1% <= 2% threshold -> exact scan plan.
+        query = queries[0]
+        result = vbase.query(query, 42.0, 42.0, 5)
+        truth = exact_range_knn(vectors, attrs, query, 42.0, 42.0, 5)
+        np.testing.assert_array_equal(result.ids, truth)
+
+    def test_iterator_plan_terminates_early(self, vbase, dataset):
+        vectors, attrs, queries = dataset
+        result = vbase.query(queries[0], 0.0, 99.0, 10)
+        # Relaxed monotonicity must stop well before scanning everything.
+        assert result.stats.num_candidates < 900
+
+    def test_iterator_recall(self, vbase, dataset):
+        vectors, attrs, queries = dataset
+        recalls = []
+        for query in queries:
+            truth = exact_range_knn(vectors, attrs, query, 10.0, 90.0, 10)
+            result = vbase.query(query, 10.0, 90.0, 10)
+            recalls.append(nn_recall_at_k(result.ids, truth, 10))
+        assert np.mean(recalls) >= 0.7
+
+    def test_insert_delete_roundtrip(self, dataset):
+        vectors, attrs, _ = dataset
+        index = VBaseIndex.build(vectors[:300], attrs[:300], **BUILD_KWARGS)
+        index.insert(7777, vectors[300], 33.0)
+        result = index.query(vectors[300], 33.0, 33.0, 5)
+        assert 7777 in result.ids
+        index.delete(7777)
+        result = index.query(vectors[300], 0.0, 100.0, 300)
+        assert 7777 not in result.ids
+
+    def test_duplicate_insert_rejected(self, vbase, dataset):
+        vectors, attrs, _ = dataset
+        with pytest.raises(KeyError):
+            vbase.insert(0, vectors[0], attrs[0])
+
+    def test_empty_range(self, vbase, dataset):
+        _, _, queries = dataset
+        assert len(vbase.query(queries[0], 200.0, 300.0, 5)) == 0
+
+    def test_bad_k_rejected(self, vbase, dataset):
+        _, _, queries = dataset
+        with pytest.raises(ValueError):
+            vbase.query(queries[0], 0.0, 10.0, 0)
+
+
+class TestCrossSystemAgreement:
+    def test_all_systems_agree_with_bruteforce_on_tiny_ranges(self, dataset):
+        """On a 1-2 value range every PQ method scans the same candidates;
+        result *sets* may differ by ADC error but must stay inside the
+        filter and include most of the exact top results."""
+        vectors, attrs, queries = dataset
+        brute = BruteForceRangeIndex.build(vectors, attrs)
+        milvus = MilvusLikeIndex.build(vectors, attrs, **BUILD_KWARGS)
+        rii = RIIIndex.build(vectors, attrs, **BUILD_KWARGS)
+        vbase = VBaseIndex.build(vectors, attrs, **BUILD_KWARGS)
+        query = queries[0]
+        truth = brute.query(query, 40.0, 41.0, 10)
+        for index in (milvus, rii, vbase):
+            result = index.query(query, 40.0, 41.0, 10)
+            assert set(result.ids.tolist()) <= {
+                oid for oid, attr in enumerate(attrs) if 40 <= attr <= 41
+            }
+            overlap = len(set(result.ids.tolist()) & set(truth.ids.tolist()))
+            assert overlap >= len(truth.ids) // 2

@@ -1,0 +1,198 @@
+"""Unit, differential, and property tests for the B+-tree."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import AttributeDirectory
+from repro.btree import BPlusAttributeDirectory, BPlusTree
+
+
+class TestBasicOperations:
+    def test_insert_and_contains(self):
+        tree = BPlusTree(order=2)
+        for i in range(20):
+            tree.insert(float(i), i)
+        assert len(tree) == 20
+        assert (5.0, 5) in tree
+        assert (5.0, 6) not in tree
+        tree.check_invariants()
+
+    def test_duplicate_insert_rejected(self):
+        tree = BPlusTree(order=2)
+        tree.insert(1.0, 1)
+        with pytest.raises(KeyError):
+            tree.insert(1.0, 1)
+
+    def test_same_attr_different_oid_ok(self):
+        tree = BPlusTree(order=2)
+        for oid in range(10):
+            tree.insert(7.0, oid)
+        assert len(tree) == 10
+        tree.check_invariants()
+
+    def test_delete(self):
+        tree = BPlusTree(order=2)
+        for i in range(30):
+            tree.insert(float(i), i)
+        for i in range(0, 30, 2):
+            tree.delete(float(i), i)
+        assert len(tree) == 15
+        assert (2.0, 2) not in tree
+        assert (3.0, 3) in tree
+        tree.check_invariants()
+
+    def test_delete_absent_rejected(self):
+        tree = BPlusTree(order=2)
+        tree.insert(1.0, 1)
+        with pytest.raises(KeyError):
+            tree.delete(2.0, 2)
+
+    def test_delete_everything(self):
+        tree = BPlusTree(order=2)
+        for i in range(100):
+            tree.insert(float(i % 10), i)
+        for i in range(100):
+            tree.delete(float(i % 10), i)
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=1)
+
+
+class TestRangeAccess:
+    @pytest.fixture
+    def tree(self):
+        tree = BPlusTree(order=3)
+        for i in range(200):
+            tree.insert(float(i % 50), i)
+        return tree
+
+    def test_iter_range_sorted_and_exact(self, tree):
+        got = list(tree.iter_range(10.0, 20.0))
+        assert got == sorted(got)
+        assert all(10 <= attr <= 20 for attr, _ in got)
+        assert len(got) == 11 * 4  # 4 oids per attr value
+
+    def test_count_range_matches_iter(self, tree):
+        for lo, hi in [(0, 49), (10, 20), (25, 25), (49, 60), (-5, -1)]:
+            assert tree.count_range(lo, hi) == len(list(tree.iter_range(lo, hi)))
+
+    def test_inverted_range(self, tree):
+        assert tree.count_range(30.0, 10.0) == 0
+
+    def test_full_range(self, tree):
+        assert tree.count_range(-math.inf, math.inf) == 200
+
+
+class TestPropertyBased:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.booleans(), st.integers(0, 40), st.integers(0, 30)
+            ),
+            max_size=120,
+        ),
+        order=st.sampled_from([2, 3, 8]),
+    )
+    def test_matches_sorted_list_model(self, ops, order):
+        tree = BPlusTree(order=order)
+        model: set[tuple[float, int]] = set()
+        for is_insert, attr, oid in ops:
+            key = (float(attr), oid)
+            if is_insert:
+                if key in model:
+                    with pytest.raises(KeyError):
+                        tree.insert(*key)
+                else:
+                    tree.insert(*key)
+                    model.add(key)
+            else:
+                if key in model:
+                    tree.delete(*key)
+                    model.remove(key)
+                else:
+                    with pytest.raises(KeyError):
+                        tree.delete(*key)
+        tree.check_invariants()
+        assert list(tree.iter_range(-math.inf, math.inf)) == sorted(model)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        attrs=st.lists(st.integers(0, 25), max_size=80),
+        lo=st.integers(-2, 27),
+        span=st.integers(0, 29),
+    )
+    def test_range_count_matches_naive(self, attrs, lo, span):
+        hi = lo + span
+        tree = BPlusTree(order=3)
+        for oid, attr in enumerate(attrs):
+            tree.insert(float(attr), oid)
+        expected = sum(1 for attr in attrs if lo <= attr <= hi)
+        assert tree.count_range(lo, hi) == expected
+
+
+class TestDirectoryEquivalence:
+    """The B+-tree directory must behave exactly like the sorted-list one."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(0, 30), st.integers(0, 20)),
+            max_size=80,
+        ),
+        lo=st.integers(-2, 22),
+        span=st.integers(0, 24),
+    )
+    def test_differential(self, ops, lo, span):
+        hi = lo + span
+        simple = AttributeDirectory()
+        btree = BPlusAttributeDirectory(order=3)
+        for is_add, oid, attr in ops:
+            if is_add:
+                if oid in simple:
+                    with pytest.raises(KeyError):
+                        btree.add(oid, float(attr))
+                else:
+                    simple.add(oid, float(attr))
+                    btree.add(oid, float(attr))
+            else:
+                if oid in simple:
+                    assert simple.remove(oid) == btree.remove(oid)
+                else:
+                    with pytest.raises(KeyError):
+                        btree.remove(oid)
+        assert len(simple) == len(btree)
+        assert simple.count_in_range(lo, hi) == btree.count_in_range(lo, hi)
+        np.testing.assert_array_equal(
+            simple.ids_in_range(lo, hi), btree.ids_in_range(lo, hi)
+        )
+        np.testing.assert_array_equal(
+            simple.mask_in_range(lo, hi, 40), btree.mask_in_range(lo, hi, 40)
+        )
+
+    def test_baseline_accepts_btree_directory(self):
+        """A baseline keeps working when its directory is swapped."""
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(300, 8))
+        attrs = rng.integers(0, 40, size=300).astype(float)
+        from repro.baselines import VBaseIndex
+
+        index = VBaseIndex.build(
+            vectors, attrs, num_subspaces=4, num_clusters=8,
+            num_codewords=16, seed=0,
+        )
+        replacement = BPlusAttributeDirectory()
+        for oid in range(300):
+            replacement.add(oid, float(attrs[oid]))
+        index.directory = replacement
+        result = index.query(vectors[0], 10.0, 30.0, 10)
+        assert all(10 <= attrs[int(oid)] <= 30 for oid in result.ids)

@@ -1,0 +1,142 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    attribute_vector_correlation,
+    correlated_lognormal_attributes,
+    gaussian_mixture,
+    gist_like,
+    load_workload,
+    sift_like,
+    uniform_int_attributes,
+    wit_like,
+)
+
+
+class TestGaussianMixture:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        points, labels = gaussian_mixture(500, 12, 5, rng=rng)
+        assert points.shape == (500, 12)
+        assert labels.shape == (500,)
+        assert labels.max() < 5
+
+    def test_deterministic(self):
+        a, _ = gaussian_mixture(100, 4, 3, rng=np.random.default_rng(1))
+        b, _ = gaussian_mixture(100, 4, 3, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_zero_components(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture(10, 4, 0, rng=np.random.default_rng(0))
+
+    def test_components_are_separated(self):
+        rng = np.random.default_rng(2)
+        points, labels = gaussian_mixture(
+            600, 8, 3, center_scale=50.0, noise_scale=1.0, rng=rng
+        )
+        # Within-component variance far below between-component distances.
+        for label in range(3):
+            group = points[labels == label]
+            if len(group) < 2:
+                continue
+            spread = group.std(axis=0).mean()
+            assert spread < 2.0
+
+
+class TestAttributeGenerators:
+    def test_uniform_range(self):
+        rng = np.random.default_rng(0)
+        attrs = uniform_int_attributes(5000, low=1, high=100, rng=rng)
+        assert attrs.min() >= 1
+        assert attrs.max() <= 100
+        assert attrs.dtype == np.float64
+        # Roughly uniform: every decile populated.
+        hist, _ = np.histogram(attrs, bins=10, range=(1, 101))
+        assert (hist > 0).all()
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            uniform_int_attributes(5, low=10, high=1, rng=np.random.default_rng(0))
+
+    def test_correlated_positive(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 8, size=2000)
+        attrs = correlated_lognormal_attributes(labels, rng=rng)
+        assert (attrs > 0).all()
+
+    def test_correlation_diagnostic_separates_protocols(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 8, size=3000)
+        correlated = correlated_lognormal_attributes(labels, rng=rng)
+        uniform = uniform_int_attributes(3000, rng=rng)
+        assert attribute_vector_correlation(correlated, labels) > 0.3
+        assert attribute_vector_correlation(uniform, labels) < 0.05
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("factory,dim", [(sift_like, 128), (gist_like, 240),
+                                             (wit_like, 512)])
+    def test_shapes_and_query_separation(self, factory, dim):
+        workload = factory(n=400, num_queries=20, seed=0)
+        assert workload.vectors.shape == (400, dim)
+        assert workload.queries.shape == (20, dim)
+        assert workload.attrs.shape == (400,)
+
+    def test_sift_nonnegative(self):
+        workload = sift_like(n=300, seed=1)
+        assert workload.vectors.min() >= 0.0
+
+    def test_wit_relu_sparse(self):
+        workload = wit_like(n=300, seed=1)
+        assert workload.vectors.min() >= 0.0
+        assert (workload.vectors == 0.0).mean() > 0.2  # ReLU zeros
+
+    def test_wit_attribute_correlated(self):
+        workload = wit_like(n=2000, seed=3)
+        assert attribute_vector_correlation(
+            workload.attrs, workload.components
+        ) > 0.3
+
+    def test_gist_low_rank_structure(self):
+        workload = gist_like(n=500, seed=2)
+        singular = np.linalg.svd(
+            workload.vectors - workload.vectors.mean(axis=0), compute_uv=False
+        )
+        energy = (singular**2) / (singular**2).sum()
+        # Most variance concentrated in the latent subspace.
+        assert energy[:30].sum() > 0.9
+
+    def test_deterministic_by_seed(self):
+        a = sift_like(n=100, seed=5)
+        b = sift_like(n=100, seed=5)
+        np.testing.assert_array_equal(a.vectors, b.vectors)
+        np.testing.assert_array_equal(a.attrs, b.attrs)
+
+    def test_load_workload_factory(self):
+        workload = load_workload("sift", n=200, seed=0)
+        assert workload.name == "sift"
+        assert workload.num_objects == 200
+        with pytest.raises(ValueError):
+            load_workload("unknown")
+
+    def test_range_for_coverage(self):
+        workload = sift_like(n=1000, seed=0)
+        rng = np.random.default_rng(0)
+        for coverage in (0.01, 0.1, 0.5):
+            lo, hi = workload.range_for_coverage(coverage, rng)
+            actual = np.mean((workload.attrs >= lo) & (workload.attrs <= hi))
+            # Duplicated integer attrs can overshoot slightly.
+            assert actual >= coverage * 0.9
+            assert actual <= coverage + 0.05
+
+    def test_range_for_coverage_rejects_bad_input(self):
+        workload = sift_like(n=100, seed=0)
+        with pytest.raises(ValueError):
+            workload.range_for_coverage(0.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            workload.range_for_coverage(1.5, np.random.default_rng(0))

@@ -1,0 +1,88 @@
+"""Unit and property tests for repro.quantization.distances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quantization import adc_distances, pairwise_squared_l2, squared_l2
+
+
+class TestSquaredL2:
+    def test_matches_definition(self, rng):
+        points = rng.normal(size=(50, 7))
+        query = rng.normal(size=7)
+        expected = ((points - query) ** 2).sum(axis=1)
+        np.testing.assert_allclose(squared_l2(points, query), expected)
+
+    def test_zero_distance_to_self(self, rng):
+        point = rng.normal(size=5)
+        assert squared_l2(point[None, :], point)[0] == pytest.approx(0.0)
+
+    def test_rejects_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            squared_l2(rng.normal(size=(3, 4)), rng.normal(size=5))
+
+    def test_rejects_1d_points(self, rng):
+        with pytest.raises(ValueError):
+            squared_l2(rng.normal(size=4), rng.normal(size=4))
+
+
+class TestPairwiseSquaredL2:
+    def test_matches_bruteforce(self, rng):
+        a = rng.normal(size=(30, 6))
+        b = rng.normal(size=(20, 6))
+        expected = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(pairwise_squared_l2(a, b), expected, atol=1e-9)
+
+    def test_chunking_consistency(self, rng, monkeypatch):
+        import repro.quantization.distances as mod
+
+        a = rng.normal(size=(100, 4))
+        b = rng.normal(size=(10, 4))
+        full = pairwise_squared_l2(a, b)
+        monkeypatch.setattr(mod, "CHUNK_ROWS", 7)
+        chunked = pairwise_squared_l2(a, b)
+        np.testing.assert_allclose(full, chunked)
+
+    def test_never_negative(self, rng):
+        # Large norms with tiny differences provoke cancellation.
+        base = rng.normal(size=(40, 8)) * 1e6
+        a = base + rng.normal(scale=1e-6, size=base.shape)
+        dist = pairwise_squared_l2(a, base)
+        assert (dist >= 0).all()
+
+    def test_rejects_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_squared_l2(rng.normal(size=(3, 4)), rng.normal(size=(3, 5)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=arrays(np.float64, (5, 3), elements=st.floats(-100, 100)),
+        b=arrays(np.float64, (4, 3), elements=st.floats(-100, 100)),
+    )
+    def test_property_symmetry_and_nonnegativity(self, a, b):
+        d_ab = pairwise_squared_l2(a, b)
+        d_ba = pairwise_squared_l2(b, a)
+        np.testing.assert_allclose(d_ab, d_ba.T, atol=1e-6)
+        assert (d_ab >= 0).all()
+
+
+class TestAdcDistances:
+    def test_sums_table_entries(self):
+        table = np.arange(12, dtype=np.float64).reshape(3, 4)
+        codes = np.array([[0, 1, 2], [3, 3, 3]], dtype=np.uint8)
+        # Row 0: table[0,0] + table[1,1] + table[2,2] = 0 + 5 + 10
+        # Row 1: table[0,3] + table[1,3] + table[2,3] = 3 + 7 + 11
+        np.testing.assert_allclose(adc_distances(table, codes), [15.0, 21.0])
+
+    def test_accepts_single_code(self):
+        table = np.ones((2, 4))
+        assert adc_distances(table, np.array([0, 1], dtype=np.uint8))[0] == 2.0
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(ValueError):
+            adc_distances(np.ones((2, 4)), np.zeros((3, 5), dtype=np.uint8))

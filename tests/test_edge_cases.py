@@ -1,0 +1,171 @@
+"""Degenerate-configuration sweep: the smallest legal worlds must work.
+
+Each test builds a system at the extreme edge of its parameter space —
+one object, one cluster, one codeword, bucket size one — where off-by-one
+bugs in split/rebuild/cover logic like to hide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RangePQ, RangePQPlus
+from repro.ivf import IVFPQIndex
+from repro.quantization import ProductQuantizer
+from repro.tree import RangeTree, count_in_range, decompose
+
+
+class TestDegeneratePQ:
+    def test_single_codeword(self, rng):
+        data = rng.normal(size=(50, 4))
+        pq = ProductQuantizer(2, num_codewords=1, seed=0).fit(data)
+        codes = pq.encode(data)
+        assert (codes == 0).all()
+        # Every vector reconstructs to the per-subspace mean.
+        reference = np.concatenate(
+            [data[:, :2].mean(axis=0), data[:, 2:].mean(axis=0)]
+        )
+        np.testing.assert_allclose(pq.decode(codes)[0], reference)
+
+    def test_one_subspace_is_plain_vq(self, rng):
+        data = rng.normal(size=(100, 4))
+        pq = ProductQuantizer(1, num_codewords=8, seed=0).fit(data)
+        assert pq.codebooks.shape == (1, 8, 4)
+        assert pq.encode(data).shape == (100, 1)
+
+    def test_subspace_per_dimension(self, rng):
+        data = rng.normal(size=(80, 4))
+        pq = ProductQuantizer(4, num_codewords=16, seed=0).fit(data)
+        assert pq.subspace_dim == 1
+        assert pq.quantization_error(data) < np.var(data) * 4
+
+
+class TestDegenerateIVF:
+    def test_single_cluster(self, rng):
+        data = rng.normal(size=(60, 4))
+        index = IVFPQIndex(2, num_clusters=1, num_codewords=8, seed=0)
+        index.train(data)
+        index.add(range(60), data)
+        result = index.search(data[0], 5, nprobe=1)
+        assert len(result) == 5
+        assert result.num_probed == 1
+
+    def test_single_object(self, rng):
+        data = rng.normal(size=(10, 4))
+        index = IVFPQIndex(2, num_clusters=2, num_codewords=4, seed=0)
+        index.train(data)
+        index.add([42], data[:1])
+        result = index.search(data[0], 3, nprobe=2)
+        assert result.ids.tolist() == [42]
+
+    def test_search_empty_index(self, rng):
+        data = rng.normal(size=(10, 4))
+        index = IVFPQIndex(2, num_clusters=2, num_codewords=4, seed=0)
+        index.train(data)
+        result = index.search(data[0], 3, nprobe=2)
+        assert len(result) == 0
+
+
+class TestDegenerateTree:
+    def test_single_node_cover(self):
+        tree = RangeTree()
+        tree.insert(5.0, 1, 0)
+        cover = decompose(tree, 0.0, 10.0)
+        assert cover.node_count == 1
+        assert count_in_range(tree, 5.0, 5.0) == 1
+        assert count_in_range(tree, 6.0, 9.0) == 0
+
+    def test_all_equal_attributes(self):
+        tree = RangeTree()
+        for oid in range(64):
+            tree.insert(3.0, oid, oid % 4)
+        tree.check_invariants()
+        assert count_in_range(tree, 3.0, 3.0) == 64
+        assert count_in_range(tree, 2.9, 2.99) == 0
+
+    def test_alpha_boundary(self):
+        tree = RangeTree(alpha=0.25)
+        for i in range(200):
+            tree.insert(float(i), i, 0)
+        tree.check_invariants()
+
+
+class TestDegenerateRangePQ:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        rng = np.random.default_rng(211)
+        vectors = rng.normal(size=(30, 4))
+        attrs = np.arange(30, dtype=float)
+        return vectors, attrs
+
+    def test_n_one_rangepq(self, tiny):
+        vectors, attrs = tiny
+        index = RangePQ.build(
+            vectors[:4], attrs[:4], num_subspaces=2, num_clusters=2,
+            num_codewords=2, seed=0,
+        )
+        for oid in [1, 2, 3]:
+            index.delete(oid)
+        assert len(index) == 1
+        result = index.query(vectors[0], 0.0, 30.0, k=5)
+        assert result.ids.tolist() == [0]
+
+    def test_epsilon_one(self, tiny):
+        vectors, attrs = tiny
+        index = RangePQPlus.build(
+            vectors, attrs, num_subspaces=2, num_clusters=4,
+            num_codewords=8, epsilon=1, seed=0,
+        )
+        index.check_invariants()
+        assert index.node_count == 30
+        got = index.query(vectors[0], 5.0, 10.0, k=100, l_budget=10**6)
+        assert sorted(got.ids.tolist()) == [5, 6, 7, 8, 9, 10]
+
+    def test_epsilon_larger_than_n(self, tiny):
+        vectors, attrs = tiny
+        index = RangePQPlus.build(
+            vectors, attrs, num_subspaces=2, num_clusters=4,
+            num_codewords=8, epsilon=1000, seed=0,
+        )
+        assert index.node_count == 1  # everything in one bucket
+        got = index.query(vectors[0], 5.0, 10.0, k=100, l_budget=10**6)
+        assert sorted(got.ids.tolist()) == [5, 6, 7, 8, 9, 10]
+
+    def test_build_empty_plus(self, tiny):
+        vectors, attrs = tiny
+        trained = IVFPQIndex(2, num_clusters=2, num_codewords=2, seed=0)
+        trained.train(vectors)
+        index = RangePQPlus.build(
+            vectors[:0], attrs[:0], seed=0, ivf=trained
+        )
+        assert len(index) == 0
+        result = index.query(vectors[0], 0.0, 100.0, k=3)
+        assert len(result) == 0
+
+    def test_k_one_everywhere(self, tiny):
+        vectors, attrs = tiny
+        flat = RangePQ.build(
+            vectors, attrs, num_subspaces=2, num_clusters=4,
+            num_codewords=8, seed=0,
+        )
+        result = flat.query(vectors[7], 7.0, 7.0, k=1)
+        assert result.ids.tolist() == [7]
+
+
+class TestSerializationGuards:
+    def test_opq_backed_index_refused(self, rng):
+        from repro.io import SerializationError, save_index
+        from repro.quantization import OptimizedProductQuantizer
+
+        vectors = rng.normal(size=(120, 8))
+        attrs = np.arange(120, dtype=float)
+        ivf = IVFPQIndex(2, num_clusters=4, num_codewords=16, seed=0)
+        ivf.pq = OptimizedProductQuantizer(2, 16, opq_iterations=2, seed=0)
+        ivf.train(vectors)
+        ivf.add(range(120), vectors)
+        index = RangePQPlus(ivf)
+        index._attr = {i: float(attrs[i]) for i in range(120)}
+        index._rebucket_all()
+        with pytest.raises(SerializationError):
+            save_index(index, "/tmp/should_not_exist")

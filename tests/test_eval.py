@@ -1,0 +1,100 @@
+"""Tests for ground truth and recall metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    GroundTruth,
+    exact_range_knn,
+    intersection_recall,
+    mean_metric,
+    nn_recall_at_k,
+)
+
+
+class TestExactRangeKnn:
+    def test_simple_case(self):
+        vectors = np.array([[0.0], [1.0], [2.0], [3.0]])
+        attrs = np.array([10.0, 20.0, 30.0, 40.0])
+        got = exact_range_knn(vectors, attrs, np.array([2.1]), 15.0, 45.0, 2)
+        np.testing.assert_array_equal(got, [2, 3])
+
+    def test_filter_excludes(self):
+        vectors = np.array([[0.0], [1.0], [2.0]])
+        attrs = np.array([1.0, 2.0, 3.0])
+        got = exact_range_knn(vectors, attrs, np.array([0.0]), 2.0, 3.0, 5)
+        np.testing.assert_array_equal(got, [1, 2])
+
+    def test_empty_filter(self):
+        vectors = np.array([[0.0]])
+        attrs = np.array([1.0])
+        got = exact_range_knn(vectors, attrs, np.array([0.0]), 5.0, 6.0, 3)
+        assert got.shape == (0,)
+
+    def test_custom_ids(self):
+        vectors = np.array([[0.0], [1.0]])
+        attrs = np.array([1.0, 1.0])
+        ids = np.array([100, 200])
+        got = exact_range_knn(
+            vectors, attrs, np.array([0.9]), 0.0, 2.0, 1, ids=ids
+        )
+        np.testing.assert_array_equal(got, [200])
+
+    def test_tie_broken_by_id(self):
+        vectors = np.array([[1.0], [1.0]])
+        attrs = np.array([1.0, 1.0])
+        got = exact_range_knn(vectors, attrs, np.array([1.0]), 0.0, 2.0, 2)
+        np.testing.assert_array_equal(got, [0, 1])
+
+    def test_matches_naive_on_random_data(self, rng):
+        vectors = rng.normal(size=(100, 5))
+        attrs = rng.integers(0, 20, size=100).astype(float)
+        query = rng.normal(size=5)
+        got = exact_range_knn(vectors, attrs, query, 5.0, 15.0, 10)
+        mask = (attrs >= 5) & (attrs <= 15)
+        dist = ((vectors - query) ** 2).sum(axis=1)
+        dist[~mask] = np.inf
+        expected = np.argsort(dist)[: len(got)]
+        np.testing.assert_array_equal(np.sort(got), np.sort(expected))
+
+
+class TestGroundTruthCache:
+    def test_memoizes(self, rng):
+        vectors = rng.normal(size=(50, 4))
+        attrs = rng.integers(0, 10, size=50).astype(float)
+        gt = GroundTruth(vectors, attrs)
+        query = rng.normal(size=4)
+        first = gt.topk(0, query, 2.0, 8.0, 5)
+        second = gt.topk(0, query, 2.0, 8.0, 5)
+        assert first is second  # cached object identity
+
+
+class TestMetrics:
+    def test_nn_recall_hit(self):
+        assert nn_recall_at_k(np.array([5, 3, 1]), np.array([3, 9]), 3) == 1.0
+
+    def test_nn_recall_miss(self):
+        assert nn_recall_at_k(np.array([5, 1]), np.array([3, 9]), 2) == 0.0
+
+    def test_nn_recall_cutoff_applies(self):
+        assert nn_recall_at_k(np.array([5, 3]), np.array([3]), 1) == 0.0
+
+    def test_nn_recall_empty_truth(self):
+        assert nn_recall_at_k(np.array([1, 2]), np.array([]), 2) == 1.0
+
+    def test_intersection_recall(self):
+        got = intersection_recall(np.array([1, 2, 3]), np.array([2, 3, 9]), 3)
+        assert got == pytest.approx(2 / 3)
+
+    def test_intersection_recall_short_truth(self):
+        got = intersection_recall(np.array([1, 2, 3]), np.array([2]), 3)
+        assert got == 1.0
+
+    def test_intersection_recall_empty_truth(self):
+        assert intersection_recall(np.array([1]), np.array([]), 5) == 1.0
+
+    def test_mean_metric(self):
+        assert mean_metric([1.0, 0.0]) == 0.5
+        assert mean_metric([]) == 0.0

@@ -1,0 +1,108 @@
+"""Tests for query EXPLAIN tracing and index health diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RangePQ, RangePQPlus
+from repro.eval.explain import explain_query
+from repro.eval.health import index_health, render_health
+
+
+@pytest.fixture(scope="module")
+def indexes():
+    rng = np.random.default_rng(191)
+    vectors = rng.normal(size=(500, 12))
+    attrs = rng.integers(0, 60, size=500).astype(float)
+    flat = RangePQ.build(
+        vectors, attrs, num_subspaces=4, num_clusters=12, num_codewords=32,
+        seed=0,
+    )
+    hybrid = RangePQPlus(flat.ivf, epsilon=30)
+    hybrid._attr = dict(flat._attr)
+    hybrid._rebucket_all()
+    return flat, hybrid, vectors, attrs
+
+
+class TestExplain:
+    @pytest.mark.parametrize("which", ["flat", "hybrid"])
+    def test_report_structure(self, indexes, which):
+        flat, hybrid, vectors, _ = indexes
+        index = flat if which == "flat" else hybrid
+        explanation = explain_query(index, vectors[0], 10.0, 50.0, 10)
+        report = str(explanation)
+        assert "EXPLAIN" in report
+        assert "cover decomposition" in report
+        assert "candidate clusters" in report
+        assert "ADC + top-k" in report
+        assert f"returned {len(explanation.result)}" in report
+
+    def test_cluster_rows_sorted_by_center_distance(self, indexes):
+        flat, _, vectors, _ = indexes
+        explanation = explain_query(flat, vectors[0], 0.0, 60.0, 10)
+        distances = [distance for _, distance, _ in explanation.cluster_rows]
+        assert distances == sorted(distances)
+
+    def test_cluster_member_counts_sum_to_in_range(self, indexes):
+        flat, hybrid, vectors, attrs = indexes
+        for index in (flat, hybrid):
+            explanation = explain_query(index, vectors[0], 15.0, 45.0, 10)
+            total = sum(count for *_, count in explanation.cluster_rows)
+            expected = int(np.sum((attrs >= 15) & (attrs <= 45)))
+            assert total == expected
+
+    def test_empty_range_explained(self, indexes):
+        flat, _, vectors, _ = indexes
+        explanation = explain_query(flat, vectors[0], 500.0, 600.0, 5)
+        assert len(explanation.result) == 0
+        assert "returned 0" in str(explanation)
+
+    def test_many_clusters_truncated_in_render(self, indexes):
+        _, hybrid, vectors, _ = indexes
+        explanation = explain_query(hybrid, vectors[0], 0.0, 60.0, 5)
+        if len(explanation.cluster_rows) > 12:
+            assert "more clusters" in str(explanation)
+
+
+class TestHealth:
+    def test_flat_health_fields(self, indexes):
+        flat, _, _, _ = indexes
+        info = index_health(flat)
+        assert info["kind"] == "RangePQ"
+        assert info["live_objects"] == 500
+        assert info["tree_height"] >= info["tree_height_ideal"]
+        assert info["rebuild_pressure"] < 1.0
+        assert "tree: " in render_health(info)
+
+    def test_hybrid_health_fields(self, indexes):
+        _, hybrid, _, _ = indexes
+        info = index_health(hybrid)
+        assert info["kind"] == "RangePQPlus"
+        assert info["buckets"] == hybrid.node_count
+        assert 0.0 < info["bucket_fill_mean"] <= 2.0
+        assert "buckets" in render_health(info)
+
+    def test_pressure_rises_with_deletions(self, indexes):
+        flat, _, vectors, attrs = indexes
+        import copy
+
+        local = RangePQ(flat.ivf.clone_empty())
+        local.ivf.add(range(500), vectors)
+        local.tree.build(
+            (float(attrs[i]), i, local.ivf.cluster_of(i)) for i in range(500)
+        )
+        local._attr = {i: float(attrs[i]) for i in range(500)}
+        before = index_health(local)["rebuild_pressure"]
+        for oid in range(100):
+            local.delete(oid)
+        after = index_health(local)["rebuild_pressure"]
+        assert after > before
+
+    def test_empty_index_health(self, indexes):
+        flat, *_ = indexes
+        empty = RangePQ(flat.ivf.clone_empty())
+        info = index_health(empty)
+        assert info["live_objects"] == 0
+        assert info["tree_nodes"] == 0
+        render_health(info)  # must not crash

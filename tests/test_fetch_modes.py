@@ -1,0 +1,100 @@
+"""Tests for the fetch-path ablation and batch query API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RangePQ, RangePQPlus
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(51)
+    centers = rng.normal(scale=8.0, size=(10, 16))
+    vectors = centers[rng.integers(0, 10, size=700)] + rng.normal(size=(700, 16))
+    attrs = rng.integers(0, 90, size=700).astype(float)
+    index = RangePQ.build(
+        vectors, attrs, num_subspaces=8, num_clusters=20, num_codewords=64,
+        seed=0,
+    )
+    queries = centers[rng.integers(0, 10, size=8)] + rng.normal(size=(8, 16))
+    return index, vectors, attrs, queries
+
+
+class TestFetchModes:
+    def test_rank_mode_matches_guided(self, setup):
+        index, _, _, queries = setup
+        for query in queries:
+            for lo, hi in [(10, 30), (0, 89), (44, 46)]:
+                guided = index.query(
+                    query, lo, hi, k=20, l_budget=10**6, fetch_mode="guided"
+                )
+                rank = index.query(
+                    query, lo, hi, k=20, l_budget=10**6, fetch_mode="rank"
+                )
+                # Same candidate universe, hence identical top-k sets.
+                assert set(guided.ids.tolist()) == set(rank.ids.tolist())
+                np.testing.assert_allclose(
+                    np.sort(guided.distances), np.sort(rank.distances)
+                )
+
+    def test_rank_mode_respects_l_budget(self, setup):
+        index, _, _, queries = setup
+        result = index.query(
+            queries[0], 0.0, 89.0, k=5, l_budget=30, fetch_mode="rank"
+        )
+        assert result.stats.num_candidates <= 30
+
+    def test_unknown_mode_rejected(self, setup):
+        index, _, _, queries = setup
+        with pytest.raises(ValueError):
+            index.query(queries[0], 0.0, 10.0, k=5, fetch_mode="teleport")
+
+    def test_rank_mode_after_deletions(self, setup):
+        index, vectors, attrs, queries = setup
+        # Use a private copy to avoid mutating the module fixture.
+        import copy
+
+        local = RangePQ(index.ivf.clone_empty())
+        local.ivf.add(range(700), vectors)
+        local.tree.build(
+            (float(attrs[i]), i, local.ivf.cluster_of(i)) for i in range(700)
+        )
+        local._attr = {i: float(attrs[i]) for i in range(700)}
+        for oid in range(0, 700, 7):
+            local.delete(oid)
+        guided = local.query(
+            queries[0], 5.0, 80.0, k=15, l_budget=10**6, fetch_mode="guided"
+        )
+        rank = local.query(
+            queries[0], 5.0, 80.0, k=15, l_budget=10**6, fetch_mode="rank"
+        )
+        assert set(guided.ids.tolist()) == set(rank.ids.tolist())
+
+
+class TestBatchQuery:
+    def test_matches_single_queries(self, setup):
+        index, _, _, queries = setup
+        ranges = [(10.0, 40.0)] * len(queries)
+        batch = index.query_batch(queries, ranges, k=10)
+        for query, (lo, hi), result in zip(queries, ranges, batch):
+            single = index.query(query, lo, hi, k=10)
+            np.testing.assert_array_equal(result.ids, single.ids)
+
+    def test_batch_on_plus(self, setup):
+        index, vectors, attrs, queries = setup
+        hybrid = RangePQPlus(index.ivf, epsilon=35)
+        hybrid._attr = dict(index._attr)
+        hybrid._rebucket_all()
+        ranges = [(0.0, 89.0), (20.0, 25.0)] * 4
+        batch = hybrid.query_batch(queries, ranges, k=5)
+        assert len(batch) == 8
+        for result, (lo, hi) in zip(batch, ranges):
+            got_attrs = [hybrid.attribute_of(int(oid)) for oid in result.ids]
+            assert all(lo <= a <= hi for a in got_attrs)
+
+    def test_mismatched_lengths_rejected(self, setup):
+        index, _, _, queries = setup
+        with pytest.raises(ValueError):
+            index.query_batch(queries, [(0.0, 1.0)], k=5)

@@ -1,0 +1,108 @@
+"""Tests for the from-scratch HNSW index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import HNSWIndex
+
+
+@pytest.fixture(scope="module")
+def built():
+    rng = np.random.default_rng(61)
+    centers = rng.normal(scale=10.0, size=(8, 12))
+    vectors = centers[rng.integers(0, 8, size=600)] + rng.normal(size=(600, 12))
+    index = HNSWIndex(12, m=8, ef_construction=60, seed=0)
+    for oid, vector in enumerate(vectors):
+        index.add(oid, vector)
+    return index, vectors, rng
+
+
+class TestConstruction:
+    def test_len_and_contains(self, built):
+        index, vectors, _ = built
+        assert len(index) == 600
+        assert 0 in index and 599 in index and 600 not in index
+
+    def test_vector_roundtrip(self, built):
+        index, vectors, _ = built
+        np.testing.assert_allclose(index.vector_of(17), vectors[17])
+
+    def test_duplicate_rejected(self, built):
+        index, vectors, _ = built
+        with pytest.raises(KeyError):
+            index.add(0, vectors[0])
+
+    def test_wrong_dim_rejected(self, built):
+        index, _, rng = built
+        with pytest.raises(ValueError):
+            index.add(9999, rng.normal(size=5))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            HNSWIndex(0)
+        with pytest.raises(ValueError):
+            HNSWIndex(4, m=1)
+        with pytest.raises(ValueError):
+            HNSWIndex(4, ef_construction=0)
+
+    def test_multiple_levels_exist(self, built):
+        index, _, _ = built
+        assert index.max_level >= 1  # 600 nodes at m=8 span several layers
+
+    def test_out_degree_bounded(self, built):
+        index, _, _ = built
+        for node in index._neighbors:
+            for layer, links in enumerate(node):
+                limit = 2 * index.m if layer == 0 else 2 * index.m
+                assert len(links) <= limit
+
+
+class TestSearch:
+    def test_empty_index(self):
+        index = HNSWIndex(4)
+        ids, dists = index.search(np.zeros(4), 3)
+        assert len(ids) == 0
+
+    def test_self_queries_find_self(self, built):
+        index, vectors, _ = built
+        hits = sum(
+            1
+            for oid in range(0, 600, 30)
+            if index.search(vectors[oid], 1, ef=50)[0][0] == oid
+        )
+        assert hits >= 18  # exact vectors: should almost always self-match
+
+    def test_recall_vs_bruteforce(self, built):
+        index, vectors, rng = built
+        recalls = []
+        for _ in range(20):
+            query = vectors[int(rng.integers(600))] + rng.normal(
+                scale=0.3, size=12
+            )
+            exact = np.argsort(((vectors - query) ** 2).sum(axis=1))[:10]
+            got, _ = index.search(query, 10, ef=80)
+            recalls.append(len(set(got.tolist()) & set(exact.tolist())) / 10)
+        assert np.mean(recalls) >= 0.85
+
+    def test_results_sorted(self, built):
+        index, vectors, _ = built
+        _, dists = index.search(vectors[0], 10, ef=50)
+        assert (np.diff(dists) >= 0).all()
+
+    def test_predicate_filtering(self, built):
+        index, vectors, _ = built
+        even = lambda oid: oid % 2 == 0
+        ids, _ = index.search(vectors[4], 10, ef=100, predicate=even)
+        assert len(ids) > 0
+        assert all(oid % 2 == 0 for oid in ids.tolist())
+
+    def test_bad_k_rejected(self, built):
+        index, vectors, _ = built
+        with pytest.raises(ValueError):
+            index.search(vectors[0], 0)
+
+    def test_memory_model_positive(self, built):
+        index, _, _ = built
+        assert index.memory_bytes() > 600 * 4 * 12

@@ -1,0 +1,141 @@
+"""Tests for the dynamic HNSW range adapter (future-work extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import exact_range_knn, nn_recall_at_k
+from repro.graph import HNSWRangeIndex
+
+
+@pytest.fixture(scope="module")
+def built():
+    rng = np.random.default_rng(81)
+    centers = rng.normal(scale=10.0, size=(8, 12))
+    vectors = centers[rng.integers(0, 8, size=600)] + rng.normal(size=(600, 12))
+    attrs = rng.integers(0, 100, size=600).astype(float)
+    index = HNSWRangeIndex.build(
+        vectors, attrs, m=8, ef_construction=60, seed=0
+    )
+    return index, vectors, attrs, rng
+
+
+class TestQueries:
+    def test_respects_filter(self, built):
+        index, vectors, attrs, rng = built
+        for _ in range(5):
+            query = rng.normal(size=12) * 3
+            result = index.query(query, 20.0, 60.0, 10)
+            assert all(20 <= attrs[int(oid)] <= 60 for oid in result.ids)
+
+    def test_recall_on_wide_ranges(self, built):
+        index, vectors, attrs, rng = built
+        recalls = []
+        for _ in range(15):
+            query = vectors[int(rng.integers(600))] + rng.normal(
+                scale=0.3, size=12
+            )
+            truth = exact_range_knn(vectors, attrs, query, 10.0, 90.0, 10)
+            result = index.query(query, 10.0, 90.0, 10)
+            recalls.append(nn_recall_at_k(result.ids, truth, 10))
+        assert np.mean(recalls) >= 0.8
+
+    def test_selective_filter_uses_exact_scan(self, built):
+        index, vectors, attrs, rng = built
+        # A single attribute value: coverage ~1% -> exact scan plan.
+        query = rng.normal(size=12)
+        result = index.query(query, 42.0, 42.0, 5)
+        truth = exact_range_knn(vectors, attrs, query, 42.0, 42.0, 5)
+        np.testing.assert_array_equal(np.sort(result.ids), np.sort(truth))
+
+    def test_ef_escalation_fills_k(self, built):
+        index, vectors, attrs, rng = built
+        result = index.query(rng.normal(size=12) * 3, 30.0, 40.0, 20)
+        in_range = int(np.sum((attrs >= 30) & (attrs <= 40)))
+        assert len(result) >= min(20, in_range) * 0.5  # escalation helps
+
+    def test_empty_range(self, built):
+        index, _, _, rng = built
+        assert len(index.query(rng.normal(size=12), 500.0, 600.0, 5)) == 0
+
+    def test_bad_k(self, built):
+        index, _, _, rng = built
+        with pytest.raises(ValueError):
+            index.query(rng.normal(size=12), 0.0, 10.0, 0)
+
+
+class TestUpdates:
+    def make_small(self, rng):
+        vectors = rng.normal(size=(200, 8))
+        attrs = rng.integers(0, 50, size=200).astype(float)
+        return (
+            HNSWRangeIndex.build(vectors, attrs, m=6, ef_construction=40, seed=0),
+            vectors,
+            attrs,
+        )
+
+    def test_insert_visible(self, rng):
+        index, vectors, attrs = self.make_small(rng)
+        vec = rng.normal(size=8)
+        index.insert(900, vec, 25.0)
+        result = index.query(vec, 25.0, 25.0, 1)
+        assert result.ids[0] == 900
+
+    def test_duplicate_insert_rejected(self, rng):
+        index, vectors, attrs = self.make_small(rng)
+        with pytest.raises(KeyError):
+            index.insert(0, vectors[0], attrs[0])
+
+    def test_soft_delete_hides_object(self, rng):
+        index, vectors, attrs = self.make_small(rng)
+        index.delete(5)
+        assert 5 not in index
+        result = index.query(vectors[5], 0.0, 50.0, 50)
+        assert 5 not in result.ids
+
+    def test_delete_absent_rejected(self, rng):
+        index, *_ = self.make_small(rng)
+        with pytest.raises(KeyError):
+            index.delete(12345)
+
+    def test_tombstone_rebuild(self, rng):
+        index, vectors, attrs = self.make_small(rng)
+        for oid in range(120):
+            index.delete(oid)
+        assert index.rebuild_count >= 1
+        assert index.tombstone_count < 60
+        result = index.query(vectors[150], 0.0, 50.0, 100)
+        assert set(result.ids.tolist()) <= set(range(120, 200))
+
+    def test_reinsert_tombstoned_id_uses_new_vector(self, rng):
+        index, vectors, attrs = self.make_small(rng)
+        index.delete(7)
+        new_vec = vectors[7] + 50.0
+        index.insert(7, new_vec, attrs[7])
+        result = index.query(new_vec, attrs[7], attrs[7], 1)
+        assert result.ids[0] == 7
+        # The old vector must be gone: querying near it should not hit 7
+        # at distance ~0.
+        old = index.query(vectors[7], 0.0, 50.0, 1)
+        if len(old) and old.ids[0] == 7:
+            assert old.distances[0] > 100.0
+
+    def test_churn(self, rng):
+        index, vectors, attrs = self.make_small(rng)
+        live = {oid: attrs[oid] for oid in range(200)}
+        next_oid = 1000
+        for step in range(200):
+            if live and rng.random() < 0.5:
+                victim = int(rng.choice(list(live)))
+                index.delete(victim)
+                del live[victim]
+            else:
+                attr = float(rng.integers(0, 50))
+                index.insert(next_oid, rng.normal(size=8), attr)
+                live[next_oid] = attr
+                next_oid += 1
+        assert len(index) == len(live)
+        result = index.query(rng.normal(size=8), 10.0, 40.0, 50)
+        allowed = {oid for oid, attr in live.items() if 10 <= attr <= 40}
+        assert set(result.ids.tolist()) <= allowed

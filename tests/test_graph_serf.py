@@ -1,0 +1,146 @@
+"""Tests for the SeRF-style 1-D segment graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import SegmentGraphIndex
+
+
+@pytest.fixture(scope="module")
+def built():
+    rng = np.random.default_rng(71)
+    centers = rng.normal(scale=10.0, size=(6, 10))
+    vectors = centers[rng.integers(0, 6, size=500)] + rng.normal(size=(500, 10))
+    attrs = rng.uniform(0, 1000, size=500)
+    index = SegmentGraphIndex.build(vectors, attrs, m=8, ef_construction=60)
+    return index, vectors, attrs, rng
+
+
+def exact_prefix_topk(vectors, attrs, query, max_attr, k):
+    mask = attrs <= max_attr
+    idxs = np.flatnonzero(mask)
+    dists = ((vectors[idxs] - query) ** 2).sum(axis=1)
+    return idxs[np.argsort(dists)[:k]]
+
+
+class TestBuild:
+    def test_len(self, built):
+        index, *_ = built
+        assert len(index) == 500
+
+    def test_shape_mismatch_rejected(self, built):
+        with pytest.raises(ValueError):
+            SegmentGraphIndex.build(np.zeros((3, 2)), [1.0, 2.0])
+
+    def test_bad_m_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentGraphIndex(m=1)
+
+    def test_unbuilt_query_rejected(self):
+        with pytest.raises(RuntimeError):
+            SegmentGraphIndex().query_prefix(np.zeros(3), 1.0, 1)
+
+
+class TestPrefixQueries:
+    def test_respects_prefix(self, built):
+        index, vectors, attrs, rng = built
+        for max_attr in (100.0, 400.0, 900.0):
+            query = rng.normal(size=10)
+            ids, _ = index.query_prefix(query, max_attr, 10)
+            assert all(attrs[oid] <= max_attr for oid in ids.tolist())
+
+    def test_empty_prefix(self, built):
+        index, _, _, rng = built
+        ids, _ = index.query_prefix(rng.normal(size=10), -5.0, 10)
+        assert len(ids) == 0
+
+    def test_full_prefix_recall(self, built):
+        index, vectors, attrs, rng = built
+        recalls = []
+        for _ in range(15):
+            query = vectors[int(rng.integers(500))] + rng.normal(
+                scale=0.3, size=10
+            )
+            exact = exact_prefix_topk(vectors, attrs, query, 1e9, 10)
+            got, _ = index.query_prefix(query, 1e9, 10, ef=80)
+            recalls.append(len(set(got.tolist()) & set(exact.tolist())) / 10)
+        assert np.mean(recalls) >= 0.8
+
+    def test_mid_prefix_recall(self, built):
+        """The replayed prefix graph must search well, not just the final one."""
+        index, vectors, attrs, rng = built
+        recalls = []
+        for _ in range(15):
+            query = rng.normal(size=10) * 3
+            exact = exact_prefix_topk(vectors, attrs, query, 400.0, 10)
+            got, _ = index.query_prefix(query, 400.0, 10, ef=80)
+            recalls.append(len(set(got.tolist()) & set(exact.tolist())) / 10)
+        assert np.mean(recalls) >= 0.7
+
+    def test_distances_sorted(self, built):
+        index, _, _, rng = built
+        _, dists = index.query_prefix(rng.normal(size=10), 800.0, 10)
+        assert (np.diff(dists) >= 0).all()
+
+    def test_bad_k_rejected(self, built):
+        index, _, _, rng = built
+        with pytest.raises(ValueError):
+            index.query_prefix(rng.normal(size=10), 1.0, 0)
+
+
+class TestUpdateLimitations:
+    def test_ascending_append_allowed(self, built):
+        index, vectors, attrs, rng = built
+        import copy
+
+        local = SegmentGraphIndex.build(
+            vectors[:100], attrs[:100], m=8, ef_construction=40
+        )
+        top = float(np.max(attrs[:100]))
+        local.insert(9000, rng.normal(size=10), top + 1.0)
+        assert len(local) == 101
+        ids, _ = local.query_prefix(rng.normal(size=10), top + 2.0, 5)
+        assert len(ids) > 0
+
+    def test_out_of_order_insert_rejected(self, built):
+        index, vectors, attrs, rng = built
+        with pytest.raises(ValueError):
+            index.insert(9001, rng.normal(size=10), float(np.min(attrs)) - 1.0)
+
+    def test_delete_unsupported(self, built):
+        index, *_ = built
+        with pytest.raises(NotImplementedError):
+            index.delete(0)
+
+
+class TestEdgeIntervals:
+    def test_pruned_edges_keep_history(self, built):
+        """Dead edges must still exist with finite death stamps (the
+        compression that lets earlier prefixes replay)."""
+        index, *_ = built
+        import math
+
+        dead = sum(
+            1
+            for adjacency in index._edges
+            for edge in adjacency
+            if edge.death != math.inf
+        )
+        assert dead > 0
+
+    def test_live_out_degree_bounded(self, built):
+        index, *_ = built
+        import math
+
+        for adjacency in index._edges:
+            live = sum(1 for edge in adjacency if edge.death == math.inf)
+            assert live <= 2 * index.m + index.m
+
+    def test_memory_grows_with_history(self, built):
+        index, vectors, attrs, _ = built
+        fresh = SegmentGraphIndex.build(
+            vectors[:50], attrs[:50], m=8, ef_construction=40
+        )
+        assert index.memory_bytes() > fresh.memory_bytes()

@@ -1,0 +1,176 @@
+"""Tests for the experiment harness and reporting (fast micro profile)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import (
+    METHOD_NAMES,
+    ScaleProfile,
+    build_indexes,
+    figure_6,
+    figure_8,
+    figure_9,
+    figure_10,
+    figure_11,
+    figure_12,
+    main,
+    make_workload,
+    run_query_experiment,
+    scaled_l_base,
+    train_substrate,
+)
+from repro.eval.reporting import format_markdown, format_table
+
+
+MICRO = ScaleProfile(
+    name="micro",
+    n=400,
+    dims={"sift": 32, "gist": 32, "wit": 32},
+    num_queries=5,
+    k=10,
+    coverages=(0.05, 0.40),
+    num_update_ops=10,
+)
+
+
+class TestScaledLBase:
+    def test_paper_ratios(self):
+        assert scaled_l_base("sift", 1_000_000, 100) == 10_000  # 1% of n
+        assert scaled_l_base("gist", 1_000_000, 100) == 30_000  # 3% of n
+
+    def test_floor_at_2k(self):
+        assert scaled_l_base("sift", 400, 10) == 20
+
+
+class TestBuildIndexes:
+    def test_builds_all_methods_on_shared_substrate(self):
+        workload = make_workload("sift", MICRO, seed=0)
+        base = train_substrate(workload, seed=0)
+        indexes = build_indexes(workload, base=base, seed=0, k=MICRO.k)
+        assert set(indexes) == set(METHOD_NAMES)
+        for name, index in indexes.items():
+            assert len(index) == MICRO.n, name
+        # All share the same trained quantizers (identity, not equality).
+        pqs = {id(index.ivf.pq) for index in indexes.values()}
+        assert len(pqs) == 1
+
+    def test_unknown_method_rejected(self):
+        workload = make_workload("sift", MICRO, seed=0)
+        with pytest.raises(ValueError):
+            build_indexes(workload, methods=("NotAMethod",), seed=0)
+
+
+class TestQueryExperiment:
+    def test_produces_grid(self):
+        points = run_query_experiment("sift", MICRO, seed=0)
+        assert len(points) == len(MICRO.coverages) * len(METHOD_NAMES)
+        for point in points:
+            assert point.mean_ms > 0
+            assert 0.0 <= point.recall <= 1.0
+            assert 0.0 <= point.overlap <= 1.0
+
+    def test_rangepq_methods_have_high_recall(self):
+        points = run_query_experiment("sift", MICRO, seed=0)
+        for point in points:
+            if point.method in ("RangePQ", "RangePQ+"):
+                assert point.recall >= 0.6, point
+
+
+class TestUpdateAndMemoryFigures:
+    def test_figure_6_shape(self):
+        headers, rows = figure_6(MICRO, seed=0)
+        assert headers == ["dataset", "method", "ms/insert"]
+        assert len(rows) == 3 * len(METHOD_NAMES)
+        by_method = {
+            (row[0], row[1]): row[2] for row in rows
+        }
+        # Milvus buffers inserts: cheapest on every dataset (Fig. 6 shape).
+        for dataset in ("sift", "gist", "wit"):
+            milvus = by_method[(dataset, "Milvus")]
+            others = [
+                by_method[(dataset, m)] for m in METHOD_NAMES if m != "Milvus"
+            ]
+            assert milvus < min(others)
+
+    def test_figure_8_shape(self):
+        headers, rows = figure_8(MICRO, seed=0)
+        by_method = {(row[0], row[1]): row[2] for row in rows}
+        for dataset in ("sift", "gist", "wit"):
+            # RangePQ+ strictly cheaper than RangePQ (O(n) vs O(n log K)).
+            assert by_method[(dataset, "RangePQ+")] < by_method[
+                (dataset, "RangePQ")
+            ]
+            # Milvus float codes cost more than RII's byte codes.
+            assert by_method[(dataset, "Milvus")] > by_method[(dataset, "RII")]
+
+
+class TestParameterStudyFigures:
+    def test_figure_9_m_sweep_shape(self):
+        headers, rows = figure_9(MICRO, seed=0)
+        assert headers[:2] == ["dataset", "M"]
+        # Each dataset gets one row per valid divisor of its dimension.
+        sift_rows = [row for row in rows if row[0] == "sift"]
+        assert {row[1] for row in sift_rows} <= {"d/16", "d/8", "d/4", "d/2"}
+        assert len(sift_rows) >= 3
+        for row in rows:
+            assert row[2] > 0  # ms
+            assert 0.0 <= row[3] <= 1.0  # recall
+
+    def test_figure_10_eps_sweep_memory_monotone(self):
+        headers, rows = figure_10(MICRO, seed=0)
+        sift = [row for row in rows if row[0] == "sift"]
+        epsilons = [row[1] for row in sift]
+        megabytes = [row[2] for row in sift]
+        assert epsilons == sorted(epsilons)
+        # Smaller epsilon -> more nodes -> never less memory.
+        assert megabytes == sorted(megabytes, reverse=True)
+
+    def test_figure_11_l_sweep_time_monotone(self):
+        headers, rows = figure_11(MICRO, seed=0)
+        sift = [row for row in rows if row[0] == "sift"]
+        l_values = [row[1] for row in sift]
+        assert l_values == sorted(l_values)
+        # Time grows with L; timing under CI load is noisy at micro scale,
+        # so only require the largest L not to be dramatically faster.
+        times = [row[3] for row in sift]
+        assert times[-1] >= 0.5 * times[0]
+
+    def test_figure_12_recall_degrades_with_coverage(self):
+        headers, rows = figure_12(MICRO, seed=0)
+        sift = [row for row in rows if row[0] == "sift"]
+        overlaps = [row[5] for row in sift]
+        # Fixed L: overlap at the widest coverage is at most the overlap
+        # at the narrowest.
+        assert overlaps[-1] <= overlaps[0]
+
+
+class TestCLI:
+    def test_main_runs_one_figure(self, capsys):
+        # Micro-ish CLI run: smallest built-in profile on one figure.
+        assert main(["--figure", "8", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "RangePQ+" in out
+
+    def test_main_rejects_bad_figure(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "99"])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 0.000123]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_markdown(self):
+        text = format_markdown(["a"], [[1.0]])
+        assert text.splitlines()[0] == "| a |"
+        assert text.splitlines()[1] == "|---|"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])

@@ -1,0 +1,72 @@
+"""Tests for the per-phase query instrumentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RangePQ, RangePQPlus
+
+
+@pytest.fixture(scope="module")
+def indexes():
+    rng = np.random.default_rng(141)
+    vectors = rng.normal(size=(500, 16))
+    attrs = rng.integers(0, 60, size=500).astype(float)
+    flat = RangePQ.build(
+        vectors, attrs, num_subspaces=4, num_clusters=12, num_codewords=32,
+        seed=0,
+    )
+    hybrid = RangePQPlus(flat.ivf, epsilon=40)
+    hybrid._attr = dict(flat._attr)
+    hybrid._rebucket_all()
+    return flat, hybrid, vectors
+
+
+class TestPhaseTimings:
+    @pytest.mark.parametrize("which", ["flat", "hybrid"])
+    def test_phases_populated_on_nonempty_query(self, indexes, which):
+        flat, hybrid, vectors = indexes
+        index = flat if which == "flat" else hybrid
+        stats = index.query(vectors[0], 10.0, 50.0, k=10).stats
+        assert stats.decompose_ms >= 0.0
+        assert stats.table_ms > 0.0
+        assert stats.rank_ms >= 0.0
+        assert stats.fetch_ms > 0.0
+        assert stats.adc_ms > 0.0
+
+    def test_phases_zero_on_empty_range(self, indexes):
+        flat, _, vectors = indexes
+        stats = flat.query(vectors[0], 500.0, 600.0, k=10).stats
+        # Decompose ran; the search phases never did.
+        assert stats.table_ms == 0.0
+        assert stats.fetch_ms == 0.0
+        assert stats.adc_ms == 0.0
+
+    def test_fetch_time_scales_with_budget(self, indexes):
+        flat, _, vectors = indexes
+        small = flat.query(vectors[0], 0.0, 60.0, k=5, l_budget=10).stats
+        large = flat.query(vectors[0], 0.0, 60.0, k=5, l_budget=400).stats
+        assert large.num_candidates > small.num_candidates
+        # More fetched objects must not take less cumulative fetch+adc time
+        # (allow generous slack for timer noise).
+        assert large.fetch_ms + large.adc_ms >= 0.2 * (
+            small.fetch_ms + small.adc_ms
+        )
+
+    def test_baseline_stats_stay_zero(self, indexes):
+        from repro.baselines import RIIIndex
+
+        flat, _, vectors = indexes
+        rii = RIIIndex(flat.ivf)
+        import numpy as np
+
+        rii._frame_attrs = np.asarray(
+            sorted(flat._attr.values()), dtype=np.float64
+        )
+        rii._frame_oids = np.asarray(
+            [oid for oid, _ in sorted(flat._attr.items(), key=lambda x: (x[1], x[0]))],
+            dtype=np.int64,
+        )
+        stats = rii.query(vectors[0], 0.0, 60.0, 5).stats
+        assert stats.decompose_ms == 0.0

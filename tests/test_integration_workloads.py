@@ -1,0 +1,129 @@
+"""Integration tests: full pipeline on each synthetic paper workload.
+
+These are the end-to-end floors the reproduction stands on: on every
+workload analogue, RangePQ and RangePQ+ must answer range-filtered queries
+with high recall, beat the fixed-L ablation on wide ranges, and stay exact
+about the candidate universe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FixedLPolicy
+from repro.eval import exact_range_knn, mean_metric, nn_recall_at_k
+from repro.eval.harness import (
+    METHOD_NAMES,
+    ScaleProfile,
+    build_indexes,
+    make_workload,
+    train_substrate,
+)
+
+PROFILE = ScaleProfile(
+    name="integration",
+    n=1200,
+    dims={"sift": 48, "gist": 48, "wit": 64},
+    num_queries=12,
+    k=10,
+    coverages=(0.05, 0.30),
+    num_update_ops=20,
+)
+
+
+@pytest.fixture(scope="module", params=("sift", "gist", "wit"))
+def bundle(request):
+    dataset = request.param
+    workload = make_workload(dataset, PROFILE, seed=0)
+    base = train_substrate(workload, seed=0)
+    indexes = build_indexes(workload, base=base, seed=0, k=PROFILE.k)
+    return dataset, workload, indexes
+
+
+class TestEndToEnd:
+    def test_rangepq_family_recall_floor(self, bundle):
+        dataset, workload, indexes = bundle
+        rng = np.random.default_rng(1)
+        for method in ("RangePQ", "RangePQ+"):
+            recalls = []
+            for query in workload.queries:
+                lo, hi = workload.range_for_coverage(0.30, rng)
+                truth = exact_range_knn(
+                    workload.vectors, workload.attrs, query, lo, hi, PROFILE.k
+                )
+                result = indexes[method].query(query, lo, hi, PROFILE.k)
+                recalls.append(nn_recall_at_k(result.ids, truth, PROFILE.k))
+            assert mean_metric(recalls) >= 0.75, (dataset, method)
+
+    def test_all_methods_respect_filter(self, bundle):
+        dataset, workload, indexes = bundle
+        rng = np.random.default_rng(2)
+        lo, hi = workload.range_for_coverage(0.10, rng)
+        in_range = {
+            oid
+            for oid, attr in enumerate(workload.attrs)
+            if lo <= attr <= hi
+        }
+        for method in METHOD_NAMES:
+            result = indexes[method].query(
+                workload.queries[0], lo, hi, PROFILE.k
+            )
+            assert set(result.ids.tolist()) <= in_range, (dataset, method)
+
+    def test_candidate_universe_exact(self, bundle):
+        dataset, workload, indexes = bundle
+        rng = np.random.default_rng(3)
+        lo, hi = workload.range_for_coverage(0.20, rng)
+        expected = {
+            oid
+            for oid, attr in enumerate(workload.attrs)
+            if lo <= attr <= hi
+        }
+        for method in ("RangePQ", "RangePQ+"):
+            result = indexes[method].query(
+                workload.queries[0], lo, hi, k=10**6, l_budget=10**6
+            )
+            assert set(result.ids.tolist()) == expected, (dataset, method)
+
+    def test_update_then_query_consistency(self, bundle):
+        dataset, workload, indexes = bundle
+        rng = np.random.default_rng(4)
+        attr_lo = float(np.min(workload.attrs))
+        attr_hi = float(np.max(workload.attrs))
+        mid = (attr_lo + attr_hi) / 2
+        for method in ("RangePQ", "RangePQ+"):
+            index = indexes[method]
+            vec = workload.queries[0]
+            index.insert(777_000, vec, mid)
+            result = index.query(vec, mid, mid, k=5)
+            assert 777_000 in result.ids, (dataset, method)
+            index.delete(777_000)
+            result = index.query(vec, attr_lo, attr_hi, k=10**6,
+                                 l_budget=10**6)
+            assert 777_000 not in result.ids, (dataset, method)
+
+    def test_adaptive_beats_fixed_on_wide_ranges(self, bundle):
+        dataset, workload, indexes = bundle
+        from repro.core import RangePQPlus
+
+        adaptive = indexes["RangePQ+"]
+        fixed = RangePQPlus(
+            adaptive.ivf,
+            epsilon=adaptive.epsilon,
+            l_policy=FixedLPolicy(l=adaptive.l_policy.l_base),
+        )
+        fixed._attr = dict(adaptive._attr)
+        fixed._rebucket_all()
+        rng = np.random.default_rng(5)
+        adaptive_recalls, fixed_recalls = [], []
+        for query in workload.queries:
+            lo, hi = workload.range_for_coverage(0.60, rng)
+            truth = exact_range_knn(
+                workload.vectors, workload.attrs, query, lo, hi, PROFILE.k
+            )
+            a = adaptive.query(query, lo, hi, PROFILE.k)
+            f = fixed.query(query, lo, hi, PROFILE.k)
+            adaptive_recalls.append(nn_recall_at_k(a.ids, truth, PROFILE.k))
+            fixed_recalls.append(nn_recall_at_k(f.ids, truth, PROFILE.k))
+        assert mean_metric(adaptive_recalls) >= mean_metric(fixed_recalls), dataset

@@ -1,0 +1,123 @@
+"""Tests for index serialization (save/load roundtrips)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveLPolicy, FixedLPolicy, RangePQ, RangePQPlus
+from repro.io import SerializationError, load_index, save_index
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(31)
+    centers = rng.normal(scale=8.0, size=(8, 16))
+    vectors = centers[rng.integers(0, 8, size=500)] + rng.normal(size=(500, 16))
+    attrs = rng.integers(0, 60, size=500).astype(np.float64)
+    queries = rng.normal(size=(5, 16)) + centers[0]
+    return vectors, attrs, queries
+
+
+BUILD = dict(num_subspaces=4, num_clusters=12, num_codewords=32, seed=0)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("cls", [RangePQ, RangePQPlus])
+    def test_query_results_survive_roundtrip(self, cls, dataset, tmp_path):
+        vectors, attrs, queries = dataset
+        index = cls.build(vectors, attrs, **BUILD)
+        path = save_index(index, tmp_path / "index")
+        assert path.suffix == ".npz"
+        loaded = load_index(path)
+        assert type(loaded) is cls
+        assert len(loaded) == len(index)
+        for query in queries:
+            original = index.query(query, 10.0, 40.0, k=10, l_budget=10**6)
+            restored = loaded.query(query, 10.0, 40.0, k=10, l_budget=10**6)
+            np.testing.assert_array_equal(original.ids, restored.ids)
+            np.testing.assert_allclose(original.distances, restored.distances)
+
+    def test_policy_roundtrip(self, dataset, tmp_path):
+        vectors, attrs, _ = dataset
+        index = RangePQPlus.build(
+            vectors, attrs, l_policy=AdaptiveLPolicy(l_base=77, r_base=0.2),
+            **BUILD,
+        )
+        loaded = load_index(save_index(index, tmp_path / "a"))
+        assert loaded.l_policy == AdaptiveLPolicy(l_base=77, r_base=0.2)
+
+        index2 = RangePQ.build(
+            vectors, attrs, l_policy=FixedLPolicy(l=123), **BUILD
+        )
+        loaded2 = load_index(save_index(index2, tmp_path / "b"))
+        assert loaded2.l_policy == FixedLPolicy(l=123)
+
+    def test_epsilon_and_alpha_roundtrip(self, dataset, tmp_path):
+        vectors, attrs, _ = dataset
+        index = RangePQPlus.build(vectors, attrs, epsilon=17, alpha=0.15, **BUILD)
+        loaded = load_index(save_index(index, tmp_path / "c"))
+        assert loaded.epsilon == 17
+        assert loaded.alpha == 0.15
+
+    def test_loaded_index_supports_updates(self, dataset, tmp_path):
+        vectors, attrs, _ = dataset
+        index = RangePQPlus.build(vectors, attrs, **BUILD)
+        loaded = load_index(save_index(index, tmp_path / "d"))
+        new_vec = vectors[0] + 0.1
+        loaded.insert(9000, new_vec, 25.0)
+        result = loaded.query(new_vec, 25.0, 25.0, k=1)
+        assert result.ids[0] == 9000
+        loaded.delete(9000)
+        loaded.check_invariants()
+
+    def test_roundtrip_after_updates(self, dataset, tmp_path):
+        vectors, attrs, _ = dataset
+        index = RangePQ.build(vectors, attrs, **BUILD)
+        index.delete(3)
+        index.insert(9001, vectors[3], 12.0)
+        loaded = load_index(save_index(index, tmp_path / "e"))
+        assert 3 not in loaded
+        assert 9001 in loaded
+        assert len(loaded) == 500
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_index(tmp_path / "nope.npz")
+
+    def test_foreign_archive_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(SerializationError):
+            load_index(path)
+
+    def test_newer_format_rejected(self, dataset, tmp_path):
+        import json
+
+        vectors, attrs, _ = dataset
+        index = RangePQ.build(vectors, attrs, **BUILD)
+        path = save_index(index, tmp_path / "v")
+        with np.load(path) as archive:
+            contents = {name: archive[name] for name in archive.files}
+        meta = json.loads(bytes(contents["meta"].tobytes()).decode())
+        meta["format_version"] = 999
+        contents["meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez(path, **contents)
+        with pytest.raises(SerializationError):
+            load_index(path)
+
+    def test_custom_policy_rejected(self, dataset, tmp_path):
+        from repro.core import LPolicy
+
+        class Weird(LPolicy):
+            def choose(self, coverage):
+                return 1
+
+        vectors, attrs, _ = dataset
+        index = RangePQ.build(vectors, attrs, l_policy=Weird(), **BUILD)
+        with pytest.raises(SerializationError):
+            save_index(index, tmp_path / "w")

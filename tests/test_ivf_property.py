@@ -1,0 +1,96 @@
+"""Property-based tests for the dynamic IVFPQ storage layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ivf import IVFPQIndex
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(101)
+    data = rng.normal(size=(400, 8))
+    index = IVFPQIndex(num_subspaces=2, num_clusters=6, num_codewords=16, seed=0)
+    index.train(data)
+    return index, data
+
+
+@st.composite
+def op_sequences(draw):
+    return draw(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 25)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+
+
+class TestStorageModel:
+    @settings(max_examples=80, deadline=None)
+    @given(ops=op_sequences())
+    def test_matches_reference_set(self, trained, ops):
+        """Add/remove over a small ID space behaves like a plain set, and
+        the cluster partition stays total and disjoint throughout."""
+        base, data = trained
+        index = base.clone_empty()
+        live: set[int] = set()
+        for is_add, oid in ops:
+            if is_add:
+                if oid in live:
+                    with pytest.raises(KeyError):
+                        index.add([oid], data[oid : oid + 1])
+                else:
+                    index.add([oid], data[oid : oid + 1])
+                    live.add(oid)
+            else:
+                if oid in live:
+                    index.remove([oid])
+                    live.remove(oid)
+                else:
+                    with pytest.raises(KeyError):
+                        index.remove([oid])
+        assert len(index) == len(live)
+        members: list[int] = []
+        for cluster in range(index.num_clusters):
+            members.extend(index.cluster_members(cluster).tolist())
+        assert sorted(members) == sorted(live)
+        for oid in live:
+            assert index.cluster_of(oid) == base.coarse.assign(
+                data[oid : oid + 1]
+            )[0]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        subset=st.sets(st.integers(0, 120), min_size=1, max_size=40),
+        k=st.integers(1, 10),
+    )
+    def test_masked_search_stays_in_mask(self, trained, subset, k):
+        base, data = trained
+        index = base.clone_empty()
+        index.add(range(150), data[:150])
+        mask = np.zeros(150, dtype=bool)
+        mask[list(subset)] = True
+        result = index.search(
+            data[0], k, nprobe=index.num_clusters, allowed_mask=mask
+        )
+        assert set(result.ids.tolist()) <= subset
+        assert len(result) == min(k, len(subset))
+
+    def test_clone_empty_shares_training_only(self, trained):
+        base, data = trained
+        base_clone = base.clone_empty()
+        base_clone.add([1], data[1:2])
+        other = base.clone_empty()
+        assert len(base_clone) == 1
+        assert len(other) == 0
+        assert other.pq is base_clone.pq  # trained parts shared
+        assert 1 not in other
+
+    def test_clone_untrained_rejected(self):
+        with pytest.raises(RuntimeError):
+            IVFPQIndex(num_subspaces=2).clone_empty()

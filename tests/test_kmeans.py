@@ -1,0 +1,89 @@
+"""Tests for the k-means substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quantization import assign_to_centroids, kmeans, kmeans_plus_plus_init
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self, blob_data):
+        result = kmeans(blob_data, 3, seed=0)
+        # Every blob of 200 points should land in a single cluster.
+        for start in range(0, 600, 200):
+            labels = result.labels[start : start + 200]
+            assert len(np.unique(labels)) == 1
+        assert result.inertia < 600 * 8 * 1.0  # well under one unit variance each
+
+    def test_deterministic_given_seed(self, blob_data):
+        a = kmeans(blob_data, 3, seed=7)
+        b = kmeans(blob_data, 3, seed=7)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_allclose(a.centroids, b.centroids)
+
+    def test_k_equals_n_gives_zero_inertia(self, rng):
+        data = rng.normal(size=(10, 3))
+        result = kmeans(data, 10, seed=1)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_one_returns_mean(self, rng):
+        data = rng.normal(size=(50, 4))
+        result = kmeans(data, 1, seed=1)
+        np.testing.assert_allclose(result.centroids[0], data.mean(axis=0))
+
+    def test_no_empty_clusters(self, rng):
+        # Heavily duplicated data tempts k-means into empty clusters.
+        data = np.repeat(rng.normal(size=(5, 3)), 40, axis=0)
+        data += rng.normal(scale=1e-9, size=data.shape)
+        result = kmeans(data, 5, seed=3)
+        counts = np.bincount(result.labels, minlength=5)
+        assert (counts > 0).all()
+
+    def test_rejects_bad_k(self, rng):
+        data = rng.normal(size=(10, 3))
+        with pytest.raises(ValueError):
+            kmeans(data, 0)
+        with pytest.raises(ValueError):
+            kmeans(data, 11)
+
+    def test_rejects_1d_data(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(rng.normal(size=10), 2)
+
+    def test_inertia_decreases_with_more_clusters(self, blob_data):
+        small = kmeans(blob_data, 2, seed=0).inertia
+        large = kmeans(blob_data, 8, seed=0).inertia
+        assert large <= small
+
+
+class TestInitAndAssign:
+    def test_plus_plus_returns_k_rows(self, blob_data):
+        rng = np.random.default_rng(0)
+        init = kmeans_plus_plus_init(blob_data, 4, rng)
+        assert init.shape == (4, blob_data.shape[1])
+
+    def test_plus_plus_spreads_over_blobs(self, blob_data):
+        rng = np.random.default_rng(0)
+        init = kmeans_plus_plus_init(blob_data, 3, rng)
+        labels, _ = assign_to_centroids(blob_data, init)
+        # With 3 far-apart blobs, D^2 seeding should hit all three.
+        assert len(np.unique(labels)) == 3
+
+    def test_plus_plus_handles_duplicate_points(self):
+        data = np.ones((10, 2))
+        rng = np.random.default_rng(0)
+        init = kmeans_plus_plus_init(data, 3, rng)
+        assert init.shape == (3, 2)
+
+    def test_plus_plus_rejects_k_gt_n(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_init(rng.normal(size=(3, 2)), 4, np.random.default_rng(0))
+
+    def test_assign_picks_nearest(self):
+        centroids = np.array([[0.0, 0.0], [10.0, 10.0]])
+        points = np.array([[1.0, 1.0], [9.0, 9.0]])
+        labels, dist = assign_to_centroids(points, centroids)
+        np.testing.assert_array_equal(labels, [0, 1])
+        np.testing.assert_allclose(dist, [2.0, 2.0])

@@ -1,0 +1,59 @@
+"""Tests for the latency-distribution utility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RangePQPlus
+from repro.eval.latency import LatencyReport, measure_latencies
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(221)
+    vectors = rng.normal(size=(300, 8))
+    attrs = rng.integers(0, 40, size=300).astype(float)
+    index = RangePQPlus.build(
+        vectors, attrs, num_subspaces=2, num_clusters=8, num_codewords=16,
+        seed=0,
+    )
+    queries = rng.normal(size=(10, 8))
+    ranges = [(5.0, 35.0)] * 10
+    return index, queries, ranges
+
+
+class TestMeasureLatencies:
+    def test_report_shape(self, setup):
+        index, queries, ranges = setup
+        report = measure_latencies(index, queries, ranges, k=5)
+        assert report.count == 10
+        assert 0 < report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert report.p99_ms <= report.max_ms
+        assert report.mean_ms > 0
+        assert report.qps > 0
+        assert "p95" in str(report)
+
+    def test_repeats_multiply_samples(self, setup):
+        index, queries, ranges = setup
+        report = measure_latencies(index, queries, ranges, k=5, repeats=3)
+        assert report.count == 30
+
+    def test_validation(self, setup):
+        index, queries, ranges = setup
+        with pytest.raises(ValueError):
+            measure_latencies(index, queries, ranges[:5], k=5)
+        with pytest.raises(ValueError):
+            measure_latencies(index, queries[:0], [], k=5)
+        with pytest.raises(ValueError):
+            measure_latencies(index, queries, ranges, k=5, repeats=0)
+
+    def test_works_with_any_query_interface(self):
+        class Fake:
+            def query(self, vector, lo, hi, k):
+                return None
+
+        report = measure_latencies(
+            Fake(), np.zeros((4, 2)), [(0.0, 1.0)] * 4, k=1, warmup=0
+        )
+        assert report.count == 4

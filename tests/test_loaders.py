@@ -1,0 +1,104 @@
+"""Tests for the TEXMEX (.fvecs/.ivecs/.bvecs) file readers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import read_bvecs, read_fvecs, read_ivecs, write_fvecs
+
+
+class TestFvecsRoundtrip:
+    def test_roundtrip(self, tmp_path, rng):
+        vectors = rng.normal(size=(20, 8)).astype(np.float32)
+        path = tmp_path / "data.fvecs"
+        write_fvecs(path, vectors)
+        loaded = read_fvecs(path)
+        assert loaded.dtype == np.float32
+        np.testing.assert_allclose(loaded, vectors)
+
+    def test_single_vector(self, tmp_path):
+        vectors = np.array([[1.5, -2.5, 3.0]], dtype=np.float32)
+        path = tmp_path / "one.fvecs"
+        write_fvecs(path, vectors)
+        np.testing.assert_allclose(read_fvecs(path), vectors)
+
+    def test_write_rejects_bad_shapes(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fvecs(tmp_path / "bad.fvecs", np.zeros(5))
+        with pytest.raises(ValueError):
+            write_fvecs(tmp_path / "bad.fvecs", np.zeros((3, 0)))
+
+
+class TestIvecs:
+    def test_manual_encoding(self, tmp_path):
+        # Two 3-d int vectors, hand-encoded.
+        payload = np.array(
+            [3, 10, 20, 30, 3, 40, 50, 60], dtype="<i4"
+        ).tobytes()
+        path = tmp_path / "gt.ivecs"
+        path.write_bytes(payload)
+        loaded = read_ivecs(path)
+        np.testing.assert_array_equal(loaded, [[10, 20, 30], [40, 50, 60]])
+
+
+class TestBvecs:
+    def test_manual_encoding(self, tmp_path):
+        record = np.array([4], dtype="<i4").tobytes() + bytes([1, 2, 3, 4])
+        path = tmp_path / "base.bvecs"
+        path.write_bytes(record * 3)
+        loaded = read_bvecs(path)
+        assert loaded.shape == (3, 4)
+        np.testing.assert_array_equal(loaded[0], [1, 2, 3, 4])
+
+
+class TestMalformedFiles:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.fvecs"
+        path.write_bytes(b"")
+        assert read_fvecs(path).shape == (0, 0)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "trunc.fvecs"
+        path.write_bytes(b"\x01\x00")
+        with pytest.raises(ValueError):
+            read_fvecs(path)
+
+    def test_bad_dimension(self, tmp_path):
+        path = tmp_path / "bad.fvecs"
+        path.write_bytes(np.array([-3, 0, 0, 0], dtype="<i4").tobytes())
+        with pytest.raises(ValueError):
+            read_fvecs(path)
+
+    def test_ragged_records(self, tmp_path):
+        path = tmp_path / "ragged.fvecs"
+        good = np.array([2, 0, 0], dtype="<i4").tobytes()
+        path.write_bytes(good + b"\x00\x00")
+        with pytest.raises(ValueError):
+            read_fvecs(path)
+
+    def test_inconsistent_headers(self, tmp_path):
+        path = tmp_path / "mixed.fvecs"
+        rec1 = np.array([2, 0, 0], dtype="<i4").tobytes()
+        rec2 = np.array([9, 0, 0], dtype="<i4").tobytes()
+        path.write_bytes(rec1 + rec2)
+        with pytest.raises(ValueError):
+            read_fvecs(path)
+
+
+class TestEndToEndWithIndex:
+    def test_fvecs_feeds_the_index(self, tmp_path, rng):
+        """Exported synthetic data loads back and builds an index."""
+        from repro import RangePQPlus
+        from repro.datasets import sift_like
+
+        workload = sift_like(n=300, d=16, num_queries=5, seed=0)
+        path = tmp_path / "export.fvecs"
+        write_fvecs(path, workload.vectors)
+        vectors = read_fvecs(path)
+        index = RangePQPlus.build(
+            vectors.astype(np.float64), workload.attrs,
+            num_subspaces=4, num_clusters=8, num_codewords=16, seed=0,
+        )
+        result = index.query(workload.queries[0], 1.0, 10**4, k=5)
+        assert len(result) == 5

@@ -1,0 +1,154 @@
+"""Tests for conjunctive multi-attribute filtering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MultiAttrRangePQ, RangePQPlus
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(181)
+    centers = rng.normal(scale=8.0, size=(8, 12))
+    vectors = centers[rng.integers(0, 8, size=600)] + rng.normal(size=(600, 12))
+    price = rng.integers(1, 101, size=600).astype(float)
+    rating = rng.integers(1, 6, size=600).astype(float)
+    stock = rng.integers(0, 500, size=600).astype(float)
+    base = RangePQPlus.build(
+        vectors, price, num_subspaces=4, num_clusters=12, num_codewords=32,
+        seed=0,
+    )
+    index = MultiAttrRangePQ(
+        base,
+        {
+            "rating": {oid: rating[oid] for oid in range(600)},
+            "stock": {oid: stock[oid] for oid in range(600)},
+        },
+    )
+    return index, vectors, price, rating, stock, rng
+
+
+def exact_conjunctive(vectors, masks, query, k):
+    mask = np.logical_and.reduce(masks)
+    idxs = np.flatnonzero(mask)
+    if idxs.size == 0:
+        return np.empty(0, dtype=np.int64)
+    dists = ((vectors[idxs] - query) ** 2).sum(axis=1)
+    return idxs[np.argsort(dists)[:k]]
+
+
+class TestConstruction:
+    def test_missing_column_entries_rejected(self, setup):
+        index, vectors, price, *_ = setup
+        with pytest.raises(ValueError):
+            MultiAttrRangePQ(index.index, {"rating": {0: 5.0}})
+
+    def test_bad_sample_size(self, setup):
+        index, *_ = setup
+        with pytest.raises(ValueError):
+            MultiAttrRangePQ(index.index, {}, selectivity_sample=0)
+
+
+class TestQueries:
+    def test_conjunction_respected(self, setup):
+        index, vectors, price, rating, stock, rng = setup
+        result = index.query(
+            vectors[3],
+            primary_range=(20.0, 70.0),
+            secondary_ranges={"rating": (4.0, 5.0)},
+            k=20,
+        )
+        for oid in result.ids.tolist():
+            assert 20 <= price[oid] <= 70
+            assert 4 <= rating[oid] <= 5
+
+    def test_matches_exact_universe_with_full_budget(self, setup):
+        index, vectors, price, rating, stock, rng = setup
+        result = index.query(
+            vectors[0],
+            primary_range=(10.0, 90.0),
+            secondary_ranges={"rating": (3.0, 5.0), "stock": (100.0, 400.0)},
+            k=10**6,
+            l_budget=10**6,
+        )
+        expected = {
+            oid
+            for oid in range(600)
+            if 10 <= price[oid] <= 90
+            and 3 <= rating[oid] <= 5
+            and 100 <= stock[oid] <= 400
+        }
+        assert set(result.ids.tolist()) == expected
+
+    def test_quality_vs_exact(self, setup):
+        index, vectors, price, rating, stock, rng = setup
+        hits = 0
+        for _ in range(10):
+            query = vectors[int(rng.integers(600))] + rng.normal(
+                scale=0.2, size=12
+            )
+            truth = exact_conjunctive(
+                vectors,
+                [(price >= 20) & (price <= 80), rating >= 3],
+                query,
+                5,
+            )
+            result = index.query(
+                query, (20.0, 80.0), {"rating": (3.0, 5.0)}, k=5,
+                l_budget=400,
+            )
+            if len(truth) and truth[0] in result.ids:
+                hits += 1
+        assert hits >= 7
+
+    def test_unconstrained_secondary_equals_plain_query(self, setup):
+        index, vectors, *_ = setup
+        plain = index.index.query(
+            vectors[5], 30.0, 60.0, k=10**6, l_budget=10**6
+        )
+        combined = index.query(
+            vectors[5], (30.0, 60.0), {}, k=10**6, l_budget=10**6
+        )
+        assert set(plain.ids.tolist()) == set(combined.ids.tolist())
+
+    def test_unknown_column_rejected(self, setup):
+        index, vectors, *_ = setup
+        with pytest.raises(ValueError):
+            index.query(vectors[0], (0.0, 100.0), {"color": (0.0, 1.0)}, k=5)
+
+    def test_empty_primary_range(self, setup):
+        index, vectors, *_ = setup
+        result = index.query(vectors[0], (500.0, 600.0), {}, k=5)
+        assert len(result) == 0
+
+    def test_impossible_secondary(self, setup):
+        index, vectors, *_ = setup
+        result = index.query(
+            vectors[0], (0.0, 100.0), {"rating": (9.0, 10.0)}, k=5,
+            l_budget=10**6,
+        )
+        assert len(result) == 0
+
+
+class TestUpdates:
+    def test_insert_and_delete_sync_columns(self, setup):
+        index, vectors, price, rating, stock, rng = setup
+        vec = rng.normal(size=12)
+        index.insert(
+            9000, vec, primary_attr=50.0,
+            secondary_attrs={"rating": 5.0, "stock": 10.0},
+        )
+        result = index.query(vec, (50.0, 50.0), {"rating": (5.0, 5.0)}, k=5)
+        assert 9000 in result.ids
+        index.delete(9000)
+        result = index.query(
+            vec, (0.0, 100.0), {}, k=10**6, l_budget=10**6
+        )
+        assert 9000 not in result.ids
+
+    def test_insert_missing_column_rejected(self, setup):
+        index, vectors, *_ = setup
+        with pytest.raises(ValueError):
+            index.insert(9100, vectors[0], 10.0, {"rating": 3.0})

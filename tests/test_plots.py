@@ -1,0 +1,89 @@
+"""Tests for the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.plots import ascii_bar_chart, ascii_line_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = ascii_bar_chart({"a": 10.0, "b": 5.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_zero_value_has_no_bar(self):
+        chart = ascii_bar_chart({"a": 4.0, "b": 0.0}, width=8)
+        assert chart.splitlines()[1].count("█") == 0
+
+    def test_empty(self):
+        assert ascii_bar_chart({}) == "(no data)"
+
+    def test_unit_suffix(self):
+        assert "ms" in ascii_bar_chart({"a": 1.0}, unit="ms")
+
+
+class TestLineChart:
+    def test_renders_all_series_in_legend(self):
+        chart = ascii_line_chart(
+            {"fast": [1, 2, 3], "slow": [3, 2, 1]}, x_labels=["a", "b", "c"]
+        )
+        assert "o=fast" in chart
+        assert "x=slow" in chart
+
+    def test_height_respected(self):
+        chart = ascii_line_chart(
+            {"s": [0, 1]}, x_labels=["a", "b"], height=6
+        )
+        # 6 plot rows + axis + labels + legend lines.
+        plot_rows = [l for l in chart.splitlines() if "┤" in l or "│" in l]
+        assert len(plot_rows) == 6
+
+    def test_log_scale(self):
+        chart = ascii_line_chart(
+            {"s": [1.0, 1000.0]}, x_labels=["a", "b"], log_y=True
+        )
+        assert "(log y)" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = ascii_line_chart({"s": [2.0, 2.0]}, x_labels=["a", "b"])
+        assert "legend" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": [1.0]}, x_labels=["a", "b"])
+
+    def test_empty(self):
+        assert ascii_line_chart({}, x_labels=[]) == "(no data)"
+
+
+class TestHarnessPlotIntegration:
+    def test_plot_query_rows(self):
+        from repro.eval.harness import _plot_query_rows
+
+        rows = [
+            ["1.0%", "A", 0.5, 1.0, 0.9, 10],
+            ["1.0%", "B", 1.5, 1.0, 0.8, 10],
+            ["10.0%", "A", 0.7, 1.0, 0.85, 20],
+            ["10.0%", "B", 2.5, 0.9, 0.7, 20],
+        ]
+        text = _plot_query_rows(rows)
+        assert "query time" in text
+        assert "overlap@k" in text
+        assert "o=A" in text and "x=B" in text

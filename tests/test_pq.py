@@ -1,0 +1,138 @@
+"""Tests for the product quantizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quantization import ProductQuantizer, adc_distances
+
+
+@pytest.fixture
+def trained_pq(rng):
+    data = rng.normal(size=(400, 16))
+    pq = ProductQuantizer(num_subspaces=4, num_codewords=16, seed=0)
+    return pq.fit(data), data
+
+
+class TestTraining:
+    def test_fit_shapes(self, trained_pq):
+        pq, _ = trained_pq
+        assert pq.is_trained
+        assert pq.codebooks.shape == (4, 16, 4)
+        assert pq.dim == 16
+        assert pq.subspace_dim == 4
+
+    def test_rejects_indivisible_dim(self, rng):
+        pq = ProductQuantizer(num_subspaces=3)
+        with pytest.raises(ValueError):
+            pq.fit(rng.normal(size=(300, 16)))
+
+    def test_rejects_too_few_points(self, rng):
+        pq = ProductQuantizer(num_subspaces=2, num_codewords=64)
+        with pytest.raises(ValueError):
+            pq.fit(rng.normal(size=(10, 8)))
+
+    def test_untrained_raises(self, rng):
+        pq = ProductQuantizer(num_subspaces=2)
+        with pytest.raises(RuntimeError):
+            pq.encode(rng.normal(size=(3, 8)))
+        with pytest.raises(RuntimeError):
+            pq.distance_table(rng.normal(size=8))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(num_subspaces=0)
+        with pytest.raises(ValueError):
+            ProductQuantizer(num_subspaces=2, num_codewords=0)
+
+    def test_training_subsample_is_deterministic(self, rng):
+        data = rng.normal(size=(500, 8))
+        a = ProductQuantizer(2, 16, seed=9).fit(data, max_training_points=200)
+        b = ProductQuantizer(2, 16, seed=9).fit(data, max_training_points=200)
+        np.testing.assert_allclose(a.codebooks, b.codebooks)
+
+
+class TestEncodeDecode:
+    def test_code_dtype_and_range(self, trained_pq):
+        pq, data = trained_pq
+        codes = pq.encode(data)
+        assert codes.dtype == np.uint8
+        assert codes.shape == (len(data), 4)
+        assert codes.max() < 16
+
+    def test_uint16_for_large_codebooks(self):
+        pq = ProductQuantizer(num_subspaces=2, num_codewords=300)
+        assert pq.code_dtype == np.dtype(np.uint16)
+
+    def test_decode_roundtrip_reduces_error(self, trained_pq):
+        pq, data = trained_pq
+        reconstructed = pq.decode(pq.encode(data))
+        err = np.mean(np.sum((data - reconstructed) ** 2, axis=1))
+        baseline = np.mean(np.sum((data - data.mean(axis=0)) ** 2, axis=1))
+        assert err < baseline  # better than the trivial one-centroid quantizer
+
+    def test_codeword_decodes_to_itself(self, trained_pq):
+        pq, _ = trained_pq
+        # A vector made of exact codewords encodes/decodes losslessly.
+        vector = np.concatenate([pq.codebooks[m][3] for m in range(4)])
+        np.testing.assert_allclose(pq.decode(pq.encode(vector[None, :]))[0], vector)
+
+    def test_quantization_error_nonnegative(self, trained_pq):
+        pq, data = trained_pq
+        assert pq.quantization_error(data) >= 0.0
+
+    def test_encode_rejects_wrong_dim(self, trained_pq, rng):
+        pq, _ = trained_pq
+        with pytest.raises(ValueError):
+            pq.encode(rng.normal(size=(3, 8)))
+
+
+class TestAsymmetricDistance:
+    def test_table_shape(self, trained_pq, rng):
+        pq, _ = trained_pq
+        table = pq.distance_table(rng.normal(size=16))
+        assert table.shape == (4, 16)
+        assert (table >= 0).all()
+
+    def test_adc_equals_distance_to_reconstruction(self, trained_pq, rng):
+        pq, data = trained_pq
+        query = rng.normal(size=16)
+        codes = pq.encode(data[:20])
+        adc = pq.adc(query, codes)
+        reconstructed = pq.decode(codes)
+        exact = ((reconstructed - query) ** 2).sum(axis=1)
+        np.testing.assert_allclose(adc, exact, rtol=1e-9)
+
+    def test_adc_preserves_ranking_quality(self, trained_pq, rng):
+        pq, data = trained_pq
+        query = data[0] + rng.normal(scale=0.01, size=16)
+        adc = pq.adc(query, pq.encode(data))
+        exact = ((data - query) ** 2).sum(axis=1)
+        # The true nearest neighbor should rank within the ADC top 10.
+        assert exact.argmin() in np.argsort(adc)[:10]
+
+    def test_table_rejects_wrong_query_dim(self, trained_pq, rng):
+        pq, _ = trained_pq
+        with pytest.raises(ValueError):
+            pq.distance_table(rng.normal(size=8))
+
+    def test_adc_distances_helper_consistency(self, trained_pq, rng):
+        pq, data = trained_pq
+        query = rng.normal(size=16)
+        codes = pq.encode(data[:5])
+        table = pq.distance_table(query)
+        np.testing.assert_allclose(
+            pq.adc(query, codes), adc_distances(table, codes)
+        )
+
+
+class TestMemoryAccounting:
+    def test_code_bytes_per_vector(self):
+        assert ProductQuantizer(8, 256).code_bytes_per_vector() == 8
+        assert ProductQuantizer(8, 512).code_bytes_per_vector() == 16
+
+    def test_codebook_bytes(self, trained_pq):
+        pq, _ = trained_pq
+        assert pq.codebook_bytes() == 4 * 16 * 4 * 4
+        assert ProductQuantizer(2).codebook_bytes() == 0

@@ -1,0 +1,253 @@
+"""End-to-end tests for the RangePQ index (Algorithms 1-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveLPolicy, FixedLPolicy, RangePQ
+from repro.eval import exact_range_knn, intersection_recall, nn_recall_at_k
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(7)
+    centers = rng.normal(scale=8.0, size=(12, 16))
+    labels = rng.integers(0, 12, size=800)
+    vectors = centers[labels] + rng.normal(size=(800, 16))
+    attrs = rng.integers(0, 100, size=800).astype(np.float64)
+    queries = centers[rng.integers(0, 12, size=20)] + rng.normal(size=(20, 16))
+    return vectors, attrs, queries
+
+
+@pytest.fixture(scope="module")
+def index(dataset):
+    vectors, attrs, _ = dataset
+    return RangePQ.build(
+        vectors,
+        attrs,
+        num_subspaces=8,
+        num_clusters=24,
+        num_codewords=128,
+        seed=0,
+    )
+
+
+def all_in_range_ids(index, query, lo, hi):
+    """Query with an unbounded L so every in-range object is retrieved."""
+    result = index.query(query, lo, hi, k=10**6, l_budget=10**6)
+    return set(result.ids.tolist())
+
+
+class TestBuild:
+    def test_build_populates(self, index):
+        assert len(index) == 800
+        assert 0 in index
+        assert index.attribute_of(0) == index._attr[0]
+
+    def test_build_rejects_mismatched_attrs(self, dataset):
+        vectors, attrs, _ = dataset
+        with pytest.raises(ValueError):
+            RangePQ.build(vectors, attrs[:-1], num_subspaces=4)
+
+    def test_untrained_ivf_rejected(self):
+        from repro.ivf import IVFPQIndex
+
+        with pytest.raises(ValueError):
+            RangePQ(IVFPQIndex(num_subspaces=4))
+
+
+class TestQueryCandidates:
+    """The candidate universe must be exactly the in-range objects."""
+
+    def test_full_l_returns_exact_filter_set(self, index, dataset):
+        vectors, attrs, queries = dataset
+        for lo, hi in [(10, 30), (0, 99), (47, 47), (90, 99)]:
+            got = all_in_range_ids(index, queries[0], lo, hi)
+            expected = {
+                oid for oid, attr in enumerate(attrs) if lo <= attr <= hi
+            }
+            assert got == expected
+
+    def test_empty_range(self, index, dataset):
+        _, _, queries = dataset
+        result = index.query(queries[0], 200.0, 300.0, k=10)
+        assert len(result) == 0
+        assert result.stats.num_in_range == 0
+
+    def test_inverted_range(self, index, dataset):
+        _, _, queries = dataset
+        result = index.query(queries[0], 60.0, 40.0, k=10)
+        assert len(result) == 0
+
+    def test_stats_populated(self, index, dataset):
+        vectors, attrs, queries = dataset
+        result = index.query(queries[0], 20.0, 60.0, k=10)
+        expected_in_range = int(np.sum((attrs >= 20) & (attrs <= 60)))
+        assert result.stats.num_in_range == expected_in_range
+        assert result.stats.num_candidate_clusters > 0
+        assert result.stats.cover_nodes > 0
+        assert result.stats.l_used >= 1
+
+    def test_distances_sorted_and_match_adc(self, index, dataset):
+        _, _, queries = dataset
+        result = index.query(queries[1], 0.0, 99.0, k=50)
+        assert (np.diff(result.distances) >= 0).all()
+        table = index.ivf.distance_table(queries[1])
+        np.testing.assert_allclose(
+            index.ivf.adc_for_ids(table, result.ids.tolist()), result.distances
+        )
+
+    def test_k_exceeds_matches(self, index, dataset):
+        vectors, attrs, queries = dataset
+        result = index.query(queries[0], 47.0, 47.0, k=100, l_budget=10**6)
+        expected = int(np.sum(attrs == 47))
+        assert len(result) == expected
+
+    def test_l_budget_caps_candidates(self, index, dataset):
+        _, _, queries = dataset
+        result = index.query(queries[0], 0.0, 99.0, k=10, l_budget=25)
+        assert result.stats.num_candidates <= 25
+
+    def test_bad_k_rejected(self, index, dataset):
+        _, _, queries = dataset
+        with pytest.raises(ValueError):
+            index.query(queries[0], 0.0, 99.0, k=0)
+
+    def test_respects_range_strictly(self, index, dataset):
+        vectors, attrs, queries = dataset
+        for query in queries[:5]:
+            result = index.query(query, 25.0, 35.0, k=50)
+            got_attrs = [index.attribute_of(int(oid)) for oid in result.ids]
+            assert all(25.0 <= attr <= 35.0 for attr in got_attrs)
+
+
+class TestQueryQuality:
+    def test_recall_with_generous_l(self, index, dataset):
+        vectors, attrs, queries = dataset
+        recalls, overlaps = [], []
+        for query in queries:
+            truth = exact_range_knn(vectors, attrs, query, 20.0, 70.0, 10)
+            result = index.query(query, 20.0, 70.0, k=10, l_budget=500)
+            recalls.append(nn_recall_at_k(result.ids, truth, 10))
+            overlaps.append(intersection_recall(result.ids, truth, 10))
+        assert np.mean(recalls) >= 0.8
+        assert np.mean(overlaps) >= 0.5
+
+    def test_larger_l_never_reduces_candidates(self, index, dataset):
+        _, _, queries = dataset
+        small = index.query(queries[0], 0.0, 99.0, k=10, l_budget=50)
+        large = index.query(queries[0], 0.0, 99.0, k=10, l_budget=400)
+        assert large.stats.num_candidates >= small.stats.num_candidates
+
+    def test_adaptive_policy_inflates_l_with_coverage(self, dataset):
+        vectors, attrs, queries = dataset
+        index = RangePQ.build(
+            vectors,
+            attrs,
+            num_subspaces=8,
+            num_clusters=24,
+            num_codewords=128,
+            seed=0,
+            l_policy=AdaptiveLPolicy(l_base=100, r_base=0.10),
+        )
+        narrow = index.query(queries[0], 0.0, 5.0, k=10)
+        wide = index.query(queries[0], 0.0, 99.0, k=10)
+        assert narrow.stats.l_used == 100
+        assert wide.stats.l_used == pytest.approx(1000, rel=0.1)
+
+
+class TestUpdates:
+    def make_small(self, seed=1):
+        rng = np.random.default_rng(seed)
+        vectors = rng.normal(size=(300, 8))
+        attrs = rng.integers(0, 50, size=300).astype(float)
+        index = RangePQ.build(
+            vectors, attrs, num_subspaces=2, num_clusters=8,
+            num_codewords=16, seed=0,
+        )
+        return index, vectors, attrs, rng
+
+    def test_insert_then_visible(self):
+        index, vectors, attrs, rng = self.make_small()
+        new_vec = rng.normal(size=8)
+        index.insert(1000, new_vec, 25.0)
+        assert 1000 in index
+        got = all_in_range_ids(index, new_vec, 25.0, 25.0)
+        assert 1000 in got
+
+    def test_insert_duplicate_rejected(self):
+        index, vectors, attrs, rng = self.make_small()
+        with pytest.raises(KeyError):
+            index.insert(0, vectors[0], attrs[0])
+
+    def test_delete_then_invisible(self):
+        index, vectors, attrs, _ = self.make_small()
+        index.delete(5)
+        assert 5 not in index
+        got = all_in_range_ids(index, vectors[5], 0.0, 50.0)
+        assert 5 not in got
+        assert len(got) == 299
+
+    def test_delete_absent_rejected(self):
+        index, *_ = self.make_small()
+        with pytest.raises(KeyError):
+            index.delete(99999)
+
+    def test_delete_reinsert_same_object(self):
+        index, vectors, attrs, _ = self.make_small()
+        index.delete(7)
+        index.insert(7, vectors[7], attrs[7])
+        assert 7 in index
+        got = all_in_range_ids(index, vectors[7], attrs[7], attrs[7])
+        assert 7 in got
+
+    def test_reinsert_with_different_vector_after_delete(self):
+        # Revalidation with a different coarse cluster triggers the
+        # compact-and-retry path; the index must stay consistent.
+        index, vectors, attrs, rng = self.make_small()
+        index.delete(7)
+        far_vector = vectors[7] + 100.0
+        index.insert(7, far_vector, attrs[7])
+        assert 7 in index
+        got = all_in_range_ids(index, far_vector, attrs[7], attrs[7])
+        assert 7 in got
+        index.tree.check_invariants()
+
+    def test_churn_consistency(self):
+        index, vectors, attrs, rng = self.make_small()
+        live = {oid: attrs[oid] for oid in range(300)}
+        next_oid = 1000
+        for step in range(400):
+            if live and rng.random() < 0.5:
+                victim = int(rng.choice(list(live)))
+                index.delete(victim)
+                del live[victim]
+            else:
+                vec = rng.normal(size=8)
+                attr = float(rng.integers(0, 50))
+                index.insert(next_oid, vec, attr)
+                live[next_oid] = attr
+                next_oid += 1
+        index.tree.check_invariants()
+        assert len(index) == len(live)
+        query = rng.normal(size=8)
+        got = all_in_range_ids(index, query, 10.0, 40.0)
+        expected = {oid for oid, attr in live.items() if 10 <= attr <= 40}
+        assert got == expected
+
+    def test_mass_delete_triggers_rebuild(self):
+        index, vectors, attrs, _ = self.make_small()
+        for oid in range(200):
+            index.delete(oid)
+        assert index.tree.invalid_count < 100  # a rebuild must have fired
+        got = all_in_range_ids(index, vectors[250], 0.0, 50.0)
+        assert got == set(range(200, 300))
+
+
+class TestMemory:
+    def test_memory_superlinear_vs_plus(self, index):
+        # RangePQ stores O(n log K) aggregate entries: strictly more than
+        # one entry per object.
+        assert index.tree.aux_entry_count() > len(index)
+        assert index.memory_bytes() > 0

@@ -1,0 +1,269 @@
+"""End-to-end tests for the hybrid two-layer RangePQ+ index (Algorithms 5-7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RangePQ, RangePQPlus
+from repro.eval import exact_range_knn, nn_recall_at_k
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(11)
+    centers = rng.normal(scale=8.0, size=(10, 16))
+    labels = rng.integers(0, 10, size=800)
+    vectors = centers[labels] + rng.normal(size=(800, 16))
+    attrs = rng.integers(0, 100, size=800).astype(np.float64)
+    queries = centers[rng.integers(0, 10, size=15)] + rng.normal(size=(15, 16))
+    return vectors, attrs, queries
+
+
+@pytest.fixture(scope="module")
+def index(dataset):
+    vectors, attrs, _ = dataset
+    return RangePQPlus.build(
+        vectors,
+        attrs,
+        num_subspaces=8,
+        num_clusters=24,
+        num_codewords=128,
+        epsilon=40,
+        seed=0,
+    )
+
+
+def all_in_range_ids(index, query, lo, hi):
+    result = index.query(query, lo, hi, k=10**6, l_budget=10**6)
+    return set(result.ids.tolist())
+
+
+class TestBuild:
+    def test_bucket_structure(self, index):
+        assert len(index) == 800
+        assert index.node_count == 20  # ceil(800 / 40)
+        index.check_invariants()
+
+    def test_epsilon_default_is_k(self, dataset):
+        vectors, attrs, _ = dataset
+        idx = RangePQPlus.build(
+            vectors, attrs, num_subspaces=4, num_clusters=24,
+            num_codewords=128, seed=0,
+        )
+        assert idx.epsilon == 24
+
+    def test_invalid_epsilon_rejected(self, index):
+        with pytest.raises(ValueError):
+            RangePQPlus(index.ivf, epsilon=0)
+
+    def test_node_count_linear_in_objects(self, index):
+        # O(n) space: aggregate entries bounded by nodes * K + objects.
+        total_num_entries = 0
+        stack = [index.root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            total_num_entries += len(node.num)
+            stack.extend([node.left, node.right])
+        assert total_num_entries <= index.node_count * index.ivf.num_clusters
+
+
+class TestQuery:
+    def test_full_l_returns_exact_filter_set(self, index, dataset):
+        vectors, attrs, queries = dataset
+        for lo, hi in [(10, 30), (0, 99), (47, 47), (90, 99), (33, 34)]:
+            got = all_in_range_ids(index, queries[0], lo, hi)
+            expected = {
+                oid for oid, attr in enumerate(attrs) if lo <= attr <= hi
+            }
+            assert got == expected
+
+    def test_matches_rangepq_results(self, dataset):
+        """With the same IVF substrate and budget, RangePQ and RangePQ+
+        retrieve the same candidate universe."""
+        vectors, attrs, queries = dataset
+        flat = RangePQ.build(
+            vectors, attrs, num_subspaces=4, num_clusters=24,
+            num_codewords=128, seed=0,
+        )
+        hybrid = RangePQPlus(flat.ivf, epsilon=40)
+        hybrid._attr = dict(flat._attr)
+        hybrid._rebucket_all()
+        for query in queries[:5]:
+            for lo, hi in [(5, 25), (40, 90), (0, 99)]:
+                a = flat.query(query, lo, hi, k=10**6, l_budget=10**6)
+                b = hybrid.query(query, lo, hi, k=10**6, l_budget=10**6)
+                assert set(a.ids.tolist()) == set(b.ids.tolist())
+
+    def test_empty_and_inverted_ranges(self, index, dataset):
+        _, _, queries = dataset
+        assert len(index.query(queries[0], 500.0, 900.0, k=5)) == 0
+        assert len(index.query(queries[0], 70.0, 20.0, k=5)) == 0
+
+    def test_endpoint_buckets_are_filtered(self, index, dataset):
+        vectors, attrs, queries = dataset
+        # A narrow range falls inside one or two buckets: pure endpoint path.
+        result = index.query(queries[0], 50.0, 52.0, k=100, l_budget=10**6)
+        got_attrs = [index.attribute_of(int(oid)) for oid in result.ids]
+        assert all(50.0 <= a <= 52.0 for a in got_attrs)
+        expected = int(np.sum((attrs >= 50) & (attrs <= 52)))
+        assert len(result) == expected
+
+    def test_recall_reasonable(self, index, dataset):
+        vectors, attrs, queries = dataset
+        recalls = []
+        for query in queries:
+            truth = exact_range_knn(vectors, attrs, query, 20.0, 70.0, 10)
+            result = index.query(query, 20.0, 70.0, k=10, l_budget=500)
+            recalls.append(nn_recall_at_k(result.ids, truth, 10))
+        assert np.mean(recalls) >= 0.8
+
+    def test_stats_in_range_exact(self, index, dataset):
+        vectors, attrs, queries = dataset
+        result = index.query(queries[0], 20.0, 60.0, k=10)
+        assert result.stats.num_in_range == int(
+            np.sum((attrs >= 20) & (attrs <= 60))
+        )
+
+    def test_bad_k_rejected(self, index, dataset):
+        _, _, queries = dataset
+        with pytest.raises(ValueError):
+            index.query(queries[0], 0.0, 99.0, k=0)
+
+
+class TestUpdates:
+    def make_small(self, seed=3, epsilon=16):
+        rng = np.random.default_rng(seed)
+        vectors = rng.normal(size=(300, 8))
+        attrs = rng.integers(0, 50, size=300).astype(float)
+        index = RangePQPlus.build(
+            vectors, attrs, num_subspaces=2, num_clusters=8,
+            num_codewords=16, epsilon=epsilon, seed=0,
+        )
+        return index, vectors, attrs, rng
+
+    def test_insert_visible(self):
+        index, _, _, rng = self.make_small()
+        vec = rng.normal(size=8)
+        index.insert(1000, vec, 25.0)
+        assert 1000 in all_in_range_ids(index, vec, 25.0, 25.0)
+        index.check_invariants()
+
+    def test_insert_duplicate_rejected(self):
+        index, vectors, attrs, _ = self.make_small()
+        with pytest.raises(KeyError):
+            index.insert(0, vectors[0], attrs[0])
+
+    def test_insert_into_empty_index(self, dataset):
+        vectors, attrs, _ = dataset
+        base = RangePQPlus.build(
+            vectors[:50], attrs[:50], num_subspaces=4, num_clusters=8,
+            num_codewords=16, epsilon=10, seed=0,
+        )
+        empty = RangePQPlus(base.ivf.__class__(4, num_clusters=8,
+                                               num_codewords=16, seed=0)
+                            .train(vectors[:200]), epsilon=10)
+        empty.insert(1, vectors[0], 5.0)
+        assert len(empty) == 1
+        assert 1 in all_in_range_ids(empty, vectors[0], 0.0, 10.0)
+
+    def test_bucket_split_on_overflow(self):
+        index, _, _, rng = self.make_small(epsilon=8)
+        before = index.node_count
+        # Pour many objects into one narrow attribute range to force splits.
+        for i in range(60):
+            index.insert(5000 + i, rng.normal(size=8), 25.0 + i * 1e-3)
+        assert index.node_count > before
+        index.check_invariants()
+
+    def test_delete_visible(self):
+        index, vectors, attrs, _ = self.make_small()
+        index.delete(5)
+        assert 5 not in index
+        got = all_in_range_ids(index, vectors[5], 0.0, 50.0)
+        assert 5 not in got and len(got) == 299
+        index.check_invariants()
+
+    def test_delete_absent_rejected(self):
+        index, *_ = self.make_small()
+        with pytest.raises(KeyError):
+            index.delete(424242)
+
+    def test_mass_delete_triggers_rebucket(self):
+        index, vectors, attrs, _ = self.make_small(epsilon=16)
+        rebuilds_before = index.rebuild_count
+        for oid in range(250):
+            index.delete(oid)
+        assert index.rebuild_count > rebuilds_before
+        got = all_in_range_ids(index, vectors[270], 0.0, 50.0)
+        assert got == set(range(250, 300))
+        index.check_invariants()
+
+    def test_churn_consistency(self):
+        index, vectors, attrs, rng = self.make_small(epsilon=12)
+        live = {oid: attrs[oid] for oid in range(300)}
+        next_oid = 1000
+        for step in range(500):
+            if live and rng.random() < 0.5:
+                victim = int(rng.choice(list(live)))
+                index.delete(victim)
+                del live[victim]
+            else:
+                attr = float(rng.integers(0, 50))
+                index.insert(next_oid, rng.normal(size=8), attr)
+                live[next_oid] = attr
+                next_oid += 1
+        index.check_invariants()
+        assert len(index) == len(live)
+        got = all_in_range_ids(index, rng.normal(size=8), 10.0, 40.0)
+        expected = {oid for oid, attr in live.items() if 10 <= attr <= 40}
+        assert got == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        epsilon=st.sampled_from([4, 8, 16]),
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(0, 49)), min_size=5, max_size=80
+        ),
+    )
+    def test_property_random_ops(self, seed, epsilon, ops):
+        rng = np.random.default_rng(seed)
+        vectors = rng.normal(size=(120, 8))
+        attrs = rng.integers(0, 50, size=120).astype(float)
+        index = RangePQPlus.build(
+            vectors, attrs, num_subspaces=2, num_clusters=6,
+            num_codewords=8, epsilon=epsilon, seed=0,
+        )
+        live = {oid: attrs[oid] for oid in range(120)}
+        next_oid = 500
+        for is_insert, attr_value in ops:
+            if is_insert:
+                index.insert(next_oid, rng.normal(size=8), float(attr_value))
+                live[next_oid] = float(attr_value)
+                next_oid += 1
+            elif live:
+                victim = min(live)
+                index.delete(victim)
+                del live[victim]
+        index.check_invariants()
+        got = all_in_range_ids(index, rng.normal(size=8), 10.0, 35.0)
+        expected = {oid for oid, attr in live.items() if 10 <= attr <= 35}
+        assert got == expected
+
+
+class TestMemory:
+    def test_plus_uses_less_aux_than_flat(self, dataset):
+        vectors, attrs, _ = dataset
+        flat = RangePQ.build(
+            vectors, attrs, num_subspaces=4, num_clusters=24,
+            num_codewords=128, seed=0,
+        )
+        hybrid = RangePQPlus(flat.ivf, epsilon=40)
+        hybrid._attr = dict(flat._attr)
+        hybrid._rebucket_all()
+        assert hybrid.memory_bytes() < flat.memory_bytes()

@@ -1,0 +1,70 @@
+"""Tests for the reproduction-CI regression module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import ScaleProfile
+from repro.eval.regression import CLAIMS, Claim, run_regression
+
+MICRO = ScaleProfile(
+    name="micro",
+    n=500,
+    dims={"sift": 32, "gist": 32, "wit": 32},
+    num_queries=6,
+    k=10,
+    coverages=(0.05, 0.40),
+    num_update_ops=10,
+)
+
+
+class TestRunRegression:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_regression(MICRO, seed=0)
+
+    def test_all_claims_evaluated(self, results):
+        assert len(results) == len(CLAIMS)
+        assert {r.claim.id for r in results} == {c.id for c in CLAIMS}
+
+    def test_details_are_informative(self, results):
+        for result in results:
+            assert result.detail  # never empty
+
+    def test_core_claims_hold_at_micro_scale(self, results):
+        by_id = {r.claim.id: r for r in results}
+        # The structural claims must hold even at tiny scale.  ("memory-order"
+        # is excluded: at n=500 the fixed codebook cost exceeds the raw data,
+        # which is a scale artifact, not a shape violation — the claim passes
+        # from the `small` profile upward, as the CLI run shows.)
+        for claim_id in ("output-optimal", "milvus-insert"):
+            assert by_id[claim_id].passed, by_id[claim_id].detail
+
+    def test_failing_claim_is_reported_not_raised(self):
+        bogus = Claim(
+            "always-fails", "bogus", lambda ctx: (False, "as designed")
+        )
+        results = run_regression(MICRO, seed=0, claims=[bogus])
+        assert len(results) == 1
+        assert not results[0].passed
+
+    def test_raising_claim_is_captured(self):
+        def explode(ctx):
+            raise RuntimeError("boom")
+
+        results = run_regression(
+            MICRO, seed=0, claims=[Claim("explodes", "bogus", explode)]
+        )
+        assert not results[0].passed
+        assert "boom" in results[0].detail
+
+
+class TestCLI:
+    def test_exit_code_reflects_failures(self, monkeypatch, capsys):
+        from repro.eval import regression
+
+        monkeypatch.setitem(regression.PROFILES, "small", MICRO)
+        code = regression.main(["--scale", "small"])
+        out = capsys.readouterr().out
+        assert "claims hold" in out
+        assert code in (0, 1)

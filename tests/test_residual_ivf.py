@@ -1,0 +1,100 @@
+"""Tests for the residual IVFADC variant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ivf import IVFPQIndex, ResidualIVFPQIndex
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(131)
+    centers = rng.normal(scale=12.0, size=(10, 16))
+    vectors = centers[rng.integers(0, 10, size=800)] + rng.normal(size=(800, 16))
+    queries = centers[rng.integers(0, 10, size=15)] + rng.normal(size=(15, 16))
+    return vectors, queries
+
+
+@pytest.fixture(scope="module")
+def built(data):
+    vectors, _ = data
+    index = ResidualIVFPQIndex(4, num_clusters=10, num_codewords=32, seed=0)
+    index.train(vectors)
+    index.add(range(len(vectors)), vectors)
+    return index
+
+
+class TestBasics:
+    def test_len(self, built, data):
+        assert len(built) == 800
+
+    def test_untrained_rejected(self, data):
+        vectors, _ = data
+        index = ResidualIVFPQIndex(4)
+        with pytest.raises(RuntimeError):
+            index.add([0], vectors[:1])
+        with pytest.raises(RuntimeError):
+            index.search(vectors[0], 5)
+
+    def test_mismatched_ids_rejected(self, built, data):
+        vectors, _ = data
+        with pytest.raises(ValueError):
+            built.add([1, 2], vectors[:1])
+
+    def test_bad_k_rejected(self, built, data):
+        _, queries = data
+        with pytest.raises(ValueError):
+            built.search(queries[0], 0)
+
+
+class TestSearchQuality:
+    def test_results_sorted(self, built, data):
+        _, queries = data
+        result = built.search(queries[0], 20, nprobe=10)
+        assert (np.diff(result.distances) >= 0).all()
+
+    def test_self_queries(self, built, data):
+        vectors, _ = data
+        hits = sum(
+            1
+            for oid in range(0, 800, 80)
+            if oid in built.search(vectors[oid], 5, nprobe=3).ids
+        )
+        assert hits >= 8
+
+    def test_residual_recall_at_least_matches_plain(self, data):
+        """Residual encoding should not be worse than raw encoding with the
+        same budget — the classic IVFADC advantage."""
+        vectors, queries = data
+        plain = IVFPQIndex(4, num_clusters=10, num_codewords=32, seed=0)
+        plain.train(vectors)
+        plain.add(range(len(vectors)), vectors)
+        residual = ResidualIVFPQIndex(4, num_clusters=10, num_codewords=32, seed=0)
+        residual.train(vectors)
+        residual.add(range(len(vectors)), vectors)
+
+        def recall(index):
+            total = 0.0
+            for query in queries:
+                exact = np.argsort(((vectors - query) ** 2).sum(axis=1))[:10]
+                got = index.search(query, 10, nprobe=10).ids
+                total += len(set(got.tolist()) & set(exact.tolist())) / 10
+            return total / len(queries)
+
+        assert recall(residual) >= recall(plain) - 0.05
+
+    def test_empty_probe(self, built):
+        # A query so far away still returns results (nearest clusters).
+        result = built.search(np.full(16, 1e6), 5, nprobe=2)
+        assert len(result) <= 5
+
+    def test_num_candidates_counted(self, built, data):
+        _, queries = data
+        result = built.search(queries[0], 5, nprobe=10)
+        assert result.num_candidates == 800
+        assert result.num_probed == 10
+
+    def test_memory_model(self, built):
+        assert built.memory_bytes() > 800 * 4

@@ -1,0 +1,88 @@
+"""Stateful model-based testing for the flat RangePQ (mirror of the
+RangePQ+ machine; exercises lazy deletion + revalidation + rebuilds)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import RangePQ
+from repro.ivf import IVFPQIndex
+
+_DIM = 8
+_BASE_RNG = np.random.default_rng(241)
+_TRAINING = _BASE_RNG.normal(size=(300, _DIM))
+_BASE_IVF = IVFPQIndex(num_subspaces=2, num_clusters=6, num_codewords=16, seed=0)
+_BASE_IVF.train(_TRAINING)
+
+
+class RangePQMachine(RuleBasedStateMachine):
+    """Random op sequences against the exact filter-set semantics."""
+
+    @initialize()
+    def setup(self):
+        self.index = RangePQ(_BASE_IVF.clone_empty())
+        self.rng = np.random.default_rng(13)
+        self.next_oid = 0
+        self.live: dict[int, float] = {}
+        self.vectors: dict[int, np.ndarray] = {}
+
+    @rule(attr=st.integers(0, 30))
+    def insert(self, attr):
+        vector = self.rng.normal(size=_DIM)
+        oid = self.next_oid
+        self.next_oid += 1
+        self.index.insert(oid, vector, float(attr))
+        self.live[oid] = float(attr)
+        self.vectors[oid] = vector
+
+    @precondition(lambda self: bool(self.live))
+    @rule(data=st.data())
+    def delete(self, data):
+        oid = data.draw(st.sampled_from(sorted(self.live)))
+        self.index.delete(oid)
+        del self.live[oid]
+
+    @precondition(lambda self: bool(self.vectors))
+    @rule(data=st.data())
+    def reinsert_deleted(self, data):
+        """Re-inserting a previously deleted object exercises the
+        revalidation / compact-and-retry path."""
+        dead = sorted(set(self.vectors) - set(self.live))
+        if not dead:
+            return
+        oid = data.draw(st.sampled_from(dead))
+        attr = data.draw(st.integers(0, 30))
+        self.index.insert(oid, self.vectors[oid], float(attr))
+        self.live[oid] = float(attr)
+
+    @rule(lo=st.integers(-2, 32), span=st.integers(0, 34))
+    def query_universe_matches(self, lo, span):
+        hi = lo + span
+        got = self.index.query(
+            self.rng.normal(size=_DIM), lo, hi, k=10**6, l_budget=10**6
+        )
+        expected = {
+            oid for oid, attr in self.live.items() if lo <= attr <= hi
+        }
+        assert set(got.ids.tolist()) == expected
+
+    @invariant()
+    def tree_is_sound(self):
+        if hasattr(self, "index"):
+            self.index.tree.check_invariants()
+            assert len(self.index) == len(self.live)
+
+
+RangePQMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestRangePQMachine = RangePQMachine.TestCase

@@ -1,0 +1,100 @@
+"""Property checks of the paper's complexity claims on live indexes.
+
+Complements the amortized-bound tests: these assert the *query-side*
+theorem shapes — logarithmic cover sizes (Thm. 3.1), the output-optimal
+candidate bound (Thm. 3.5/3.10), and the ``C_Q ≤ K`` cluster bound — over
+randomized ranges on real indexes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import RangePQ, RangePQPlus
+
+
+def build_pair(n, seed=0):
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n, 8))
+    attrs = rng.permutation(n).astype(float)
+    flat = RangePQ.build(
+        vectors, attrs, num_subspaces=2, num_codewords=16, seed=0
+    )
+    hybrid = RangePQPlus(flat.ivf)
+    hybrid._attr = dict(flat._attr)
+    hybrid._rebucket_all()
+    return flat, hybrid, vectors, attrs, rng
+
+
+class TestCoverSizes:
+    @pytest.mark.parametrize("n", [512, 2048])
+    def test_cover_nodes_logarithmic_in_n(self, n):
+        flat, hybrid, vectors, attrs, rng = build_pair(n)
+        bound_flat = 4 * math.log2(n)
+        for _ in range(20):
+            lo = float(rng.integers(0, n))
+            hi = lo + float(rng.integers(0, n))
+            stats = flat.query(vectors[0], lo, hi, k=5, l_budget=5).stats
+            assert stats.cover_nodes <= bound_flat
+            stats_h = hybrid.query(vectors[0], lo, hi, k=5, l_budget=5).stats
+            # The hybrid tree has ζ = n/ε nodes; its cover is log ζ + O(1).
+            zeta = max(hybrid.node_count, 2)
+            assert stats_h.cover_nodes <= 4 * math.log2(zeta) + 2
+
+    def test_cover_grows_slowly_with_n(self):
+        small = build_pair(512)[0]
+        large = build_pair(4096)[0]
+        rng = np.random.default_rng(0)
+
+        def mean_cover(index, n):
+            sizes = []
+            for _ in range(30):
+                lo = float(rng.integers(0, n // 2))
+                hi = lo + n / 3
+                sizes.append(
+                    index.query(
+                        np.zeros(8), lo, hi, k=5, l_budget=5
+                    ).stats.cover_nodes
+                )
+            return float(np.mean(sizes))
+
+        # 8x the data should cost far less than 8x the cover (log growth).
+        assert mean_cover(large, 4096) <= 2.5 * mean_cover(small, 512)
+
+
+class TestCandidateBounds:
+    def test_output_optimality(self):
+        flat, hybrid, vectors, attrs, rng = build_pair(1024, seed=3)
+        for index in (flat, hybrid):
+            for _ in range(20):
+                lo = float(rng.integers(0, 1024))
+                hi = lo + float(rng.integers(0, 1024))
+                budget = int(rng.integers(1, 200))
+                result = index.query(
+                    vectors[1], lo, hi, k=10, l_budget=budget
+                )
+                stats = result.stats
+                in_range = np.sum((attrs >= lo) & (attrs <= hi))
+                assert stats.num_candidates <= budget
+                assert stats.num_candidates <= in_range
+                if in_range:
+                    assert stats.num_candidates >= min(budget, 1)
+
+    def test_cluster_count_bounded_by_k(self):
+        flat, hybrid, vectors, attrs, rng = build_pair(1024, seed=5)
+        k_clusters = flat.ivf.num_clusters
+        for index in (flat, hybrid):
+            stats = index.query(vectors[0], 0.0, 2000.0, k=5).stats
+            assert 1 <= stats.num_candidate_clusters <= k_clusters
+
+    def test_l_used_matches_policy(self):
+        flat, *_ = build_pair(1024, seed=7)
+        vectors = np.zeros(8)
+        # coverage ~50% with default policy (l_base=1000, r_base=0.1):
+        # L = 1000 * 5 = 5000.
+        stats = flat.query(vectors, 0.0, 511.0, k=5).stats
+        expected = flat.l_policy.choose(stats.num_in_range / len(flat))
+        assert stats.l_used == expected

@@ -1,0 +1,264 @@
+"""Tests for the weight-balanced augmented BST (insert/delete/balance)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree import RangeTree, iter_range_objects
+
+
+def make_tree(triples, alpha=0.2, bulk=True):
+    tree = RangeTree(alpha=alpha)
+    if bulk:
+        tree.build(triples)
+    else:
+        for attr, oid, cluster in triples:
+            tree.insert(attr, oid, cluster)
+    return tree
+
+
+SAMPLE = [
+    (5.0, 1, 0),
+    (3.0, 2, 1),
+    (8.0, 3, 0),
+    (1.0, 4, 2),
+    (9.0, 5, 1),
+    (4.0, 6, 2),
+    (7.0, 7, 0),
+]
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = RangeTree()
+        assert len(tree) == 0
+        assert tree.node_count == 0
+        tree.check_invariants()
+
+    def test_bulk_build(self):
+        tree = make_tree(SAMPLE)
+        assert len(tree) == 7
+        tree.check_invariants()
+
+    def test_bulk_build_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            make_tree([(1.0, 1, 0), (1.0, 1, 0)])
+
+    def test_incremental_matches_bulk(self):
+        bulk = make_tree(SAMPLE)
+        incremental = make_tree(SAMPLE, bulk=False)
+        assert sorted(n.oid for n in iter_range_objects(bulk, -1e9, 1e9)) == sorted(
+            n.oid for n in iter_range_objects(incremental, -1e9, 1e9)
+        )
+        incremental.check_invariants()
+
+    def test_build_is_perfectly_balanced(self):
+        tree = make_tree([(float(i), i, i % 3) for i in range(1023)])
+        assert tree.height() == 10  # ceil(log2(1024))
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            RangeTree(alpha=0.0)
+        with pytest.raises(ValueError):
+            RangeTree(alpha=0.3)
+
+
+class TestInsert:
+    def test_sequential_inserts_stay_balanced(self):
+        tree = RangeTree()
+        for i in range(500):
+            tree.insert(float(i), i, i % 5)
+        tree.check_invariants()
+        assert tree.height() <= 4 * math.log2(501)
+
+    def test_reverse_sequential_inserts_stay_balanced(self):
+        tree = RangeTree()
+        for i in range(500, 0, -1):
+            tree.insert(float(i), i, i % 5)
+        tree.check_invariants()
+
+    def test_duplicate_attrs_distinct_oids(self):
+        tree = RangeTree()
+        for i in range(50):
+            tree.insert(7.0, i, 0)
+        assert len(tree) == 50
+        tree.check_invariants()
+
+    def test_duplicate_key_rejected(self):
+        tree = make_tree(SAMPLE)
+        with pytest.raises(KeyError):
+            tree.insert(5.0, 1, 0)
+
+    def test_contains(self):
+        tree = make_tree(SAMPLE)
+        assert (5.0, 1) in tree
+        assert (5.0, 99) not in tree
+
+
+class TestDelete:
+    def test_delete_marks_invalid(self):
+        tree = make_tree(SAMPLE)
+        cluster = tree.delete(5.0, 1)
+        assert cluster == 0
+        assert len(tree) == 6
+        assert (5.0, 1) not in tree
+        tree.check_invariants()
+
+    def test_delete_absent_raises(self):
+        tree = make_tree(SAMPLE)
+        with pytest.raises(KeyError):
+            tree.delete(100.0, 1)
+
+    def test_double_delete_raises(self):
+        tree = make_tree(SAMPLE)
+        tree.delete(5.0, 1)
+        with pytest.raises(KeyError):
+            tree.delete(5.0, 1)
+
+    def test_rebuild_triggers_at_half_invalid(self):
+        tree = make_tree([(float(i), i, 0) for i in range(10)])
+        for i in range(5):
+            tree.delete(float(i), i)
+        # 5 invalid of 10 total does not yet exceed half...
+        assert tree.node_count == 10
+        tree.delete(5.0, 5)
+        # ...but the 6th deletion flips 2*inv > size and rebuilds.
+        assert tree.node_count == 4
+        assert tree.invalid_count == 0
+        tree.check_invariants()
+
+    def test_delete_everything(self):
+        tree = make_tree(SAMPLE)
+        for attr, oid, _ in SAMPLE:
+            tree.delete(attr, oid)
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_reinsert_after_delete_revalidates(self):
+        tree = make_tree(SAMPLE)
+        tree.delete(5.0, 1)
+        tree.insert(5.0, 1, 0)
+        assert (5.0, 1) in tree
+        assert len(tree) == 7
+        assert tree.invalid_count == 0
+        tree.check_invariants()
+
+    def test_revalidate_with_wrong_cluster_rejected(self):
+        tree = make_tree(SAMPLE)
+        tree.delete(5.0, 1)
+        with pytest.raises(ValueError):
+            tree.insert(5.0, 1, 2)
+
+    def test_query_skips_deleted(self):
+        tree = make_tree(SAMPLE)
+        tree.delete(3.0, 2)
+        oids = [n.oid for n in iter_range_objects(tree, 1.0, 9.0)]
+        assert 2 not in oids
+        assert len(oids) == 6
+
+
+class TestAmortizedBalance:
+    def test_interleaved_ops_remain_balanced(self, rng):
+        tree = RangeTree()
+        live = {}
+        for step in range(2000):
+            if live and rng.random() < 0.3:
+                key = list(live)[int(rng.integers(len(live)))]
+                tree.delete(*key)
+                del live[key]
+            else:
+                attr = float(rng.integers(0, 100))
+                oid = step
+                tree.insert(attr, oid, int(rng.integers(0, 8)))
+                live[(attr, oid)] = True
+        tree.check_invariants()
+        assert len(tree) == len(live)
+
+    def test_rebuild_work_is_amortized(self):
+        # Total nodes touched by rebuilds over n sorted inserts should be
+        # O(n log n), far below the O(n^2) of naive rebalancing.
+        tree = RangeTree()
+        n = 2000
+        for i in range(n):
+            tree.insert(float(i), i, 0)
+        # rebuild_count alone bounds work only loosely; height is the
+        # user-visible guarantee:
+        assert tree.height() <= 4 * math.log2(n)
+
+
+@st.composite
+def op_sequences(draw):
+    """Random interleavings of insert/delete over a small key space."""
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.integers(0, 20),  # attr
+                st.integers(0, 30),  # oid
+                st.integers(0, 4),  # cluster
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    return ops
+
+
+class TestPropertyBased:
+    @settings(max_examples=120, deadline=None)
+    @given(ops=op_sequences())
+    def test_matches_reference_model(self, ops):
+        """The tree behaves exactly like a dict of live (attr, oid) keys."""
+        tree = RangeTree(alpha=0.2)
+        model: dict[tuple[float, int], int] = {}
+        cluster_of_key: dict[tuple[float, int], int] = {}
+        for action, attr, oid, cluster in ops:
+            key = (float(attr), oid)
+            if action == "insert":
+                if key in model:
+                    with pytest.raises(KeyError):
+                        tree.insert(float(attr), oid, cluster)
+                elif key in cluster_of_key and cluster_of_key[key] != cluster:
+                    # Revalidation with a different cluster is rejected.
+                    with pytest.raises(ValueError):
+                        tree.insert(float(attr), oid, cluster)
+                else:
+                    tree.insert(float(attr), oid, cluster)
+                    model[key] = cluster
+                    cluster_of_key[key] = cluster
+            else:
+                if key in model:
+                    assert tree.delete(float(attr), oid) == model.pop(key)
+                else:
+                    with pytest.raises(KeyError):
+                        tree.delete(float(attr), oid)
+            if key not in model and tree.invalid_count == 0:
+                # Global rebuild dropped lazily deleted nodes; a future
+                # insert of this key is a fresh insert, any cluster allowed.
+                cluster_of_key.pop(key, None)
+        tree.check_invariants()
+        assert len(tree) == len(model)
+        live = sorted((n.attr, n.oid) for n in iter_range_objects(tree, -1e9, 1e9))
+        assert live == sorted(model)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        attrs=st.lists(st.integers(0, 50), min_size=1, max_size=80),
+        lo=st.integers(-5, 55),
+        span=st.integers(0, 60),
+    )
+    def test_range_iteration_matches_filter(self, attrs, lo, span):
+        hi = lo + span
+        tree = RangeTree()
+        for oid, attr in enumerate(attrs):
+            tree.insert(float(attr), oid, oid % 3)
+        got = sorted(n.oid for n in iter_range_objects(tree, lo, hi))
+        expected = sorted(
+            oid for oid, attr in enumerate(attrs) if lo <= attr <= hi
+        )
+        assert got == expected

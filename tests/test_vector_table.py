@@ -1,0 +1,189 @@
+"""Tests for the VectorTable façade."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.db import RangePredicate, Row, SearchHit, VectorTable
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(161)
+    centers = rng.normal(scale=8.0, size=(6, 12))
+    vectors = centers[rng.integers(0, 6, size=500)] + rng.normal(size=(500, 12))
+    prices = rng.integers(1, 101, size=500).astype(float)
+    return vectors, prices, rng
+
+
+@pytest.fixture
+def table(corpus):
+    vectors, prices, _ = corpus
+    table = VectorTable.create(
+        dim=12, metric_attr="price", num_clusters=10, num_codewords=32, seed=0
+    )
+    table.train(vectors)
+    table.insert_batch(range(len(vectors)), vectors, prices)
+    return table
+
+
+class TestPredicate:
+    def test_constructors(self):
+        assert RangePredicate.between(1, 5).matches(3)
+        assert not RangePredicate.between(1, 5).matches(6)
+        assert RangePredicate.at_least(10).matches(1e9)
+        assert not RangePredicate.at_least(10).matches(9)
+        assert RangePredicate.at_most(3).matches(-1e9)
+        assert RangePredicate.any().matches(42)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            RangePredicate(lo=math.nan)
+
+    def test_empty_range_matches_nothing(self):
+        pred = RangePredicate.between(5, 1)
+        assert not pred.matches(3)
+
+
+class TestLifecycle:
+    def test_untrained_rejects_operations(self):
+        table = VectorTable.create(dim=4)
+        with pytest.raises(RuntimeError):
+            table.insert(1, np.zeros(4), 1.0)
+        with pytest.raises(RuntimeError):
+            table.search(np.zeros(4), 1)
+        assert len(table) == 0
+        assert not table.is_trained
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            VectorTable.create(dim=0)
+        with pytest.raises(ValueError):
+            VectorTable.create(dim=4, backend="faiss")
+
+    def test_train_validates_sample(self, corpus):
+        vectors, *_ = corpus
+        table = VectorTable.create(dim=24)
+        with pytest.raises(ValueError):
+            table.train(vectors)  # wrong width
+
+
+class TestRowOperations:
+    def test_insert_get_delete(self, table, corpus):
+        vectors, prices, rng = corpus
+        vec = rng.normal(size=12)
+        table.insert(9000, vec, 55.0)
+        row = table.get(9000)
+        assert row == Row(id=9000, attr=55.0)
+        table.delete(9000)
+        assert table.get(9000) is None
+
+    def test_duplicate_insert_rejected(self, table, corpus):
+        vectors, prices, _ = corpus
+        with pytest.raises(KeyError):
+            table.insert(0, vectors[0], prices[0])
+
+    def test_upsert_replaces(self, table, corpus):
+        vectors, prices, rng = corpus
+        new_vec = rng.normal(size=12)
+        assert table.upsert(0, new_vec, 77.0) is True
+        assert table.get(0).attr == 77.0
+        assert len(table) == 500
+        assert table.upsert(8888, new_vec, 1.0) is False
+        assert len(table) == 501
+
+    def test_vector_validation(self, table, rng):
+        with pytest.raises(ValueError):
+            table.insert(7000, rng.normal(size=5), 1.0)
+        bad = np.full(12, np.nan)
+        with pytest.raises(ValueError):
+            table.insert(7001, bad, 1.0)
+
+    def test_scan_and_count(self, table, corpus):
+        _, prices, _ = corpus
+        predicate = RangePredicate.between(10, 20)
+        expected = int(np.sum((prices >= 10) & (prices <= 20)))
+        assert table.count(predicate) == expected
+        rows = list(table.scan(predicate))
+        assert len(rows) == expected
+        assert all(10 <= row.attr <= 20 for row in rows)
+
+    def test_count_all(self, table):
+        assert table.count() == 500
+
+
+class TestSearch:
+    def test_filtered_search_respects_predicate(self, table, corpus):
+        vectors, prices, _ = corpus
+        hits = table.search(
+            vectors[3], k=10, predicate=RangePredicate.between(25, 75)
+        )
+        assert len(hits) == 10
+        assert all(isinstance(hit, SearchHit) for hit in hits)
+        assert all(25 <= hit.attr <= 75 for hit in hits)
+        distances = [hit.distance for hit in hits]
+        assert distances == sorted(distances)
+
+    def test_at_least_predicate(self, table, corpus):
+        vectors, prices, _ = corpus
+        hits = table.search(
+            vectors[3], k=20, predicate=RangePredicate.at_least(90)
+        )
+        assert all(hit.attr >= 90 for hit in hits)
+
+    def test_unfiltered_search(self, table, corpus):
+        vectors, *_ = corpus
+        hits = table.search(vectors[7], k=5)
+        assert len(hits) == 5
+        # A self-query should find itself with a generous budget.
+        hits = table.search(vectors[7], k=5, l_budget=10**6)
+        assert 7 in [hit.id for hit in hits]
+
+    def test_empty_predicate_returns_nothing(self, table, corpus):
+        vectors, *_ = corpus
+        assert table.search(vectors[0], 5, predicate=RangePredicate.between(5, 1)) == []
+
+
+class TestPersistence:
+    def test_save_open_roundtrip(self, table, corpus, tmp_path):
+        vectors, prices, _ = corpus
+        path = table.save(tmp_path / "items")
+        reopened = VectorTable.open(path, metric_attr="price")
+        assert len(reopened) == len(table)
+        assert reopened.backend == "rangepq+"
+        original = table.search(vectors[0], 10, predicate=RangePredicate.between(20, 80))
+        restored = reopened.search(vectors[0], 10, predicate=RangePredicate.between(20, 80))
+        assert [h.id for h in original] == [h.id for h in restored]
+
+    def test_rangepq_backend_roundtrip(self, corpus, tmp_path):
+        vectors, prices, _ = corpus
+        table = VectorTable.create(
+            dim=12, backend="rangepq", num_clusters=10, num_codewords=32, seed=0
+        )
+        table.train(vectors)
+        table.insert_batch(range(100), vectors[:100], prices[:100])
+        reopened = VectorTable.open(table.save(tmp_path / "t"))
+        assert reopened.backend == "rangepq"
+        assert len(reopened) == 100
+
+
+class TestStats:
+    def test_stats_contents(self, table):
+        stats = table.stats()
+        assert stats["rows"] == 500
+        assert stats["backend"] == "rangepq+"
+        assert stats["metric_attr"] == "price"
+        assert stats["memory_bytes"] > 0
+        assert "epsilon" in stats and "buckets" in stats
+
+    def test_rangepq_stats(self, corpus):
+        vectors, prices, _ = corpus
+        table = VectorTable.create(
+            dim=12, backend="rangepq", num_clusters=10, num_codewords=32, seed=0
+        )
+        table.train(vectors)
+        table.insert(1, vectors[0], prices[0])
+        assert "tree_nodes" in table.stats()
