@@ -16,6 +16,8 @@ Nearest Neighbor Search* (Zhang, Jiang, Hou, Wang).  The package provides:
   harness (``python -m repro.eval.harness --figure 3``).
 """
 
+from .analysis.sanitize import install as _install_sanitizer
+from .analysis.sanitize import sanitize_enabled as _sanitize_enabled
 from .core import (
     AdaptiveLPolicy,
     FixedLPolicy,
@@ -42,3 +44,9 @@ __all__ = [
     "QueryStats",
     "__version__",
 ]
+
+# REPRO_SANITIZE=1 turns on the runtime index sanitizer for the whole
+# process: every registered index class self-audits `check_invariants`
+# after every N mutations (see repro.analysis.sanitize).
+if _sanitize_enabled():
+    _install_sanitizer()

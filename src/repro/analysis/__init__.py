@@ -1,0 +1,56 @@
+"""Repo-specific static analysis and runtime index sanitation.
+
+The paper's correctness rests on structural invariants — ``α``-balance on
+subtree sizes, augmented per-subtree cluster aggregates, the lazy-deletion
+rebuild rule ``2·inv > size(root)``, RangePQ+'s two-layer bucket consistency —
+and its performance rests on the numpy hot paths staying vectorized.  This
+package machine-checks both on every PR:
+
+* :mod:`repro.analysis.lint` — an AST-based lint pass with repo-specific
+  rules (R001–R006), an inline ``# repro: noqa-RXXX`` escape hatch, text and
+  JSON reporters, and a committed baseline so pre-existing findings do not
+  block CI.  Run it with ``python -m repro.analysis lint src/``.
+* :mod:`repro.analysis.sanitize` — a runtime sanitizer that audits every
+  index structure's ``check_invariants`` after every N mutations, enabled
+  globally with ``REPRO_SANITIZE=1`` or per-index with
+  :func:`~repro.analysis.sanitize.sanitized`.
+
+See ``docs/analysis.md`` for the rule catalogue and workflows.
+"""
+
+from .lint import (
+    Finding,
+    apply_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from .rules import RULES, Rule
+from .sanitize import (
+    SanitizedIndex,
+    install,
+    sanitize_enabled,
+    sanitized,
+    uninstall,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "lint_source",
+    "lint_paths",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+    "render_text",
+    "render_json",
+    "SanitizedIndex",
+    "sanitized",
+    "install",
+    "uninstall",
+    "sanitize_enabled",
+]

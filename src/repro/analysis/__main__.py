@@ -1,0 +1,107 @@
+"""``python -m repro.analysis``: the repo lint / sanitizer CLI.
+
+Subcommands::
+
+    lint [PATHS ...]        run rules R001-R006 (default target: src/)
+        --baseline [FILE]   subtract a baseline (default: lint-baseline.json)
+        --no-baseline       report everything, baseline ignored
+        --write-baseline    rewrite the baseline from the current findings
+        --format text|json  reporter selection
+        --list-rules        print the rule catalogue and exit
+
+Exit status is 0 when no non-baselined findings remain, 1 otherwise — which
+is what the CI gate keys on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .lint import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    render_json,
+    render_text,
+    write_baseline,
+)
+from .rules import RULES
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in RULES:
+            scope = "hot modules" if rule.hot_only else "all files"
+            print(f"{rule.id}  [{scope}]  {rule.summary}")
+        return 0
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"error: no such file or directory: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    findings = lint_paths(args.paths)
+    baseline_path = args.baseline or DEFAULT_BASELINE_NAME
+    if args.write_baseline:
+        write_baseline(findings, baseline_path)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+    if not args.no_baseline:
+        findings = apply_baseline(findings, load_baseline(baseline_path))
+    report = (
+        render_json(findings) if args.format == "json" else render_text(findings)
+    )
+    print(report)
+    return 1 if findings else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis", description=__doc__
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the repo-specific static lint pass"
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories to scan"
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE_NAME,
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE_NAME})",
+    )
+    lint_parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint_parser.set_defaults(handler=_run_lint)
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,235 @@
+"""The lint engine: file walking, noqa filtering, baselines, reporters.
+
+The engine applies every rule in :data:`repro.analysis.rules.RULES` to each
+python file, drops findings waived by an inline ``# repro: noqa`` comment,
+subtracts the committed baseline (so pre-existing findings never block CI),
+and renders the remainder as text or JSON::
+
+    python -m repro.analysis lint src/                # baseline-aware
+    python -m repro.analysis lint src/ --no-baseline  # everything
+    python -m repro.analysis lint src/ --write-baseline
+
+Baseline entries are keyed by ``(rule, path, stripped line text)`` rather
+than line numbers, so unrelated edits above a finding do not invalidate it.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections import Counter
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .rules import RULES, FileContext, is_hot_path
+
+__all__ = [
+    "Finding",
+    "DEFAULT_BASELINE_NAME",
+    "lint_source",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "render_text",
+    "render_json",
+]
+
+#: File name of the committed baseline, looked up in the working directory.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+#: ``# repro: noqa`` / ``# repro: noqa-R001`` / ``# repro: noqa-R001,R004``
+_NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa(?:-(?P<codes>R\d{3}(?:\s*,\s*R\d{3})*))?",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding.
+
+    Attributes:
+        rule: Rule ID (``R001`` … ``R006``).
+        path: Repo-relative posix path of the offending file.
+        line: 1-based line number.
+        message: Human-readable explanation.
+        text: The stripped source line (baseline fingerprint component).
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    text: str
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching."""
+        return (self.rule, self.path, self.text)
+
+
+def _noqa_codes(line: str) -> set[str] | None:
+    """Rule IDs waived on a physical line (empty set = waive all)."""
+    match = _NOQA_PATTERN.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if not codes:
+        return set()
+    return {code.strip() for code in codes.split(",")}
+
+
+def lint_source(
+    source: str, path: str, *, hot: bool | None = None
+) -> list[Finding]:
+    """Lint one python source string.
+
+    Args:
+        source: The file contents.
+        path: Display path; also decides hot-module rule applicability.
+        hot: Override the hot-module classification (tests use this).
+
+    Returns:
+        Findings sorted by (path, line, rule), noqa already applied.
+    """
+    try:
+        module = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                rule="R000",
+                path=path,
+                line=error.lineno or 1,
+                message=f"syntax error: {error.msg}",
+                text="",
+            )
+        ]
+    lines = tuple(source.splitlines())
+    ctx = FileContext(
+        path=path,
+        lines=lines,
+        hot=is_hot_path(path) if hot is None else hot,
+    )
+    findings: list[Finding] = []
+    for rule in RULES:
+        if rule.hot_only and not ctx.hot:
+            continue
+        for lineno, message in rule.check(module, ctx):
+            text = (
+                lines[lineno - 1].strip() if 0 < lineno <= len(lines) else ""
+            )
+            waived = _noqa_codes(text)
+            if waived is not None and (not waived or rule.id in waived):
+                continue
+            findings.append(
+                Finding(
+                    rule=rule.id,
+                    path=path,
+                    line=lineno,
+                    message=message,
+                    text=text,
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def _iter_python_files(paths: Sequence[str | Path]) -> Iterable[Path]:
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[str | Path], *, root: str | Path | None = None
+) -> list[Finding]:
+    """Lint files and directories (recursively).
+
+    Args:
+        paths: Files or directories to scan.
+        root: Directory findings' paths are made relative to (default: cwd),
+            so baseline entries match regardless of where lint runs from.
+
+    Returns:
+        All findings across the scanned files, sorted.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    findings: list[Finding] = []
+    for file_path in _iter_python_files(paths):
+        resolved = file_path.resolve()
+        try:
+            display = resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            display = resolved.as_posix()
+        findings.extend(
+            lint_source(file_path.read_text(encoding="utf-8"), display)
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Load a baseline file into a fingerprint multiset.
+
+    Returns an empty counter if the file does not exist.
+    """
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    counter: Counter = Counter()
+    for entry in payload.get("findings", []):
+        counter[(entry["rule"], entry["path"], entry["text"])] += 1
+    return counter
+
+
+def write_baseline(findings: Sequence[Finding], path: str | Path) -> Path:
+    """Write the given findings as the new baseline file."""
+    path = Path(path)
+    payload = {
+        "version": 1,
+        "findings": [
+            {"rule": f.rule, "path": f.path, "text": f.text}
+            for f in findings
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> list[Finding]:
+    """Drop findings covered by the baseline multiset; keep the rest."""
+    remaining = Counter(baseline)
+    fresh: list[Finding] = []
+    for finding in findings:
+        key = finding.fingerprint()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable one-line-per-finding report."""
+    if not findings:
+        return "lint: clean"
+    lines = [
+        f"{f.path}:{f.line}: {f.rule} {f.message}\n    {f.text}"
+        for f in findings
+    ]
+    lines.append(f"lint: {len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable JSON report (stable field order)."""
+    return json.dumps(
+        {"findings": [asdict(f) for f in findings]}, indent=2
+    )

@@ -1,0 +1,319 @@
+"""The lint rule catalogue: repo-specific AST checks R001–R006.
+
+Each rule is a pure function over a parsed module plus a
+:class:`FileContext`; the engine in :mod:`repro.analysis.lint` handles file
+walking, ``# repro: noqa`` filtering, baselines, and reporting.  Rules are
+deliberately heuristic — they optimise for catching the failure modes this
+codebase actually has (python-level loops on hot paths, silent dtype drops,
+index classes that mutate without a ``check_invariants`` audit hook), not
+for type-inference-grade precision.  False positives are waived inline with
+``# repro: noqa-RXXX`` or absorbed by the committed baseline.
+
+Hot modules — where the ROADMAP demands the code run "as fast as the
+hardware allows" — are ``repro/quantization/``, ``repro/ivf/``, and
+``repro/core/search.py``; rules R001 and R002 only apply there.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = ["FileContext", "Rule", "RULES", "is_hot_path"]
+
+#: Path fragments (posix) marking the numpy hot paths of the repo.
+_HOT_FRAGMENTS = ("quantization/", "ivf/")
+_HOT_SUFFIXES = ("core/search.py",)
+
+#: numpy aliases recognised by the array-sniffing rules.
+_NUMPY_NAMES = ("np", "numpy")
+
+#: Array constructors that silently default/upcast dtype when none is given.
+_DTYPE_DROPPERS = frozenset(
+    {
+        "array",
+        "asarray",
+        "ascontiguousarray",
+        "empty",
+        "zeros",
+        "ones",
+        "full",
+        "arange",
+    }
+)
+
+#: Method names that mutate an index structure (rule R005).
+_MUTATOR_NAMES = frozenset(
+    {"insert", "delete", "remove", "upsert", "add"}
+)
+
+#: Base classes exempting a class from R005 (no concrete state to audit).
+_R005_EXEMPT_BASES = frozenset(
+    {"Protocol", "Enum", "IntEnum", "StrEnum", "NamedTuple", "TypedDict"}
+)
+
+
+def is_hot_path(path: str) -> bool:
+    """Whether a (posix-style) path belongs to the repo's numpy hot modules."""
+    normalized = path.replace("\\", "/")
+    return any(fragment in normalized for fragment in _HOT_FRAGMENTS) or (
+        normalized.endswith(_HOT_SUFFIXES)
+    )
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Per-file inputs handed to every rule.
+
+    Attributes:
+        path: Display path of the file (posix style, repo relative).
+        lines: Raw physical source lines (for snippets and noqa parsing).
+        hot: Whether the file is one of the repo's numpy hot modules.
+    """
+
+    path: str
+    lines: tuple[str, ...]
+    hot: bool
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: an ID, a summary, and its AST check.
+
+    Attributes:
+        id: Stable identifier (``R001`` … ``R006``) used by noqa/baseline.
+        summary: One-line description shown by ``lint --list-rules``.
+        hot_only: Whether the rule applies only to hot modules.
+        check: Callable yielding ``(lineno, message)`` findings.
+    """
+
+    id: str
+    summary: str
+    hot_only: bool
+    check: Callable[[ast.Module, FileContext], Iterator[tuple[int, str]]]
+
+
+def _is_numpy_call(node: ast.AST) -> bool:
+    """Whether ``node`` is a direct ``np.<fn>(...)`` / ``numpy.<fn>(...)`` call."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id in _NUMPY_NAMES
+    )
+
+
+def _check_r001(
+    module: ast.Module, ctx: FileContext
+) -> Iterator[tuple[int, str]]:
+    """R001: python-level ``for`` loop over an ndarray in a hot module.
+
+    Flags loops whose iterable is a direct numpy call or a name assigned
+    from one — both iterate element-by-element in the interpreter where a
+    vectorized or chunked formulation keeps the work in C.
+    """
+    array_names: set[str] = set()
+    for node in ast.walk(module):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and _is_numpy_call(node.value)
+        ):
+            array_names.add(node.targets[0].id)
+    for node in ast.walk(module):
+        if not isinstance(node, ast.For):
+            continue
+        iterable = node.iter
+        if _is_numpy_call(iterable) or (
+            isinstance(iterable, ast.Name) and iterable.id in array_names
+        ):
+            yield (
+                node.lineno,
+                "python-level for loop over an ndarray on a hot path; "
+                "vectorize the body or drain whole chunks",
+            )
+
+
+def _check_r002(
+    module: ast.Module, ctx: FileContext
+) -> Iterator[tuple[int, str]]:
+    """R002: array constructor without an explicit ``dtype`` in a hot module.
+
+    ``np.asarray``/``np.empty`` and friends silently default to float64 (or
+    infer from the input), so one missing ``dtype=`` can upcast an entire
+    hot path — e.g. uint8 PQ codes to float64 — or drop a carefully chosen
+    dtype on a copy.
+    """
+    for node in ast.walk(module):
+        if not _is_numpy_call(node):
+            continue
+        assert isinstance(node, ast.Call)
+        if node.func.attr not in _DTYPE_DROPPERS:  # type: ignore[union-attr]
+            continue
+        keywords = {kw.arg for kw in node.keywords}
+        if "dtype" in keywords or None in keywords:  # None == **kwargs
+            continue
+        yield (
+            node.lineno,
+            f"np.{node.func.attr}(...) without an explicit dtype on a hot "
+            "path risks a silent float64 upcast / dtype drop",  # type: ignore[union-attr]
+        )
+
+
+def _check_r003(
+    module: ast.Module, ctx: FileContext
+) -> Iterator[tuple[int, str]]:
+    """R003: mutable default argument (shared across calls)."""
+    for node in ast.walk(module):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            )
+            if mutable:
+                yield (
+                    default.lineno,
+                    f"mutable default argument in {node.name}(); "
+                    "use None and construct inside the body",
+                )
+
+
+def _exception_names(node: ast.expr | None) -> Iterator[str]:
+    """Names caught by an ``except`` clause (flattening tuples)."""
+    if node is None:
+        return
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Tuple):
+        for element in node.elts:
+            yield from _exception_names(element)
+
+
+def _check_r004(
+    module: ast.Module, ctx: FileContext
+) -> Iterator[tuple[int, str]]:
+    """R004: bare or over-broad ``except`` swallowing unrelated failures."""
+    for node in ast.walk(module):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield (node.lineno, "bare except; name the concrete error types")
+            continue
+        broad = [
+            name
+            for name in _exception_names(node.type)
+            if name in ("Exception", "BaseException")
+        ]
+        if broad:
+            yield (
+                node.lineno,
+                f"over-broad except {broad[0]}; narrow to the concrete "
+                "error types the block can raise",
+            )
+
+
+def _check_r005(
+    module: ast.Module, ctx: FileContext
+) -> Iterator[tuple[int, str]]:
+    """R005: public mutating index class without a ``check_invariants`` audit.
+
+    Any public class exposing ``insert``/``delete``/``add``/``remove``/
+    ``upsert`` maintains internal structure that mixed workloads can rot
+    (Yi, *Dynamic Indexability*); the sanitizer can only audit classes that
+    expose ``check_invariants``.
+    """
+    for node in ast.walk(module):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.name.startswith("_"):
+            continue
+        base_names = set()
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                base_names.add(base.id)
+            elif isinstance(base, ast.Attribute):
+                base_names.add(base.attr)
+        if base_names & _R005_EXEMPT_BASES:
+            continue
+        methods = {
+            item.name
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if methods & _MUTATOR_NAMES and "check_invariants" not in methods:
+            yield (
+                node.lineno,
+                f"public mutating class {node.name} has no check_invariants "
+                "method, so the sanitizer cannot audit it",
+            )
+
+
+def _check_r006(
+    module: ast.Module, ctx: FileContext
+) -> Iterator[tuple[int, str]]:
+    """R006: ``np.argsort(...)[:k]`` where ``np.argpartition`` suffices.
+
+    A full sort is ``O(n log n)``; selecting the top-``k`` then sorting only
+    those is ``O(n + k log k)`` — the pattern every top-k path in this repo
+    uses (see ``repro/ivf/ivfpq.py::_top_k``).
+    """
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Subscript):
+            continue
+        value = node.value
+        if not (
+            _is_numpy_call(value)
+            and value.func.attr == "argsort"  # type: ignore[union-attr]
+        ):
+            continue
+        index = node.slice
+        if (
+            isinstance(index, ast.Slice)
+            and index.lower is None
+            and index.upper is not None
+            and index.step is None
+        ):
+            yield (
+                node.lineno,
+                "np.argsort(...)[:k] on a top-k path; use np.argpartition "
+                "then sort only the selected k",
+            )
+
+
+#: The rule registry, in report order.
+RULES: tuple[Rule, ...] = (
+    Rule(
+        "R001",
+        "python for loop over an ndarray in a hot module",
+        True,
+        _check_r001,
+    ),
+    Rule(
+        "R002",
+        "array constructor without explicit dtype in a hot module",
+        True,
+        _check_r002,
+    ),
+    Rule("R003", "mutable default argument", False, _check_r003),
+    Rule("R004", "bare or over-broad except", False, _check_r004),
+    Rule(
+        "R005",
+        "public mutating index class missing check_invariants",
+        False,
+        _check_r005,
+    ),
+    Rule(
+        "R006",
+        "np.argsort where np.argpartition suffices on a top-k path",
+        False,
+        _check_r006,
+    ),
+)

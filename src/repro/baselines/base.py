@@ -114,6 +114,18 @@ class AttributeDirectory:
         mask[ids] = True
         return mask
 
+    def check_invariants(self) -> None:
+        """Verify the sorted key list and the oid→attr map agree."""
+        assert len(self._keys) == len(self._attr_of), (
+            "key list and attr map disagree on size"
+        )
+        for earlier, later in zip(self._keys, self._keys[1:]):
+            assert earlier <= later, "directory keys out of order"
+        for attr, oid in self._keys:
+            assert self._attr_of.get(oid) == attr, (
+                f"key ({attr}, {oid}) not mirrored in the attr map"
+            )
+
     def memory_bytes(self) -> int:
         """C-equivalent bytes: one (attr, oid) pair = 12 B per entry."""
         return 12 * len(self._keys)

@@ -123,6 +123,22 @@ class BruteForceRangeIndex:
             stats=stats,
         )
 
+    def check_invariants(self) -> None:
+        """Verify row-map bijectivity and free-row sentinels."""
+        capacity = len(self._oid_of_row)
+        assert len(self._attrs) == capacity == len(self._vectors)
+        assert len(self._row_of) + len(self._free_rows) == capacity, (
+            "live + free rows != capacity"
+        )
+        free = set(self._free_rows)
+        assert len(free) == len(self._free_rows), "duplicate free rows"
+        for row in free:
+            assert self._oid_of_row[row] == -1, f"free row {row} keeps an oid"
+        for oid, row in self._row_of.items():
+            assert row not in free, f"live object {oid} on a free row"
+            assert self._oid_of_row[row] == oid, f"row map broken for {oid}"
+            assert not np.isnan(self._attrs[row]), f"live object {oid} has NaN attr"
+
     def memory_bytes(self) -> int:
         """C-equivalent bytes: float32 vectors + attr + ID per object."""
         return len(self) * (4 * self.dim + 8 + 4)

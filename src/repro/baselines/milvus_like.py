@@ -306,6 +306,24 @@ class MilvusLikeIndex:
         return ids[keep], distances
 
     # ------------------------------------------------------------------
+    # Invariant checking (sanitizer hook)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify segment/IVF partitioning against the attribute directory."""
+        self.directory.check_invariants()
+        self.ivf.check_invariants()
+        assert len(self._segment) < self.segment_threshold, (
+            "growing segment exceeded the flush threshold"
+        )
+        for oid in self._segment:
+            assert oid in self.directory, f"segment object {oid} not in directory"
+            assert oid not in self.ivf, f"object {oid} both buffered and sealed"
+            assert oid <= self._max_oid, f"segment oid {oid} above max watermark"
+        assert len(self._segment) + len(self.ivf) == len(self.directory), (
+            "segment + sealed objects != directory size"
+        )
+
+    # ------------------------------------------------------------------
     # Memory model (float-stored PQ codes)
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:

@@ -245,6 +245,26 @@ class RIIIndex:
         return candidates, distances
 
     # ------------------------------------------------------------------
+    # Invariant checking (sanitizer hook)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify the sorted frame mirrors the IVF contents."""
+        self.ivf.check_invariants()
+        assert len(self._frame_attrs) == len(self._frame_oids), (
+            "frame attr/oid arrays out of sync"
+        )
+        assert len(self._frame_oids) == len(self.ivf), (
+            "frame and IVF disagree on object count"
+        )
+        for earlier, later in zip(self._frame_attrs, self._frame_attrs[1:]):
+            assert earlier <= later, "frame attrs out of order"
+        seen: set[int] = set()
+        for oid in self._frame_oids.tolist():
+            assert oid not in seen, f"object {oid} duplicated in the frame"
+            seen.add(oid)
+            assert oid in self.ivf, f"frame object {oid} missing from the IVF"
+
+    # ------------------------------------------------------------------
     # Memory model
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:

@@ -212,6 +212,20 @@ class VBaseIndex:
         )
 
     # ------------------------------------------------------------------
+    # Invariant checking (sanitizer hook)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify heap, attribute index, and ANN index stay in lockstep."""
+        self.directory.check_invariants()
+        self.ivf.check_invariants()
+        assert len(self.directory) == len(self._vectors) == len(self.ivf), (
+            "heap, directory, and IVF disagree on object count"
+        )
+        for oid in self._vectors:
+            assert oid in self.directory, f"heap object {oid} not in directory"
+            assert oid in self.ivf, f"heap object {oid} missing from the IVF"
+
+    # ------------------------------------------------------------------
     # Memory model
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:

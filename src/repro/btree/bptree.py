@@ -387,6 +387,17 @@ class BPlusAttributeDirectory:
         mask[ids[ids < universe]] = True
         return mask
 
+    def check_invariants(self) -> None:
+        """Verify the tree and the oid→attr map agree."""
+        self._tree.check_invariants()
+        assert len(self._tree) == len(self._attr_of), (
+            "tree and attr map disagree on size"
+        )
+        for oid, attr in self._attr_of.items():
+            assert (attr, oid) in self._tree, (
+                f"key ({attr}, {oid}) missing from the tree"
+            )
+
     def memory_bytes(self) -> int:
         """Cost-model bytes of the underlying tree."""
         return self._tree.memory_bytes()

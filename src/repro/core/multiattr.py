@@ -168,6 +168,23 @@ class MultiAttrRangePQ:
             stats,
         )
 
+    # ------------------------------------------------------------------
+    # Invariant checking (sanitizer hook)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify the secondary columns mirror the primary index exactly."""
+        self.index.check_invariants()
+        live = set(self.index._attr)
+        for name, column in self.secondary.items():
+            missing = live - set(column)
+            assert not missing, (
+                f"secondary column {name!r} missing {len(missing)} live objects"
+            )
+            stale = set(column) - live
+            assert not stale, (
+                f"secondary column {name!r} keeps {len(stale)} deleted objects"
+            )
+
     def _estimate_selectivity(self, cover, passes) -> float:
         """Fraction of a primary-range sample passing the secondary filters."""
         sampled = 0

@@ -316,6 +316,41 @@ class RangePQ:
         ]
 
     # ------------------------------------------------------------------
+    # Invariant checking (sanitizer hook; mirrors RangePQ+)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify the tree, the IVF store, and the attr map stay in lockstep.
+
+        Delegates the structural checks (ordering, aggregates, α-balance,
+        lazy-deletion accounting) to :meth:`RangeTree.check_invariants` and
+        :meth:`IVFPQIndex.check_invariants`, then cross-checks the three
+        stores: every live object appears once in each, with a consistent
+        attribute and coarse-cluster assignment.
+        """
+        from ..tree.wbt import _inorder
+
+        self.tree.check_invariants()
+        self.ivf.check_invariants()
+        assert len(self._attr) == len(self.ivf), (
+            "attr map and IVF disagree on object count"
+        )
+        live = 0
+        for node in _inorder(self.tree.root):
+            if not node.valid:
+                continue
+            live += 1
+            assert self._attr.get(node.oid) == node.attr, (
+                f"tree node ({node.attr}, {node.oid}) not mirrored in attrs"
+            )
+            assert self.ivf.cluster_of(node.oid) == node.cluster, (
+                f"object {node.oid}: tree cluster {node.cluster} != "
+                f"IVF cluster {self.ivf.cluster_of(node.oid)}"
+            )
+        assert live == len(self._attr), (
+            "valid tree nodes do not cover the live objects"
+        )
+
+    # ------------------------------------------------------------------
     # Memory accounting (Fig. 8 cost model)
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:

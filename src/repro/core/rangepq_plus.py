@@ -643,9 +643,17 @@ class RangePQPlus:
                 assert node.clp <= true_lo and node.crp >= true_hi
                 assert true_lo > previous_crp
                 previous_crp = max(previous_crp, node.crp)
-            for members in node.ht.values():
+            for cluster, members in node.ht.items():
                 for oid in members:
                     assert oid in node.attrs
+                    assert self.ivf.cluster_of(oid) == cluster, (
+                        f"object {oid}: bucket cluster {cluster} != "
+                        f"IVF cluster {self.ivf.cluster_of(oid)}"
+                    )
+            for oid, attr in node.attrs.items():
+                assert self._attr.get(oid) == attr, (
+                    f"bucket object ({attr}, {oid}) not mirrored in attrs"
+                )
             assert sum(len(m) for m in node.ht.values()) == len(node.attrs)
             counts: dict[int, int] = {}
             _collect_counts(node, counts)
@@ -657,6 +665,10 @@ class RangePQPlus:
                 assert smaller >= self.alpha * node.size - 1e-9
         sparse = sum(1 for node in nodes if self._is_sparse(node))
         assert sparse == self._sparse
+        assert len(self._attr) == len(self.ivf), (
+            "attr map and IVF disagree on object count"
+        )
+        self.ivf.check_invariants()
 
 
 def _collect_counts(node: HybridNode | None, counts: dict[int, int]) -> None:

@@ -291,6 +291,14 @@ class VectorTable:
         ]
 
     # ------------------------------------------------------------------
+    # Invariant checking (sanitizer hook)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Delegate to the backing index (no-op before training)."""
+        if self._index is not None:
+            self._index.check_invariants()
+
+    # ------------------------------------------------------------------
     # Persistence / introspection
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> Path:

@@ -52,6 +52,23 @@ class ClaimResult:
     claim: Claim
     passed: bool
     detail: str
+    #: Exception type name when the check raised instead of returning.
+    error: str | None = None
+
+
+#: Exceptions a claim check may legitimately raise against a misbehaving
+#: reproduction (bad shapes, missing keys, numerical blow-ups).  Anything
+#: outside this set — including KeyboardInterrupt — propagates.
+_SWEEP_ERRORS = (
+    KeyError,
+    IndexError,
+    ValueError,
+    TypeError,
+    ArithmeticError,
+    RuntimeError,
+    AssertionError,
+    np.linalg.LinAlgError,
+)
 
 
 class _Context:
@@ -244,11 +261,17 @@ def run_regression(
     ctx = _Context(profile, seed)
     results = []
     for claim in claims:
+        error_name: str | None = None
         try:
             passed, detail = claim.check(ctx)
-        except Exception as error:  # surface, don't crash the sweep
-            passed, detail = False, f"check raised {type(error).__name__}: {error}"
-        results.append(ClaimResult(claim=claim, passed=passed, detail=detail))
+        except _SWEEP_ERRORS as error:  # surface, don't crash the sweep
+            error_name = type(error).__name__
+            passed, detail = False, f"check raised {error_name}: {error}"
+        results.append(
+            ClaimResult(
+                claim=claim, passed=passed, detail=detail, error=error_name
+            )
+        )
     return results
 
 

@@ -280,6 +280,40 @@ class HNSWIndex:
         )
 
     # ------------------------------------------------------------------
+    # Invariant checking (sanitizer hook)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify node maps, entry point, and layer-respecting edges."""
+        assert self._count == len(self._oid_of) == len(self._idx_of)
+        assert self._count == len(self._neighbors)
+        assert len(self._vectors) >= self._count, "vector store under-allocated"
+        for idx, oid in enumerate(self._oid_of):
+            assert self._idx_of[oid] == idx, f"oid/idx maps disagree at {oid}"
+        if self._count == 0:
+            assert self._entry is None and self._max_level == -1
+            return
+        assert self._entry is not None and 0 <= self._entry < self._count
+        assert len(self._neighbors[self._entry]) - 1 == self._max_level, (
+            "entry point does not reach the top layer"
+        )
+        for idx, layers in enumerate(self._neighbors):
+            assert 1 <= len(layers) <= self._max_level + 1
+            for layer, links in enumerate(layers):
+                limit = 2 * self.m if layer == 0 else self.m
+                assert len(links) <= limit, (
+                    f"node {idx} layer {layer} degree {len(links)} > {limit}"
+                )
+                assert len(set(links)) == len(links), (
+                    f"duplicate edge at node {idx} layer {layer}"
+                )
+                for neighbor in links:
+                    assert 0 <= neighbor < self._count, "edge to missing node"
+                    assert neighbor != idx, f"self-loop at node {idx}"
+                    assert len(self._neighbors[neighbor]) > layer, (
+                        f"edge {idx}->{neighbor} above {neighbor}'s level"
+                    )
+
+    # ------------------------------------------------------------------
     # Memory model
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:

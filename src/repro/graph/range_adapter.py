@@ -186,11 +186,35 @@ class HNSWRangeIndex:
         distances = squared_l2(vectors, query)
         stats.num_candidates = len(ids)
         k = min(k, len(ids))
-        order = np.argsort(distances, kind="stable")[:k]
+        if k < len(ids):
+            part = np.argpartition(distances, k - 1)[:k]
+            order = part[np.argsort(distances[part], kind="stable")]
+        else:
+            order = np.argsort(distances, kind="stable")
         return QueryResult(
             ids=ids[order].astype(np.int64), distances=distances[order],
             stats=stats,
         )
+
+    # ------------------------------------------------------------------
+    # Invariant checking (sanitizer hook)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify tombstone accounting and directory/graph agreement."""
+        self.graph.check_invariants()
+        self.directory.check_invariants()
+        live = set(self.directory._attr_of)
+        assert not (live & self._tombstones), "live object also tombstoned"
+        for oid in live:
+            assert oid in self.graph, f"live object {oid} missing from graph"
+        for oid in self._tombstones:
+            assert oid in self.graph, f"tombstone {oid} missing from graph"
+        assert len(self.graph) == len(live) + len(self._tombstones), (
+            "graph holds nodes that are neither live nor tombstoned"
+        )
+        assert 2 * len(self._tombstones) <= len(self.graph) or not len(
+            self.graph
+        ), "tombstone rebuild threshold exceeded without rebuild"
 
     # ------------------------------------------------------------------
     # Memory model

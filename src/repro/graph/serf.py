@@ -236,6 +236,31 @@ class SegmentGraphIndex:
         )
 
     # ------------------------------------------------------------------
+    # Invariant checking (sanitizer hook)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify sorted insertion order and edge-interval sanity."""
+        if self._vectors is None:
+            assert not self._edges
+            return
+        n = len(self)
+        assert len(self._attrs) == n == len(self._oids)
+        assert len(self._edges) == n
+        for earlier, later in zip(self._attrs, self._attrs[1:]):
+            assert earlier <= later, "attrs not ascending in insertion order"
+        for node, adjacency in enumerate(self._edges):
+            live = 0
+            for edge in adjacency:
+                assert 0 <= edge.target < n, "edge to missing node"
+                assert edge.target != node, f"self-loop at node {node}"
+                assert 1 <= edge.birth <= n, f"bad birth step at node {node}"
+                assert edge.death > edge.birth, "edge dies before it is born"
+                live += edge.death == math.inf
+            assert live <= 2 * self.m + 1, (
+                f"node {node} live out-degree {live} exceeds the prune bound"
+            )
+
+    # ------------------------------------------------------------------
     # Memory model
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:

@@ -174,6 +174,35 @@ class IVFFlatIndex:
         return IVFSearchResult(ids, dists, len(candidates), len(probed))
 
     # ------------------------------------------------------------------
+    # Invariant checking (sanitizer hook)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify row-map bijectivity, free-list hygiene, and list membership."""
+        capacity = len(self._oid_of_row)
+        assert len(self._clusters) == capacity, "clusters/rows capacity mismatch"
+        assert len(self._row_of) + len(self._free_rows) == capacity, (
+            "live + free rows != capacity"
+        )
+        free = set(self._free_rows)
+        assert len(free) == len(self._free_rows), "duplicate free rows"
+        for row in free:
+            assert self._oid_of_row[row] == -1, f"free row {row} keeps an oid"
+            assert self._clusters[row] == -1, f"free row {row} keeps a cluster"
+        members_total = 0
+        for oid, row in self._row_of.items():
+            assert row not in free, f"live object {oid} on a free row"
+            assert self._oid_of_row[row] == oid, f"row map broken for {oid}"
+            cluster = int(self._clusters[row])
+            assert 0 <= cluster < len(self._lists), f"bad cluster for {oid}"
+            assert oid in self._lists[cluster], (
+                f"object {oid} missing from inverted list {cluster}"
+            )
+        members_total = sum(len(inverted) for inverted in self._lists)
+        assert members_total == len(self._row_of), (
+            "inverted lists do not partition the stored objects"
+        )
+
+    # ------------------------------------------------------------------
     # Memory model
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:

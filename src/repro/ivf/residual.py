@@ -150,6 +150,26 @@ class ResidualIVFPQIndex:
         return IVFSearchResult(top_ids, top_dists, candidates, len(probed))
 
     # ------------------------------------------------------------------
+    # Invariant checking (sanitizer hook)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify members/codes stay aligned and object IDs stay unique."""
+        if self.coarse is not None:
+            assert len(self._members) == self.num_clusters
+        assert len(self._members) == len(self._codes)
+        seen: set[int] = set()
+        for cluster, (members, codes) in enumerate(
+            zip(self._members, self._codes)
+        ):
+            assert len(members) == len(codes), (
+                f"cluster {cluster}: {len(members)} members, "
+                f"{len(codes)} codes"
+            )
+            for oid in members:
+                assert oid not in seen, f"object {oid} stored twice"
+                seen.add(oid)
+
+    # ------------------------------------------------------------------
     # Memory model
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:

@@ -1,0 +1,358 @@
+"""The lint pass (rules R001-R006, noqa, baselines, CLI) and the sanitizer."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    RULES,
+    SanitizedIndex,
+    apply_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    render_json,
+    render_text,
+    sanitized,
+    write_baseline,
+)
+from repro.analysis import sanitize
+from repro.core import RangePQPlus
+from repro.tree import RangeTree
+
+REPO = Path(__file__).resolve().parent.parent
+HOT = "src/repro/ivf/_fixture.py"
+COLD = "src/repro/eval/_fixture.py"
+
+R001_SRC = textwrap.dedent(
+    """
+    import numpy as np
+
+    def row_sums(xs):
+        arr = np.asarray(xs, dtype=np.float64)
+        total = 0.0
+        for row in arr:
+            total += float(row.sum())
+        return total
+    """
+)
+
+R002_SRC = textwrap.dedent(
+    """
+    import numpy as np
+
+    def scratch(n):
+        return np.zeros(n)
+    """
+)
+
+R003_SRC = textwrap.dedent(
+    """
+    def collect(item, seen=[]):
+        seen.append(item)
+        return seen
+    """
+)
+
+R004_SRC = textwrap.dedent(
+    """
+    def guarded(action):
+        try:
+            return action()
+        except Exception:
+            return None
+    """
+)
+
+R005_SRC = textwrap.dedent(
+    """
+    class Store:
+        def __init__(self):
+            self.data = {}
+
+        def insert(self, key, value):
+            self.data[key] = value
+    """
+)
+
+R006_SRC = textwrap.dedent(
+    """
+    import numpy as np
+
+    def top_k(distances, k):
+        return np.argsort(distances)[:k]
+    """
+)
+
+
+# ----------------------------------------------------------------------
+# Each rule fires exactly once on its fixture
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "rule_id, source, path",
+    [
+        ("R001", R001_SRC, HOT),
+        ("R002", R002_SRC, HOT),
+        ("R003", R003_SRC, COLD),
+        ("R004", R004_SRC, COLD),
+        ("R005", R005_SRC, COLD),
+        ("R006", R006_SRC, COLD),
+    ],
+)
+def test_each_rule_fires_exactly_once(rule_id, source, path):
+    findings = lint_source(source, path)
+    assert [f.rule for f in findings] == [rule_id]
+    assert findings[0].path == path
+    assert findings[0].line > 0
+    assert findings[0].text
+
+
+@pytest.mark.parametrize("source", [R001_SRC, R002_SRC])
+def test_hot_rules_stay_silent_off_the_hot_paths(source):
+    assert lint_source(source, COLD) == []
+
+
+def test_syntax_error_reported_as_r000():
+    findings = lint_source("def broken(:\n", COLD)
+    assert [f.rule for f in findings] == ["R000"]
+
+
+# ----------------------------------------------------------------------
+# noqa escape hatch
+# ----------------------------------------------------------------------
+def test_rule_specific_noqa_waives_the_finding():
+    waived = R006_SRC.replace(
+        "np.argsort(distances)[:k]",
+        "np.argsort(distances)[:k]  # repro: noqa-R006",
+    )
+    assert lint_source(waived, COLD) == []
+
+
+def test_noqa_for_a_different_rule_does_not_waive():
+    kept = R006_SRC.replace(
+        "np.argsort(distances)[:k]",
+        "np.argsort(distances)[:k]  # repro: noqa-R001",
+    )
+    assert [f.rule for f in lint_source(kept, COLD)] == ["R006"]
+
+
+def test_bare_noqa_waives_every_rule():
+    waived = R003_SRC.replace(
+        "def collect(item, seen=[]):",
+        "def collect(item, seen=[]):  # repro: noqa",
+    )
+    assert lint_source(waived, COLD) == []
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trip and the committed repo baseline
+# ----------------------------------------------------------------------
+def test_baseline_round_trip(tmp_path):
+    findings = lint_source(R003_SRC, COLD) + lint_source(R006_SRC, COLD)
+    baseline_file = write_baseline(findings, tmp_path / "baseline.json")
+    assert apply_baseline(findings, load_baseline(baseline_file)) == []
+
+
+def test_baseline_is_a_multiset(tmp_path):
+    findings = lint_source(R003_SRC, COLD)
+    baseline_file = write_baseline(findings, tmp_path / "baseline.json")
+    doubled = findings + findings
+    fresh = apply_baseline(doubled, load_baseline(baseline_file))
+    assert fresh == findings  # one covered, one fresh
+
+
+def test_missing_baseline_loads_empty(tmp_path):
+    assert not load_baseline(tmp_path / "absent.json")
+
+
+def test_repo_src_is_clean_against_committed_baseline():
+    findings = lint_paths([REPO / "src"], root=REPO)
+    fresh = apply_baseline(
+        findings, load_baseline(REPO / "lint-baseline.json")
+    )
+    assert fresh == [], render_text(fresh)
+
+
+# ----------------------------------------------------------------------
+# Reporters and rule catalogue
+# ----------------------------------------------------------------------
+def test_render_text_clean_and_dirty():
+    assert render_text([]) == "lint: clean"
+    findings = lint_source(R004_SRC, COLD)
+    report = render_text(findings)
+    assert "R004" in report and "1 finding(s)" in report
+
+
+def test_render_json_is_parseable():
+    findings = lint_source(R005_SRC, COLD)
+    payload = json.loads(render_json(findings))
+    assert payload["findings"][0]["rule"] == "R005"
+
+
+def test_rule_catalogue_covers_r001_to_r006():
+    assert [rule.id for rule in RULES] == [
+        f"R{n:03d}" for n in range(1, 7)
+    ]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _run_cli(*args, cwd):
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "lint", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=120,
+    )
+
+
+def test_cli_reports_findings_and_exits_nonzero(tmp_path):
+    (tmp_path / "bad.py").write_text(R003_SRC)
+    result = _run_cli("bad.py", "--no-baseline", cwd=tmp_path)
+    assert result.returncode == 1
+    assert "R003" in result.stdout
+
+
+def test_cli_json_format(tmp_path):
+    (tmp_path / "bad.py").write_text(R004_SRC)
+    result = _run_cli("bad.py", "--no-baseline", "--format", "json", cwd=tmp_path)
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["findings"][0]["rule"] == "R004"
+
+
+def test_cli_clean_file_exits_zero(tmp_path):
+    (tmp_path / "fine.py").write_text('"""Nothing to see."""\n')
+    result = _run_cli("fine.py", "--no-baseline", cwd=tmp_path)
+    assert result.returncode == 0
+    assert "lint: clean" in result.stdout
+
+
+def test_cli_list_rules(tmp_path):
+    result = _run_cli("--list-rules", cwd=tmp_path)
+    assert result.returncode == 0
+    for number in range(1, 7):
+        assert f"R{number:03d}" in result.stdout
+
+
+def test_cli_write_then_gate(tmp_path):
+    (tmp_path / "bad.py").write_text(R006_SRC)
+    wrote = _run_cli("bad.py", "--write-baseline", cwd=tmp_path)
+    assert wrote.returncode == 0
+    gated = _run_cli("bad.py", "--baseline", cwd=tmp_path)
+    assert gated.returncode == 0, gated.stdout
+
+
+# ----------------------------------------------------------------------
+# Sanitizer: proxy wrapper
+# ----------------------------------------------------------------------
+def _small_plus_index(n=300, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(n, dim))
+    attrs = rng.uniform(0.0, 100.0, size=n)
+    return RangePQPlus.build(vectors, attrs, num_subspaces=4, seed=seed), rng
+
+
+def test_sanitized_wrapper_counts_and_forwards():
+    index, rng = _small_plus_index()
+    wrapper = sanitized(index, every=1)
+    assert wrapper.wrapped is index
+    assert len(wrapper) == len(index)
+    wrapper.insert(10_000, rng.normal(size=8), 55.0)
+    wrapper.delete(10_000)
+    assert wrapper.mutation_count == 2
+    assert 10_000 not in wrapper
+    result = wrapper.query(rng.normal(size=8), 10.0, 90.0, 5)
+    assert len(result.ids) == 5
+
+
+def test_sanitized_requires_check_invariants():
+    with pytest.raises(TypeError):
+        sanitized(object())
+
+
+def test_sanitizer_catches_corrupted_subtree_aggregate():
+    index, rng = _small_plus_index()
+    wrapper = sanitized(index, every=1)
+    node = index.root
+    cluster = next(iter(node.num))
+    node.num[cluster] += 1  # drift the aggregate away from its leaves
+    with pytest.raises(AssertionError):
+        wrapper.insert(10_000, rng.normal(size=8), 55.0)
+
+
+def test_sanitizer_catches_balance_violation():
+    tree = RangeTree()
+    tree._maintain = lambda node: node  # disable repairs: tree degenerates
+    wrapper = sanitized(tree, every=1)
+    with pytest.raises(AssertionError):
+        for step in range(16):
+            wrapper.insert(float(step), step, 0)
+
+
+# ----------------------------------------------------------------------
+# Sanitizer: global install
+# ----------------------------------------------------------------------
+@pytest.fixture
+def clean_sanitizer():
+    """Start from an uninstalled sanitizer; restore the prior state after.
+
+    Under ``REPRO_SANITIZE=1`` the whole suite runs with the sanitizer
+    installed at import time — these tests must not leave it torn down.
+    """
+    was_installed = bool(sanitize._installed)
+    sanitize.uninstall()
+    yield
+    sanitize.uninstall()
+    if was_installed:
+        sanitize.install()
+
+
+def test_install_and_uninstall_patch_registered_mutators(clean_sanitizer):
+    original = RangeTree.__dict__["insert"]
+    sanitize.install(every=1)
+    try:
+        assert getattr(RangeTree.insert, "__repro_sanitized__", False)
+        tree = RangeTree()
+        for step in range(8):
+            tree.insert(float(step), step, 0)
+        assert tree._sanitize_mutations == 8
+    finally:
+        sanitize.uninstall()
+    assert RangeTree.__dict__["insert"] is original
+
+
+def test_install_is_idempotent(clean_sanitizer):
+    sanitize.install(every=1)
+    patched = RangeTree.__dict__["insert"]
+    sanitize.install(every=1)
+    assert RangeTree.__dict__["insert"] is patched
+
+
+def test_env_variable_installs_at_import_time():
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"), REPRO_SANITIZE="1")
+    probe = (
+        "import repro\n"
+        "from repro.tree.wbt import RangeTree\n"
+        "assert getattr(RangeTree.insert, '__repro_sanitized__', False)\n"
+        "print('sanitized')\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", probe],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "sanitized" in result.stdout

@@ -13,6 +13,7 @@ DOCS = [
     REPO / "DESIGN.md",
     REPO / "docs" / "algorithms.md",
     REPO / "docs" / "tuning.md",
+    REPO / "docs" / "analysis.md",
 ]
 
 #: Backticked tokens that look like repo paths: segments/with/slashes ending

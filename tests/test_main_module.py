@@ -1,0 +1,26 @@
+"""`python -m repro` must stay a working self-check entry point."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _run_module(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+        timeout=300,
+    )
+
+
+def test_python_dash_m_repro_self_check_passes():
+    result = _run_module()
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "self-check: OK" in result.stdout

@@ -78,7 +78,7 @@ class RangePQMachine(RuleBasedStateMachine):
     @invariant()
     def tree_is_sound(self):
         if hasattr(self, "index"):
-            self.index.tree.check_invariants()
+            self.index.check_invariants()
             assert len(self.index) == len(self.live)
 
 
