@@ -1,0 +1,224 @@
+"""Extension — batched serving throughput of the batch execution engine.
+
+Replays a Zipf-skewed request stream (a small pool of popular query vectors,
+a handful of popular range filters — the shape of real serving traffic)
+through ``batch_search`` at increasing batch sizes.  Larger batches amortize
+more: identical requests coalesce, same-range requests share one tree
+decomposition and member materialization, and the ADC-table cache absorbs
+repeated query vectors.  Results stay bitwise identical to sequential
+``query`` calls at every batch size.
+
+Standalone (prints a throughput table; ``--smoke`` for CI)::
+
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py --smoke
+
+or as a pytest-benchmark suite: ``pytest benchmarks/bench_batch_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+import pytest
+
+from repro.core import AdaptiveLPolicy, RangePQPlus
+from repro.datasets import load_workload
+from repro.eval.harness import scaled_l_base
+from repro.eval.latency import measure_batch_throughput
+
+#: Full-profile defaults (the acceptance setting: 10k-vector sift_like).
+DEFAULT_N = 10_000
+DEFAULT_DIM = 64
+DEFAULT_REQUESTS = 512
+DEFAULT_BATCH_SIZES = (1, 4, 16, 64, 256)
+DEFAULT_POOL = 64
+DEFAULT_TEMPLATES = 8
+DEFAULT_K = 20
+DEFAULT_ZIPF = 1.3
+
+#: Coverages the range templates are drawn from (paper-style grid subset).
+TEMPLATE_COVERAGES = (0.01, 0.05, 0.10, 0.40)
+
+
+def build_serving_workload(
+    *,
+    n: int = DEFAULT_N,
+    dim: int = DEFAULT_DIM,
+    num_requests: int = DEFAULT_REQUESTS,
+    pool_size: int = DEFAULT_POOL,
+    num_templates: int = DEFAULT_TEMPLATES,
+    zipf_s: float = DEFAULT_ZIPF,
+    seed: int = 0,
+) -> tuple[RangePQPlus, np.ndarray, list[tuple[float, float]]]:
+    """Build a RangePQ+ index plus a Zipf-shaped request stream.
+
+    Query vectors are drawn Zipf(``zipf_s``) from a pool of ``pool_size``
+    distinct vectors; ranges are drawn uniformly from ``num_templates``
+    fixed templates spanning the paper's coverage grid.  Returns
+    ``(index, queries, ranges)`` with ``len(queries) == num_requests``.
+    """
+    workload = load_workload(
+        "sift", n=n, d=dim, num_queries=pool_size, seed=seed
+    )
+    l_base = scaled_l_base("sift", n)
+    index = RangePQPlus.build(
+        workload.vectors,
+        workload.attrs,
+        seed=seed,
+        l_policy=AdaptiveLPolicy(l_base=l_base, r_base=0.10),
+    )
+    rng = np.random.default_rng(seed + 1)
+    templates = [
+        workload.range_for_coverage(
+            TEMPLATE_COVERAGES[t % len(TEMPLATE_COVERAGES)], rng
+        )
+        for t in range(num_templates)
+    ]
+    # Zipf-ranked pool: request i asks pool vector with probability ∝ rank^-s.
+    weights = np.arange(1, pool_size + 1, dtype=np.float64) ** -zipf_s
+    weights /= weights.sum()
+    picks = rng.choice(pool_size, size=num_requests, p=weights)
+    queries = workload.queries[picks]
+    ranges = [templates[int(t)] for t in rng.integers(0, num_templates, num_requests)]
+    return index, queries, ranges
+
+
+def run(
+    *,
+    n: int = DEFAULT_N,
+    dim: int = DEFAULT_DIM,
+    num_requests: int = DEFAULT_REQUESTS,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    pool_size: int = DEFAULT_POOL,
+    num_templates: int = DEFAULT_TEMPLATES,
+    zipf_s: float = DEFAULT_ZIPF,
+    k: int = DEFAULT_K,
+    seed: int = 0,
+    verbose: bool = True,
+):
+    """Measure and (optionally) print the batch-size throughput sweep."""
+    index, queries, ranges = build_serving_workload(
+        n=n,
+        dim=dim,
+        num_requests=num_requests,
+        pool_size=pool_size,
+        num_templates=num_templates,
+        zipf_s=zipf_s,
+        seed=seed,
+    )
+    points = measure_batch_throughput(
+        index, queries, ranges, k, batch_sizes=batch_sizes
+    )
+    baseline = points[0].qps
+    if verbose:
+        print(
+            f"RangePQ+ batched throughput — n={n}, d={dim}, "
+            f"{num_requests} requests, pool={pool_size}, "
+            f"{num_templates} range templates, zipf_s={zipf_s}, k={k}"
+        )
+        header = (
+            f"{'batch':>6} {'qps':>9} {'speedup':>8} {'cache_hit':>10} "
+            f"{'plans':>6} {'plan_shared':>12}"
+        )
+        print(header)
+        for point in points:
+            print(
+                f"{point.batch_size:>6} {point.qps:>9.1f} "
+                f"{point.qps / baseline:>7.2f}x "
+                f"{point.table_cache_hit_rate:>9.1%} "
+                f"{point.num_plans:>6} {point.shared_plan_queries:>12}"
+            )
+    return points
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Batched query throughput vs batch size on RangePQ+."
+    )
+    parser.add_argument("--n", type=int, default=DEFAULT_N)
+    parser.add_argument("--dim", type=int, default=DEFAULT_DIM)
+    parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS)
+    parser.add_argument(
+        "--batch-sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_BATCH_SIZES),
+    )
+    parser.add_argument("--pool", type=int, default=DEFAULT_POOL)
+    parser.add_argument("--templates", type=int, default=DEFAULT_TEMPLATES)
+    parser.add_argument("--zipf", type=float, default=DEFAULT_ZIPF)
+    parser.add_argument("--k", type=int, default=DEFAULT_K)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI profile (n=1200) exercising the full batch path",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n, args.dim = 1200, 32
+        args.requests, args.pool, args.templates = 128, 16, 4
+        args.batch_sizes = [1, 16, 64]
+    points = run(
+        n=args.n,
+        dim=args.dim,
+        num_requests=args.requests,
+        batch_sizes=args.batch_sizes,
+        pool_size=args.pool,
+        num_templates=args.templates,
+        zipf_s=args.zipf,
+        k=args.k,
+        seed=args.seed,
+    )
+    hit_rates = [point.table_cache_hit_rate for point in points]
+    if max(hit_rates) <= 0.0:
+        print("FAIL: ADC-table cache never hit under the Zipf workload")
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (collected by ``pytest benchmarks/``)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def serving_setup():
+    from benchmarks.conftest import BENCH_PROFILE, SEED
+
+    index, queries, ranges = build_serving_workload(
+        n=BENCH_PROFILE.n,
+        dim=BENCH_PROFILE.dims["sift"],
+        num_requests=128,
+        pool_size=16,
+        num_templates=4,
+        seed=SEED,
+    )
+    return index, queries, ranges, BENCH_PROFILE.k
+
+
+@pytest.mark.parametrize("batch_size", [1, 16, 64])
+def test_batch_throughput(benchmark, batch_size, serving_setup):
+    index, queries, ranges, k = serving_setup
+    pairs = list(zip(queries, ranges))
+
+    def replay():
+        index.ivf.clear_caches()
+        for start in range(0, len(pairs), batch_size):
+            chunk = pairs[start : start + batch_size]
+            index.batch_search(
+                np.asarray([query for query, _ in chunk]),
+                [rng for _, rng in chunk],
+                k,
+            )
+
+    benchmark.extra_info["batch_size"] = batch_size
+    benchmark.extra_info["requests"] = len(pairs)
+    benchmark(replay)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

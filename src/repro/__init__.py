@@ -20,12 +20,15 @@ from .analysis.sanitize import install as _install_sanitizer
 from .analysis.sanitize import sanitize_enabled as _sanitize_enabled
 from .core import (
     AdaptiveLPolicy,
+    BatchResult,
+    BatchStats,
     FixedLPolicy,
     LPolicy,
     QueryResult,
     QueryStats,
     RangePQ,
     RangePQPlus,
+    execute_batch,
 )
 from .ivf import IVFPQIndex
 from .quantization import ProductQuantizer
@@ -42,6 +45,9 @@ __all__ = [
     "LPolicy",
     "QueryResult",
     "QueryStats",
+    "BatchResult",
+    "BatchStats",
+    "execute_batch",
     "__version__",
 ]
 

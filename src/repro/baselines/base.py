@@ -25,7 +25,7 @@ import numpy as np
 
 from ..core.results import QueryResult
 
-__all__ = ["RangeFilteredIndex", "AttributeDirectory"]
+__all__ = ["RangeFilteredIndex", "BatchSearchMixin", "AttributeDirectory"]
 
 
 @runtime_checkable
@@ -47,6 +47,34 @@ class RangeFilteredIndex(Protocol):
         """C-equivalent bytes of the index structures."""
 
     def __len__(self) -> int: ...
+
+
+class BatchSearchMixin:
+    """Uniform multi-query entry point shared by every index class.
+
+    Mixing this in gives a class ``batch_search``, which routes through
+    :func:`repro.core.batch.execute_batch`: RangePQ-family indexes (those
+    with ``plan_query``) share range plans and batched ADC kernels; plain
+    baselines fall back to a per-request loop that still benefits from the
+    IVF-level ADC-table cache.  Results are bitwise identical to calling
+    ``query`` per request.
+    """
+
+    def batch_search(
+        self,
+        queries: np.ndarray,
+        ranges,
+        k: int,
+        **kwargs,
+    ):
+        """Answer ``(queries[i], ranges[i])`` for all ``i``; see
+        :func:`repro.core.batch.execute_batch` for options and the returned
+        :class:`~repro.core.batch.BatchResult`."""
+        # Imported lazily: repro.core imports this module for the mixin, so
+        # a module-level import of repro.core.batch here would be circular.
+        from ..core.batch import execute_batch
+
+        return execute_batch(self, queries, ranges, k, **kwargs)
 
 
 class AttributeDirectory:

@@ -13,12 +13,13 @@ from typing import Sequence
 import numpy as np
 
 from ..core.results import QueryResult, QueryStats
+from .base import BatchSearchMixin
 from ..quantization import squared_l2
 
 __all__ = ["BruteForceRangeIndex"]
 
 
-class BruteForceRangeIndex:
+class BruteForceRangeIndex(BatchSearchMixin):
     """Exact range-filtered k-NN over raw vectors with dynamic updates.
 
     Storage is a growable row store with a free list, so inserts and deletes

@@ -32,7 +32,7 @@ import numpy as np
 from ..core.results import QueryResult, QueryStats
 from ..ivf import IVFPQIndex
 from ..quantization import squared_l2
-from .base import AttributeDirectory
+from .base import AttributeDirectory, BatchSearchMixin
 
 __all__ = ["MilvusLikeIndex", "MilvusStrategy"]
 
@@ -46,7 +46,7 @@ class MilvusStrategy(enum.Enum):
     AUTO = "auto"
 
 
-class MilvusLikeIndex:
+class MilvusLikeIndex(BatchSearchMixin):
     """Milvus-style range-filtered ANN over IVFPQ with segment buffering.
 
     Args:

@@ -25,12 +25,13 @@ from typing import Sequence
 import numpy as np
 
 from ..core.results import QueryResult, QueryStats
+from .base import BatchSearchMixin
 from ..ivf import IVFPQIndex
 
 __all__ = ["RIIIndex"]
 
 
-class RIIIndex:
+class RIIIndex(BatchSearchMixin):
     """Reconfigurable inverted index with subset (range) queries.
 
     Args:

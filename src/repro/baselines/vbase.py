@@ -28,12 +28,12 @@ import numpy as np
 from ..core.results import QueryResult, QueryStats
 from ..ivf import IVFPQIndex
 from ..quantization import squared_l2
-from .base import AttributeDirectory
+from .base import AttributeDirectory, BatchSearchMixin
 
 __all__ = ["VBaseIndex"]
 
 
-class VBaseIndex:
+class VBaseIndex(BatchSearchMixin):
     """Iterator-model range-filtered ANN with relaxed monotonicity.
 
     Args:

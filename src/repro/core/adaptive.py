@@ -14,6 +14,7 @@ policy against fixed ``L``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = ["LPolicy", "AdaptiveLPolicy", "FixedLPolicy"]
@@ -54,7 +55,12 @@ class AdaptiveLPolicy(LPolicy):
     def choose(self, coverage: float) -> int:
         if coverage < 0.0:
             raise ValueError(f"coverage must be >= 0, got {coverage}")
-        return max(int(self.l_base * coverage / self.r_base), self.l_base)
+        # Clamp: transient overcounts (e.g. a coverage estimate racing a
+        # deletion) must not inflate L past the whole-dataset budget.
+        coverage = min(coverage, 1.0)
+        # Ceil, not floor: the paper's formula implies no truncation loss,
+        # and a floor silently under-budgets every non-multiple coverage.
+        return max(math.ceil(self.l_base * coverage / self.r_base), self.l_base)
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..baselines.base import BatchSearchMixin
 from ..ivf import IVFPQIndex
 from ..tree import (
     RangeTree,
@@ -31,13 +32,14 @@ from ..tree import (
     decompose,
 )
 from .adaptive import AdaptiveLPolicy, LPolicy
-from .results import QueryResult, QueryStats
+from .batch import QueryPlan
+from .results import QueryResult
 from .search import search_by_coarse_centers
 
 __all__ = ["RangePQ"]
 
 
-class RangePQ:
+class RangePQ(BatchSearchMixin):
     """Dynamic range-filtered ANN index with ``O(n log K)`` space.
 
     Args:
@@ -225,6 +227,43 @@ class RangePQ:
     # ------------------------------------------------------------------
     # Queries (Algorithms 1 and 2)
     # ------------------------------------------------------------------
+    def plan_query(self, lo: float, hi: float, *, fetch_mode: str = "guided"):
+        """Build the range-dependent part of a query (Alg. 1).
+
+        Decomposes ``[lo, hi]`` into its canonical cover and derives the
+        candidate clusters, in-range count, and per-cluster member
+        enumerator.  None of this depends on the query *vector*, so the
+        batch engine shares one plan across requests with the same range;
+        :meth:`query` is a thin wrapper over this plus SearchByCCenters.
+
+        Returns:
+            A :class:`~repro.core.batch.QueryPlan`.
+        """
+        if fetch_mode not in ("guided", "rank"):
+            raise ValueError(f"unknown fetch_mode {fetch_mode!r}")
+        tick = time.perf_counter()
+        cover = decompose(self.tree, lo, hi)
+        decompose_ms = (time.perf_counter() - tick) * 1000.0
+        in_range = len(cover.singles) + sum(
+            sum(node.num.values()) for node in cover.full
+        )
+        clusters = sorted(cover_cluster_ids(cover)) if in_range else []
+        if fetch_mode == "guided":
+            members = lambda cluster: cover_iter_cluster(cover, cluster)
+        else:
+            members = lambda cluster: _rank_fetch_iter(cover, cluster)
+        return QueryPlan(
+            lo=float(lo),
+            hi=float(hi),
+            num_in_range=in_range,
+            coverage=in_range / max(len(self), 1),
+            clusters=clusters,
+            members=members,
+            chunked=False,
+            cover_nodes=cover.node_count,
+            decompose_ms=decompose_ms,
+        )
+
     def query(
         self,
         query_vector: np.ndarray,
@@ -255,34 +294,19 @@ class RangePQ:
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        if fetch_mode not in ("guided", "rank"):
-            raise ValueError(f"unknown fetch_mode {fetch_mode!r}")
-        stats = QueryStats()
-        tick = time.perf_counter()
-        cover = decompose(self.tree, lo, hi)
-        stats.decompose_ms = (time.perf_counter() - tick) * 1000.0
-        stats.cover_nodes = cover.node_count
-        in_range = len(cover.singles) + sum(
-            sum(node.num.values()) for node in cover.full
-        )
-        stats.num_in_range = in_range
-        if in_range == 0:
+        plan = self.plan_query(lo, hi, fetch_mode=fetch_mode)
+        stats = plan.fresh_stats()
+        if plan.num_in_range == 0:
             return QueryResult.empty(stats)
         if l_budget is None:
-            coverage = in_range / max(len(self), 1)
-            l_budget = self.l_policy.choose(coverage)
-        clusters = cover_cluster_ids(cover)
-        if fetch_mode == "guided":
-            members = lambda cluster: cover_iter_cluster(cover, cluster)
-        else:
-            members = lambda cluster: _rank_fetch_iter(cover, cluster)
+            l_budget = self.l_policy.choose(plan.coverage)
         return search_by_coarse_centers(
             self.ivf,
             np.asarray(query_vector, dtype=np.float64),
             k,
             l_budget,
-            sorted(clusters),
-            members,
+            plan.clusters,
+            plan.members,
             stats,
         )
 
@@ -296,6 +320,10 @@ class RangePQ:
     ) -> list[QueryResult]:
         """Answer many ``(query, range)`` pairs; convenience wrapper.
 
+        Delegates to :meth:`batch_search` (plan sharing + batched ADC
+        kernels), whose per-request results are bitwise identical to
+        sequential :meth:`query` calls.
+
         Args:
             query_vectors: Array of shape ``(q, d)``.
             ranges: One ``(lo, hi)`` pair per query.
@@ -305,15 +333,9 @@ class RangePQ:
         Returns:
             One :class:`QueryResult` per input pair, in order.
         """
-        query_vectors = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
-        if len(query_vectors) != len(ranges):
-            raise ValueError(
-                f"{len(query_vectors)} queries but {len(ranges)} ranges"
-            )
-        return [
-            self.query(query, lo, hi, k, l_budget=l_budget)
-            for query, (lo, hi) in zip(query_vectors, ranges)
-        ]
+        return list(
+            self.batch_search(query_vectors, ranges, k, l_budget=l_budget)
+        )
 
     # ------------------------------------------------------------------
     # Invariant checking (sanitizer hook; mirrors RangePQ+)

@@ -32,10 +32,12 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..baselines.base import BatchSearchMixin
 from ..ivf import IVFPQIndex
 from ..tree.wbt import BALANCE_EXEMPT_SIZE
 from .adaptive import AdaptiveLPolicy, LPolicy
-from .results import QueryResult, QueryStats
+from .batch import QueryPlan
+from .results import QueryResult
 from .search import search_by_coarse_centers
 
 __all__ = ["RangePQPlus", "HybridNode"]
@@ -119,7 +121,7 @@ class _HybridCover:
         )
 
 
-class RangePQPlus:
+class RangePQPlus(BatchSearchMixin):
     """Dynamic range-filtered ANN index with ``O(n)`` space.
 
     Args:
@@ -480,6 +482,42 @@ class RangePQPlus:
     # ------------------------------------------------------------------
     # Queries (Alg. 5)
     # ------------------------------------------------------------------
+    def plan_query(self, lo: float, hi: float):
+        """Build the range-dependent part of a query (Alg. 5 steps 1-2).
+
+        Mirrors :meth:`RangePQ.plan_query`: hybrid cover decomposition,
+        in-range count, candidate clusters, and a chunked member enumerator
+        — everything Alg. 5 derives from the range alone, shareable across
+        a batch of requests with the same ``(lo, hi)``.
+
+        Returns:
+            A :class:`~repro.core.batch.QueryPlan` (``chunked=True``).
+        """
+        tick = time.perf_counter()
+        cover = self._decompose(lo, hi)
+        decompose_ms = (time.perf_counter() - tick) * 1000.0
+        in_range = sum(len(members) for members in cover.partial_members.values())
+        in_range += sum(node.bucket_len() for node in cover.full_buckets)
+        in_range += sum(sum(node.num.values()) for node in cover.full_subtrees)
+        clusters: set[int] = set(cover.partial_members)
+        for node in cover.full_subtrees:
+            clusters.update(node.sp)
+        for node in cover.full_buckets:
+            clusters.update(node.pn)
+        return QueryPlan(
+            lo=float(lo),
+            hi=float(hi),
+            num_in_range=in_range,
+            coverage=in_range / max(len(self), 1),
+            clusters=sorted(clusters),
+            members=lambda cluster: self._iter_cover_cluster_chunks(
+                cover, cluster
+            ),
+            chunked=True,
+            cover_nodes=cover.node_count,
+            decompose_ms=decompose_ms,
+        )
+
     def query(
         self,
         query_vector: np.ndarray,
@@ -495,32 +533,19 @@ class RangePQPlus:
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        stats = QueryStats()
-        tick = time.perf_counter()
-        cover = self._decompose(lo, hi)
-        stats.decompose_ms = (time.perf_counter() - tick) * 1000.0
-        stats.cover_nodes = cover.node_count
-        in_range = sum(len(members) for members in cover.partial_members.values())
-        in_range += sum(node.bucket_len() for node in cover.full_buckets)
-        in_range += sum(sum(node.num.values()) for node in cover.full_subtrees)
-        stats.num_in_range = in_range
-        if in_range == 0:
+        plan = self.plan_query(lo, hi)
+        stats = plan.fresh_stats()
+        if plan.num_in_range == 0:
             return QueryResult.empty(stats)
         if l_budget is None:
-            coverage = in_range / max(len(self), 1)
-            l_budget = self.l_policy.choose(coverage)
-        clusters: set[int] = set(cover.partial_members)
-        for node in cover.full_subtrees:
-            clusters.update(node.sp)
-        for node in cover.full_buckets:
-            clusters.update(node.pn)
+            l_budget = self.l_policy.choose(plan.coverage)
         return search_by_coarse_centers(
             self.ivf,
             np.asarray(query_vector, dtype=np.float64),
             k,
             l_budget,
-            sorted(clusters),
-            lambda cluster: self._iter_cover_cluster_chunks(cover, cluster),
+            plan.clusters,
+            plan.members,
             stats,
             chunked=True,
         )
@@ -599,15 +624,9 @@ class RangePQPlus:
         l_budget: int | None = None,
     ) -> list[QueryResult]:
         """Answer many ``(query, range)`` pairs; see :meth:`RangePQ.query_batch`."""
-        query_vectors = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
-        if len(query_vectors) != len(ranges):
-            raise ValueError(
-                f"{len(query_vectors)} queries but {len(ranges)} ranges"
-            )
-        return [
-            self.query(query, lo, hi, k, l_budget=l_budget)
-            for query, (lo, hi) in zip(query_vectors, ranges)
-        ]
+        return list(
+            self.batch_search(query_vectors, ranges, k, l_budget=l_budget)
+        )
 
     # ------------------------------------------------------------------
     # Memory accounting (Fig. 8 / Fig. 10 cost model)

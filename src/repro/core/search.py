@@ -31,6 +31,8 @@ def search_by_coarse_centers(
     stats: QueryStats,
     *,
     chunked: bool = False,
+    table: np.ndarray | None = None,
+    center_dist: np.ndarray | None = None,
 ) -> QueryResult:
     """Retrieve the top-``k`` in-range neighbors from candidate clusters.
 
@@ -45,30 +47,40 @@ def search_by_coarse_centers(
         cluster_members: Callable yielding the in-range object IDs of one
             cluster (RangePQ passes a tree-guided iterator, RangePQ+ a
             bucket/hash-table iterator).
-        stats: Mutated in place with work counters.
+        stats: Mutated in place with work counters.  All phase timers
+            *accumulate* (``+=``), so one stats object can aggregate
+            several calls.
         chunked: When True, ``cluster_members`` yields *sequences* of IDs
             (e.g. one list per bucket) instead of individual IDs; draining
             whole chunks avoids per-object Python iteration and is how
             RangePQ+ exploits its bucket layout.
+        table: Optional precomputed ADC table for ``query`` (the batch
+            engine passes tables built once per unique query); defaults to
+            ``ivf.distance_table(query)``.
+        center_dist: Optional precomputed ``(K,)`` center-distance array
+            for ``query``; defaults to ``ivf.center_distances(query)``.
 
     Returns:
         A :class:`QueryResult` with up to ``k`` objects.
     """
     stats.num_candidate_clusters = len(candidate_clusters)
-    stats.l_used = l_budget
     if not candidate_clusters:
+        # No retrieval ran, so no L budget was consumed: leave l_used at 0.
         return QueryResult.empty(stats)
+    stats.l_used = l_budget
 
     # Alg. 2 lines 1-4: rank candidate clusters by center distance.
     tick = time.perf_counter()
     clusters = np.asarray(list(candidate_clusters), dtype=np.int64)
-    center_dist = ivf.center_distances(query)[clusters]
-    clusters = clusters[np.argsort(center_dist, kind="stable")]
-    stats.rank_ms = (time.perf_counter() - tick) * 1000.0
+    if center_dist is None:
+        center_dist = ivf.center_distances(query)
+    clusters = clusters[np.argsort(center_dist[clusters], kind="stable")]
+    stats.rank_ms += (time.perf_counter() - tick) * 1000.0
 
     tick = time.perf_counter()
-    table = ivf.distance_table(query)
-    stats.table_ms = (time.perf_counter() - tick) * 1000.0
+    if table is None:
+        table = ivf.distance_table(query)
+    stats.table_ms += (time.perf_counter() - tick) * 1000.0
 
     # Alg. 2 lines 5-13: drain clusters nearest-first until L objects.
     # The per-object distances are independent of the drain order and the
@@ -86,7 +98,7 @@ def search_by_coarse_centers(
         remaining -= len(batch)
         if remaining <= 0:
             break
-    stats.fetch_ms = (time.perf_counter() - tick) * 1000.0
+    stats.fetch_ms += (time.perf_counter() - tick) * 1000.0
 
     if not collected:
         return QueryResult.empty(stats)
@@ -123,6 +135,8 @@ def _take_chunks(chunks: Iterable[Sequence[int]], limit: int) -> list[int]:
         if need <= 0:
             break
         if len(chunk) > need:
-            chunk = list(chunk)[:need]
+            # Slice before materializing: lists/ndarrays copy only the
+            # ``need`` items kept, so endpoint-bucket scans stay O(need).
+            chunk = chunk[:need]
         out.extend(chunk)
     return out

@@ -2,8 +2,14 @@
 
 from .coarse import CoarseQuantizer, default_num_clusters
 from .flat import IVFFlatIndex
-from .ivfpq import DEFAULT_NPROBE_FRACTION, IVFPQIndex, IVFSearchResult
+from .ivfpq import (
+    DEFAULT_CACHE_CAPACITY,
+    DEFAULT_NPROBE_FRACTION,
+    IVFPQIndex,
+    IVFSearchResult,
+)
 from .residual import ResidualIVFPQIndex
+from .table_cache import CacheStats, LRUCache
 
 __all__ = [
     "CoarseQuantizer",
@@ -13,4 +19,7 @@ __all__ = [
     "IVFSearchResult",
     "ResidualIVFPQIndex",
     "DEFAULT_NPROBE_FRACTION",
+    "DEFAULT_CACHE_CAPACITY",
+    "CacheStats",
+    "LRUCache",
 ]

@@ -25,11 +25,22 @@ import numpy as np
 
 from ..quantization import ProductQuantizer, adc_distances
 from .coarse import CoarseQuantizer, default_num_clusters
+from .table_cache import CacheStats, LRUCache
 
-__all__ = ["IVFPQIndex", "IVFSearchResult", "DEFAULT_NPROBE_FRACTION"]
+__all__ = [
+    "IVFPQIndex",
+    "IVFSearchResult",
+    "DEFAULT_NPROBE_FRACTION",
+    "DEFAULT_CACHE_CAPACITY",
+]
 
 #: Fraction of the K coarse clusters probed by default in plain ANN search.
 DEFAULT_NPROBE_FRACTION = 0.1
+
+#: Default entry count for the per-index ADC-table / center-distance caches.
+#: An entry costs ``M·Z·8`` B (table) or ``K·8`` B (centers); 256 tables at
+#: the usual M=16, Z=256 is ~8 MB — small next to the codes it amortizes.
+DEFAULT_CACHE_CAPACITY = 256
 
 
 @dataclass(frozen=True)
@@ -104,6 +115,10 @@ class IVFPQIndex:
         num_clusters: ``K``; defaults to ``⌈√n⌉`` of the training set.
         num_codewords: ``Z``, PQ codebook size per subspace.
         seed: Seed shared by the coarse and PQ k-means runs.
+        cache_capacity: Entries kept in each of the per-query LRU caches
+            (ADC tables and center distances); 0 disables caching.  Cached
+            arrays depend only on the trained quantizers, so they survive
+            add/remove and are invalidated by :meth:`train`.
     """
 
     def __init__(
@@ -113,11 +128,15 @@ class IVFPQIndex:
         num_clusters: int | None = None,
         num_codewords: int = 256,
         seed: int | None = None,
+        cache_capacity: int = DEFAULT_CACHE_CAPACITY,
     ) -> None:
         self._requested_clusters = num_clusters
         self.pq = ProductQuantizer(num_subspaces, num_codewords, seed=seed)
         self.coarse: CoarseQuantizer | None = None
         self.seed = seed
+        self._cache_capacity = cache_capacity
+        self._table_cache = LRUCache(cache_capacity)
+        self._center_cache = LRUCache(cache_capacity)
 
         self._codes = np.empty((0, num_subspaces), dtype=np.uint8)
         self._clusters = np.empty(0, dtype=np.int32)
@@ -188,6 +207,8 @@ class IVFPQIndex:
         )
         self._lists = [_InvertedList() for _ in range(k)]
         self._codes = np.empty((0, self.pq.num_subspaces), dtype=self.pq.code_dtype)
+        # Cached tables/distances were computed against the old quantizers.
+        self.clear_caches()
         return self
 
     def clone_empty(self) -> "IVFPQIndex":
@@ -205,6 +226,7 @@ class IVFPQIndex:
             num_clusters=self._requested_clusters,
             num_codewords=self.pq.num_codewords,
             seed=self.seed,
+            cache_capacity=self._cache_capacity,
         )
         clone.pq = self.pq
         clone.coarse = self.coarse
@@ -294,9 +316,75 @@ class IVFPQIndex:
         """Array of shape ``(K,)`` with the size of each inverted list."""
         return np.asarray([len(lst) for lst in self._lists], dtype=np.int64)
 
+    @staticmethod
+    def _query_key(query: np.ndarray) -> tuple[np.ndarray, bytes]:
+        """Canonical (array, cache-key) form of one query vector."""
+        query = np.ascontiguousarray(query, dtype=np.float64)
+        if query.ndim != 1:
+            raise ValueError(f"expected a 1-D query, got shape {query.shape}")
+        return query, query.tobytes()
+
     def distance_table(self, query: np.ndarray) -> np.ndarray:
-        """Per-query ADC table ``A`` of shape ``(M, Z)`` (cost ``O(d·Z)``)."""
-        return self.pq.distance_table(query)
+        """Per-query ADC table ``A`` of shape ``(M, Z)`` (cost ``O(d·Z)``).
+
+        Memoized in an LRU cache keyed by the query bytes: an exact repeat
+        of a query returns the stored (read-only) table without rebuilding
+        it.  The cache is cleared by :meth:`train`.
+        """
+        query, key = self._query_key(query)
+        table = self._table_cache.get(key)
+        if table is None:
+            table = self.pq.distance_table(query)
+            table.setflags(write=False)
+            self._table_cache.put(key, table)
+        return table
+
+    def distance_tables(self, queries: np.ndarray) -> list[np.ndarray]:
+        """ADC tables for a whole query matrix, cache-deduplicated.
+
+        Unique uncached rows are computed in one vectorized pass
+        (:meth:`ProductQuantizer.distance_tables`, bitwise identical per row
+        to the single-query kernel); cached and duplicate rows share one
+        array object.  Cache stats count one lookup per *unique* query.
+
+        Args:
+            queries: Array of shape ``(q, d)``.
+
+        Returns:
+            List of ``q`` read-only ``(M, Z)`` tables, aligned with the rows.
+        """
+        queries = np.atleast_2d(np.ascontiguousarray(queries, dtype=np.float64))
+        num = queries.shape[0]
+        tables: list[np.ndarray | None] = [None] * num
+        seen: dict[bytes, int] = {}
+        pending: dict[bytes, list[int]] = {}
+        for i in range(num):
+            key = queries[i].tobytes()
+            first = seen.get(key)
+            if first is not None:  # in-batch duplicate: share, no new lookup
+                if tables[first] is not None:
+                    tables[i] = tables[first]
+                else:
+                    pending[key].append(i)
+                continue
+            seen[key] = i
+            table = self._table_cache.get(key)
+            if table is not None:
+                tables[i] = table
+            else:
+                pending[key] = [i]
+        if pending:
+            first_positions = [positions[0] for positions in pending.values()]
+            fresh = self.pq.distance_tables(queries[first_positions])
+            for j, (key, positions) in enumerate(pending.items()):
+                # Copy each row out so a cached table does not pin the whole
+                # (u, M, Z) batch block in memory.
+                table = fresh[j].copy()
+                table.setflags(write=False)
+                self._table_cache.put(key, table)
+                for i in positions:
+                    tables[i] = table
+        return tables
 
     def adc_for_ids(self, table: np.ndarray, ids: Sequence[int]) -> np.ndarray:
         """Approximate distances for specific object IDs.
@@ -321,14 +409,83 @@ class IVFPQIndex:
         return adc_distances(table, self._codes[rows])
 
     def center_distances(self, query: np.ndarray) -> np.ndarray:
-        """Squared distances from ``query`` to all ``K`` coarse centers."""
+        """Squared distances from ``query`` to all ``K`` coarse centers.
+
+        Memoized like :meth:`distance_table` (read-only result, cleared by
+        :meth:`train`).
+        """
         if self.coarse is None:
             raise RuntimeError("index is not trained")
-        return self.coarse.center_distances(query)
+        query, key = self._query_key(query)
+        dist = self._center_cache.get(key)
+        if dist is None:
+            dist = self.coarse.center_distances(query)
+            dist.setflags(write=False)
+            self._center_cache.put(key, dist)
+        return dist
+
+    def center_distances_batch(self, queries: np.ndarray) -> list[np.ndarray]:
+        """Center distances for a whole query matrix, cache-deduplicated.
+
+        Each unique row goes through the *single-query* kernel
+        (:meth:`CoarseQuantizer.center_distances`) rather than one big
+        ``(q, K)`` GEMM: BLAS matmul results are shape-dependent in the last
+        bits, and the batch path must stay bitwise identical to sequential
+        queries.  The kernel is ``O(K·d)`` per unique query — cheap next to
+        the ADC table — and repeats are served from the LRU cache.
+
+        Args:
+            queries: Array of shape ``(q, d)``.
+
+        Returns:
+            List of ``q`` read-only ``(K,)`` distance arrays.
+        """
+        queries = np.atleast_2d(np.ascontiguousarray(queries, dtype=np.float64))
+        num = queries.shape[0]
+        dists: list[np.ndarray | None] = [None] * num
+        seen: dict[bytes, int] = {}
+        for i in range(num):
+            key = queries[i].tobytes()
+            first = seen.get(key)
+            if first is not None:
+                dists[i] = dists[first]
+                continue
+            seen[key] = i
+            dists[i] = self.center_distances(queries[i])
+        return dists
 
     def probe_order(self, query: np.ndarray) -> np.ndarray:
         """All coarse cluster IDs sorted ascending by distance to ``query``."""
         return np.argsort(self.center_distances(query), kind="stable")
+
+    # ------------------------------------------------------------------
+    # Per-query cache management
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Invalidate the ADC-table and center-distance caches.
+
+        Called automatically by :meth:`train`; callers only need it for
+        measurement hygiene (e.g. benchmarking cold-cache behaviour).
+        """
+        self._table_cache.clear()
+        self._center_cache.clear()
+
+    @property
+    def table_cache(self) -> "LRUCache":
+        """The ADC-table cache (exposed for stats and tests)."""
+        return self._table_cache
+
+    @property
+    def center_cache(self) -> "LRUCache":
+        """The center-distance cache (exposed for stats and tests)."""
+        return self._center_cache
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Counter snapshots for both per-query caches."""
+        return {
+            "table": self._table_cache.stats(),
+            "center": self._center_cache.stats(),
+        }
 
     # ------------------------------------------------------------------
     # Plain (unfiltered / mask-filtered) ANN search

@@ -23,6 +23,27 @@ class TestAdaptiveLPolicy:
     def test_zero_coverage(self):
         assert AdaptiveLPolicy(l_base=500).choose(0.0) == 500
 
+    def test_fractional_scaling_rounds_up(self):
+        # Regression pin: L = ceil(l_base * r / r_base).  The old int()
+        # truncation returned 1229 here, silently under-budgeting every
+        # non-grid coverage (Figs. 11-12 sweep fractional coverages).
+        policy = AdaptiveLPolicy(l_base=1000, r_base=0.10)
+        assert policy.choose(0.123) == 1230
+        assert policy.choose(0.15) == 1500
+
+    def test_coverage_clamped_to_full_set(self):
+        # Coverage can exceed 1.0 transiently (lazy deletions keep deleted
+        # objects in the tree's range counts); L must cap at the full-set
+        # budget rather than extrapolating past it.
+        policy = AdaptiveLPolicy(l_base=1000, r_base=0.10)
+        assert policy.choose(1.5) == policy.choose(1.0) == 10000
+
+    def test_paper_gist_fractional_setting(self):
+        # GIST parameters from the Fig. 11-12 runs: l_base=3000, r_base=0.10.
+        policy = AdaptiveLPolicy(l_base=3000, r_base=0.10)
+        assert policy.choose(0.40) == 12000
+        assert policy.choose(0.1234) == 3702  # ceil(3000 * 1.234)
+
     def test_negative_coverage_rejected(self):
         with pytest.raises(ValueError):
             AdaptiveLPolicy().choose(-0.1)

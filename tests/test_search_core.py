@@ -89,6 +89,52 @@ class TestSearchByCoarseCenters:
         )
         assert len(result) == 0
 
+    def test_empty_candidate_set_reports_zero_l_used(self, ivf, blob_data_module):
+        # Regression: the early return used to claim l_used == l_budget
+        # even though no retrieval ran, skewing Fig. 11-12 averages.
+        stats = QueryStats()
+        search_by_coarse_centers(
+            ivf, blob_data_module[0], 5, 999, [], lambda c: iter([]), stats
+        )
+        assert stats.l_used == 0
+
+    def test_phase_timers_accumulate_across_calls(self, ivf, blob_data_module):
+        # Regression: rank/table/fetch timers used to assign (=) instead of
+        # accumulate (+=), so aggregating one stats object over several
+        # calls kept only the last call's phases.
+        stats = QueryStats()
+        for _ in range(2):
+            search_by_coarse_centers(
+                ivf, blob_data_module[0], 5, 50, [0, 1, 2],
+                lambda c: iter(ivf.cluster_members(c).tolist()), stats,
+            )
+        single = QueryStats()
+        search_by_coarse_centers(
+            ivf, blob_data_module[0], 5, 50, [0, 1, 2],
+            lambda c: iter(ivf.cluster_members(c).tolist()), single,
+        )
+        assert stats.adc_ms > single.adc_ms
+        assert stats.rank_ms > single.rank_ms
+        assert stats.fetch_ms > single.fetch_ms
+        assert stats.table_ms > 0.0
+
+    def test_precomputed_table_and_centers_identical(self, ivf, blob_data_module):
+        # The batch engine passes table= / center_dist=; results must be
+        # bitwise identical to letting the function compute them itself.
+        query = blob_data_module[4]
+        baseline = search_by_coarse_centers(
+            ivf, query, 7, 100, list(range(5)),
+            lambda c: iter(ivf.cluster_members(c).tolist()), QueryStats(),
+        )
+        precomputed = search_by_coarse_centers(
+            ivf, query, 7, 100, list(range(5)),
+            lambda c: iter(ivf.cluster_members(c).tolist()), QueryStats(),
+            table=ivf.distance_table(query),
+            center_dist=ivf.center_distances(query),
+        )
+        np.testing.assert_array_equal(precomputed.ids, baseline.ids)
+        np.testing.assert_array_equal(precomputed.distances, baseline.distances)
+
 
 class TestQueryResult:
     def test_empty_constructor(self):

@@ -1,0 +1,147 @@
+"""Tests for the query-keyed LRU caches behind the batch execution engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ivf import DEFAULT_CACHE_CAPACITY, IVFPQIndex, LRUCache
+
+
+class TestLRUCache:
+    def test_hit_miss_counters(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats().evictions == 1
+
+    def test_capacity_zero_disables_caching(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.stats().misses == 1
+
+    def test_clear_counts_invalidations_and_keeps_stats(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats.invalidations == 1
+        assert stats.hits == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_empty_hit_rate_is_zero(self):
+        assert LRUCache(4).stats().hit_rate == 0.0
+
+
+@pytest.fixture(scope="module")
+def trained_ivf():
+    rng = np.random.default_rng(5)
+    vectors = rng.normal(size=(300, 16))
+    ivf = IVFPQIndex(4, num_clusters=8, num_codewords=16, seed=0)
+    ivf.train(vectors)
+    return ivf, vectors, rng
+
+
+class TestIVFCaches:
+    def test_default_capacity_wired_through(self, trained_ivf):
+        ivf, *_ = trained_ivf
+        assert ivf.table_cache.capacity == DEFAULT_CACHE_CAPACITY
+        assert ivf.center_cache.capacity == DEFAULT_CACHE_CAPACITY
+
+    def test_repeat_distance_table_is_a_cache_hit(self, trained_ivf):
+        ivf, vectors, _ = trained_ivf
+        ivf.clear_caches()
+        first = ivf.distance_table(vectors[0])
+        second = ivf.distance_table(vectors[0])
+        assert second is first  # same read-only object, not a recompute
+        assert not first.flags.writeable
+        assert ivf.table_cache.hits == 1
+        assert ivf.table_cache.misses == 1
+
+    def test_batch_tables_match_per_query(self, trained_ivf):
+        ivf, vectors, rng = trained_ivf
+        ivf.clear_caches()
+        queries = vectors[rng.integers(0, len(vectors), size=7)]
+        queries[3] = queries[1]  # in-batch duplicate
+        ivf.distance_table(queries[0])  # pre-warm one entry → mixed hits/misses
+        tables = ivf.distance_tables(queries)
+        assert len(tables) == len(queries)
+        for i, query in enumerate(queries):
+            np.testing.assert_array_equal(tables[i], ivf.pq.distance_table(query))
+            assert not tables[i].flags.writeable
+        assert tables[3] is tables[1]
+
+    def test_batch_center_distances_match_per_query(self, trained_ivf):
+        ivf, vectors, rng = trained_ivf
+        ivf.clear_caches()
+        queries = vectors[rng.integers(0, len(vectors), size=5)]
+        batch = ivf.center_distances_batch(queries)
+        ivf.clear_caches()
+        for i, query in enumerate(queries):
+            np.testing.assert_array_equal(batch[i], ivf.center_distances(query))
+
+    def test_retrain_invalidates_caches(self, trained_ivf):
+        _, vectors, _ = trained_ivf
+        ivf = IVFPQIndex(4, num_clusters=8, num_codewords=16, seed=0)
+        ivf.train(vectors)
+        ivf.distance_table(vectors[0])
+        ivf.center_distances(vectors[0])
+        assert len(ivf.table_cache) == 1
+        ivf.train(vectors)
+        assert len(ivf.table_cache) == 0
+        assert len(ivf.center_cache) == 0
+        assert ivf.table_cache.stats().invalidations >= 1
+        # A stale table would now be wrong; the re-fill must be a miss.
+        hits_before = ivf.table_cache.hits
+        ivf.distance_table(vectors[0])
+        assert ivf.table_cache.hits == hits_before
+
+    def test_clone_empty_gets_fresh_caches(self, trained_ivf):
+        ivf, vectors, _ = trained_ivf
+        ivf.distance_table(vectors[0])
+        clone = ivf.clone_empty()
+        assert clone.table_cache is not ivf.table_cache
+        assert len(clone.table_cache) == 0
+        assert clone.table_cache.capacity == ivf.table_cache.capacity
+
+    def test_cache_stats_snapshot(self, trained_ivf):
+        ivf, *_ = trained_ivf
+        stats = ivf.cache_stats()
+        assert set(stats) == {"table", "center"}
+        assert stats["table"].capacity == DEFAULT_CACHE_CAPACITY
+
+    def test_non_vector_query_rejected(self, trained_ivf):
+        ivf, vectors, _ = trained_ivf
+        with pytest.raises(ValueError):
+            ivf.distance_table(vectors[:2])
+
+    def test_capacity_zero_index_still_correct(self, trained_ivf):
+        _, vectors, _ = trained_ivf
+        ivf = IVFPQIndex(4, num_clusters=8, num_codewords=16, seed=0,
+                         cache_capacity=0)
+        ivf.train(vectors)
+        first = ivf.distance_table(vectors[0])
+        second = ivf.distance_table(vectors[0])
+        assert second is not first
+        np.testing.assert_array_equal(first, second)
+        assert len(ivf.table_cache) == 0
