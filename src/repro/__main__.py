@@ -1,8 +1,14 @@
-"""``python -m repro``: package banner and a quick self-check.
+"""``python -m repro``: package banner, self-check, and subcommands.
 
-Prints the version, the module map, and runs a 2-second smoke test (build a
-tiny index, query it, verify against brute force) so a fresh install can be
-validated with one command.
+With no arguments: prints the version, the module map, and runs a
+2-second smoke test (build a tiny index, query it, verify against brute
+force) so a fresh install can be validated with one command.
+
+Subcommands::
+
+    serve-bench [...]   IndexService vs global-lock throughput comparison
+                        (flags forwarded to repro.service.bench; --smoke
+                        for the tiny CI profile)
 """
 
 from __future__ import annotations
@@ -31,14 +37,20 @@ def _smoke_test() -> bool:
     )
 
 
-def main() -> int:
-    """Print the banner and run the smoke test; exit 0 on success."""
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch a subcommand, or print the banner and run the smoke test."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve-bench":
+        from repro.service.bench import main as serve_bench_main
+
+        return serve_bench_main(argv[1:])
     print(f"repro {repro.__version__} — RangePQ / RangePQ+ reproduction")
     print(__doc__.splitlines()[0])
     print()
     print("entry points:")
     print("  python -m repro.eval.harness --figure <3..12>   regenerate a figure")
     print("  python -m repro.eval.regression                 reproduction CI")
+    print("  python -m repro serve-bench [--smoke]           serving throughput")
     print("  pytest tests/                                   test suite")
     print("  pytest benchmarks/ --benchmark-only             benchmark suite")
     print()

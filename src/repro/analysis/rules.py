@@ -1,4 +1,4 @@
-"""The lint rule catalogue: repo-specific AST checks R001–R006.
+"""The lint rule catalogue: repo-specific AST checks R001–R007.
 
 Each rule is a pure function over a parsed module plus a
 :class:`FileContext`; the engine in :mod:`repro.analysis.lint` handles file
@@ -51,6 +51,25 @@ _MUTATOR_NAMES = frozenset(
 #: Base classes exempting a class from R005 (no concrete state to audit).
 _R005_EXEMPT_BASES = frozenset(
     {"Protocol", "Enum", "IntEnum", "StrEnum", "NamedTuple", "TypedDict"}
+)
+
+#: Method names that mutate shared index state when called on a member of a
+#: serving-layer object (rule R007).  Broader than R005's set: includes the
+#: batch mutators and the compaction entry points.
+_R007_MUTATORS = frozenset(
+    {
+        "insert",
+        "insert_many",
+        "delete",
+        "delete_many",
+        "add",
+        "remove",
+        "upsert",
+        "rebuild",
+        "clear_caches",
+        "_rebuild_all",
+        "_rebucket_all",
+    }
 )
 
 
@@ -288,6 +307,88 @@ def _check_r006(
             )
 
 
+def _r007_root_name(expr: ast.expr) -> str | None:
+    """The name at the root of an attribute/subscript/call chain."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript, ast.Call)):
+        if isinstance(expr, ast.Attribute):
+            expr = expr.value
+        elif isinstance(expr, ast.Subscript):
+            expr = expr.value
+        else:
+            expr = expr.func
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+def _r007_is_guard(node: ast.With) -> bool:
+    """Whether a ``with`` statement acquires a write-side lock.
+
+    Recognised guards: a call to an attribute named ``write_locked``, or
+    any context expression mentioning an attribute or name containing
+    ``lock`` / ``mutex`` (``with self._mutex:``, ``with lock:``).
+    """
+    for item in node.items:
+        for sub in ast.walk(item.context_expr):
+            if isinstance(sub, ast.Attribute) and (
+                sub.attr == "write_locked"
+                or "lock" in sub.attr.lower()
+                or "mutex" in sub.attr.lower()
+            ):
+                return True
+            if isinstance(sub, ast.Name) and (
+                "lock" in sub.id.lower() or "mutex" in sub.id.lower()
+            ):
+                return True
+    return False
+
+
+def _r007_scan(
+    node: ast.AST, guarded: bool
+) -> Iterator[tuple[int, str]]:
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return  # nested scopes are scanned by their own top-level visit
+    if isinstance(node, ast.With):
+        guarded = guarded or _r007_is_guard(node)
+    if (
+        not guarded
+        and isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _R007_MUTATORS
+        and not isinstance(node.func.value, ast.Name)  # self.insert() is API
+        and _r007_root_name(node.func.value) == "self"
+    ):
+        yield (
+            node.lineno,
+            f".{node.func.attr}(...) mutates shared index state outside a "
+            "write_locked/mutex-guarded section of the service write path",
+        )
+    for child in ast.iter_child_nodes(node):
+        yield from _r007_scan(child, guarded)
+
+
+def _check_r007(
+    module: ast.Module, ctx: FileContext
+) -> Iterator[tuple[int, str]]:
+    """R007: unguarded mutation of shared index state in the serving layer.
+
+    In ``repro/service/`` every mutation of a member object (``self._index
+    .insert(...)``, ``self._shards[i].delete(...)``, …) must happen under
+    the write side of the service's lock: concurrent snapshot readers are
+    walking the same structures.  Exempt: ``__init__`` (no concurrency
+    yet) and ``*_unlocked`` helpers (callers hold the lock by contract).
+    Delegations to objects that lock internally are waived inline with
+    ``# repro: noqa-R007``.
+    """
+    if "service/" not in ctx.path.replace("\\", "/"):
+        return
+    for func in ast.walk(module):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if func.name == "__init__" or func.name.endswith("_unlocked"):
+            continue
+        for statement in func.body:
+            yield from _r007_scan(statement, False)
+
+
 #: The rule registry, in report order.
 RULES: tuple[Rule, ...] = (
     Rule(
@@ -315,5 +416,11 @@ RULES: tuple[Rule, ...] = (
         "np.argsort where np.argpartition suffices on a top-k path",
         False,
         _check_r006,
+    ),
+    Rule(
+        "R007",
+        "unguarded mutation of shared index state in the serving layer",
+        False,
+        _check_r007,
     ),
 )

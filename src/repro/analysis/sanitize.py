@@ -80,6 +80,10 @@ REGISTRY: tuple[tuple[str, str, tuple[str, ...]], ...] = (
     ("repro.graph.hnsw", "HNSWIndex", ("add",)),
     ("repro.graph.serf", "SegmentGraphIndex", ("insert",)),
     ("repro.graph.range_adapter", "HNSWRangeIndex", ("insert", "delete")),
+    ("repro.service.engine", "IndexService",
+     ("insert", "insert_many", "delete", "delete_many")),
+    ("repro.service.engine", "GlobalLockService", ("insert", "delete")),
+    ("repro.service.router", "RangeShardedService", ("insert", "delete")),
 )
 
 _depth = threading.local()

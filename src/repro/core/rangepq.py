@@ -143,6 +143,37 @@ class RangePQ(BatchSearchMixin):
         return self._attr[oid]
 
     # ------------------------------------------------------------------
+    # Deferred maintenance (serving-layer hook)
+    # ------------------------------------------------------------------
+    @property
+    def auto_rebuild(self) -> bool:
+        """Whether deletes trigger the global rebuild inline (default).
+
+        The serving layer (:mod:`repro.service`) disables this so the
+        ``O(n)`` compaction runs on its maintenance plane instead of a
+        client's delete call; it then polls :attr:`maintenance_due` and
+        calls :meth:`run_maintenance`.
+        """
+        return self.tree.auto_rebuild
+
+    @auto_rebuild.setter
+    def auto_rebuild(self, value: bool) -> None:
+        self.tree.auto_rebuild = bool(value)
+
+    @property
+    def maintenance_due(self) -> bool:
+        """Whether the lazy-deletion trigger ``2·inv > size(root)`` holds."""
+        return self.tree.needs_rebuild
+
+    def run_maintenance(self) -> bool:
+        """Compact the tree if the rebuild trigger holds; returns whether
+        a rebuild ran."""
+        if not self.tree.needs_rebuild:
+            return False
+        self.tree.rebuild()
+        return True
+
+    # ------------------------------------------------------------------
     # Updates (Algorithms 3 and 4)
     # ------------------------------------------------------------------
     def insert(self, oid: int, vector: np.ndarray, attr: float) -> None:

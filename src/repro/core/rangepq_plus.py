@@ -156,6 +156,10 @@ class RangePQPlus(BatchSearchMixin):
         self._attr: dict[int, float] = {}
         self._sparse = 0  # the paper's `inv`: buckets holding < ε/2 objects
         self._rebuilds = 0
+        #: When False, :meth:`delete` never triggers the global rebucket
+        #: inline; the owner (e.g. the serving layer's maintenance daemon)
+        #: polls :attr:`maintenance_due` and calls :meth:`run_maintenance`.
+        self.auto_rebuild = True
 
     # ------------------------------------------------------------------
     # Construction
@@ -249,6 +253,19 @@ class RangePQPlus(BatchSearchMixin):
     def rebuild_count(self) -> int:
         """Subtree plus global rebuilds performed so far."""
         return self._rebuilds
+
+    @property
+    def maintenance_due(self) -> bool:
+        """Whether the sparse-bucket trigger ``2·inv > ζ`` holds (Alg. 7)."""
+        return self.root is not None and 2 * self._sparse > _size(self.root)
+
+    def run_maintenance(self) -> bool:
+        """Rebucket globally if the sparse trigger holds; returns whether
+        a rebuild ran."""
+        if not self.maintenance_due:
+            return False
+        self._rebucket_all()
+        return True
 
     # ------------------------------------------------------------------
     # Bucket-level helpers
@@ -460,7 +477,7 @@ class RangePQPlus(BatchSearchMixin):
         if not was_sparse and self._is_sparse(node):
             self._sparse += 1
         self.ivf.remove([oid])
-        if 2 * self._sparse > _size(self.root):
+        if self.auto_rebuild and 2 * self._sparse > _size(self.root):
             self._rebucket_all()
 
     # ------------------------------------------------------------------

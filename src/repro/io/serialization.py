@@ -14,6 +14,8 @@ in ``O(n log n)``, which keeps the format simple and version-stable.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -114,6 +116,13 @@ def _unpack_ivf(archive, meta: dict) -> IVFPQIndex:
 def save_index(index: RangePQ | RangePQPlus, path: str | Path) -> Path:
     """Persist a RangePQ or RangePQ+ index to ``path`` (``.npz``).
 
+    The archive is written to a temporary file in the destination
+    directory, fsynced, and atomically moved into place with
+    :func:`os.replace` — a crash mid-save can leave a stray temp file but
+    never a corrupt or partial archive at ``path``.  The WAL recovery path
+    (:mod:`repro.service.wal`) relies on this: the newest snapshot in a
+    service directory is always complete.
+
     Args:
         index: A populated index.
         path: Destination; a ``.npz`` suffix is appended if missing.
@@ -150,13 +159,27 @@ def save_index(index: RangePQ | RangePQPlus, path: str | Path) -> Path:
     attr_values = np.asarray(
         [index._attr[int(oid)] for oid in attr_oids], dtype=np.float64
     )
-    np.savez_compressed(
-        path,
-        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-        attr_oids=attr_oids,
-        attr_values=attr_values,
-        **arrays,
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+                attr_oids=attr_oids,
+                attr_values=attr_values,
+                **arrays,
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:  # repro: noqa-R004 - temp cleanup, then re-raise
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 

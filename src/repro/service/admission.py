@@ -1,0 +1,157 @@
+"""Admission control: bounded request queue with timeouts and shedding.
+
+Unbounded queueing turns overload into unbounded latency; a production
+serving layer rejects what it cannot serve promptly.  The controller bounds
+two things per service:
+
+* **Concurrency** — at most ``max_concurrent`` requests are in flight; an
+  arriving request beyond that waits.
+* **Queue depth** — at most ``max_queue`` requests wait; beyond that the
+  request is rejected immediately with reason ``"queue-full"``.
+* **Wait time** — a waiting request that cannot start within ``timeout_s``
+  is rejected with reason ``"timeout"``.
+
+Rejections raise :class:`AdmissionError` carrying the reason, so callers
+(and the load generator) can distinguish shed load from failures.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["AdmissionError", "AdmissionStats", "AdmissionController"]
+
+
+class AdmissionError(RuntimeError):
+    """A request was shed instead of admitted.
+
+    Attributes:
+        reason: ``"queue-full"`` or ``"timeout"``.
+        kind: The request kind passed to :meth:`AdmissionController.admit`.
+    """
+
+    def __init__(self, reason: str, kind: str) -> None:
+        super().__init__(f"{kind} request rejected: {reason}")
+        self.reason = reason
+        self.kind = kind
+
+
+@dataclass
+class AdmissionStats:
+    """Counters of one controller's admission decisions.
+
+    Attributes:
+        admitted: Requests that entered execution.
+        rejected_queue_full: Requests shed because the wait queue was full.
+        rejected_timeout: Requests shed after waiting ``timeout_s``.
+    """
+
+    admitted: int = 0
+    rejected_queue_full: int = 0
+    rejected_timeout: int = 0
+
+    @property
+    def rejected(self) -> int:
+        """Total shed requests."""
+        return self.rejected_queue_full + self.rejected_timeout
+
+
+class AdmissionController:
+    """Bounded admission for a service's read and write planes.
+
+    Args:
+        max_concurrent: In-flight request ceiling (>= 1).
+        max_queue: Waiting request ceiling (>= 0; 0 sheds on first contact
+            with a saturated service).
+        timeout_s: Longest a request may wait before being shed.
+
+    Usage::
+
+        controller = AdmissionController(max_concurrent=64, max_queue=256)
+        with controller.admit("read"):
+            ... serve ...
+    """
+
+    def __init__(
+        self,
+        *,
+        max_concurrent: int = 64,
+        max_queue: int = 256,
+        timeout_s: float = 1.0,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if timeout_s < 0:
+            raise ValueError(f"timeout_s must be >= 0, got {timeout_s}")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.timeout_s = timeout_s
+        self.stats = AdmissionStats()
+        self._mutex = threading.Lock()
+        self._slot_freed = threading.Condition(self._mutex)
+        self._active = 0
+        self._waiting = 0
+
+    @property
+    def active(self) -> int:
+        """Requests currently executing."""
+        return self._active
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently queued."""
+        return self._waiting
+
+    def admit(self, kind: str = "read") -> "_Admitted":
+        """Acquire an execution slot or raise :class:`AdmissionError`.
+
+        Returns a context manager releasing the slot on exit.
+        """
+        deadline = time.monotonic() + self.timeout_s
+        with self._mutex:
+            if self._active >= self.max_concurrent:
+                if self._waiting >= self.max_queue:
+                    self.stats.rejected_queue_full += 1
+                    raise AdmissionError("queue-full", kind)
+                self._waiting += 1
+                try:
+                    while self._active >= self.max_concurrent:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._slot_freed.wait(
+                            remaining
+                        ):
+                            if self._active >= self.max_concurrent:
+                                self.stats.rejected_timeout += 1
+                                raise AdmissionError("timeout", kind)
+                finally:
+                    self._waiting -= 1
+            self._active += 1
+            self.stats.admitted += 1
+        return _Admitted(self)
+
+    def _release(self) -> None:
+        with self._mutex:
+            self._active -= 1
+            self._slot_freed.notify()
+
+
+class _Admitted:
+    """Context manager releasing one admitted slot."""
+
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller: AdmissionController) -> None:
+        self._controller = controller
+
+    def __enter__(self) -> "_Admitted":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._controller._release()
+        return False

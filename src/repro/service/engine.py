@@ -1,0 +1,731 @@
+"""The serving engine: snapshot-isolated reads over a serialized write plane.
+
+:class:`IndexService` turns one RangePQ / RangePQ+ index into a concurrent
+server with three planes:
+
+* **Read plane** — queries run under the shared side of a writer-preferring
+  reader-writer lock, so every read observes a *snapshot*: the index state
+  of some committed write version, never a half-applied mutation.
+  Concurrent reads are additionally *combined*: requests that arrive while
+  another reader is executing are grouped and driven through
+  :func:`repro.core.batch.execute_batch` in one lock acquisition, so they
+  share range plans, coalesce duplicates, and hit the ADC-table cache —
+  per-request results stay bitwise identical to sequential ``query`` calls
+  at the same version.
+* **Write plane** — inserts and deletes serialize on the exclusive side of
+  the lock; each committed call bumps the service version and (when a WAL
+  is attached) appends durable records *after* the in-memory apply
+  succeeds, so the log never contains an op the index rejected.
+* **Maintenance plane** — with ``defer_maintenance`` (default) the paper's
+  lazy-deletion rebuild trigger is taken off the client's delete path: the
+  index's ``auto_rebuild`` is disabled and a
+  :class:`~repro.service.maintenance.MaintenanceDaemon` (or an explicit
+  :meth:`run_maintenance` call) compacts, invalidates the IVF ADC-table
+  caches, and snapshots in the background.
+
+:class:`GlobalLockService` is the deliberately naive baseline — one mutex
+around everything, maintenance inline — that the throughput benchmark
+(``benchmarks/bench_service_throughput.py``) compares against.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..core.batch import BatchResult, execute_batch
+from ..core.results import QueryResult
+from .admission import AdmissionController
+from .wal import WriteAheadLog, recover_index
+
+__all__ = [
+    "RWLock",
+    "ServiceStats",
+    "IndexService",
+    "GlobalLockService",
+]
+
+
+class RWLock:
+    """A writer-preferring reader-writer lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  Arriving writers block *new* readers (writer preference), so a
+    continuous read load cannot starve the write plane.  Not reentrant.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._readers_ok = threading.Condition(self._mutex)
+        self._writers_ok = threading.Condition(self._mutex)
+        self._active_readers = 0
+        self._waiting_writers = 0
+        self._writer_active = False
+
+    def acquire_read(self) -> None:
+        """Block until the shared side is available."""
+        with self._mutex:
+            while self._writer_active or self._waiting_writers:
+                self._readers_ok.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        """Drop the shared side; wake a waiting writer when last out."""
+        with self._mutex:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._writers_ok.notify()
+
+    def acquire_write(self) -> None:
+        """Block until the exclusive side is available."""
+        with self._mutex:
+            self._waiting_writers += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._writers_ok.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Drop the exclusive side; writers drain before readers re-enter."""
+        with self._mutex:
+            self._writer_active = False
+            if self._waiting_writers:
+                self._writers_ok.notify()
+            else:
+                self._readers_ok.notify_all()
+
+    def read_locked(self):
+        """Context manager holding the shared side."""
+        return _LockContext(self.acquire_read, self.release_read)
+
+    def write_locked(self):
+        """Context manager holding the exclusive side."""
+        return _LockContext(self.acquire_write, self.release_write)
+
+
+class _LockContext:
+    __slots__ = ("_acquire", "_release")
+
+    def __init__(self, acquire, release) -> None:
+        self._acquire = acquire
+        self._release = release
+
+    def __enter__(self):
+        self._acquire()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._release()
+        return False
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic counters describing one service's lifetime traffic.
+
+    Attributes:
+        reads: Read requests answered (one per query, batched or not).
+        read_batches: Combined-read batches executed (lock acquisitions on
+            the read plane via the combiner).
+        writes: Committed write calls (each bumped the version once).
+        maintenance_runs: Background/explicit maintenance cycles that did
+            work (rebuild and/or snapshot).
+        rebuilds: Index compactions run by the maintenance plane.
+        snapshots: WAL snapshots written.
+        audits: ``check_invariants`` audits run by the maintenance plane.
+    """
+
+    reads: int = 0
+    read_batches: int = 0
+    writes: int = 0
+    maintenance_runs: int = 0
+    rebuilds: int = 0
+    snapshots: int = 0
+    audits: int = 0
+    _mutex: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, **deltas: int) -> None:
+        """Atomically add the given deltas to the named counters."""
+        with self._mutex:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+
+class _PendingRead:
+    """One in-flight read request parked in the combiner."""
+
+    __slots__ = (
+        "vector",
+        "lo",
+        "hi",
+        "k",
+        "l_budget",
+        "event",
+        "result",
+        "version",
+        "error",
+    )
+
+    def __init__(self, vector, lo, hi, k, l_budget) -> None:
+        self.vector = vector
+        self.lo = lo
+        self.hi = hi
+        self.k = k
+        self.l_budget = l_budget
+        self.event = threading.Event()
+        self.result: QueryResult | None = None
+        self.version = -1
+        self.error: BaseException | None = None
+
+
+class _ReadCombiner:
+    """Group concurrent read requests into shared-plan batches.
+
+    The first thread to arrive while no batch is running becomes the
+    *leader*: it drains everything pending (itself included), executes the
+    group through ``execute_batch`` under a single read-lock acquisition,
+    and publishes each request's result.  Followers wait on their event.
+    Once the leader's own request is answered it *hands leadership off* to
+    the oldest still-pending follower instead of serving forever, so under
+    sustained closed-loop load every thread leads at most one round and no
+    caller is starved.  Natural batching — whatever piles up while a batch
+    executes forms the next batch — costs no artificial delay when
+    uncontended.
+    """
+
+    def __init__(self, runner, *, max_batch: int = 64) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._runner = runner
+        self._max_batch = max_batch
+        self._mutex = threading.Lock()
+        self._pending: list[_PendingRead] = []
+        self._leader_active = False
+
+    def submit(self, request: _PendingRead) -> _PendingRead:
+        """Enqueue one request and block until its result is published."""
+        with self._mutex:
+            self._pending.append(request)
+            lead = not self._leader_active
+            if lead:
+                self._leader_active = True
+        while True:
+            if lead:
+                self._lead(request)
+                break
+            request.event.wait()
+            if request.result is not None or request.error is not None:
+                break
+            # Woken without a result: leadership takeover.
+            request.event.clear()
+            lead = True
+        if request.error is not None:
+            raise request.error
+        return request
+
+    def _lead(self, own: _PendingRead) -> None:
+        """Serve batches until ``own`` is answered, then hand off."""
+        while True:
+            with self._mutex:
+                batch = self._pending[: self._max_batch]
+                del self._pending[: len(batch)]
+            if batch:
+                try:
+                    self._runner(batch)
+                finally:
+                    for request in batch:
+                        request.event.set()
+            if own.result is not None or own.error is not None:
+                with self._mutex:
+                    if self._pending:
+                        # Promote the oldest pending follower: its event is
+                        # set with no result, which its submit loop reads
+                        # as "you are the leader now".
+                        self._pending[0].event.set()
+                    else:
+                        self._leader_active = False
+                return
+
+
+class IndexService:
+    """Concurrent serving wrapper around one range-filtered index.
+
+    Args:
+        index: A populated RangePQ / RangePQ+ (any object with the common
+            ``insert/delete/query`` interface works for serving; WAL
+            snapshots additionally require :func:`repro.io.save_index`
+            support, and deferred maintenance requires the index to expose
+            ``auto_rebuild`` / ``maintenance_due`` / ``run_maintenance``).
+        wal_dir: Directory for durability (write-ahead log + snapshots).
+            When given, an initial snapshot is written if the directory has
+            none, so recovery always has a base state.
+        fsync: Fsync the WAL after every append (durable against power
+            loss, not just process crash).
+        admission: Optional :class:`AdmissionController` bounding in-flight
+            requests; rejected requests raise
+            :class:`~repro.service.admission.AdmissionError` instead of
+            queueing unboundedly.
+        defer_maintenance: Take the rebuild trigger off the delete path
+            (see module docstring).  Requires a maintenance daemon or
+            periodic :meth:`run_maintenance` calls to pay the debt.
+        snapshot_every: Write a WAL snapshot after this many committed
+            writes (checked by the maintenance plane); ``None`` disables
+            periodic snapshots.
+        max_batch: Largest combined read batch.
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        wal_dir: str | Path | None = None,
+        fsync: bool = False,
+        admission: AdmissionController | None = None,
+        defer_maintenance: bool = True,
+        snapshot_every: int | None = None,
+        max_batch: int = 64,
+    ) -> None:
+        self._index = index
+        self._lock = RWLock()
+        self._version = 0
+        self._admission = admission
+        self._snapshot_every = snapshot_every
+        self._writes_since_snapshot = 0
+        self._maintenance_wakeup: threading.Event | None = None
+        self._closed = False
+        self.stats = ServiceStats()
+        self._combiner = _ReadCombiner(
+            self._execute_read_batch, max_batch=max_batch
+        )
+        if defer_maintenance and hasattr(index, "auto_rebuild"):
+            index.auto_rebuild = False
+        self._wal: WriteAheadLog | None = None
+        if wal_dir is not None:
+            self._wal = WriteAheadLog(wal_dir, fsync=fsync)
+            if self._wal.latest_snapshot_seq() is None:
+                self._wal.write_snapshot(index)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def index(self):
+        """The wrapped index (do not mutate outside the service)."""
+        return self._index
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The attached write-ahead log, if any."""
+        return self._wal
+
+    @property
+    def version(self) -> int:
+        """Number of committed writes (the snapshot version readers see)."""
+        return self._version
+
+    def __len__(self) -> int:
+        with self._lock.read_locked():
+            return len(self._index)
+
+    def __contains__(self, oid: int) -> bool:
+        with self._lock.read_locked():
+            return oid in self._index
+
+    def memory_bytes(self) -> int:
+        """C-equivalent bytes of the wrapped index."""
+        with self._lock.read_locked():
+            return self._index.memory_bytes()
+
+    def check_invariants(self) -> None:
+        """Audit the wrapped index under the read lock (snapshot-safe)."""
+        with self._lock.read_locked():
+            self._index.check_invariants()
+
+    # ------------------------------------------------------------------
+    # Read plane
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query_vector: np.ndarray,
+        lo: float,
+        hi: float,
+        k: int,
+        *,
+        l_budget: int | None = None,
+    ) -> QueryResult:
+        """Range-filtered top-``k`` query against a consistent snapshot."""
+        return self.query_versioned(
+            query_vector, lo, hi, k, l_budget=l_budget
+        )[0]
+
+    def query_versioned(
+        self,
+        query_vector: np.ndarray,
+        lo: float,
+        hi: float,
+        k: int,
+        *,
+        l_budget: int | None = None,
+    ) -> tuple[QueryResult, int]:
+        """Like :meth:`query`, also returning the snapshot version read.
+
+        The result is exactly what ``index.query`` would return at that
+        version — the consistency contract the stress tests verify against
+        a serial oracle.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        vector = np.asarray(query_vector, dtype=np.float64)
+        with self._admit("read"):
+            request = _PendingRead(vector, float(lo), float(hi), k, l_budget)
+            self._combiner.submit(request)
+        assert request.result is not None
+        return request.result, request.version
+
+    def query_batch(
+        self,
+        queries: np.ndarray,
+        ranges: Sequence[tuple[float, float]],
+        k: int,
+        *,
+        l_budget: int | None = None,
+    ) -> BatchResult:
+        """Answer a caller-assembled batch under one snapshot."""
+        with self._admit("read"), self._lock.read_locked():
+            result = execute_batch(
+                self._index, queries, ranges, k, l_budget=l_budget
+            )
+        self.stats.bump(reads=len(result), read_batches=1)
+        return result
+
+    def _execute_read_batch(self, batch: list[_PendingRead]) -> None:
+        """Run one combined batch under a single read-lock acquisition."""
+        try:
+            with self._lock.read_locked():
+                version = self._version
+                # execute_batch takes one (k, l_budget) per call, so the
+                # combined batch is partitioned into parameter groups; all
+                # groups run under the same lock hold => same snapshot.
+                groups: dict[tuple[int, int | None], list[int]] = {}
+                for position, request in enumerate(batch):
+                    groups.setdefault(
+                        (request.k, request.l_budget), []
+                    ).append(position)
+                for (k, l_budget), positions in groups.items():
+                    queries = np.asarray(
+                        [batch[i].vector for i in positions], dtype=np.float64
+                    )
+                    ranges = [(batch[i].lo, batch[i].hi) for i in positions]
+                    result = execute_batch(
+                        self._index, queries, ranges, k, l_budget=l_budget
+                    )
+                    for request_index, query_result in zip(
+                        positions, result.results
+                    ):
+                        batch[request_index].result = query_result
+                        batch[request_index].version = version
+        except BaseException as error:  # repro: noqa-R004 - republished
+            # Any failure must reach every parked caller, not the combiner.
+            for request in batch:
+                if request.result is None:
+                    request.error = error
+            return
+        self.stats.bump(reads=len(batch), read_batches=1)
+
+    # ------------------------------------------------------------------
+    # Write plane (serialized)
+    # ------------------------------------------------------------------
+    def insert(self, oid: int, vector: np.ndarray, attr: float) -> None:
+        """Insert one object; durable once the call returns (WAL mode)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        with self._admit("write"):
+            with self._lock.write_locked():
+                self._index.insert(oid, vector, attr)
+                if self._wal is not None:
+                    self._wal.append_insert(oid, float(attr), vector)
+                self._commit_write_unlocked()
+        self._signal_maintenance()
+
+    def insert_many(
+        self,
+        ids: Sequence[int],
+        vectors: np.ndarray,
+        attrs: Sequence[float],
+    ) -> None:
+        """Insert a batch of objects as one committed version step."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        with self._admit("write"):
+            with self._lock.write_locked():
+                self._index.insert_many(ids, vectors, attrs)
+                if self._wal is not None:
+                    for oid, vector, attr in zip(ids, vectors, attrs):
+                        self._wal.append_insert(
+                            int(oid), float(attr), vector
+                        )
+                self._commit_write_unlocked()
+        self._signal_maintenance()
+
+    def delete(self, oid: int) -> None:
+        """Delete one object; durable once the call returns (WAL mode)."""
+        with self._admit("write"):
+            with self._lock.write_locked():
+                self._index.delete(oid)
+                if self._wal is not None:
+                    self._wal.append_delete(oid)
+                self._commit_write_unlocked()
+        self._signal_maintenance()
+
+    def delete_many(self, ids: Sequence[int]) -> None:
+        """Delete a batch of objects as one committed version step."""
+        ids = list(ids)
+        with self._admit("write"):
+            with self._lock.write_locked():
+                self._index.delete_many(ids)
+                if self._wal is not None:
+                    for oid in ids:
+                        self._wal.append_delete(int(oid))
+                self._commit_write_unlocked()
+        self._signal_maintenance()
+
+    def _commit_write_unlocked(self) -> None:
+        """Bump version/counters; caller must hold the write lock."""
+        self._version += 1
+        self._writes_since_snapshot += 1
+        self.stats.bump(writes=1)
+
+    # ------------------------------------------------------------------
+    # Maintenance plane
+    # ------------------------------------------------------------------
+    def attach_maintenance_wakeup(self, event: threading.Event) -> None:
+        """Register the daemon's wakeup event (set after every write)."""
+        self._maintenance_wakeup = event
+
+    def _signal_maintenance(self) -> None:
+        wakeup = self._maintenance_wakeup
+        if wakeup is not None:
+            wakeup.set()
+
+    def maintenance_due(self) -> bool:
+        """Cheap, lock-free check whether the maintenance plane has work.
+
+        May read slightly stale counters; the daemon re-validates under
+        the write lock before doing anything.
+        """
+        if bool(getattr(self._index, "maintenance_due", False)):
+            return True
+        return (
+            self._snapshot_every is not None
+            and self._wal is not None
+            and self._writes_since_snapshot >= self._snapshot_every
+        )
+
+    def run_maintenance(self, *, audit: bool | None = None) -> dict:
+        """One maintenance cycle: rebuild if due, invalidate caches,
+        snapshot if due, optionally audit invariants.
+
+        Args:
+            audit: Run ``check_invariants`` after the cycle; defaults to
+                whether ``REPRO_SANITIZE`` is enabled.
+
+        Returns:
+            A report dict with ``rebuilt`` / ``snapshotted`` / ``audited``
+            booleans.
+        """
+        from ..analysis.sanitize import sanitize_enabled
+
+        if audit is None:
+            audit = sanitize_enabled()
+        report = {"rebuilt": False, "snapshotted": False, "audited": False}
+        with self._lock.write_locked():
+            if bool(getattr(self._index, "maintenance_due", False)):
+                self._index.run_maintenance()
+                ivf = getattr(self._index, "ivf", None)
+                if ivf is not None and hasattr(ivf, "clear_caches"):
+                    # Rebuilds change candidate enumeration, not distances,
+                    # but dropping the ADC caches here bounds staleness and
+                    # memory without ever touching the query path.
+                    ivf.clear_caches()
+                report["rebuilt"] = True
+                self.stats.bump(rebuilds=1)
+            if audit:
+                self._index.check_invariants()
+                report["audited"] = True
+                self.stats.bump(audits=1)
+        if (
+            self._snapshot_every is not None
+            and self._wal is not None
+            and self._writes_since_snapshot >= self._snapshot_every
+        ):
+            self.snapshot()
+            report["snapshotted"] = True
+        if report["rebuilt"] or report["snapshotted"]:
+            self.stats.bump(maintenance_runs=1)
+        return report
+
+    def snapshot(self) -> Path:
+        """Write a WAL snapshot of the current state.
+
+        Runs under the *read* lock: writers pause, concurrent readers
+        proceed, and the saved state corresponds exactly to the WAL's
+        last appended sequence number.
+        """
+        if self._wal is None:
+            raise RuntimeError("service has no WAL attached")
+        with self._lock.read_locked():
+            path = self._wal.write_snapshot(self._index)
+            self._writes_since_snapshot = 0
+        self.stats.bump(snapshots=1)
+        return path
+
+    # ------------------------------------------------------------------
+    # Durability / lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(cls, wal_dir: str | Path, **service_kwargs) -> "IndexService":
+        """Rebuild a service from its durability directory.
+
+        Loads the newest snapshot, replays the WAL tail, and returns a
+        fresh service whose index state equals the last committed write
+        before the crash.
+        """
+        index, _ = recover_index(wal_dir)
+        return cls(index, wal_dir=wal_dir, **service_kwargs)
+
+    def close(self) -> None:
+        """Flush and close the WAL (the service stays queryable)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._wal is not None:
+            self._wal.close()
+
+    def _admit(self, kind: str):
+        if self._admission is None:
+            return nullcontext()
+        return self._admission.admit(kind)
+
+
+class GlobalLockService:
+    """Baseline: one exclusive mutex around every operation.
+
+    Reads serialize with each other and with writes; maintenance runs
+    inline inside delete calls (the wrapped index keeps ``auto_rebuild``).
+    Matches :class:`IndexService`'s read/write surface so the load
+    generator and benchmarks can drive both interchangeably.
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        admission: AdmissionController | None = None,
+    ) -> None:
+        self._index = index
+        self._mutex = threading.Lock()
+        self._version = 0
+        self._admission = admission
+        self.stats = ServiceStats()
+
+    @property
+    def index(self):
+        """The wrapped index (do not mutate outside the service)."""
+        return self._index
+
+    @property
+    def version(self) -> int:
+        """Number of committed writes."""
+        return self._version
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._index)
+
+    def __contains__(self, oid: int) -> bool:
+        with self._mutex:
+            return oid in self._index
+
+    def memory_bytes(self) -> int:
+        """C-equivalent bytes of the wrapped index."""
+        with self._mutex:
+            return self._index.memory_bytes()
+
+    def check_invariants(self) -> None:
+        """Audit the wrapped index under the global lock."""
+        with self._mutex:
+            self._index.check_invariants()
+
+    def query(
+        self,
+        query_vector: np.ndarray,
+        lo: float,
+        hi: float,
+        k: int,
+        *,
+        l_budget: int | None = None,
+    ) -> QueryResult:
+        """Range-filtered top-``k`` query under the global lock."""
+        return self.query_versioned(
+            query_vector, lo, hi, k, l_budget=l_budget
+        )[0]
+
+    def query_versioned(
+        self,
+        query_vector: np.ndarray,
+        lo: float,
+        hi: float,
+        k: int,
+        *,
+        l_budget: int | None = None,
+    ) -> tuple[QueryResult, int]:
+        """Like :meth:`query`, also returning the version read."""
+        with self._admit("read"), self._mutex:
+            result = self._index.query(
+                query_vector, lo, hi, k, l_budget=l_budget
+            )
+            version = self._version
+        self.stats.bump(reads=1, read_batches=1)
+        return result, version
+
+    def query_batch(
+        self,
+        queries: np.ndarray,
+        ranges: Sequence[tuple[float, float]],
+        k: int,
+        *,
+        l_budget: int | None = None,
+    ) -> BatchResult:
+        """Answer a caller-assembled batch under the global lock."""
+        with self._admit("read"), self._mutex:
+            result = execute_batch(
+                self._index, queries, ranges, k, l_budget=l_budget
+            )
+        self.stats.bump(reads=len(result), read_batches=1)
+        return result
+
+    def insert(self, oid: int, vector: np.ndarray, attr: float) -> None:
+        """Insert one object under the global lock."""
+        with self._admit("write"), self._mutex:
+            self._index.insert(oid, vector, attr)
+            self._version += 1
+        self.stats.bump(writes=1)
+
+    def delete(self, oid: int) -> None:
+        """Delete one object under the global lock (maintenance inline)."""
+        with self._admit("write"), self._mutex:
+            self._index.delete(oid)
+            self._version += 1
+        self.stats.bump(writes=1)
+
+    def _admit(self, kind: str):
+        if self._admission is None:
+            return nullcontext()
+        return self._admission.admit(kind)

@@ -1,0 +1,149 @@
+"""Background maintenance daemon for the serving layer.
+
+The paper's lazy-deletion design rebuilds a subtree the moment
+``2 · invalid > size(root)`` — correct, but in a server that pays an
+``O(n log n)`` compaction inside some unlucky client's ``delete`` call.
+:class:`MaintenanceDaemon` moves that debt off the request path: the
+service defers the trigger (``defer_maintenance=True``) and the daemon
+polls :meth:`IndexService.maintenance_due` — woken early by a per-write
+event — and runs the rebuild, ADC-cache invalidation, periodic WAL
+snapshot, and (under ``REPRO_SANITIZE=1``) invariant audits from its own
+thread, behind the same write lock every client mutation uses.
+
+Usage::
+
+    service = IndexService(index, defer_maintenance=True)
+    with MaintenanceDaemon(service, interval_s=0.05):
+        ... serve traffic ...
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["MaintenanceStats", "MaintenanceDaemon"]
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters of one daemon's lifetime activity.
+
+    Attributes:
+        wakeups: Times the loop woke (timer tick or write signal).
+        cycles: :meth:`IndexService.run_maintenance` calls issued.
+        rebuilds: Cycles that compacted the index.
+        snapshots: Cycles that wrote a WAL snapshot.
+        audits: Cycles that ran ``check_invariants``.
+        errors: Cycles that raised (the daemon keeps running; the last
+            exception is kept in :attr:`MaintenanceDaemon.last_error`).
+    """
+
+    wakeups: int = 0
+    cycles: int = 0
+    rebuilds: int = 0
+    snapshots: int = 0
+    audits: int = 0
+    errors: int = 0
+
+
+class MaintenanceDaemon:
+    """Background thread paying a service's deferred maintenance debt.
+
+    Args:
+        service: The :class:`~repro.service.engine.IndexService` to tend.
+            The daemon registers a wakeup event with it, so every committed
+            write can cut the polling latency to ~zero.
+        interval_s: Fallback polling period when no write signals arrive.
+        audit: Passed through to ``run_maintenance`` (None = follow
+            ``REPRO_SANITIZE``).
+
+    The daemon is a context manager: ``with MaintenanceDaemon(svc):``
+    starts on entry and stops (joining the thread) on exit.  A cycle that
+    raises is counted and remembered in :attr:`last_error` but does not
+    kill the thread — one failed rebuild must not silently stop snapshots.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        interval_s: float = 0.05,
+        audit: bool | None = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self._service = service
+        self._interval_s = interval_s
+        self._audit = audit
+        self._wakeup = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.stats = MaintenanceStats()
+        self.last_error: BaseException | None = None
+        service.attach_maintenance_wakeup(self._wakeup)
+
+    @property
+    def running(self) -> bool:
+        """Whether the daemon thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "MaintenanceDaemon":
+        """Start the background thread (idempotent)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-maintenance", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, *, final_cycle: bool = True) -> None:
+        """Stop the thread and join it.
+
+        Args:
+            final_cycle: Run one last maintenance cycle after the thread
+                exits, so pending debt (e.g. a due snapshot) is not lost on
+                orderly shutdown.
+        """
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._wakeup.set()
+        self._thread.join()
+        self._thread = None
+        if final_cycle and self._service.maintenance_due():
+            self._cycle()
+
+    def __enter__(self) -> "MaintenanceDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> bool:
+        self.stop()
+        return False
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._wakeup.wait(self._interval_s)
+            self._wakeup.clear()
+            if self._stop.is_set():
+                return
+            self.stats.wakeups += 1
+            if self._service.maintenance_due():
+                self._cycle()
+
+    def _cycle(self) -> None:
+        self.stats.cycles += 1
+        try:
+            report = self._service.run_maintenance(audit=self._audit)
+        except BaseException as error:  # repro: noqa-R004 - daemon survives
+            self.stats.errors += 1
+            self.last_error = error
+            return
+        if report.get("rebuilt"):
+            self.stats.rebuilds += 1
+        if report.get("snapshotted"):
+            self.stats.snapshots += 1
+        if report.get("audited"):
+            self.stats.audits += 1

@@ -1,0 +1,305 @@
+"""Attribute-range sharding: scatter-gather over per-range services.
+
+A single RangePQ tree serializes all writes behind one lock.  Sharding the
+attribute domain at quantile boundaries splits the index into ``K``
+independent services, so writes to different attribute regions never
+contend, maintenance (rebuilds, snapshots) is shard-local and proportional
+to shard size, and a range query touches only the shards its ``[lo, hi]``
+interval overlaps.
+
+The router keeps one piece of global state — the oid → shard map that
+routes deletes — guarded by its own mutex; everything else delegates to
+the shard services, which do their own locking.  A scattered query is
+*not* a cross-shard atomic snapshot: each shard answers from its own
+consistent snapshot (single-shard queries keep the full consistency
+contract, and the common case — a narrow range — touches one shard).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.results import QueryResult, QueryStats
+from .engine import IndexService
+
+__all__ = ["RangeShardedService", "quantile_boundaries"]
+
+
+def quantile_boundaries(attrs: np.ndarray, num_shards: int) -> list[float]:
+    """``num_shards - 1`` attribute-quantile split points, deduplicated.
+
+    Duplicate quantiles (attribute mass concentrated on few values) are
+    collapsed, which lowers the effective shard count rather than creating
+    empty shards.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards == 1:
+        return []
+    attrs = np.asarray(attrs, dtype=np.float64)
+    fractions = np.arange(1, num_shards) / num_shards
+    return np.unique(np.quantile(attrs, fractions)).tolist()
+
+
+class RangeShardedService:
+    """Scatter-gather router over attribute-range shards.
+
+    Shard ``i`` owns attributes in ``[boundaries[i-1], boundaries[i])``
+    (first shard unbounded below, last unbounded above).  Use
+    :meth:`build` to construct shards from data at quantile boundaries.
+
+    Args:
+        shards: One service per shard, in boundary order (anything with
+            the :class:`~repro.service.engine.IndexService` surface).
+        boundaries: ``len(shards) - 1`` strictly increasing split points.
+    """
+
+    def __init__(
+        self, shards: Sequence[IndexService], boundaries: Sequence[float]
+    ) -> None:
+        if len(boundaries) != len(shards) - 1:
+            raise ValueError(
+                f"{len(shards)} shards need {len(shards) - 1} boundaries, "
+                f"got {len(boundaries)}"
+            )
+        if any(
+            boundaries[i] >= boundaries[i + 1]
+            for i in range(len(boundaries) - 1)
+        ):
+            raise ValueError("boundaries must be strictly increasing")
+        self._shards = list(shards)
+        self._boundaries = [float(b) for b in boundaries]
+        self._map_mutex = threading.Lock()
+        self._shard_of_oid: dict[int, int] = {}
+        for number, shard in enumerate(self._shards):
+            for oid in shard.index.ivf.ids():
+                if oid in self._shard_of_oid:
+                    raise ValueError(f"oid {oid} present in two shards")
+                self._shard_of_oid[oid] = number
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        ids: Sequence[int],
+        vectors: np.ndarray,
+        attrs: Sequence[float],
+        *,
+        num_shards: int,
+        index_factory: Callable[[np.ndarray, np.ndarray, np.ndarray], object],
+        wal_dir: str | Path | None = None,
+        **service_kwargs,
+    ) -> "RangeShardedService":
+        """Partition data at attribute quantiles and build one service per
+        shard.
+
+        Args:
+            ids, vectors, attrs: The initial population.
+            num_shards: Requested shard count (collapsed quantiles may
+                yield fewer).
+            index_factory: ``(ids, vectors, attrs) -> index`` building and
+                training one shard's index from its partition.
+            wal_dir: When given, shard ``i`` persists under
+                ``wal_dir/shard-<i>``.
+            **service_kwargs: Forwarded to every shard's
+                :class:`IndexService`.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        vectors = np.asarray(vectors, dtype=np.float64)
+        attrs = np.asarray(attrs, dtype=np.float64)
+        boundaries = quantile_boundaries(attrs, num_shards)
+        assignment = np.searchsorted(boundaries, attrs, side="right")
+        shards = []
+        for number in range(len(boundaries) + 1):
+            members = assignment == number
+            if not members.any():
+                raise ValueError(
+                    f"shard {number} would be empty; lower num_shards "
+                    "(attribute mass is too concentrated)"
+                )
+            index = index_factory(
+                ids[members], vectors[members], attrs[members]
+            )
+            kwargs = dict(service_kwargs)
+            if wal_dir is not None:
+                kwargs["wal_dir"] = Path(wal_dir) / f"shard-{number}"
+            shards.append(IndexService(index, **kwargs))
+        return cls(shards, boundaries)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> list[IndexService]:
+        """The shard services, in boundary order."""
+        return list(self._shards)
+
+    @property
+    def boundaries(self) -> list[float]:
+        """The attribute split points."""
+        return list(self._boundaries)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, oid: int) -> bool:
+        with self._map_mutex:
+            return oid in self._shard_of_oid
+
+    def shard_for_attr(self, attr: float) -> int:
+        """Index of the shard owning attribute value ``attr``."""
+        return bisect.bisect_right(self._boundaries, float(attr))
+
+    def check_invariants(self) -> None:
+        """Audit every shard plus the router's own oid → shard map."""
+        for shard in self._shards:
+            shard.check_invariants()
+        with self._map_mutex:
+            routed = dict(self._shard_of_oid)
+        total = 0
+        for number, shard in enumerate(self._shards):
+            for oid in shard.index.ivf.ids():
+                total += 1
+                if routed.get(int(oid)) != number:
+                    raise AssertionError(
+                        f"oid {oid} lives in shard {number} but the router "
+                        f"maps it to {routed.get(int(oid))}"
+                    )
+        if total != len(routed):
+            raise AssertionError(
+                f"router maps {len(routed)} oids but shards hold {total}"
+            )
+
+    # ------------------------------------------------------------------
+    # Write plane (per-shard serialization)
+    # ------------------------------------------------------------------
+    def insert(self, oid: int, vector: np.ndarray, attr: float) -> None:
+        """Route one insert to the shard owning ``attr``."""
+        oid = int(oid)
+        target = self.shard_for_attr(attr)
+        with self._map_mutex:
+            if oid in self._shard_of_oid:
+                raise ValueError(f"oid {oid} already present")
+            # Reserve before the shard insert so a concurrent duplicate
+            # insert fails here instead of racing into another shard.
+            self._shard_of_oid[oid] = target
+        try:
+            # Delegation: the shard service write-locks internally.
+            self._shards[target].insert(oid, vector, attr)  # repro: noqa-R007
+        except BaseException:  # repro: noqa-R004 - reservation rollback
+            with self._map_mutex:
+                self._shard_of_oid.pop(oid, None)
+            raise
+
+    def delete(self, oid: int) -> None:
+        """Route one delete via the oid → shard map."""
+        oid = int(oid)
+        with self._map_mutex:
+            if oid not in self._shard_of_oid:
+                raise KeyError(f"unknown oid {oid}")
+            target = self._shard_of_oid[oid]
+        # Delegation: the shard service write-locks internally.
+        self._shards[target].delete(oid)  # repro: noqa-R007
+        with self._map_mutex:
+            self._shard_of_oid.pop(oid, None)
+
+    # ------------------------------------------------------------------
+    # Read plane (scatter-gather)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query_vector: np.ndarray,
+        lo: float,
+        hi: float,
+        k: int,
+        *,
+        l_budget: int | None = None,
+    ) -> QueryResult:
+        """Scatter a range query to overlapping shards, merge top-``k``.
+
+        Only shards whose attribute interval intersects ``[lo, hi]`` are
+        consulted; their per-shard top-``k`` answers merge by approximate
+        distance (ties broken by oid for determinism).
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        first = self.shard_for_attr(lo)
+        last = self.shard_for_attr(hi)
+        partials = [
+            self._shards[number].query(query_vector, lo, hi, k, l_budget=l_budget)
+            for number in range(first, last + 1)
+        ]
+        if len(partials) == 1:
+            return partials[0]
+        return _merge_topk(partials, k)
+
+    # ------------------------------------------------------------------
+    # Maintenance plane (shard-local)
+    # ------------------------------------------------------------------
+    def attach_maintenance_wakeup(self, event: threading.Event) -> None:
+        """Register one wakeup event with every shard (one shared daemon)."""
+        for shard in self._shards:
+            shard.attach_maintenance_wakeup(event)
+
+    def maintenance_due(self) -> bool:
+        """Whether any shard has pending maintenance."""
+        return any(shard.maintenance_due() for shard in self._shards)
+
+    def run_maintenance(self, *, audit: bool | None = None) -> dict:
+        """Run one maintenance cycle on every shard that needs it.
+
+        Returns an aggregate report (``rebuilt`` / ``snapshotted`` /
+        ``audited`` true if true on any shard) plus the per-shard reports.
+        """
+        reports = [
+            shard.run_maintenance(audit=audit)
+            for shard in self._shards
+            if shard.maintenance_due() or audit
+        ]
+        return {
+            "rebuilt": any(r["rebuilt"] for r in reports),
+            "snapshotted": any(r["snapshotted"] for r in reports),
+            "audited": any(r["audited"] for r in reports),
+            "shards": reports,
+        }
+
+    def close(self) -> None:
+        """Close every shard's WAL."""
+        for shard in self._shards:
+            shard.close()
+
+
+def _merge_topk(partials: Sequence[QueryResult], k: int) -> QueryResult:
+    """Merge per-shard top-``k`` answers into one global top-``k``."""
+    ids = np.concatenate([p.ids for p in partials])
+    distances = np.concatenate([p.distances for p in partials])
+    order = np.lexsort((ids, distances))[:k]
+    stats = QueryStats()
+    in_range = [p.stats.num_in_range for p in partials]
+    stats.num_in_range = (
+        sum(in_range) if all(n >= 0 for n in in_range) else -1
+    )
+    for partial in partials:
+        stats.num_candidate_clusters += partial.stats.num_candidate_clusters
+        stats.num_candidates += partial.stats.num_candidates
+        stats.cover_nodes += partial.stats.cover_nodes
+        stats.l_used = max(stats.l_used, partial.stats.l_used)
+        stats.decompose_ms += partial.stats.decompose_ms
+        stats.table_ms += partial.stats.table_ms
+        stats.rank_ms += partial.stats.rank_ms
+        stats.fetch_ms += partial.stats.fetch_ms
+        stats.adc_ms += partial.stats.adc_ms
+    return QueryResult(
+        ids=ids[order], distances=distances[order], stats=stats
+    )

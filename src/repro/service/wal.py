@@ -1,0 +1,338 @@
+"""Write-ahead log + snapshot durability for the serving layer.
+
+A service directory holds:
+
+* ``snapshot-<seq>.npz`` — full index archives written atomically by
+  :func:`repro.io.save_index` (temp file + ``os.replace``), named by the
+  WAL sequence number they are consistent with;
+* ``wal.log`` — an append-only text log, one record per committed write.
+
+Each record line is ``<json-payload>\\t<crc32-hex>``: the payload carries a
+monotonically increasing ``seq``, the op (``insert`` / ``delete``), and the
+operands (vectors as float64 lists — JSON round-trips Python floats
+exactly).  The CRC detects torn or corrupted lines; a torn *final* line
+(crash mid-append) is silently dropped on recovery, while corruption in the
+middle of the log raises, because records after it cannot be trusted.
+
+Recovery = load the newest snapshot, then replay every record with a
+sequence number beyond it, in order.  Snapshots never block recovery
+correctness: records at or below the snapshot's seq are skipped, so a
+crash between "snapshot written" and "log truncated" is harmless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["WALError", "WalRecord", "WriteAheadLog", "recover_index"]
+
+WAL_NAME = "wal.log"
+_SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{12})\.npz$")
+
+
+class WALError(RuntimeError):
+    """Raised on unusable WAL directories or mid-log corruption."""
+
+
+class WalRecord:
+    """One decoded WAL record."""
+
+    __slots__ = ("seq", "op", "oid", "attr", "vector")
+
+    def __init__(self, seq, op, oid, attr=None, vector=None) -> None:
+        self.seq = seq
+        self.op = op
+        self.oid = oid
+        self.attr = attr
+        self.vector = vector
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WalRecord(seq={self.seq}, op={self.op!r}, oid={self.oid})"
+
+
+def _encode(payload: dict) -> str:
+    body = json.dumps(payload, separators=(",", ":"))
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{body}\t{crc:08x}\n"
+
+
+def _decode(line: str) -> dict | None:
+    """Parse one log line; returns None when the line fails its CRC."""
+    line = line.rstrip("\n")
+    body, sep, crc_text = line.rpartition("\t")
+    if not sep:
+        return None
+    try:
+        expected = int(crc_text, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError:
+        return None
+
+
+def _snapshot_path(directory: Path, seq: int) -> Path:
+    return directory / f"snapshot-{seq:012d}.npz"
+
+
+def _list_snapshots(directory: Path) -> list[tuple[int, Path]]:
+    if not directory.is_dir():
+        return []
+    found = []
+    for entry in directory.iterdir():
+        match = _SNAPSHOT_PATTERN.match(entry.name)
+        if match:
+            found.append((int(match.group(1)), entry))
+    found.sort()
+    return found
+
+
+class WriteAheadLog:
+    """Append-only durable log of index mutations, plus snapshot management.
+
+    Args:
+        directory: The service's durability directory (created if absent).
+        fsync: Fsync after every append.  Off by default: a flushed-but-not
+            -fsynced log survives process crashes (the benchmark and test
+            mode), fsync additionally survives power loss.
+        keep_snapshots: How many most-recent snapshots to retain when a new
+            one is written.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        fsync: bool = False,
+        keep_snapshots: int = 2,
+    ) -> None:
+        if keep_snapshots < 1:
+            raise ValueError(
+                f"keep_snapshots must be >= 1, got {keep_snapshots}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.keep_snapshots = keep_snapshots
+        self._last_seq = self._scan_last_seq()
+        self._file = open(  # noqa: SIM115 - lifetime == WAL lifetime
+            self.directory / WAL_NAME, "a", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------
+    # Sequence / discovery
+    # ------------------------------------------------------------------
+    def _scan_last_seq(self) -> int:
+        last = 0
+        snapshots = _list_snapshots(self.directory)
+        if snapshots:
+            last = snapshots[-1][0]
+        for record in _read_records(self.directory / WAL_NAME):
+            last = max(last, record.seq)
+        return last
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number made durable so far (0 if none)."""
+        return self._last_seq
+
+    def latest_snapshot_seq(self) -> int | None:
+        """Sequence number of the newest snapshot, or None."""
+        snapshots = _list_snapshots(self.directory)
+        return snapshots[-1][0] if snapshots else None
+
+    def records_since(self, seq: int) -> list[WalRecord]:
+        """All durable records with sequence number > ``seq``, in order."""
+        return [
+            record
+            for record in _read_records(self.directory / WAL_NAME)
+            if record.seq > seq
+        ]
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def append_insert(
+        self, oid: int, attr: float, vector: np.ndarray
+    ) -> int:
+        """Append one insert record; returns its sequence number."""
+        payload = {
+            "seq": self._last_seq + 1,
+            "op": "insert",
+            "oid": int(oid),
+            "attr": float(attr),
+            "vec": np.asarray(vector, dtype=np.float64).tolist(),
+        }
+        return self._append(payload)
+
+    def append_delete(self, oid: int) -> int:
+        """Append one delete record; returns its sequence number."""
+        payload = {"seq": self._last_seq + 1, "op": "delete", "oid": int(oid)}
+        return self._append(payload)
+
+    def _append(self, payload: dict) -> int:
+        self._file.write(_encode(payload))
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self._last_seq = payload["seq"]
+        return self._last_seq
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def write_snapshot(self, index) -> Path:
+        """Persist ``index`` as the snapshot consistent with ``last_seq``.
+
+        The caller must guarantee the index state actually reflects every
+        appended record (the service does so by pausing writers).  After
+        the snapshot lands, the log is truncated to the records beyond it
+        and snapshots older than ``keep_snapshots`` are pruned.
+        """
+        from ..io.serialization import save_index
+
+        path = _snapshot_path(self.directory, self._last_seq)
+        save_index(index, path)
+        self._truncate_log(self._last_seq)
+        self._prune_snapshots()
+        return path
+
+    def _truncate_log(self, seq: int) -> None:
+        """Atomically rewrite the log keeping only records beyond ``seq``."""
+        keep = [
+            record
+            for record in _read_records(self.directory / WAL_NAME)
+            if record.seq > seq
+        ]
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".wal.", suffix=".tmp"
+        )
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            for record in keep:
+                handle.write(_encode(_record_payload(record)))
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._file.close()
+        os.replace(temp_name, self.directory / WAL_NAME)
+        self._file = open(  # noqa: SIM115 - lifetime == WAL lifetime
+            self.directory / WAL_NAME, "a", encoding="utf-8"
+        )
+
+    def _prune_snapshots(self) -> None:
+        snapshots = _list_snapshots(self.directory)
+        for _, path in snapshots[: -self.keep_snapshots]:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def close(self) -> None:
+        """Flush and close the log file."""
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+
+def _record_payload(record: WalRecord) -> dict:
+    payload: dict = {"seq": record.seq, "op": record.op, "oid": record.oid}
+    if record.op == "insert":
+        payload["attr"] = record.attr
+        payload["vec"] = record.vector
+    return payload
+
+
+def _read_records(path: Path) -> Iterator[WalRecord]:
+    """Decode a log file, tolerating only a torn final line.
+
+    Raises:
+        WALError: When a corrupt line is followed by valid records, or a
+            record is malformed / out of order — the tail cannot be
+            trusted in either case.
+    """
+    if not path.exists():
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    torn_at: int | None = None
+    previous_seq = None
+    for number, line in enumerate(lines):
+        payload = _decode(line)
+        if payload is None:
+            torn_at = number
+            continue
+        if torn_at is not None:
+            raise WALError(
+                f"{path}: corrupt record at line {torn_at + 1} is followed "
+                "by valid records; refusing to replay an untrusted tail"
+            )
+        try:
+            record = WalRecord(
+                seq=int(payload["seq"]),
+                op=str(payload["op"]),
+                oid=int(payload["oid"]),
+                attr=payload.get("attr"),
+                vector=payload.get("vec"),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise WALError(f"{path}: malformed record: {error}") from error
+        if record.op not in ("insert", "delete"):
+            raise WALError(f"{path}: unknown op {record.op!r}")
+        if previous_seq is not None and record.seq <= previous_seq:
+            raise WALError(
+                f"{path}: non-monotonic sequence {record.seq} after "
+                f"{previous_seq}"
+            )
+        previous_seq = record.seq
+        yield record
+
+
+def recover_index(directory: str | Path):
+    """Rebuild an index from its durability directory.
+
+    Loads the newest snapshot and replays every WAL record beyond its
+    sequence number, reproducing the exact pre-crash live state (same
+    objects, attributes, and coarse-cluster assignments — cluster
+    assignment is deterministic given the trained quantizers in the
+    snapshot).
+
+    Returns:
+        ``(index, last_seq)`` — the recovered index and the sequence
+        number of the last applied record.
+
+    Raises:
+        WALError: If the directory holds no snapshot or the log is
+            corrupt beyond its final line.
+    """
+    from ..io.serialization import load_index
+
+    directory = Path(directory)
+    snapshots = _list_snapshots(directory)
+    if not snapshots:
+        raise WALError(f"{directory}: no snapshot to recover from")
+    snapshot_seq, snapshot_file = snapshots[-1]
+    index = load_index(snapshot_file)
+    last_seq = snapshot_seq
+    for record in _read_records(directory / WAL_NAME):
+        if record.seq <= snapshot_seq:
+            continue
+        if record.op == "insert":
+            index.insert(
+                record.oid,
+                np.asarray(record.vector, dtype=np.float64),
+                record.attr,
+            )
+        else:
+            index.delete(record.oid)
+        last_seq = record.seq
+    return index, last_seq

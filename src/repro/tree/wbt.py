@@ -112,6 +112,10 @@ class RangeTree:
         self._invalid = 0
         self._rebuilds = 0
         self._rebuild_work = 0
+        #: When False, :meth:`delete` never triggers the global rebuild
+        #: inline; the owner (e.g. the serving layer's maintenance daemon)
+        #: must poll :attr:`needs_rebuild` and call :meth:`rebuild`.
+        self.auto_rebuild = True
 
     # ------------------------------------------------------------------
     # Size / introspection
@@ -134,6 +138,11 @@ class RangeTree:
     def rebuild_count(self) -> int:
         """Number of subtree/global rebuilds performed (for tests/ablation)."""
         return self._rebuilds
+
+    @property
+    def needs_rebuild(self) -> bool:
+        """Whether the lazy-deletion trigger ``2·inv > size(root)`` holds."""
+        return self.root is not None and 2 * self._invalid > _size(self.root)
 
     @property
     def rebuild_work(self) -> int:
@@ -269,9 +278,17 @@ class RangeTree:
                 del visited.num[cluster]
         node.valid = False
         self._invalid += 1
-        if 2 * self._invalid > _size(self.root):
+        if self.auto_rebuild and 2 * self._invalid > _size(self.root):
             self._rebuild_all()
         return cluster
+
+    def rebuild(self) -> None:
+        """Compact the tree now (drop lazy-deleted nodes, rebalance).
+
+        The deferred-maintenance entry point: with :attr:`auto_rebuild`
+        disabled this is how the owner pays down the lazy-deletion debt.
+        """
+        self._rebuild_all()
 
     def _rebuild_all(self) -> None:
         """Global rebuild: drop invalid nodes, restore perfect balance."""
@@ -333,7 +350,11 @@ class RangeTree:
                 f"invalid-count mismatch: tracked {self._invalid}, "
                 f"found {count_invalid}"
             )
-        if 2 * self._invalid > _size(self.root) and self.root is not None:
+        if (
+            self.auto_rebuild
+            and 2 * self._invalid > _size(self.root)
+            and self.root is not None
+        ):
             raise AssertionError("rebuild threshold exceeded without rebuild")
 
 

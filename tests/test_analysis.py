@@ -81,6 +81,46 @@ R005_SRC = textwrap.dedent(
     """
 )
 
+SERVICE = "src/repro/service/_fixture.py"
+
+R007_SRC = textwrap.dedent(
+    """
+    class Service:
+        def __init__(self, index):
+            self._index = index
+
+        def insert(self, oid, vector, attr):
+            self._index.insert(oid, vector, attr)
+
+        def check_invariants(self):
+            self._index.check_invariants()
+    """
+)
+
+R007_GUARDED_SRC = textwrap.dedent(
+    """
+    class Service:
+        def __init__(self, index, lock):
+            self._index = index
+            self._lock = lock
+
+        def insert(self, oid, vector, attr):
+            with self._lock.write_locked():
+                self._index.insert(oid, vector, attr)
+
+        def wipe(self):
+            with self._mutex:
+                self._index.delete_many([])
+
+        def _apply_unlocked(self, oid):
+            self._index.delete(oid)
+
+        def check_invariants(self):
+            self._index.check_invariants()
+    """
+)
+
+
 R006_SRC = textwrap.dedent(
     """
     import numpy as np
@@ -103,6 +143,7 @@ R006_SRC = textwrap.dedent(
         ("R004", R004_SRC, COLD),
         ("R005", R005_SRC, COLD),
         ("R006", R006_SRC, COLD),
+        ("R007", R007_SRC, SERVICE),
     ],
 )
 def test_each_rule_fires_exactly_once(rule_id, source, path):
@@ -195,10 +236,47 @@ def test_render_json_is_parseable():
     assert payload["findings"][0]["rule"] == "R005"
 
 
-def test_rule_catalogue_covers_r001_to_r006():
+def test_rule_catalogue_covers_r001_to_r007():
     assert [rule.id for rule in RULES] == [
-        f"R{n:03d}" for n in range(1, 7)
+        f"R{n:03d}" for n in range(1, 8)
     ]
+
+
+def test_r007_silent_outside_service_paths():
+    assert lint_source(R007_SRC, COLD) == []
+
+
+def test_r007_guarded_and_exempt_forms_are_silent():
+    assert lint_source(R007_GUARDED_SRC, SERVICE) == []
+
+
+def test_r007_subscripted_member_is_flagged():
+    source = textwrap.dedent(
+        '''
+        class Router:
+            def delete(self, oid):
+                self._shards[0].delete(oid)
+
+            def check_invariants(self):
+                pass
+        '''
+    )
+    assert [f.rule for f in lint_source(source, SERVICE)] == ["R007"]
+
+
+def test_r007_own_api_call_not_flagged():
+    source = textwrap.dedent(
+        '''
+        class Service:
+            def insert_many(self, ids, vectors, attrs):
+                for oid, vec, attr in zip(ids, vectors, attrs):
+                    self.insert(oid, vec, attr)
+
+            def check_invariants(self):
+                pass
+        '''
+    )
+    assert lint_source(source, SERVICE) == []
 
 
 # ----------------------------------------------------------------------

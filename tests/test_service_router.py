@@ -1,0 +1,184 @@
+"""Tests for attribute-range sharding: routing, scatter-gather merge,
+completeness, and shard-local maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RangePQ
+from repro.service import (
+    MaintenanceDaemon,
+    RangeShardedService,
+    quantile_boundaries,
+)
+
+BUILD = dict(num_subspaces=4, num_clusters=8, num_codewords=16, seed=0)
+
+
+def factory(ids, vectors, attrs):
+    return RangePQ.build(vectors, attrs, ids=ids, **BUILD)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(13)
+    n = 600
+    vectors = rng.standard_normal((n, 16))
+    attrs = rng.random(n) * 100.0
+    ids = np.arange(n, dtype=np.int64)
+    queries = rng.standard_normal((5, 16))
+    return ids, vectors, attrs, queries
+
+
+@pytest.fixture()
+def router(dataset):
+    ids, vectors, attrs, _ = dataset
+    return RangeShardedService.build(
+        ids, vectors, attrs, num_shards=4, index_factory=factory
+    )
+
+
+class TestBoundaries:
+    def test_quantile_boundaries(self):
+        attrs = np.arange(100, dtype=np.float64)
+        bounds = quantile_boundaries(attrs, 4)
+        assert len(bounds) == 3
+        assert bounds == sorted(bounds)
+
+    def test_single_shard_no_boundaries(self):
+        assert quantile_boundaries(np.arange(10.0), 1) == []
+
+    def test_duplicate_quantiles_collapse(self):
+        attrs = np.array([1.0] * 50 + [2.0] * 50)
+        assert len(quantile_boundaries(attrs, 8)) < 7
+
+    def test_bad_shard_count(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            quantile_boundaries(np.arange(10.0), 0)
+
+
+class TestRouting:
+    def test_shards_partition_population(self, dataset, router):
+        ids, _, attrs, _ = dataset
+        assert len(router) == len(ids)
+        for oid, attr in zip(ids.tolist(), attrs.tolist()):
+            target = router.shard_for_attr(attr)
+            assert oid in router.shards[target].index
+        router.check_invariants()
+
+    def test_insert_routes_by_attr(self, dataset, router):
+        rng = np.random.default_rng(0)
+        attr = 50.0
+        router.insert(10_000, rng.standard_normal(16), attr)
+        assert 10_000 in router
+        target = router.shard_for_attr(attr)
+        assert 10_000 in router.shards[target].index
+        router.delete(10_000)
+        assert 10_000 not in router
+        router.check_invariants()
+
+    def test_duplicate_insert_rejected(self, dataset, router):
+        rng = np.random.default_rng(1)
+        router.insert(10_500, rng.standard_normal(16), 10.0)
+        with pytest.raises(ValueError, match="already present"):
+            router.insert(10_500, rng.standard_normal(16), 90.0)
+        router.delete(10_500)
+
+    def test_unknown_delete_raises(self, router):
+        with pytest.raises(KeyError):
+            router.delete(999_999)
+
+    def test_mismatched_boundaries_rejected(self, router):
+        with pytest.raises(ValueError, match="boundaries"):
+            RangeShardedService(router.shards, [1.0])
+
+
+class TestScatterGather:
+    def test_narrow_range_hits_one_shard(self, dataset, router):
+        _, _, _, queries = dataset
+        # A range strictly inside shard 0's interval.
+        hi = router.boundaries[0] * 0.5
+        reads_before = [s.stats.reads for s in router.shards]
+        router.query(queries[0], 0.0, hi, k=5)
+        reads_after = [s.stats.reads for s in router.shards]
+        assert reads_after[0] == reads_before[0] + 1
+        assert reads_after[1:] == reads_before[1:]
+
+    def test_universe_query_completeness(self, dataset, router):
+        """A range holding <= k objects must return exactly that set."""
+        ids, _, attrs, queries = dataset
+        order = np.argsort(attrs)
+        # Pick a window of 12 consecutive attribute values spanning a
+        # boundary, so the scatter-gather path (not a single shard) serves
+        # it; with k >= window size and a full budget, approximate search
+        # degenerates to exact set retrieval.
+        boundary = router.boundaries[1]
+        start = int(np.searchsorted(np.sort(attrs), boundary)) - 6
+        window = order[start : start + 12]
+        lo = float(attrs[window].min())
+        hi = float(attrs[window].max())
+        in_range = {
+            int(oid)
+            for oid, attr in zip(ids.tolist(), attrs.tolist())
+            if lo <= attr <= hi
+        }
+        assert router.shard_for_attr(lo) != router.shard_for_attr(hi)
+        result = router.query(queries[0], lo, hi, k=50, l_budget=10**6)
+        assert set(result.ids.tolist()) == in_range
+
+    def test_merge_orders_by_distance(self, dataset, router):
+        _, _, _, queries = dataset
+        result = router.query(queries[1], 0.0, 100.0, k=20, l_budget=10**6)
+        assert len(result) == 20
+        assert np.all(np.diff(result.distances) >= 0)
+        assert len(set(result.ids.tolist())) == 20
+
+    def test_merged_stats_aggregate(self, dataset, router):
+        _, _, _, queries = dataset
+        result = router.query(queries[2], 0.0, 100.0, k=5, l_budget=10**6)
+        assert result.stats.num_candidates > 0
+        assert result.stats.num_in_range == len(router)
+
+
+class TestShardMaintenance:
+    def test_maintenance_is_shard_local(self, dataset):
+        ids, vectors, attrs, _ = dataset
+        router = RangeShardedService.build(
+            ids, vectors, attrs, num_shards=3, index_factory=factory
+        )
+        # Deleting most of shard 0 leaves the other shards' trees alone.
+        shard0 = router.shards[0]
+        victims = [int(o) for o in list(shard0.index.ivf.ids())[:130]]
+        before = [s.index.tree.rebuild_count for s in router.shards]
+        for oid in victims:
+            router.delete(oid)
+        assert router.maintenance_due()
+        report = router.run_maintenance(audit=True)
+        assert report["rebuilt"]
+        after = [s.index.tree.rebuild_count for s in router.shards]
+        assert after[0] == before[0] + 1
+        assert after[1:] == before[1:]
+        assert not router.maintenance_due()
+        router.check_invariants()
+
+    def test_one_daemon_tends_all_shards(self, dataset):
+        import time
+
+        ids, vectors, attrs, _ = dataset
+        router = RangeShardedService.build(
+            ids, vectors, attrs, num_shards=3, index_factory=factory
+        )
+        victims = [
+            int(o)
+            for shard in router.shards
+            for o in list(shard.index.ivf.ids())[:130]
+        ]
+        with MaintenanceDaemon(router, interval_s=0.01):
+            for oid in victims:
+                router.delete(oid)
+            deadline = time.monotonic() + 5.0
+            while router.maintenance_due() and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert not router.maintenance_due()
+        router.check_invariants()
