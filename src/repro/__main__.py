@@ -9,6 +9,11 @@ Subcommands::
     serve-bench [...]   IndexService vs global-lock throughput comparison
                         (flags forwarded to repro.service.bench; --smoke
                         for the tiny CI profile)
+    metrics-dump [...]  dump the process metrics registry (Prometheus text
+                        or --json; --smoke runs a tiny serving workload
+                        first and verifies the expected metrics populated)
+    query [...]         run one range query on a small built-in index;
+                        --trace prints the span tree of the execution
 """
 
 from __future__ import annotations
@@ -37,6 +42,56 @@ def _smoke_test() -> bool:
     )
 
 
+def _query_main(argv: list[str]) -> int:
+    """``python -m repro query``: one range query, optionally traced."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro query",
+        description=(
+            "Run one range-filtered query against a small built-in "
+            "RangePQ+ index (the self-check index)."
+        ),
+    )
+    parser.add_argument("--lo", type=float, default=10.0)
+    parser.add_argument("--hi", type=float, default=40.0)
+    parser.add_argument("-k", type=int, default=5)
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree of the query execution",
+    )
+    args = parser.parse_args(argv)
+    from repro.obs import format_span_tree, trace, validate_span_tree
+
+    rng = np.random.default_rng(0)
+    vectors = rng.normal(size=(400, 16))
+    attrs = rng.integers(0, 50, size=400).astype(float)
+    index = repro.RangePQPlus.build(
+        vectors, attrs, num_subspaces=4, num_clusters=10, num_codewords=32,
+        seed=0,
+    )
+    if args.trace:
+        with trace("query") as root:
+            result = index.query(vectors[0], args.lo, args.hi, k=args.k)
+        print(format_span_tree(root))
+        for problem in validate_span_tree(root):
+            print(f"malformed trace: {problem}", file=sys.stderr)
+        print()
+    else:
+        result = index.query(vectors[0], args.lo, args.hi, k=args.k)
+    print(f"query range [{args.lo}, {args.hi}], k={args.k}")
+    for oid, distance in zip(result.ids.tolist(), result.distances.tolist()):
+        print(f"  oid {oid:6d}  distance {distance:.6f}")
+    stats = result.stats
+    print(
+        f"stats: {stats.num_in_range} in range, "
+        f"{stats.num_candidate_clusters} clusters, "
+        f"{stats.num_candidates} candidates scanned"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Dispatch a subcommand, or print the banner and run the smoke test."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -44,6 +99,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.bench import main as serve_bench_main
 
         return serve_bench_main(argv[1:])
+    if argv and argv[0] == "metrics-dump":
+        from repro.obs.exposition import main as metrics_dump_main
+
+        return metrics_dump_main(argv[1:])
+    if argv and argv[0] == "query":
+        return _query_main(argv[1:])
     print(f"repro {repro.__version__} — RangePQ / RangePQ+ reproduction")
     print(__doc__.splitlines()[0])
     print()
@@ -51,6 +112,8 @@ def main(argv: list[str] | None = None) -> int:
     print("  python -m repro.eval.harness --figure <3..12>   regenerate a figure")
     print("  python -m repro.eval.regression                 reproduction CI")
     print("  python -m repro serve-bench [--smoke]           serving throughput")
+    print("  python -m repro metrics-dump [--smoke] [--json] metrics exposition")
+    print("  python -m repro query [--trace]                 one traced query")
     print("  pytest tests/                                   test suite")
     print("  pytest benchmarks/ --benchmark-only             benchmark suite")
     print()

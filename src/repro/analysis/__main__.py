@@ -2,7 +2,7 @@
 
 Subcommands::
 
-    lint [PATHS ...]        run rules R001-R007 (default target: src/)
+    lint [PATHS ...]        run rules R001-R008 (default target: src/)
         --baseline [FILE]   subtract a baseline (default: lint-baseline.json)
         --no-baseline       report everything, baseline ignored
         --write-baseline    rewrite the baseline from the current findings

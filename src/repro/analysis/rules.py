@@ -1,4 +1,4 @@
-"""The lint rule catalogue: repo-specific AST checks R001–R007.
+"""The lint rule catalogue: repo-specific AST checks R001–R008.
 
 Each rule is a pure function over a parsed module plus a
 :class:`FileContext`; the engine in :mod:`repro.analysis.lint` handles file
@@ -365,6 +365,57 @@ def _r007_scan(
         yield from _r007_scan(child, guarded)
 
 
+#: Path fragments (posix) where R008 demands the obs timing primitives.
+_R008_FRAGMENTS = ("core/", "ivf/", "quantization/", "service/")
+
+#: ``time`` attributes R008 flags (monotonic/sleep are not measurements).
+_R008_BANNED_ATTRS = ("time", "perf_counter", "perf_counter_ns")
+
+
+def _check_r008(
+    module: ast.Module, ctx: FileContext
+) -> Iterator[tuple[int, str]]:
+    """R008: raw wall-clock measurement in an instrumented module.
+
+    Inside ``repro/core/``, ``repro/ivf/``, ``repro/quantization/``, and
+    ``repro/service/`` every duration measurement must go through
+    :func:`repro.obs.timers.phase` (or a :class:`PhaseTimer`): it is the
+    single primitive that keeps trace spans, metrics histograms, and
+    per-query stats consistent.  A raw ``time.time()`` /
+    ``time.perf_counter()`` call produces timing the observability layer
+    never sees.  ``repro/obs/`` itself is exempt (it implements the
+    primitive), as are ``time.monotonic`` (deadlines) and ``time.sleep``.
+    """
+    normalized = ctx.path.replace("\\", "/")
+    if "obs/" in normalized or not any(
+        fragment in normalized for fragment in _R008_FRAGMENTS
+    ):
+        return
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+            and func.attr in _R008_BANNED_ATTRS
+        ):
+            name = f"time.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in (
+            "perf_counter",
+            "perf_counter_ns",
+        ):
+            name = func.id
+        else:
+            continue
+        yield (
+            node.lineno,
+            f"raw {name}() in an instrumented module; measure through "
+            "repro.obs.phase() so spans, histograms, and stats agree",
+        )
+
+
 def _check_r007(
     module: ast.Module, ctx: FileContext
 ) -> Iterator[tuple[int, str]]:
@@ -422,5 +473,11 @@ RULES: tuple[Rule, ...] = (
         "unguarded mutation of shared index state in the serving layer",
         False,
         _check_r007,
+    ),
+    Rule(
+        "R008",
+        "raw time.time()/perf_counter() in an instrumented module",
+        False,
+        _check_r008,
     ),
 )

@@ -28,17 +28,25 @@ caches.
 
 from __future__ import annotations
 
-import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..obs import counter as obs_counter
+from ..obs import histogram, phase
 from .results import QueryResult, QueryStats
 from .search import search_by_coarse_centers
 
 __all__ = ["QueryPlan", "BatchStats", "BatchResult", "execute_batch"]
+
+_BATCH_WALL_MS = histogram("batch.wall_ms")
+_BATCH_TABLE_MS = histogram("query.table_ms")
+_BATCH_RANK_MS = histogram("query.rank_ms")
+_BATCH_QUERIES = obs_counter("batch.queries")
+_BATCH_COALESCED = obs_counter("batch.coalesced_queries")
+_BATCH_SHARED_PLANS = obs_counter("batch.shared_plan_queries")
 
 
 @dataclass
@@ -84,10 +92,15 @@ class QueryPlan:
 class BatchStats:
     """Work counters aggregated over one ``batch_search`` call.
 
-    Per-query phase timers are summed from the individual
-    :class:`QueryStats`; the batch-level kernels (shared table / center
-    builds) land in ``table_ms`` / ``rank_ms`` as well, so the phase totals
-    remain comparable with a sequential run.
+    The phase totals describe the work the batch *actually performed*:
+    per-query phase timers are summed from the individual
+    :class:`QueryStats`, the batch-level kernels (shared table / center
+    builds) land in ``table_ms`` / ``rank_ms``, and ``decompose_ms``
+    counts each plan's decomposition **once** — shared-plan and coalesced
+    requests contribute no phantom repeats, so the sum of the phase
+    timers never exceeds ``wall_ms`` by construction (the per-request
+    :class:`QueryStats` still carry the shared plan's ``decompose_ms``
+    for per-query introspection).
 
     Attributes:
         num_queries: Requests in the batch.
@@ -128,10 +141,23 @@ class BatchStats:
         total = self.table_cache_hits + self.table_cache_misses
         return self.table_cache_hits / total if total else 0.0
 
-    def add_query_stats(self, stats: QueryStats) -> None:
-        """Fold one query's counters into the batch totals."""
+    def add_query_stats(
+        self, stats: QueryStats, *, include_decompose: bool = True
+    ) -> None:
+        """Fold one query's counters into the batch totals.
+
+        Args:
+            stats: The finished per-query stats.
+            include_decompose: Whether this query's ``decompose_ms``
+                represents work the batch performed.  The planner path
+                passes ``False`` for requests that reused an existing
+                plan — their stats carry a *copy* of the shared plan's
+                decompose time, and folding it again would double-count
+                one decomposition per sharing request.
+        """
         self.num_candidates += stats.num_candidates
-        self.decompose_ms += stats.decompose_ms
+        if include_decompose:
+            self.decompose_ms += stats.decompose_ms
         self.table_ms += stats.table_ms
         self.rank_ms += stats.rank_ms
         self.fetch_ms += stats.fetch_ms
@@ -194,40 +220,44 @@ def execute_batch(
     hits_before = cache.hits if cache is not None else 0
     misses_before = cache.misses if cache is not None else 0
 
-    start = time.perf_counter()
-    # Request coalescing: compute each distinct (query, range) once.
-    rep_of: list[int] = []
-    unique_rows: list[int] = []
-    seen: dict[tuple[bytes, float, float], int] = {}
-    for i, (lo, hi) in enumerate(ranges):
-        request = (queries[i].tobytes(), float(lo), float(hi))
-        position = seen.get(request)
-        if position is None:
-            seen[request] = len(unique_rows)
-            rep_of.append(len(unique_rows))
-            unique_rows.append(i)
-        else:
-            rep_of.append(position)
-    stats.coalesced_queries = len(ranges) - len(unique_rows)
-    unique_queries = queries[unique_rows]
-    unique_ranges = [ranges[i] for i in unique_rows]
+    with phase("batch", metric=_BATCH_WALL_MS) as wall:
+        # Request coalescing: compute each distinct (query, range) once.
+        rep_of: list[int] = []
+        unique_rows: list[int] = []
+        seen: dict[tuple[bytes, float, float], int] = {}
+        for i, (lo, hi) in enumerate(ranges):
+            request = (queries[i].tobytes(), float(lo), float(hi))
+            position = seen.get(request)
+            if position is None:
+                seen[request] = len(unique_rows)
+                rep_of.append(len(unique_rows))
+                unique_rows.append(i)
+            else:
+                rep_of.append(position)
+        stats.coalesced_queries = len(ranges) - len(unique_rows)
+        unique_queries = queries[unique_rows]
+        unique_ranges = [ranges[i] for i in unique_rows]
 
-    if hasattr(index, "plan_query") and ivf is not None:
-        unique_results = _execute_planned(
-            index, ivf, unique_queries, unique_ranges, k, l_budget, stats
-        )
-    else:
-        if l_budget is not None:
-            raise ValueError(
-                "l_budget is only supported by indexes with a plan_query path"
+        if hasattr(index, "plan_query") and ivf is not None:
+            unique_results = _execute_planned(
+                index, ivf, unique_queries, unique_ranges, k, l_budget, stats
             )
-        unique_results = []
-        for i, (lo, hi) in enumerate(unique_ranges):
-            result = index.query(unique_queries[i], lo, hi, k)
-            stats.add_query_stats(result.stats)
-            unique_results.append(result)
-    results = [unique_results[j] for j in rep_of]
-    stats.wall_ms = (time.perf_counter() - start) * 1000.0
+        else:
+            if l_budget is not None:
+                raise ValueError(
+                    "l_budget is only supported by indexes with a "
+                    "plan_query path"
+                )
+            unique_results = []
+            for i, (lo, hi) in enumerate(unique_ranges):
+                result = index.query(unique_queries[i], lo, hi, k)
+                stats.add_query_stats(result.stats)
+                unique_results.append(result)
+        results = [unique_results[j] for j in rep_of]
+    stats.wall_ms = wall.ms
+    _BATCH_QUERIES.inc(stats.num_queries)
+    _BATCH_COALESCED.inc(stats.coalesced_queries)
+    _BATCH_SHARED_PLANS.inc(stats.shared_plan_queries)
 
     if cache is not None:
         stats.table_cache_hits = cache.hits - hits_before
@@ -250,14 +280,12 @@ def _execute_planned(
 
     # Batch-level kernels: one ADC table and one center-distance row per
     # unique query vector (LRU-cached across batches).
-    tick = time.perf_counter()
-    tables = ivf.distance_tables(queries)
-    batch_table_ms = (time.perf_counter() - tick) * 1000.0
-    tick = time.perf_counter()
-    center_rows = ivf.center_distances_batch(queries)
-    batch_rank_ms = (time.perf_counter() - tick) * 1000.0
-    stats.table_ms += batch_table_ms
-    stats.rank_ms += batch_rank_ms
+    with phase("table", metric=_BATCH_TABLE_MS) as timer:
+        tables = ivf.distance_tables(queries)
+    stats.table_ms += timer.ms
+    with phase("rank", metric=_BATCH_RANK_MS) as timer:
+        center_rows = ivf.center_distances_batch(queries)
+    stats.rank_ms += timer.ms
 
     plans: dict[tuple[float, float], QueryPlan] = {}
     # For ranges used by several requests, each cluster's in-range members
@@ -268,7 +296,8 @@ def _execute_planned(
     results: list[QueryResult] = []
     for i, key in enumerate(keys):
         plan = plans.get(key)
-        if plan is None:
+        planned_here = plan is None
+        if planned_here:
             plan = index.plan_query(key[0], key[1])
             plans[key] = plan
         else:
@@ -276,7 +305,9 @@ def _execute_planned(
         query_stats = plan.fresh_stats()
         if plan.num_in_range == 0:
             results.append(QueryResult.empty(query_stats))
-            stats.add_query_stats(query_stats)
+            stats.add_query_stats(
+                query_stats, include_decompose=planned_here
+            )
             continue
         if l_budget is None:
             budget = index.l_policy.choose(plan.coverage)
@@ -301,7 +332,7 @@ def _execute_planned(
             center_dist=center_rows[i],
         )
         results.append(result)
-        stats.add_query_stats(query_stats)
+        stats.add_query_stats(query_stats, include_decompose=planned_here)
     stats.num_plans = len(plans)
     return results
 

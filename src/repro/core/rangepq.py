@@ -17,13 +17,13 @@ Typical usage::
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 import numpy as np
 
 from ..baselines.base import BatchSearchMixin
 from ..ivf import IVFPQIndex
+from ..obs import histogram, phase, span
 from ..tree import (
     RangeTree,
     cover_cluster_ids,
@@ -37,6 +37,8 @@ from .results import QueryResult
 from .search import search_by_coarse_centers
 
 __all__ = ["RangePQ"]
+
+_DECOMPOSE_MS = histogram("query.decompose_ms")
 
 
 class RangePQ(BatchSearchMixin):
@@ -272,13 +274,14 @@ class RangePQ(BatchSearchMixin):
         """
         if fetch_mode not in ("guided", "rank"):
             raise ValueError(f"unknown fetch_mode {fetch_mode!r}")
-        tick = time.perf_counter()
-        cover = decompose(self.tree, lo, hi)
-        decompose_ms = (time.perf_counter() - tick) * 1000.0
-        in_range = len(cover.singles) + sum(
-            sum(node.num.values()) for node in cover.full
-        )
-        clusters = sorted(cover_cluster_ids(cover)) if in_range else []
+        with span("plan"):
+            with phase("decompose", metric=_DECOMPOSE_MS) as timer:
+                cover = decompose(self.tree, lo, hi)
+            decompose_ms = timer.ms
+            in_range = len(cover.singles) + sum(
+                sum(node.num.values()) for node in cover.full
+            )
+            clusters = sorted(cover_cluster_ids(cover)) if in_range else []
         if fetch_mode == "guided":
             members = lambda cluster: cover_iter_cluster(cover, cluster)
         else:

@@ -27,13 +27,13 @@ accounting ``inv`` and a global rebuild once ``2·inv > ζ``).
 from __future__ import annotations
 
 import math
-import time
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from ..baselines.base import BatchSearchMixin
 from ..ivf import IVFPQIndex
+from ..obs import histogram, phase, span
 from ..tree.wbt import BALANCE_EXEMPT_SIZE
 from .adaptive import AdaptiveLPolicy, LPolicy
 from .batch import QueryPlan
@@ -41,6 +41,8 @@ from .results import QueryResult
 from .search import search_by_coarse_centers
 
 __all__ = ["RangePQPlus", "HybridNode"]
+
+_DECOMPOSE_MS = histogram("query.decompose_ms")
 
 _NEG_INF = -math.inf
 _POS_INF = math.inf
@@ -510,17 +512,22 @@ class RangePQPlus(BatchSearchMixin):
         Returns:
             A :class:`~repro.core.batch.QueryPlan` (``chunked=True``).
         """
-        tick = time.perf_counter()
-        cover = self._decompose(lo, hi)
-        decompose_ms = (time.perf_counter() - tick) * 1000.0
-        in_range = sum(len(members) for members in cover.partial_members.values())
-        in_range += sum(node.bucket_len() for node in cover.full_buckets)
-        in_range += sum(sum(node.num.values()) for node in cover.full_subtrees)
-        clusters: set[int] = set(cover.partial_members)
-        for node in cover.full_subtrees:
-            clusters.update(node.sp)
-        for node in cover.full_buckets:
-            clusters.update(node.pn)
+        with span("plan"):
+            with phase("decompose", metric=_DECOMPOSE_MS) as timer:
+                cover = self._decompose(lo, hi)
+            decompose_ms = timer.ms
+            in_range = sum(
+                len(members) for members in cover.partial_members.values()
+            )
+            in_range += sum(node.bucket_len() for node in cover.full_buckets)
+            in_range += sum(
+                sum(node.num.values()) for node in cover.full_subtrees
+            )
+            clusters: set[int] = set(cover.partial_members)
+            for node in cover.full_subtrees:
+                clusters.update(node.sp)
+            for node in cover.full_buckets:
+                clusters.update(node.pn)
         return QueryPlan(
             lo=float(lo),
             hi=float(hi),

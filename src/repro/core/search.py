@@ -10,15 +10,21 @@ that phase once, parameterized by per-cluster iterators.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..ivf import IVFPQIndex
+from ..obs import histogram, phase
 from .results import QueryResult, QueryStats
 
 __all__ = ["search_by_coarse_centers"]
+
+_RANK_MS = histogram("query.rank_ms")
+_TABLE_MS = histogram("query.table_ms")
+_FETCH_MS = histogram("query.fetch_ms")
+_ADC_SCAN_MS = histogram("query.adc_scan_ms")
+_RERANK_MS = histogram("query.rerank_ms")
 
 
 def search_by_coarse_centers(
@@ -48,8 +54,8 @@ def search_by_coarse_centers(
             cluster (RangePQ passes a tree-guided iterator, RangePQ+ a
             bucket/hash-table iterator).
         stats: Mutated in place with work counters.  All phase timers
-            *accumulate* (``+=``), so one stats object can aggregate
-            several calls.
+            *and* work counters accumulate (``+=``; ``l_used`` takes the
+            max), so one stats object can aggregate several calls.
         chunked: When True, ``cluster_members`` yields *sequences* of IDs
             (e.g. one list per bucket) instead of individual IDs; draining
             whole chunks avoids per-object Python iteration and is how
@@ -63,24 +69,24 @@ def search_by_coarse_centers(
     Returns:
         A :class:`QueryResult` with up to ``k`` objects.
     """
-    stats.num_candidate_clusters = len(candidate_clusters)
+    stats.num_candidate_clusters += len(candidate_clusters)
     if not candidate_clusters:
         # No retrieval ran, so no L budget was consumed: leave l_used at 0.
         return QueryResult.empty(stats)
-    stats.l_used = l_budget
+    stats.l_used = max(stats.l_used, l_budget)
 
     # Alg. 2 lines 1-4: rank candidate clusters by center distance.
-    tick = time.perf_counter()
-    clusters = np.asarray(list(candidate_clusters), dtype=np.int64)
-    if center_dist is None:
-        center_dist = ivf.center_distances(query)
-    clusters = clusters[np.argsort(center_dist[clusters], kind="stable")]
-    stats.rank_ms += (time.perf_counter() - tick) * 1000.0
+    with phase("rank", metric=_RANK_MS) as timer:
+        clusters = np.asarray(list(candidate_clusters), dtype=np.int64)
+        if center_dist is None:
+            center_dist = ivf.center_distances(query)
+        clusters = clusters[np.argsort(center_dist[clusters], kind="stable")]
+    stats.rank_ms += timer.ms
 
-    tick = time.perf_counter()
-    if table is None:
-        table = ivf.distance_table(query)
-    stats.table_ms += (time.perf_counter() - tick) * 1000.0
+    with phase("table", metric=_TABLE_MS) as timer:
+        if table is None:
+            table = ivf.distance_table(query)
+    stats.table_ms += timer.ms
 
     # Alg. 2 lines 5-13: drain clusters nearest-first until L objects.
     # The per-object distances are independent of the drain order and the
@@ -89,30 +95,32 @@ def search_by_coarse_centers(
     remaining = l_budget
     collected: list[int] = []
     take = _take_chunks if chunked else _take
-    tick = time.perf_counter()
-    for cluster in clusters:
-        batch = take(cluster_members(int(cluster)), remaining)
-        if not batch:
-            continue
-        collected.extend(batch)
-        remaining -= len(batch)
-        if remaining <= 0:
-            break
-    stats.fetch_ms += (time.perf_counter() - tick) * 1000.0
+    with phase("fetch", metric=_FETCH_MS) as timer:
+        for cluster in clusters:
+            batch = take(cluster_members(int(cluster)), remaining)
+            if not batch:
+                continue
+            collected.extend(batch)
+            remaining -= len(batch)
+            if remaining <= 0:
+                break
+    stats.fetch_ms += timer.ms
 
     if not collected:
         return QueryResult.empty(stats)
-    tick = time.perf_counter()
-    ids = np.asarray(collected, dtype=np.int64)
-    distances = ivf.adc_for_ids(table, collected)
-    stats.num_candidates = len(ids)
+    with phase("adc_scan", metric=_ADC_SCAN_MS) as timer:
+        ids = np.asarray(collected, dtype=np.int64)
+        distances = ivf.adc_for_ids(table, collected)
+        stats.num_candidates += len(ids)
+    stats.adc_ms += timer.ms
 
-    if k < len(ids):
-        part = np.argpartition(distances, k - 1)[:k]
-        order = part[np.argsort(distances[part], kind="stable")]
-    else:
-        order = np.argsort(distances, kind="stable")
-    stats.adc_ms += (time.perf_counter() - tick) * 1000.0
+    with phase("rerank", metric=_RERANK_MS) as timer:
+        if k < len(ids):
+            part = np.argpartition(distances, k - 1)[:k]
+            order = part[np.argsort(distances[part], kind="stable")]
+        else:
+            order = np.argsort(distances, kind="stable")
+    stats.adc_ms += timer.ms
     return QueryResult(ids=ids[order], distances=distances[order], stats=stats)
 
 

@@ -4,6 +4,13 @@ The paper reports mean query time; operators care about tails.  This
 utility runs a fixed (query, range) workload against any index exposing the
 common ``query`` interface and reports the latency distribution and
 throughput, with warmup to exclude first-touch effects.
+
+Samples are collected into an ungated :class:`repro.obs.Histogram` — the
+same fixed-bucket structure the serving layer exports — so the report's
+percentiles match what ``metrics-dump`` would show for the equivalent
+production histogram, and reports keep working under ``REPRO_METRICS=0``.
+Count, mean, and max are exact; p50/p95/p99 are bucket-interpolated and
+clamped to the observed ``[min, max]``.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+
+from ..obs import Histogram, phase
 
 __all__ = [
     "LatencyReport",
@@ -27,8 +36,10 @@ class LatencyReport:
     """Summary of one latency run (all times in milliseconds).
 
     Attributes:
-        count: Number of timed queries.
-        mean_ms / p50_ms / p95_ms / p99_ms / max_ms: Distribution points.
+        count: Number of timed queries (exact).
+        mean_ms / max_ms: Exact distribution points.
+        p50_ms / p95_ms / p99_ms: Bucket-interpolated percentiles, clamped
+            to the observed sample range (monotone in the quantile).
         qps: Throughput implied by the total timed duration.
     """
 
@@ -80,22 +91,22 @@ def measure_latencies(
     pairs = list(zip(queries, ranges))
     for query, (lo, hi) in pairs[: max(0, warmup)]:
         index.query(query, lo, hi, k)
-    samples_ms: list[float] = []
+    # Ungated: reports must work even under REPRO_METRICS=0.
+    hist = Histogram("eval.latency_ms", gated=False)
     for _ in range(repeats):
         for query, (lo, hi) in pairs:
-            start = time.perf_counter()
-            index.query(query, lo, hi, k)
-            samples_ms.append((time.perf_counter() - start) * 1000.0)
-    array = np.asarray(samples_ms)
-    total_seconds = array.sum() / 1000.0
+            with phase("eval_query") as timer:
+                index.query(query, lo, hi, k)
+            hist.observe(timer.ms)
+    total_seconds = hist.sum / 1000.0
     return LatencyReport(
-        count=len(array),
-        mean_ms=float(array.mean()),
-        p50_ms=float(np.percentile(array, 50)),
-        p95_ms=float(np.percentile(array, 95)),
-        p99_ms=float(np.percentile(array, 99)),
-        max_ms=float(array.max()),
-        qps=float(len(array) / total_seconds) if total_seconds > 0 else 0.0,
+        count=hist.count,
+        mean_ms=hist.mean,
+        p50_ms=hist.percentile(50),
+        p95_ms=hist.percentile(95),
+        p99_ms=hist.percentile(99),
+        max_ms=hist.max,
+        qps=hist.count / total_seconds if total_seconds > 0 else 0.0,
     )
 
 

@@ -23,6 +23,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from ..obs import counter
 from ..quantization import ProductQuantizer, adc_distances
 from .coarse import CoarseQuantizer, default_num_clusters
 from .table_cache import CacheStats, LRUCache
@@ -33,6 +34,13 @@ __all__ = [
     "DEFAULT_NPROBE_FRACTION",
     "DEFAULT_CACHE_CAPACITY",
 ]
+
+# Process-wide cache traffic (sums over every index in the process; the
+# per-index exact counters live in each cache's CacheStats).
+_TABLE_HITS = counter("cache.table.hits")
+_TABLE_MISSES = counter("cache.table.misses")
+_CENTER_HITS = counter("cache.center.hits")
+_CENTER_MISSES = counter("cache.center.misses")
 
 #: Fraction of the K coarse clusters probed by default in plain ANN search.
 DEFAULT_NPROBE_FRACTION = 0.1
@@ -334,9 +342,12 @@ class IVFPQIndex:
         query, key = self._query_key(query)
         table = self._table_cache.get(key)
         if table is None:
+            _TABLE_MISSES.inc()
             table = self.pq.distance_table(query)
             table.setflags(write=False)
             self._table_cache.put(key, table)
+        else:
+            _TABLE_HITS.inc()
         return table
 
     def distance_tables(self, queries: np.ndarray) -> list[np.ndarray]:
@@ -370,10 +381,12 @@ class IVFPQIndex:
             seen[key] = i
             table = self._table_cache.get(key)
             if table is not None:
+                _TABLE_HITS.inc()
                 tables[i] = table
             else:
                 pending[key] = [i]
         if pending:
+            _TABLE_MISSES.inc(len(pending))
             first_positions = [positions[0] for positions in pending.values()]
             fresh = self.pq.distance_tables(queries[first_positions])
             for j, (key, positions) in enumerate(pending.items()):
@@ -419,9 +432,12 @@ class IVFPQIndex:
         query, key = self._query_key(query)
         dist = self._center_cache.get(key)
         if dist is None:
+            _CENTER_MISSES.inc()
             dist = self.coarse.center_distances(query)
             dist.setflags(write=False)
             self._center_cache.put(key, dist)
+        else:
+            _CENTER_HITS.inc()
         return dist
 
     def center_distances_batch(self, queries: np.ndarray) -> list[np.ndarray]:

@@ -1,0 +1,63 @@
+"""repro.obs — zero-dependency observability: metrics + query tracing.
+
+Three small pieces, designed to stay enabled in production:
+
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  counters, gauges, and fixed-bucket latency histograms (p50/p95/p99).
+  ``REPRO_METRICS=0`` disables recording; query results are bitwise
+  identical either way.
+* :mod:`repro.obs.tracing` — per-query trace spans over a context-local
+  span stack; a :func:`span` call-site costs one ``ContextVar.get()``
+  when no trace is active.
+* :mod:`repro.obs.timers` — :func:`phase`, the single sanctioned timing
+  primitive for hot and serving paths (lint rule R008 enforces this).
+
+Exposition lives in :mod:`repro.obs.exposition` (Prometheus text + JSON,
+``python -m repro metrics-dump [--smoke]``).  See
+``docs/observability.md`` for the metric names and span taxonomy.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    metrics_enabled,
+    set_metrics_enabled,
+)
+from .timers import PhaseTimer, phase
+from .tracing import (
+    Span,
+    active_span,
+    format_span_tree,
+    span,
+    trace,
+    validate_span_tree,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "metrics_enabled",
+    "set_metrics_enabled",
+    "PhaseTimer",
+    "phase",
+    "Span",
+    "active_span",
+    "format_span_tree",
+    "span",
+    "trace",
+    "validate_span_tree",
+]

@@ -1,0 +1,401 @@
+"""Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+
+The registry is cheap enough to stay enabled in production: recording one
+histogram sample is a lock acquisition, a bisect over ~30 bucket bounds,
+and a few float adds.  ``REPRO_METRICS=0`` (or ``false``/``no``/``off``)
+disables recording through the *gated* surface — registry-created
+instruments and the :func:`repro.obs.timers.phase` helper — without
+changing a single query result: instrumented code still runs the exact
+same kernels in the exact same order, it just skips the bookkeeping.
+
+Standalone instruments constructed with ``gated=False`` always record;
+:func:`repro.eval.latency.measure_latencies` uses one as its sample store
+so latency reports work regardless of the environment gate.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from bisect import bisect_left
+from typing import Iterable
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "metrics_enabled",
+    "set_metrics_enabled",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+_FALSY = ("0", "false", "no", "off")
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_METRICS", "1").strip().lower() not in _FALSY
+
+
+#: Process-wide recording gate (default on; ``REPRO_METRICS=0`` turns off).
+_ENABLED = _env_enabled()
+
+#: Geometric latency buckets: 1 µs up to ~67 s, doubling each step.  The
+#: final implicit bucket is +inf (overflow samples clamp to the observed
+#: max in percentile estimates).
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = tuple(
+    0.001 * (2.0 ** i) for i in range(27)
+)
+
+
+def metrics_enabled() -> bool:
+    """Whether gated instruments currently record samples."""
+    return _ENABLED
+
+
+def set_metrics_enabled(value: bool | None) -> None:
+    """Override the recording gate (``None`` re-reads ``REPRO_METRICS``).
+
+    Intended for tests; production code should rely on the environment
+    variable read at import.
+    """
+    global _ENABLED
+    _ENABLED = _env_enabled() if value is None else bool(value)
+
+
+class Counter:
+    """A monotonically increasing counter.
+
+    Args:
+        name: Exposition name (dot-separated, e.g. ``"wal.appends"``).
+        gated: Honor the ``REPRO_METRICS`` gate (registry default).
+    """
+
+    __slots__ = ("name", "_gated", "_value", "_lock")
+
+    def __init__(self, name: str, *, gated: bool = True) -> None:
+        self.name = name
+        self._gated = gated
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        if self._gated and not _ENABLED:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the counter (tests / registry reset)."""
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, hit rates).
+
+    Args:
+        name: Exposition name.
+        gated: Honor the ``REPRO_METRICS`` gate (registry default).
+    """
+
+    __slots__ = ("name", "_gated", "_value", "_lock")
+
+    def __init__(self, name: str, *, gated: bool = True) -> None:
+        self.name = name
+        self._gated = gated
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        if self._gated and not _ENABLED:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the gauge."""
+        if self._gated and not _ENABLED:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` (default 1) from the gauge."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the gauge (tests / registry reset)."""
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum/min/max.
+
+    Samples land in the first bucket whose upper bound is >= the value;
+    samples beyond the last bound land in an implicit +inf bucket.
+    Percentiles are estimated by linear interpolation inside the matched
+    bucket and clamped to the observed ``[min, max]`` — the estimate is
+    monotone in the requested quantile, so ``p50 <= p95 <= p99 <= max``
+    always holds.
+
+    Args:
+        name: Exposition name (conventionally ``*_ms`` for latencies).
+        buckets_ms: Ascending upper bounds; defaults to the geometric
+            latency ladder :data:`DEFAULT_LATENCY_BUCKETS_MS`.
+        gated: Honor the ``REPRO_METRICS`` gate (registry default).
+    """
+
+    __slots__ = (
+        "name",
+        "_gated",
+        "_bounds",
+        "_counts",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        buckets_ms: Iterable[float] | None = None,
+        gated: bool = True,
+    ) -> None:
+        bounds = tuple(
+            sorted(buckets_ms)
+            if buckets_ms is not None
+            else DEFAULT_LATENCY_BUCKETS_MS
+        )
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self._gated = gated
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing +inf bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        """The finite bucket upper bounds, ascending."""
+        return self._bounds
+
+    @property
+    def count(self) -> int:
+        """Exact number of recorded samples."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Exact sum of recorded samples."""
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        """Smallest recorded sample (0.0 when empty)."""
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest recorded sample (0.0 when empty)."""
+        return self._max
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of recorded samples (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        if self._gated and not _ENABLED:
+            return
+        value = float(value)
+        slot = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[slot] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, Prometheus-style.
+
+        The final pair has bound ``inf`` and equals :attr:`count`.
+        """
+        with self._lock:
+            counts = list(self._counts)
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self._bounds, counts):
+            running += bucket
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return out
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (``0 <= q <= 100``)."""
+        with self._lock:
+            counts = list(self._counts)
+            count = self._count
+            low, high = self._min, self._max
+        if count == 0:
+            return 0.0
+        rank = (q / 100.0) * count
+        cumulative = 0
+        lower = 0.0
+        for slot, bucket in enumerate(counts):
+            if bucket == 0:
+                continue
+            upper = (
+                self._bounds[slot] if slot < len(self._bounds) else high
+            )
+            lower = self._bounds[slot - 1] if slot > 0 else 0.0
+            if cumulative + bucket >= rank:
+                fraction = (rank - cumulative) / bucket
+                value = lower + (upper - lower) * fraction
+                return min(max(value, low), high)
+            cumulative += bucket
+        return high
+
+    def reset(self) -> None:
+        """Drop all samples (tests / registry reset)."""
+        with self._lock:
+            self._counts = [0] * (len(self._bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = float("inf")
+            self._max = 0.0
+
+
+class MetricsRegistry:
+    """Name-keyed store of instruments with get-or-create semantics.
+
+    One process-wide instance lives at :data:`REGISTRY`; modules hold
+    references to the instruments they record into (resolving a name is a
+    dict lookup under a lock, so hot paths resolve once at import).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = Counter(name)
+                self._counters[name] = instrument
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = Gauge(name)
+                self._gauges[name] = instrument
+            return instrument
+
+    def histogram(
+        self, name: str, *, buckets_ms: Iterable[float] | None = None
+    ) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = Histogram(name, buckets_ms=buckets_ms)
+                self._histograms[name] = instrument
+            return instrument
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping the instrument objects alive.
+
+        Held references stay valid — essential because hot paths cache
+        instrument handles at import time.
+        """
+        with self._lock:
+            instruments = (
+                list(self._counters.values())
+                + list(self._gauges.values())
+                + list(self._histograms.values())
+            )
+        for instrument in instruments:
+            instrument.reset()
+
+    def snapshot(self) -> dict:
+        """A plain-data view of every instrument (for JSON exposition)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, instrument in sorted(counters.items()):
+            out["counters"][name] = instrument.value
+        for name, instrument in sorted(gauges.items()):
+            out["gauges"][name] = instrument.value
+        for name, hist in sorted(histograms.items()):
+            out["histograms"][name] = {
+                "count": hist.count,
+                "sum": hist.sum,
+                "min": hist.min,
+                "max": hist.max,
+                "mean": hist.mean,
+                "p50": hist.percentile(50),
+                "p95": hist.percentile(95),
+                "p99": hist.percentile(99),
+                "buckets": [
+                    [bound, count] for bound, count in hist.bucket_counts()
+                ],
+            }
+        return out
+
+
+#: The process-wide registry all gated instrumentation records into.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """Get or create ``name`` in the process-wide registry."""
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Get or create ``name`` in the process-wide registry."""
+    return REGISTRY.gauge(name)
+
+
+def histogram(
+    name: str, *, buckets_ms: Iterable[float] | None = None
+) -> Histogram:
+    """Get or create ``name`` in the process-wide registry."""
+    return REGISTRY.histogram(name, buckets_ms=buckets_ms)

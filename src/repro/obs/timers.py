@@ -1,0 +1,63 @@
+"""The phase timer: one call-site for wall time, metrics, and tracing.
+
+``with phase("rank", metric=_RANK_MS) as timer:`` measures the block,
+opens a trace span named ``"rank"`` when a trace is active, records the
+elapsed milliseconds into ``metric`` when metrics are enabled, and always
+leaves the exact measurement in ``timer.ms`` for callers that feed
+:class:`~repro.core.results.QueryStats` — so the per-query stats contract
+is identical whether the observability layer is on or off.
+
+This is the only sanctioned way to time a hot or serving path (lint rule
+R008 flags raw ``time.time()`` / ``time.perf_counter()`` there).
+"""
+
+from __future__ import annotations
+
+import time
+
+from .metrics import Histogram, histogram, metrics_enabled
+from .tracing import span
+
+__all__ = ["PhaseTimer", "phase"]
+
+
+class PhaseTimer:
+    """Context manager timing one phase (see module docstring).
+
+    Attributes:
+        ms: Elapsed milliseconds, set on exit (0.0 before).
+    """
+
+    __slots__ = ("_name", "_metric", "_span", "_start", "ms")
+
+    def __init__(self, name: str, metric: Histogram | str | None) -> None:
+        self._name = name
+        self._metric = metric
+        self.ms = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._span = span(self._name)
+        self._span.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.ms = (time.perf_counter() - self._start) * 1000.0
+        self._span.__exit__(*exc_info)
+        metric = self._metric
+        if metric is not None and metrics_enabled():
+            if isinstance(metric, str):
+                metric = histogram(metric)
+            metric.observe(self.ms)
+        return False
+
+
+def phase(name: str, *, metric: Histogram | str | None = None) -> PhaseTimer:
+    """Time a block: span ``name`` + optional histogram + exact ``.ms``.
+
+    Args:
+        name: Span name (one of the taxonomy names on query paths).
+        metric: Histogram instrument or registry name to record into;
+            ``None`` skips metrics (pure timing + tracing).
+    """
+    return PhaseTimer(name, metric)

@@ -1,0 +1,184 @@
+"""Per-query trace spans over a context-local span stack.
+
+A *trace* is opened explicitly (``with trace("query") as root:``); every
+:func:`span` opened while a trace is active attaches a child to the
+innermost open span of the **current context** — ``contextvars`` gives
+each thread its own stack, so concurrent queries never interleave their
+trees.  When no trace is active, :func:`span` returns a shared no-op
+context manager whose entire cost is one ``ContextVar.get()`` — cheap
+enough to leave the span call-sites permanently in the hot paths.
+
+Span names follow the taxonomy documented in ``docs/observability.md``:
+``plan`` > ``decompose`` for query planning, then ``rank`` / ``table`` /
+``fetch`` / ``adc_scan`` / ``rerank`` for SearchByCCenters, and ``merge``
+for scatter-gather assembly.
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+
+__all__ = [
+    "Span",
+    "trace",
+    "span",
+    "active_span",
+    "format_span_tree",
+    "validate_span_tree",
+]
+
+#: The innermost open span of the current context (None = tracing off).
+_ACTIVE: ContextVar["Span | None"] = ContextVar("repro_obs_span", default=None)
+
+
+class Span:
+    """One node of a trace tree: a named, timed interval with children."""
+
+    __slots__ = ("name", "start_s", "end_s", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.start_s = time.perf_counter()
+        self.end_s: float | None = None
+        self.children: list["Span"] = []
+
+    @property
+    def closed(self) -> bool:
+        """Whether the span's interval has ended."""
+        return self.end_s is not None
+
+    @property
+    def duration_ms(self) -> float:
+        """Elapsed milliseconds (to now, while the span is still open)."""
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return (end - self.start_s) * 1000.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return f"Span({self.name!r}, {self.duration_ms:.3f} ms, {state})"
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when no trace is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager attaching one child span to the active stack."""
+
+    __slots__ = ("_name", "_span", "_token")
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __enter__(self) -> Span:
+        parent = _ACTIVE.get()
+        self._span = Span(self._name)
+        if parent is not None:
+            parent.children.append(self._span)
+        self._token = _ACTIVE.set(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info) -> bool:
+        self._span.end_s = time.perf_counter()
+        _ACTIVE.reset(self._token)
+        return False
+
+
+class trace:
+    """Open a trace: activates a root span for the current context.
+
+    Usage::
+
+        with trace("query") as root:
+            index.query(...)
+        print(format_span_tree(root))
+    """
+
+    __slots__ = ("_name", "_span", "_token")
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __enter__(self) -> Span:
+        self._span = Span(self._name)
+        self._token = _ACTIVE.set(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info) -> bool:
+        self._span.end_s = time.perf_counter()
+        _ACTIVE.reset(self._token)
+        return False
+
+
+def span(name: str):
+    """A context manager for one child span (no-op when tracing is off)."""
+    if _ACTIVE.get() is None:
+        return _NULL_SPAN
+    return _LiveSpan(name)
+
+
+def active_span() -> Span | None:
+    """The innermost open span of the current context, if any."""
+    return _ACTIVE.get()
+
+
+def format_span_tree(root: Span, *, indent: int = 0) -> str:
+    """Render a span tree as an indented, one-span-per-line string."""
+    lines = [f"{'  ' * indent}{root.name:<12} {root.duration_ms:9.3f} ms"]
+    for child in root.children:
+        lines.append(format_span_tree(child, indent=indent + 1))
+    return "\n".join(lines)
+
+
+def validate_span_tree(root: Span) -> list[str]:
+    """Check a finished trace for well-formedness; returns the problems.
+
+    A well-formed tree has every span closed, every child's interval
+    contained in its parent's (up to a small clock tolerance), and
+    children in chronological order.
+    """
+    problems: list[str] = []
+    _validate(root, None, problems)
+    return problems
+
+
+_TOLERANCE_S = 1e-6
+
+
+def _validate(node: Span, parent: Span | None, problems: list[str]) -> None:
+    if not node.closed:
+        problems.append(f"span {node.name!r} was never closed")
+        return
+    if node.end_s is not None and node.end_s + _TOLERANCE_S < node.start_s:
+        problems.append(f"span {node.name!r} ends before it starts")
+    if parent is not None and parent.closed:
+        if node.start_s + _TOLERANCE_S < parent.start_s or (
+            node.end_s is not None
+            and parent.end_s is not None
+            and node.end_s > parent.end_s + _TOLERANCE_S
+        ):
+            problems.append(
+                f"span {node.name!r} escapes its parent {parent.name!r}"
+            )
+    previous_start = None
+    for child in node.children:
+        if previous_start is not None and child.start_s + _TOLERANCE_S < (
+            previous_start
+        ):
+            problems.append(
+                f"children of {node.name!r} are out of chronological order"
+            )
+        previous_start = child.start_s
+        _validate(child, node, problems)

@@ -21,7 +21,14 @@ import threading
 import time
 from dataclasses import dataclass
 
+from ..obs import counter, gauge
+
 __all__ = ["AdmissionError", "AdmissionStats", "AdmissionController"]
+
+_ADM_ACTIVE = gauge("service.admission.active")
+_ADM_WAITING = gauge("service.admission.waiting")
+_ADM_ADMITTED = counter("service.admission.admitted")
+_ADM_REJECTED = counter("service.admission.rejected")
 
 
 class AdmissionError(RuntimeError):
@@ -118,8 +125,10 @@ class AdmissionController:
             if self._active >= self.max_concurrent:
                 if self._waiting >= self.max_queue:
                     self.stats.rejected_queue_full += 1
+                    _ADM_REJECTED.inc()
                     raise AdmissionError("queue-full", kind)
                 self._waiting += 1
+                _ADM_WAITING.set(self._waiting)
                 try:
                     while self._active >= self.max_concurrent:
                         remaining = deadline - time.monotonic()
@@ -128,17 +137,22 @@ class AdmissionController:
                         ):
                             if self._active >= self.max_concurrent:
                                 self.stats.rejected_timeout += 1
+                                _ADM_REJECTED.inc()
                                 raise AdmissionError("timeout", kind)
                 finally:
                     self._waiting -= 1
+                    _ADM_WAITING.set(self._waiting)
             self._active += 1
             self.stats.admitted += 1
+            _ADM_ACTIVE.set(self._active)
+            _ADM_ADMITTED.inc()
         return _Admitted(self)
 
     def _release(self) -> None:
         with self._mutex:
             self._active -= 1
             self._slot_freed.notify()
+            _ADM_ACTIVE.set(self._active)
 
 
 class _Admitted:

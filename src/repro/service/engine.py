@@ -40,6 +40,7 @@ import numpy as np
 
 from ..core.batch import BatchResult, execute_batch
 from ..core.results import QueryResult
+from ..obs import gauge, histogram, phase
 from .admission import AdmissionController
 from .wal import WriteAheadLog, recover_index
 
@@ -49,6 +50,12 @@ __all__ = [
     "IndexService",
     "GlobalLockService",
 ]
+
+_READ_MS = histogram("service.read_latency_ms")
+_WRITE_MS = histogram("service.write_latency_ms")
+_REBUILD_MS = histogram("service.rebuild_ms")
+_TABLE_HIT_RATE = gauge("cache.table.hit_rate")
+_CENTER_HIT_RATE = gauge("cache.center.hit_rate")
 
 
 class RWLock:
@@ -385,9 +392,12 @@ class IndexService:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         vector = np.asarray(query_vector, dtype=np.float64)
-        with self._admit("read"):
-            request = _PendingRead(vector, float(lo), float(hi), k, l_budget)
-            self._combiner.submit(request)
+        with phase("service_read", metric=_READ_MS):
+            with self._admit("read"):
+                request = _PendingRead(
+                    vector, float(lo), float(hi), k, l_budget
+                )
+                self._combiner.submit(request)
         assert request.result is not None
         return request.result, request.version
 
@@ -400,10 +410,11 @@ class IndexService:
         l_budget: int | None = None,
     ) -> BatchResult:
         """Answer a caller-assembled batch under one snapshot."""
-        with self._admit("read"), self._lock.read_locked():
-            result = execute_batch(
-                self._index, queries, ranges, k, l_budget=l_budget
-            )
+        with phase("service_read", metric=_READ_MS):
+            with self._admit("read"), self._lock.read_locked():
+                result = execute_batch(
+                    self._index, queries, ranges, k, l_budget=l_budget
+                )
         self.stats.bump(reads=len(result), read_batches=1)
         return result
 
@@ -447,12 +458,13 @@ class IndexService:
     def insert(self, oid: int, vector: np.ndarray, attr: float) -> None:
         """Insert one object; durable once the call returns (WAL mode)."""
         vector = np.asarray(vector, dtype=np.float64)
-        with self._admit("write"):
-            with self._lock.write_locked():
-                self._index.insert(oid, vector, attr)
-                if self._wal is not None:
-                    self._wal.append_insert(oid, float(attr), vector)
-                self._commit_write_unlocked()
+        with phase("service_write", metric=_WRITE_MS):
+            with self._admit("write"):
+                with self._lock.write_locked():
+                    self._index.insert(oid, vector, attr)
+                    if self._wal is not None:
+                        self._wal.append_insert(oid, float(attr), vector)
+                    self._commit_write_unlocked()
         self._signal_maintenance()
 
     def insert_many(
@@ -463,37 +475,40 @@ class IndexService:
     ) -> None:
         """Insert a batch of objects as one committed version step."""
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
-        with self._admit("write"):
-            with self._lock.write_locked():
-                self._index.insert_many(ids, vectors, attrs)
-                if self._wal is not None:
-                    for oid, vector, attr in zip(ids, vectors, attrs):
-                        self._wal.append_insert(
-                            int(oid), float(attr), vector
-                        )
-                self._commit_write_unlocked()
+        with phase("service_write", metric=_WRITE_MS):
+            with self._admit("write"):
+                with self._lock.write_locked():
+                    self._index.insert_many(ids, vectors, attrs)
+                    if self._wal is not None:
+                        for oid, vector, attr in zip(ids, vectors, attrs):
+                            self._wal.append_insert(
+                                int(oid), float(attr), vector
+                            )
+                    self._commit_write_unlocked()
         self._signal_maintenance()
 
     def delete(self, oid: int) -> None:
         """Delete one object; durable once the call returns (WAL mode)."""
-        with self._admit("write"):
-            with self._lock.write_locked():
-                self._index.delete(oid)
-                if self._wal is not None:
-                    self._wal.append_delete(oid)
-                self._commit_write_unlocked()
+        with phase("service_write", metric=_WRITE_MS):
+            with self._admit("write"):
+                with self._lock.write_locked():
+                    self._index.delete(oid)
+                    if self._wal is not None:
+                        self._wal.append_delete(oid)
+                    self._commit_write_unlocked()
         self._signal_maintenance()
 
     def delete_many(self, ids: Sequence[int]) -> None:
         """Delete a batch of objects as one committed version step."""
         ids = list(ids)
-        with self._admit("write"):
-            with self._lock.write_locked():
-                self._index.delete_many(ids)
-                if self._wal is not None:
-                    for oid in ids:
-                        self._wal.append_delete(int(oid))
-                self._commit_write_unlocked()
+        with phase("service_write", metric=_WRITE_MS):
+            with self._admit("write"):
+                with self._lock.write_locked():
+                    self._index.delete_many(ids)
+                    if self._wal is not None:
+                        for oid in ids:
+                            self._wal.append_delete(int(oid))
+                    self._commit_write_unlocked()
         self._signal_maintenance()
 
     def _commit_write_unlocked(self) -> None:
@@ -547,15 +562,20 @@ class IndexService:
         report = {"rebuilt": False, "snapshotted": False, "audited": False}
         with self._lock.write_locked():
             if bool(getattr(self._index, "maintenance_due", False)):
-                self._index.run_maintenance()
-                ivf = getattr(self._index, "ivf", None)
-                if ivf is not None and hasattr(ivf, "clear_caches"):
-                    # Rebuilds change candidate enumeration, not distances,
-                    # but dropping the ADC caches here bounds staleness and
-                    # memory without ever touching the query path.
-                    ivf.clear_caches()
+                self._publish_cache_gauges_unlocked()
+                with phase("rebuild", metric=_REBUILD_MS):
+                    self._index.run_maintenance()
+                    ivf = getattr(self._index, "ivf", None)
+                    if ivf is not None and hasattr(ivf, "clear_caches"):
+                        # Rebuilds change candidate enumeration, not
+                        # distances, but dropping the ADC caches here bounds
+                        # staleness and memory without ever touching the
+                        # query path.
+                        ivf.clear_caches()
                 report["rebuilt"] = True
                 self.stats.bump(rebuilds=1)
+            else:
+                self._publish_cache_gauges_unlocked()
             if audit:
                 self._index.check_invariants()
                 report["audited"] = True
@@ -570,6 +590,20 @@ class IndexService:
         if report["rebuilt"] or report["snapshotted"]:
             self.stats.bump(maintenance_runs=1)
         return report
+
+    def _publish_cache_gauges_unlocked(self) -> None:
+        """Publish the IVF cache hit-rates as gauges (maintenance plane).
+
+        Reads the lifetime cache counters *before* any cache invalidation
+        in the same cycle, so the gauges reflect served traffic rather
+        than the post-clear state.
+        """
+        ivf = getattr(self._index, "ivf", None)
+        if ivf is None or not hasattr(ivf, "cache_stats"):
+            return
+        stats = ivf.cache_stats()
+        _TABLE_HIT_RATE.set(stats["table"].hit_rate)
+        _CENTER_HIT_RATE.set(stats["center"].hit_rate)
 
     def snapshot(self) -> Path:
         """Write a WAL snapshot of the current state.

@@ -25,11 +25,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import histogram, phase
 from .admission import AdmissionError
 
 __all__ = ["WorkloadSpec", "OpStats", "LoadReport", "run_load"]
 
 _ZIPF_BINS = 256
+_CLIENT_READ_MS = histogram("loadgen.read_latency_ms")
+_CLIENT_WRITE_MS = histogram("loadgen.write_latency_ms")
 
 
 @dataclass
@@ -251,17 +254,17 @@ def run_load(
                     spec.attr_high - spec.attr_low
                 ) * spec.range_fraction
                 lo, hi = center - width / 2, center + width / 2
-            began = time.perf_counter()
             try:
-                if has_versioned:
-                    result, version = service.query_versioned(
-                        vector, lo, hi, spec.k, l_budget=spec.l_budget
-                    )
-                else:
-                    result = service.query(
-                        vector, lo, hi, spec.k, l_budget=spec.l_budget
-                    )
-                    version = None
+                with phase("client_read", metric=_CLIENT_READ_MS) as timer:
+                    if has_versioned:
+                        result, version = service.query_versioned(
+                            vector, lo, hi, spec.k, l_budget=spec.l_budget
+                        )
+                    else:
+                        result = service.query(
+                            vector, lo, hi, spec.k, l_budget=spec.l_budget
+                        )
+                        version = None
             except AdmissionError:
                 local.rejected += 1
                 continue
@@ -271,9 +274,7 @@ def run_load(
                     if len(errors) < 5:
                         errors.append(f"read: {error!r}")
                 continue
-            local.latencies_ms.append(
-                (time.perf_counter() - began) * 1000.0
-            )
+            local.latencies_ms.append(timer.ms)
             local.completed += 1
             if not _probe_result(result, spec.k):
                 local_violations += 1
@@ -291,18 +292,20 @@ def run_load(
         start_barrier.wait()
         while not stop.is_set():
             do_delete = owned and rng.random() < spec.delete_fraction
-            began = time.perf_counter()
             try:
-                if do_delete:
-                    victim = owned.pop(int(rng.integers(len(owned))))
-                    service.delete(victim)
-                else:
-                    attr = _sample_center(rng, spec)
-                    service.insert(
-                        next_oid, rng.standard_normal(spec.dim), attr
-                    )
-                    owned.append(next_oid)
-                    next_oid += 1
+                with phase(
+                    "client_write", metric=_CLIENT_WRITE_MS
+                ) as timer:
+                    if do_delete:
+                        victim = owned.pop(int(rng.integers(len(owned))))
+                        service.delete(victim)
+                    else:
+                        attr = _sample_center(rng, spec)
+                        service.insert(
+                            next_oid, rng.standard_normal(spec.dim), attr
+                        )
+                        owned.append(next_oid)
+                        next_oid += 1
             except AdmissionError:
                 local.rejected += 1
                 if do_delete:
@@ -314,9 +317,7 @@ def run_load(
                     if len(errors) < 5:
                         errors.append(f"write: {error!r}")
                 continue
-            local.latencies_ms.append(
-                (time.perf_counter() - began) * 1000.0
-            )
+            local.latencies_ms.append(timer.ms)
             local.completed += 1
         with totals_mutex:
             _merge(writes, local)
@@ -331,14 +332,13 @@ def run_load(
     for thread in threads:
         thread.start()
     start_barrier.wait()
-    began = time.perf_counter()
-    time.sleep(duration_s)
-    stop.set()
-    for thread in threads:
-        thread.join()
-    elapsed = time.perf_counter() - began
+    with phase("loadgen_run") as run_timer:
+        time.sleep(duration_s)
+        stop.set()
+        for thread in threads:
+            thread.join()
     return LoadReport(
-        duration_s=elapsed,
+        duration_s=run_timer.ms / 1000.0,
         reads=reads,
         writes=writes,
         violations=violations[0],

@@ -22,7 +22,11 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from ..obs import histogram, phase
+
 __all__ = ["MaintenanceStats", "MaintenanceDaemon"]
+
+_CYCLE_MS = histogram("service.maintenance_cycle_ms")
 
 
 @dataclass
@@ -136,7 +140,8 @@ class MaintenanceDaemon:
     def _cycle(self) -> None:
         self.stats.cycles += 1
         try:
-            report = self._service.run_maintenance(audit=self._audit)
+            with phase("maintenance", metric=_CYCLE_MS):
+                report = self._service.run_maintenance(audit=self._audit)
         except BaseException as error:  # repro: noqa-R004 - daemon survives
             self.stats.errors += 1
             self.last_error = error

@@ -25,9 +25,12 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..core.results import QueryResult, QueryStats
+from ..obs import histogram, phase
 from .engine import IndexService
 
 __all__ = ["RangeShardedService", "quantile_boundaries"]
+
+_MERGE_MS = histogram("service.merge_ms")
 
 
 def quantile_boundaries(attrs: np.ndarray, num_shards: int) -> list[float]:
@@ -282,9 +285,10 @@ class RangeShardedService:
 
 def _merge_topk(partials: Sequence[QueryResult], k: int) -> QueryResult:
     """Merge per-shard top-``k`` answers into one global top-``k``."""
-    ids = np.concatenate([p.ids for p in partials])
-    distances = np.concatenate([p.distances for p in partials])
-    order = np.lexsort((ids, distances))[:k]
+    with phase("merge", metric=_MERGE_MS):
+        ids = np.concatenate([p.ids for p in partials])
+        distances = np.concatenate([p.distances for p in partials])
+        order = np.lexsort((ids, distances))[:k]
     stats = QueryStats()
     in_range = [p.stats.num_in_range for p in partials]
     stats.num_in_range = (

@@ -32,7 +32,15 @@ from typing import Iterator
 
 import numpy as np
 
+from ..obs import counter, histogram, phase
+
 __all__ = ["WALError", "WalRecord", "WriteAheadLog", "recover_index"]
+
+_WAL_APPEND_MS = histogram("wal.append_ms")
+_WAL_FSYNC_MS = histogram("wal.fsync_ms")
+_WAL_SNAPSHOT_MS = histogram("wal.snapshot_ms")
+_WAL_APPENDS = counter("wal.appends")
+_WAL_TAIL_REPAIRS = counter("wal.tail_repairs")
 
 WAL_NAME = "wal.log"
 _SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{12})\.npz$")
@@ -62,6 +70,14 @@ def _encode(payload: dict) -> str:
     body = json.dumps(payload, separators=(",", ":"))
     crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
     return f"{body}\t{crc:08x}\n"
+
+
+def _decode_bytes(line: bytes) -> dict | None:
+    """Parse one raw log line; None on undecodable bytes or a bad CRC."""
+    try:
+        return _decode(line.decode("utf-8"))
+    except UnicodeDecodeError:
+        return None
 
 
 def _decode(line: str) -> dict | None:
@@ -125,10 +141,57 @@ class WriteAheadLog:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
         self.keep_snapshots = keep_snapshots
+        self._repair_tail()
         self._last_seq = self._scan_last_seq()
         self._file = open(  # noqa: SIM115 - lifetime == WAL lifetime
             self.directory / WAL_NAME, "a", encoding="utf-8"
         )
+
+    def _repair_tail(self) -> None:
+        """Trim (or complete) a torn final line before appending resumes.
+
+        A crash mid-append leaves the log ending in a partial line with no
+        newline.  Recovery tolerates that — but *appending* to such a file
+        would concatenate the next record onto the torn fragment, turning
+        a harmless torn tail into mid-log corruption that poisons every
+        record written afterwards.  So on open: a partial tail that still
+        decodes (the write was cut exactly before its newline) gets its
+        newline back; trailing lines that fail their CRC are truncated
+        away.  Only the torn tail is touched — corruption *followed by*
+        valid records is left in place for recovery to reject.
+        """
+        path = self.directory / WAL_NAME
+        if not path.exists():
+            return
+        with open(path, "rb") as handle:
+            data = handle.read()
+        if not data:
+            return
+        complete = data.endswith(b"\n")
+        lines = data.split(b"\n")
+        if complete:
+            lines.pop()  # split artifact after the final newline
+        if not complete and lines and _decode_bytes(lines[-1]) is not None:
+            # The record survived whole; only its newline was lost.
+            with open(path, "ab") as handle:
+                handle.write(b"\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            _WAL_TAIL_REPAIRS.inc()
+            return
+        kept = len(lines)
+        if not complete:
+            kept -= 1  # a non-decoding partial tail never survives
+        while kept > 0 and _decode_bytes(lines[kept - 1]) is None:
+            kept -= 1
+        if complete and kept == len(lines):
+            return  # nothing torn
+        size = sum(len(line) + 1 for line in lines[:kept])
+        with open(path, "rb+") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
+        _WAL_TAIL_REPAIRS.inc()
 
     # ------------------------------------------------------------------
     # Sequence / discovery
@@ -182,10 +245,13 @@ class WriteAheadLog:
         return self._append(payload)
 
     def _append(self, payload: dict) -> int:
-        self._file.write(_encode(payload))
-        self._file.flush()
-        if self.fsync:
-            os.fsync(self._file.fileno())
+        with phase("wal_append", metric=_WAL_APPEND_MS):
+            self._file.write(_encode(payload))
+            self._file.flush()
+            if self.fsync:
+                with phase("wal_fsync", metric=_WAL_FSYNC_MS):
+                    os.fsync(self._file.fileno())
+        _WAL_APPENDS.inc()
         self._last_seq = payload["seq"]
         return self._last_seq
 
@@ -202,10 +268,11 @@ class WriteAheadLog:
         """
         from ..io.serialization import save_index
 
-        path = _snapshot_path(self.directory, self._last_seq)
-        save_index(index, path)
-        self._truncate_log(self._last_seq)
-        self._prune_snapshots()
+        with phase("wal_snapshot", metric=_WAL_SNAPSHOT_MS):
+            path = _snapshot_path(self.directory, self._last_seq)
+            save_index(index, path)
+            self._truncate_log(self._last_seq)
+            self._prune_snapshots()
         return path
 
     def _truncate_log(self, seq: int) -> None:

@@ -1,4 +1,4 @@
-"""The lint pass (rules R001-R006, noqa, baselines, CLI) and the sanitizer."""
+"""The lint pass (rules R001-R008, noqa, baselines, CLI) and the sanitizer."""
 
 import json
 import os
@@ -131,6 +131,30 @@ R006_SRC = textwrap.dedent(
 )
 
 
+R008_SRC = textwrap.dedent(
+    """
+    import time
+
+    def measure():
+        began = time.perf_counter()
+        return began
+    """
+)
+
+
+R008_ALLOWED_SRC = textwrap.dedent(
+    """
+    import time
+    from time import monotonic
+
+    def wait(deadline_s):
+        while monotonic() < deadline_s:
+            time.sleep(0.01)
+        return time.monotonic()
+    """
+)
+
+
 # ----------------------------------------------------------------------
 # Each rule fires exactly once on its fixture
 # ----------------------------------------------------------------------
@@ -144,6 +168,7 @@ R006_SRC = textwrap.dedent(
         ("R005", R005_SRC, COLD),
         ("R006", R006_SRC, COLD),
         ("R007", R007_SRC, SERVICE),
+        ("R008", R008_SRC, HOT),
     ],
 )
 def test_each_rule_fires_exactly_once(rule_id, source, path):
@@ -236,9 +261,9 @@ def test_render_json_is_parseable():
     assert payload["findings"][0]["rule"] == "R005"
 
 
-def test_rule_catalogue_covers_r001_to_r007():
+def test_rule_catalogue_covers_r001_to_r008():
     assert [rule.id for rule in RULES] == [
-        f"R{n:03d}" for n in range(1, 8)
+        f"R{n:03d}" for n in range(1, 9)
     ]
 
 
@@ -248,6 +273,30 @@ def test_r007_silent_outside_service_paths():
 
 def test_r007_guarded_and_exempt_forms_are_silent():
     assert lint_source(R007_GUARDED_SRC, SERVICE) == []
+
+
+def test_r008_silent_outside_instrumented_modules():
+    assert lint_source(R008_SRC, COLD) == []
+
+
+def test_r008_exempt_inside_obs():
+    assert lint_source(R008_SRC, "src/repro/obs/_fixture.py") == []
+
+
+def test_r008_allows_monotonic_and_sleep():
+    assert lint_source(R008_ALLOWED_SRC, SERVICE) == []
+
+
+def test_r008_flags_bare_perf_counter_import():
+    source = textwrap.dedent(
+        """
+        from time import perf_counter
+
+        def measure():
+            return perf_counter()
+        """
+    )
+    assert [f.rule for f in lint_source(source, SERVICE)] == ["R008"]
 
 
 def test_r007_subscripted_member_is_flagged():

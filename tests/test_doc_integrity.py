@@ -14,6 +14,8 @@ DOCS = [
     REPO / "docs" / "algorithms.md",
     REPO / "docs" / "tuning.md",
     REPO / "docs" / "analysis.md",
+    REPO / "docs" / "service.md",
+    REPO / "docs" / "observability.md",
 ]
 
 #: Backticked tokens that look like repo paths: segments/with/slashes ending

@@ -1,0 +1,368 @@
+"""Tests for repro.obs: metrics, tracing, phase timers, and exposition."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import RangePQ, RangePQPlus
+from repro.obs import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_span,
+    format_span_tree,
+    metrics_enabled,
+    phase,
+    set_metrics_enabled,
+    span,
+    trace,
+    validate_span_tree,
+)
+from repro.obs.exposition import (
+    _check_smoke,
+    run_smoke_workload,
+    to_json,
+    to_prometheus,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_gate():
+    """Leave the metrics gate in its environment-derived state."""
+    yield
+    set_metrics_enabled(None)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        counter = Counter("t.counter")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge("t.gauge")
+        gauge.set(3.5)
+        gauge.inc()
+        gauge.dec(0.5)
+        assert gauge.value == 4.0
+
+    def test_gated_instruments_ignore_writes_when_disabled(self):
+        counter = Counter("t.gated")
+        gauge = Gauge("t.gated.gauge")
+        hist = Histogram("t.gated.hist")
+        set_metrics_enabled(False)
+        counter.inc()
+        gauge.set(9.0)
+        hist.observe(1.0)
+        assert counter.value == 0
+        assert gauge.value == 0.0
+        assert hist.count == 0
+
+    def test_ungated_instrument_records_when_disabled(self):
+        set_metrics_enabled(False)
+        hist = Histogram("t.ungated", gated=False)
+        hist.observe(2.0)
+        assert hist.count == 1
+
+
+class TestHistogram:
+    def test_exact_moments(self):
+        hist = Histogram("t.hist", gated=False)
+        for value in (1.0, 2.0, 3.0, 10.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == 16.0
+        assert hist.mean == 4.0
+        assert hist.min == 1.0
+        assert hist.max == 10.0
+
+    def test_empty_histogram_is_all_zero(self):
+        hist = Histogram("t.empty", gated=False)
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.min == 0.0
+        assert hist.percentile(99) == 0.0
+
+    def test_percentiles_monotone_and_clamped(self):
+        rng = np.random.default_rng(7)
+        hist = Histogram("t.mono", gated=False)
+        samples = rng.lognormal(mean=0.0, sigma=2.0, size=500)
+        for value in samples:
+            hist.observe(float(value))
+        quantiles = [hist.percentile(q) for q in (1, 25, 50, 75, 95, 99, 100)]
+        assert all(a <= b for a, b in zip(quantiles, quantiles[1:]))
+        assert quantiles[0] >= hist.min
+        assert quantiles[-1] <= hist.max
+
+    def test_overflow_samples_clamp_to_observed_max(self):
+        hist = Histogram("t.overflow", buckets_ms=[1.0], gated=False)
+        hist.observe(5000.0)  # beyond the last finite bound
+        assert hist.percentile(99) == 5000.0
+
+    def test_bucket_counts_cumulative(self):
+        hist = Histogram("t.buckets", buckets_ms=[1.0, 2.0], gated=False)
+        for value in (0.5, 1.5, 99.0):
+            hist.observe(value)
+        pairs = hist.bucket_counts()
+        assert pairs == [(1.0, 1), (2.0, 2), (float("inf"), 3)]
+
+    def test_reset_clears_samples(self):
+        hist = Histogram("t.reset", gated=False)
+        hist.observe(1.0)
+        hist.reset()
+        assert hist.count == 0
+        assert hist.sum == 0.0
+        assert hist.max == 0.0
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError):
+            Histogram("t.bad", buckets_ms=[])
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_reset_keeps_instrument_handles_alive(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("kept")
+        hist = registry.histogram("kept.ms")
+        counter.inc(3)
+        hist.observe(1.0)
+        registry.reset()
+        assert counter.value == 0
+        assert hist.count == 0
+        # The handle cached before reset still feeds the registry.
+        counter.inc()
+        assert registry.counter("kept").value == 1
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(0.5)
+        registry.histogram("h").observe(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 1}
+        assert snapshot["gauges"] == {"g": 0.5}
+        hist = snapshot["histograms"]["h"]
+        assert hist["count"] == 1
+        assert hist["p50"] <= hist["p95"] <= hist["p99"] <= hist["max"]
+
+    def test_gate_rereads_environment_on_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_METRICS", "0")
+        set_metrics_enabled(None)
+        assert not metrics_enabled()
+        monkeypatch.setenv("REPRO_METRICS", "1")
+        set_metrics_enabled(None)
+        assert metrics_enabled()
+
+
+class TestTracing:
+    def test_span_is_noop_without_trace(self):
+        assert active_span() is None
+        with span("orphan") as node:
+            assert node is None
+        assert active_span() is None
+
+    def test_trace_builds_nested_tree(self):
+        with trace("root") as root:
+            with span("a"):
+                with span("a1"):
+                    pass
+            with span("b"):
+                pass
+        assert [child.name for child in root.children] == ["a", "b"]
+        assert [c.name for c in root.children[0].children] == ["a1"]
+        assert validate_span_tree(root) == []
+
+    def test_format_span_tree_indents_children(self):
+        with trace("root") as root:
+            with span("child"):
+                pass
+        text = format_span_tree(root)
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+        assert "ms" in lines[0]
+
+    def test_validate_flags_unclosed_span(self):
+        from repro.obs.tracing import Span
+
+        root = Span("root")
+        root.end_s = root.start_s + 1.0
+        child = Span("child")  # never closed
+        root.children.append(child)
+        assert any(
+            "never closed" in problem for problem in validate_span_tree(root)
+        )
+
+    def test_validate_flags_child_escaping_parent(self):
+        from repro.obs.tracing import Span
+
+        root = Span("root")
+        root.end_s = root.start_s + 0.010
+        child = Span("child")
+        child.start_s = root.start_s
+        child.end_s = root.start_s + 1.0  # ends after the parent
+        root.children.append(child)
+        assert any(
+            "escapes" in problem for problem in validate_span_tree(root)
+        )
+
+    def test_concurrent_traces_do_not_interleave(self):
+        errors: list[str] = []
+        barrier = threading.Barrier(4)
+
+        def worker(number: int) -> None:
+            barrier.wait()
+            for _ in range(50):
+                with trace(f"root-{number}") as root:
+                    with span("outer"):
+                        with span("inner"):
+                            pass
+                    with span("tail"):
+                        pass
+                problems = validate_span_tree(root)
+                names = [child.name for child in root.children]
+                if problems:
+                    errors.extend(problems)
+                if names != ["outer", "tail"]:
+                    errors.append(f"thread {number} saw children {names}")
+                if [c.name for c in root.children[0].children] != ["inner"]:
+                    errors.append(f"thread {number} lost nested span")
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_traced_query_produces_well_formed_tree(self):
+        rng = np.random.default_rng(3)
+        vectors = rng.normal(size=(200, 8))
+        attrs = rng.integers(0, 40, size=200).astype(float)
+        index = RangePQPlus.build(
+            vectors, attrs, num_subspaces=2, num_clusters=8,
+            num_codewords=16, seed=0,
+        )
+        with trace("query") as root:
+            index.query(vectors[0], 5.0, 35.0, k=5)
+        assert validate_span_tree(root) == []
+        names = {child.name for child in root.children}
+        assert "plan" in names
+        assert {"rank", "table", "fetch", "adc_scan", "rerank"} <= names
+
+
+class TestPhaseTimer:
+    def test_sets_ms_and_records_metric(self):
+        hist = Histogram("t.phase", gated=False)
+        with phase("unit", metric=hist) as timer:
+            pass
+        assert timer.ms >= 0.0
+        assert hist.count == 1
+
+    def test_ms_set_even_when_metrics_disabled(self):
+        set_metrics_enabled(False)
+        hist = REGISTRY.histogram("t.phase.gated")
+        before = hist.count
+        with phase("unit", metric=hist) as timer:
+            pass
+        assert timer.ms >= 0.0
+        assert hist.count == before
+
+    def test_string_metric_resolves_via_registry(self):
+        hist = REGISTRY.histogram("t.phase.named")
+        before = hist.count
+        with phase("unit", metric="t.phase.named"):
+            pass
+        assert hist.count == before + 1
+
+    def test_opens_span_under_trace(self):
+        with trace("root") as root:
+            with phase("timed"):
+                pass
+        assert [child.name for child in root.children] == ["timed"]
+
+
+class TestMetricsEquivalence:
+    """REPRO_METRICS must not change a single query result."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        rng = np.random.default_rng(17)
+        vectors = rng.normal(size=(400, 16))
+        attrs = rng.integers(0, 60, size=400).astype(float)
+        queries = rng.normal(size=(12, 16))
+        ranges = [(5.0, 45.0)] * 6 + [(0.0, 60.0)] * 6
+        return vectors, attrs, queries, ranges
+
+    @pytest.mark.parametrize("cls", [RangePQ, RangePQPlus])
+    def test_query_results_bitwise_identical(self, corpus, cls):
+        vectors, attrs, queries, ranges = corpus
+
+        def run() -> list[tuple[np.ndarray, np.ndarray]]:
+            index = cls.build(
+                vectors, attrs, num_subspaces=4, num_clusters=10,
+                num_codewords=32, seed=0,
+            )
+            out = []
+            for query, (lo, hi) in zip(queries, ranges):
+                result = index.query(query, lo, hi, k=10)
+                out.append((result.ids.copy(), result.distances.copy()))
+            batch = index.batch_search(queries, ranges, k=10)
+            for result in batch.results:
+                out.append((result.ids.copy(), result.distances.copy()))
+            return out
+
+        set_metrics_enabled(True)
+        enabled = run()
+        set_metrics_enabled(False)
+        disabled = run()
+        assert len(enabled) == len(disabled)
+        for (ids_on, dist_on), (ids_off, dist_off) in zip(enabled, disabled):
+            np.testing.assert_array_equal(ids_on, ids_off)
+            assert dist_on.tobytes() == dist_off.tobytes()
+
+
+class TestExposition:
+    def test_prometheus_format(self):
+        registry = MetricsRegistry()
+        registry.counter("wal.appends").inc(2)
+        registry.gauge("cache.table.hit_rate").set(0.25)
+        registry.histogram("query.fetch_ms").observe(1.5)
+        text = to_prometheus(registry)
+        assert "# TYPE repro_wal_appends counter" in text
+        assert "repro_wal_appends 2" in text
+        assert "repro_cache_table_hit_rate 0.25" in text
+        assert 'repro_query_fetch_ms_bucket{le="+Inf"} 1' in text
+        assert "repro_query_fetch_ms_count 1" in text
+
+    def test_json_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        data = json.loads(to_json(registry))
+        assert data["counters"]["c"] == 1
+
+    def test_smoke_workload_populates_required_metrics(self):
+        set_metrics_enabled(True)
+        REGISTRY.reset()
+        run_smoke_workload()
+        assert _check_smoke(REGISTRY) == []
+
+    def test_check_smoke_reports_missing_on_empty_registry(self):
+        assert _check_smoke(MetricsRegistry()) != []

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import shutil
+
 import numpy as np
 import pytest
 
@@ -91,6 +93,129 @@ class TestWriteAheadLog:
         assert wal.records_since(0) == []  # all folded into the snapshot
         wal.append_delete(9_000)
         assert [r.seq for r in wal.records_since(2)] == [3]
+
+
+class TestTornTailAppend:
+    """Appending after a crash must not corrupt the records that follow.
+
+    Regression tests for the torn-tail append bug: reopening a log whose
+    final line was torn (no trailing newline) and appending used to
+    concatenate the new record onto the torn fragment, turning a harmless
+    torn tail into mid-log corruption that poisoned every record written
+    afterwards.
+    """
+
+    def test_append_after_torn_tail_preserves_later_records(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for oid in (1, 2, 3):
+            wal.append_delete(oid)
+        wal.close()
+        log = tmp_path / WAL_NAME
+        data = log.read_bytes()
+        log.write_bytes(data[:-10])  # crash mid-append of record 3
+        reopened = WriteAheadLog(tmp_path)
+        assert reopened.last_seq == 2
+        assert reopened.append_delete(9) == 3
+        reopened.close()
+        records = WriteAheadLog(tmp_path).records_since(0)
+        assert [(r.seq, r.oid) for r in records] == [(1, 1), (2, 2), (3, 9)]
+
+    def test_append_after_lost_newline_keeps_whole_record(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append_delete(1)
+        wal.append_delete(2)
+        wal.close()
+        log = tmp_path / WAL_NAME
+        data = log.read_bytes()
+        assert data.endswith(b"\n")
+        log.write_bytes(data[:-1])  # the write was cut before its newline
+        reopened = WriteAheadLog(tmp_path)
+        assert reopened.last_seq == 2  # record 2 survived whole
+        assert reopened.append_delete(3) == 3
+        reopened.close()
+        records = WriteAheadLog(tmp_path).records_since(0)
+        assert [r.seq for r in records] == [1, 2, 3]
+
+    def test_repair_leaves_midlog_corruption_for_recovery(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append_delete(1)
+        wal.append_delete(2)
+        wal.close()
+        log = tmp_path / WAL_NAME
+        lines = log.read_text().splitlines(keepends=True)
+        lines[0] = lines[0][:5] + "X" + lines[0][6:]
+        log.write_text("".join(lines))
+        before = log.read_bytes()
+        with pytest.raises(WALError, match="untrusted tail"):
+            WriteAheadLog(tmp_path)
+        # The opener must not have "repaired" the poisoned prefix away.
+        assert log.read_bytes() == before
+
+
+class TestKillPointProperty:
+    """Recovery is exact at EVERY byte-level kill point of the log.
+
+    For a fixed op sequence and every truncation offset of ``wal.log``
+    (record boundaries and mid-record cuts alike): the recovered live set
+    must equal the longest durable prefix of the op sequence, and
+    ``last_seq`` must equal the snapshot seq plus the replayed record
+    count.  A writer that then resumes on the truncated directory must
+    produce a log whose NEXT recovery also includes its new ops.
+    """
+
+    def test_recovery_consistent_at_every_kill_point(self, dataset, tmp_path):
+        index = build_index(dataset)
+        source = tmp_path / "source"
+        service = IndexService(index, wal_dir=source, snapshot_every=None)
+        rng = np.random.default_rng(13)
+        ops: list[tuple[str, int]] = []
+        for i in range(8):
+            oid = 50_000 + i
+            service.insert(oid, rng.standard_normal(16), rng.random() * 100)
+            ops.append(("insert", oid))
+        for i in range(4):
+            service.delete(50_000 + i)
+            ops.append(("delete", 50_000 + i))
+        service.close()
+        snapshot_seq = WriteAheadLog(source).latest_snapshot_seq()
+        assert snapshot_seq == 0  # the initial base snapshot
+
+        def oracle_live(num_durable: int) -> set[int]:
+            live = set(range(400))
+            for op, oid in ops[:num_durable]:
+                live.add(oid) if op == "insert" else live.discard(oid)
+            return live
+
+        data = (source / WAL_NAME).read_bytes()
+        boundaries = [
+            offset + 1
+            for offset, byte in enumerate(data)
+            if byte == ord("\n")
+        ]
+        assert len(boundaries) == len(ops)
+        kill_points = {0, len(data)}
+        for end in boundaries:
+            kill_points.add(end)
+            kill_points.add(end - 7)  # mid-record cut
+        for number, offset in enumerate(sorted(kill_points)):
+            copy = tmp_path / f"kill-{number}"
+            shutil.copytree(source, copy)
+            (copy / WAL_NAME).write_bytes(data[:offset])
+            durable = sum(1 for end in boundaries if end <= offset)
+
+            recovered, last_seq = recover_index(copy)
+            assert last_seq == snapshot_seq + durable
+            assert set(recovered.ivf.ids()) == oracle_live(durable)
+
+            # Writer resumes on the killed directory: the repaired log
+            # must absorb new appends without poisoning the old records.
+            writer = WriteAheadLog(copy)
+            assert writer.last_seq == last_seq
+            assert writer.append_delete(399) == last_seq + 1
+            writer.close()
+            resumed, resumed_seq = recover_index(copy)
+            assert resumed_seq == last_seq + 1
+            assert set(resumed.ivf.ids()) == oracle_live(durable) - {399}
 
 
 class TestRecovery:

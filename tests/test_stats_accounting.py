@@ -1,0 +1,159 @@
+"""Pinning tests for SearchStats/QueryStats accounting.
+
+These pin the accumulation contracts fixed in the observability PR:
+``search_by_coarse_centers`` *accumulates* work counters (so one stats
+object can aggregate several calls, as the scatter-gather router and the
+batch engine rely on), and the batch engine counts each shared plan's
+``decompose_ms`` once in the batch totals rather than once per sharing
+request.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RangePQ, RangePQPlus
+from repro.core.results import QueryStats
+from repro.core.search import search_by_coarse_centers
+from repro.ivf import IVFPQIndex
+
+BUILD = dict(num_subspaces=4, num_clusters=10, num_codewords=32, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(77)
+    vectors = rng.normal(size=(300, 16))
+    ivf = IVFPQIndex(4, num_clusters=8, num_codewords=16, seed=0)
+    ivf.train(vectors)
+    ivf.add(np.arange(300), vectors)
+    return ivf, vectors
+
+
+class TestSearchStatsAccumulate:
+    def test_two_calls_sum_counters_and_max_l_used(self, trained):
+        ivf, vectors = trained
+        clusters = list(range(ivf.num_clusters))
+        stats = QueryStats()
+        search_by_coarse_centers(
+            ivf, vectors[0], 5, 10**6, clusters, ivf.cluster_members, stats
+        )
+        first_clusters = stats.num_candidate_clusters
+        first_candidates = stats.num_candidates
+        first_fetch = stats.fetch_ms
+        assert first_clusters == len(clusters)
+        assert first_candidates == 300
+        assert stats.l_used == 10**6
+
+        # Second call with a smaller budget into the SAME stats object:
+        # counters must sum, l_used must keep the max, timers accumulate.
+        search_by_coarse_centers(
+            ivf, vectors[1], 5, 7, clusters, ivf.cluster_members, stats
+        )
+        assert stats.num_candidate_clusters == 2 * first_clusters
+        assert stats.num_candidates == first_candidates + 7
+        assert stats.l_used == 10**6
+        assert stats.fetch_ms >= first_fetch
+
+    def test_empty_candidate_set_leaves_stats_untouched(self, trained):
+        ivf, vectors = trained
+        stats = QueryStats()
+        search_by_coarse_centers(
+            ivf, vectors[0], 5, 10**6, list(range(ivf.num_clusters)),
+            ivf.cluster_members, stats,
+        )
+        before = (
+            stats.num_candidate_clusters,
+            stats.num_candidates,
+            stats.l_used,
+        )
+        result = search_by_coarse_centers(
+            ivf, vectors[0], 5, 10**6, [], ivf.cluster_members, stats
+        )
+        assert len(result) == 0
+        after = (
+            stats.num_candidate_clusters,
+            stats.num_candidates,
+            stats.l_used,
+        )
+        assert after == before
+
+    def test_router_style_aggregation_matches_per_call(self, trained):
+        ivf, vectors = trained
+        clusters = list(range(ivf.num_clusters))
+        split = clusters[:4], clusters[4:]
+        separate = []
+        for part in split:
+            stats = QueryStats()
+            search_by_coarse_centers(
+                ivf, vectors[2], 5, 10**6, part, ivf.cluster_members, stats
+            )
+            separate.append(stats)
+        merged = QueryStats()
+        for part in split:
+            search_by_coarse_centers(
+                ivf, vectors[2], 5, 10**6, part, ivf.cluster_members, merged
+            )
+        assert merged.num_candidate_clusters == sum(
+            s.num_candidate_clusters for s in separate
+        )
+        assert merged.num_candidates == sum(
+            s.num_candidates for s in separate
+        )
+        assert merged.l_used == max(s.l_used for s in separate)
+
+
+class TestBatchDecomposeAccounting:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        rng = np.random.default_rng(91)
+        vectors = rng.normal(size=(400, 16))
+        attrs = rng.integers(0, 50, size=400).astype(float)
+        queries = rng.normal(size=(3, 16))
+        return vectors, attrs, queries
+
+    @pytest.mark.parametrize("cls", [RangePQ, RangePQPlus])
+    def test_shared_plan_decompose_counted_once(
+        self, dataset, cls, monkeypatch
+    ):
+        vectors, attrs, queries = dataset
+        index = cls.build(vectors, attrs, **BUILD)
+        original = index.plan_query
+
+        def pinned_plan_query(lo, hi):
+            plan = original(lo, hi)
+            plan.decompose_ms = 1000.0
+            return plan
+
+        monkeypatch.setattr(index, "plan_query", pinned_plan_query)
+        # Three DISTINCT query vectors sharing one range: one plan, two
+        # shared-plan requests, zero coalesced requests.
+        batch = index.batch_search(queries, [(10.0, 40.0)] * 3, k=5)
+        assert batch.stats.num_plans == 1
+        assert batch.stats.shared_plan_queries == 2
+        assert batch.stats.coalesced_queries == 0
+        # The batch performed ONE decomposition.
+        assert batch.stats.decompose_ms == 1000.0
+        # Per-request stats still carry the shared plan's time (for
+        # per-query introspection), which is exactly why naively summing
+        # them would have triple-counted.
+        for result in batch.results:
+            assert result.stats.decompose_ms == 1000.0
+
+    def test_distinct_ranges_all_counted(self, dataset, monkeypatch):
+        vectors, attrs, queries = dataset
+        index = RangePQ.build(vectors, attrs, **BUILD)
+        original = index.plan_query
+
+        def pinned_plan_query(lo, hi):
+            plan = original(lo, hi)
+            plan.decompose_ms = 1000.0
+            return plan
+
+        monkeypatch.setattr(index, "plan_query", pinned_plan_query)
+        ranges = [(0.0, 20.0), (10.0, 40.0), (20.0, 49.0)]
+        batch = index.batch_search(queries, ranges, k=5)
+        assert batch.stats.num_plans == 3
+        assert batch.stats.shared_plan_queries == 0
+        assert batch.stats.decompose_ms == 3000.0

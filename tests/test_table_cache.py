@@ -116,6 +116,28 @@ class TestIVFCaches:
         ivf.distance_table(vectors[0])
         assert ivf.table_cache.hits == hits_before
 
+    def test_retrain_drops_center_distance_entries(self, trained_ivf):
+        """Regression: retrain must invalidate the center cache too.
+
+        A stale center-distance entry after retraining would rank coarse
+        clusters against the OLD centroids — silently wrong probe orders —
+        so the refill after ``train()`` must be a miss, never a hit.
+        """
+        _, vectors, _ = trained_ivf
+        ivf = IVFPQIndex(4, num_clusters=8, num_codewords=16, seed=0)
+        ivf.train(vectors)
+        ivf.center_distances(vectors[0])
+        assert len(ivf.center_cache) == 1
+        ivf.train(vectors)
+        assert len(ivf.center_cache) == 0
+        assert ivf.center_cache.stats().invalidations >= 1
+        hits_before = ivf.center_cache.hits
+        refreshed = ivf.center_distances(vectors[0])
+        assert ivf.center_cache.hits == hits_before  # refill was a miss
+        np.testing.assert_array_equal(
+            refreshed, ivf.coarse.center_distances(vectors[0])
+        )
+
     def test_clone_empty_gets_fresh_caches(self, trained_ivf):
         ivf, vectors, _ = trained_ivf
         ivf.distance_table(vectors[0])
