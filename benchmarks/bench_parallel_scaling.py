@@ -1,0 +1,63 @@
+"""Extension — multiprocess query scaling: worker pool vs thread baseline.
+
+Answers one fixed sift-like query set serially, across Python threads,
+and through :class:`repro.parallel.ParallelQueryExecutor` at each worker
+count, checking every answer bitwise against the serial reference.  The
+process pool reads PQ codes, attributes, and codebooks from shared
+memory, so the only per-task traffic is the query vector and the top-k
+reply — aggregate QPS scales with cores where the thread baseline
+serializes on the GIL.  (On a single-core machine the pool *loses* to
+threads — IPC overhead with no parallelism to buy — which is why the CI
+profile checks correctness and liveness only.)
+
+Standalone (prints the sweep; ``--smoke`` for CI)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --smoke
+
+equivalently: ``python -m repro parallel-bench [--smoke]``.  Also
+collectable as a pytest-benchmark suite:
+``pytest benchmarks/bench_parallel_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.parallel.bench import ParallelBenchResult, main, run_parallel_bench
+
+__all__ = ["ParallelBenchResult", "main", "run_parallel_bench"]
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (collected by ``pytest benchmarks/``)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2])
+def test_parallel_scaling(benchmark, workers):
+    """Benchmark the executor at one worker count on the CI profile."""
+    from benchmarks.conftest import SEED
+
+    def drive():
+        result = run_parallel_bench(
+            n=1200,
+            dim=32,
+            num_queries=16,
+            repeats=1,
+            worker_counts=(workers,),
+            baseline_threads=2,
+            seed=SEED,
+            verbose=False,
+        )
+        assert result.violations == 0
+        benchmark.extra_info["executor_qps"] = round(
+            result.executor_qps[workers], 1
+        )
+        benchmark.extra_info["thread_qps"] = round(result.thread_qps, 1)
+
+    benchmark.pedantic(drive, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,10 @@ Subcommands::
     serve-bench [...]   IndexService vs global-lock throughput comparison
                         (flags forwarded to repro.service.bench; --smoke
                         for the tiny CI profile)
+    parallel-bench [..] multiprocess executor QPS vs the GIL-bound thread
+                        baseline over worker counts (flags forwarded to
+                        repro.parallel.bench; --smoke for the tiny CI
+                        profile, which checks bitwise correctness only)
     metrics-dump [...]  dump the process metrics registry (Prometheus text
                         or --json; --smoke runs a tiny serving workload
                         first and verifies the expected metrics populated)
@@ -99,6 +103,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.bench import main as serve_bench_main
 
         return serve_bench_main(argv[1:])
+    if argv and argv[0] == "parallel-bench":
+        from repro.parallel.bench import main as parallel_bench_main
+
+        return parallel_bench_main(argv[1:])
     if argv and argv[0] == "metrics-dump":
         from repro.obs.exposition import main as metrics_dump_main
 
@@ -112,6 +120,7 @@ def main(argv: list[str] | None = None) -> int:
     print("  python -m repro.eval.harness --figure <3..12>   regenerate a figure")
     print("  python -m repro.eval.regression                 reproduction CI")
     print("  python -m repro serve-bench [--smoke]           serving throughput")
+    print("  python -m repro parallel-bench [--smoke]        multiprocess scaling")
     print("  python -m repro metrics-dump [--smoke] [--json] metrics exposition")
     print("  python -m repro query [--trace]                 one traced query")
     print("  pytest tests/                                   test suite")

@@ -7,7 +7,7 @@ and its performance rests on the numpy hot paths staying vectorized.  This
 package machine-checks both on every PR:
 
 * :mod:`repro.analysis.lint` — an AST-based lint pass with repo-specific
-  rules (R001–R008), an inline ``# repro: noqa-RXXX`` escape hatch, text and
+  rules (R001–R009), an inline ``# repro: noqa-RXXX`` escape hatch, text and
   JSON reporters, and a committed baseline so pre-existing findings do not
   block CI.  Run it with ``python -m repro.analysis lint src/``.
 * :mod:`repro.analysis.sanitize` — a runtime sanitizer that audits every

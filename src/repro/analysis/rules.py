@@ -1,4 +1,4 @@
-"""The lint rule catalogue: repo-specific AST checks R001–R008.
+"""The lint rule catalogue: repo-specific AST checks R001–R009.
 
 Each rule is a pure function over a parsed module plus a
 :class:`FileContext`; the engine in :mod:`repro.analysis.lint` handles file
@@ -416,6 +416,78 @@ def _check_r008(
         )
 
 
+#: Methods that pickle their arguments across a process boundary (R009).
+_R009_SEND_METHODS = frozenset(
+    {
+        "put",
+        "put_nowait",
+        "send",
+        "send_bytes",
+        "submit",
+        "apply_async",
+        "map",
+        "starmap",
+    }
+)
+
+#: Identifier fragments naming bulk vector storage.  Deliberately NOT
+#: including per-task payloads (a single query vector, a plan's cluster
+#: list) — those are small by construction.
+_R009_STORAGE_HINTS = ("codes", "codebook", "centers", "vectors", "embedding")
+
+
+def _r009_storage_mention(node: ast.AST) -> str | None:
+    """First identifier (or string key) in ``node`` naming vector storage."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            ident = sub.id
+        elif isinstance(sub, ast.Attribute):
+            ident = sub.attr
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            ident = sub.value
+        else:
+            continue
+        lowered = ident.lower()
+        if any(hint in lowered for hint in _R009_STORAGE_HINTS):
+            return ident
+    return None
+
+
+def _check_r009(
+    module: ast.Module, ctx: FileContext
+) -> Iterator[tuple[int, str]]:
+    """R009: bulk vector storage pickled through a task channel.
+
+    The whole point of ``repro.parallel`` is that workers read PQ codes,
+    codebooks, and centers from shared memory; a ``.put(...)`` /
+    ``.send(...)`` / ``.submit(...)`` whose argument mentions one of
+    those arrays serializes megabytes per task and silently reintroduces
+    the copy the subsystem exists to avoid.  Tasks must carry the shm
+    *manifest* (block names) instead.  Only ``repro/parallel/`` is
+    scanned — elsewhere pickling an array may be the right call.
+    """
+    if "parallel/" not in ctx.path.replace("\\", "/"):
+        return
+    for node in ast.walk(module):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _R009_SEND_METHODS
+        ):
+            continue
+        arguments = list(node.args) + [kw.value for kw in node.keywords]
+        for argument in arguments:
+            mention = _r009_storage_mention(argument)
+            if mention is not None:
+                yield (
+                    node.lineno,
+                    f".{node.func.attr}(...) ships {mention!r} through a "
+                    "task channel (pickled per task); pass the shm "
+                    "manifest and attach in the worker instead",
+                )
+                break
+
+
 def _check_r007(
     module: ast.Module, ctx: FileContext
 ) -> Iterator[tuple[int, str]]:
@@ -479,5 +551,11 @@ RULES: tuple[Rule, ...] = (
         "raw time.time()/perf_counter() in an instrumented module",
         False,
         _check_r008,
+    ),
+    Rule(
+        "R009",
+        "bulk vector storage pickled through a task channel in repro/parallel/",
+        False,
+        _check_r009,
     ),
 )

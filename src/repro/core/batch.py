@@ -188,6 +188,7 @@ def execute_batch(
     k: int,
     *,
     l_budget: int | None = None,
+    parallel=None,
 ) -> BatchResult:
     """Answer a batch of ``(query, range)`` requests against ``index``.
 
@@ -200,6 +201,15 @@ def execute_batch(
         ranges: One inclusive ``(lo, hi)`` pair per query.
         k: Neighbors per request.
         l_budget: Optional shared ``L`` override (RangePQ family only).
+        parallel: Optional
+            :class:`~repro.parallel.executor.ParallelQueryExecutor` built
+            over *this* ``index``.  When given, the coalesced unique
+            requests are scattered across its worker processes instead of
+            executed in-process; the executor degrades to serial execution
+            itself when its pool is unavailable.  Results follow the
+            executor's deterministic merge order, which agrees with the
+            serial path everywhere except exact distance-plus-oid ties at
+            the candidate-budget boundary.
 
     Returns:
         A :class:`BatchResult`; ``results[i]`` is bitwise identical to
@@ -238,7 +248,17 @@ def execute_batch(
         unique_queries = queries[unique_rows]
         unique_ranges = [ranges[i] for i in unique_rows]
 
-        if hasattr(index, "plan_query") and ivf is not None:
+        if parallel is not None:
+            if parallel.index is not index:
+                raise ValueError(
+                    "parallel executor was built over a different index"
+                )
+            unique_results = parallel.search_batch(
+                unique_queries, unique_ranges, k, l_budget=l_budget
+            )
+            for result in unique_results:
+                stats.add_query_stats(result.stats)
+        elif hasattr(index, "plan_query") and ivf is not None:
             unique_results = _execute_planned(
                 index, ivf, unique_queries, unique_ranges, k, l_budget, stats
             )

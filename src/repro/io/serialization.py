@@ -80,7 +80,14 @@ def _pack_ivf(ivf: IVFPQIndex) -> dict[str, np.ndarray]:
     }
 
 
-def _unpack_ivf(archive, meta: dict) -> IVFPQIndex:
+def _unpack_ivf(archive, meta: dict, *, codes: np.ndarray | None = None) -> IVFPQIndex:
+    """Rebuild an IVFPQIndex from archive arrays.
+
+    Rows are assigned ``0..n-1`` in archive order (exactly what the
+    free-list pop order of ``_grow`` from empty produces), which lets the
+    row-keyed arrays be adopted wholesale — including a read-only
+    ``codes`` memmap passed by :func:`load_index`'s ``mmap_mode`` path.
+    """
     ivf = IVFPQIndex(
         int(meta["num_subspaces"]),
         num_clusters=int(meta["num_clusters"]),
@@ -96,24 +103,27 @@ def _unpack_ivf(archive, meta: dict) -> IVFPQIndex:
     ivf.coarse = coarse
     from ..ivf.ivfpq import _InvertedList
 
+    oids = np.asarray(archive["oids"], dtype=np.int64)
+    clusters = np.asarray(archive["clusters"], dtype=np.int32)
+    if codes is None:
+        codes = np.ascontiguousarray(archive["codes"], dtype=ivf.pq.code_dtype)
+    ivf._codes = codes
+    ivf._clusters = clusters.copy()
+    ivf._oid_of_row = oids.copy()
+    ivf._row_of = {int(oid): row for row, oid in enumerate(oids.tolist())}
+    ivf._free_rows = []
     ivf._lists = [_InvertedList() for _ in range(ivf.num_clusters)]
-    ivf._codes = np.empty((0, ivf.pq.num_subspaces), dtype=ivf.pq.code_dtype)
-
-    oids = archive["oids"]
-    codes = archive["codes"]
-    clusters = archive["clusters"]
-    ivf._grow(len(oids))
-    for oid, code, cluster in zip(oids.tolist(), codes, clusters.tolist()):
-        row = ivf._free_rows.pop()
-        ivf._row_of[oid] = row
-        ivf._oid_of_row[row] = oid
-        ivf._codes[row] = code
-        ivf._clusters[row] = cluster
+    for oid, cluster in zip(oids.tolist(), clusters.tolist()):
         ivf._lists[int(cluster)].add(oid)
     return ivf
 
 
-def save_index(index: RangePQ | RangePQPlus, path: str | Path) -> Path:
+def save_index(
+    index: RangePQ | RangePQPlus,
+    path: str | Path,
+    *,
+    compressed: bool = True,
+) -> Path:
     """Persist a RangePQ or RangePQ+ index to ``path`` (``.npz``).
 
     The archive is written to a temporary file in the destination
@@ -126,6 +136,11 @@ def save_index(index: RangePQ | RangePQPlus, path: str | Path) -> Path:
     Args:
         index: A populated index.
         path: Destination; a ``.npz`` suffix is appended if missing.
+        compressed: Deflate the archive members (the default).  Pass
+            ``False`` to store them raw, which makes the ``codes``
+            payload eligible for ``load_index(..., mmap_mode="r")`` —
+            worker processes then map the snapshot read-only instead of
+            each copying it.
 
     Returns:
         The path actually written.
@@ -164,7 +179,8 @@ def save_index(index: RangePQ | RangePQPlus, path: str | Path) -> Path:
     )
     try:
         with os.fdopen(descriptor, "wb") as handle:
-            np.savez_compressed(
+            saver = np.savez_compressed if compressed else np.savez
+            saver(
                 handle,
                 meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
                 attr_oids=attr_oids,
@@ -183,16 +199,75 @@ def save_index(index: RangePQ | RangePQPlus, path: str | Path) -> Path:
     return path
 
 
-def load_index(path: str | Path) -> RangePQ | RangePQPlus:
+def _memmap_member(path: Path, name: str) -> np.ndarray | None:
+    """Memory-map one raw-stored ``.npy`` member of a zip archive.
+
+    Returns ``None`` when the member is deflated (compressed archives
+    cannot be mapped), absent, or an unsupported npy layout — callers
+    fall back to the copying load path.  The member's absolute data
+    offset comes from its *local* file header (the central directory's
+    name/extra lengths may differ).
+    """
+    import zipfile
+
+    member = name + ".npy"
+    with zipfile.ZipFile(path) as archive_file:
+        try:
+            info = archive_file.getinfo(member)
+        except KeyError:
+            return None
+        if info.compress_type != zipfile.ZIP_STORED:
+            return None
+    with open(path, "rb") as handle:
+        handle.seek(info.header_offset)
+        local_header = handle.read(30)
+        if local_header[:4] != b"PK\x03\x04":
+            return None
+        name_len = int.from_bytes(local_header[26:28], "little")
+        extra_len = int.from_bytes(local_header[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_len + extra_len)
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            return None
+        if dtype.hasobject or fortran:
+            return None
+        offset = handle.tell()
+    return np.memmap(path, dtype=dtype, mode="r", shape=shape, offset=offset)
+
+
+def load_index(
+    path: str | Path, *, mmap_mode: str | None = None
+) -> RangePQ | RangePQPlus:
     """Load an index saved by :func:`save_index`.
 
+    Args:
+        path: An archive written by :func:`save_index`.
+        mmap_mode: ``"r"`` maps the ``codes`` payload read-only straight
+            from an *uncompressed* archive (``save_index(...,
+            compressed=False)``) instead of copying it — several worker
+            processes loading the same snapshot then share one page-cache
+            copy.  Compressed archives fall back to the copying path.
+            The loaded index serves queries normally; row-slot *reuse*
+            (an insert after a delete) copies the codes on demand.
+
     Raises:
-        SerializationError: On missing files, foreign archives, or a newer
-            format version.
+        SerializationError: On missing files, foreign archives, a newer
+            format version, or an unsupported ``mmap_mode``.
     """
     path = Path(path)
+    if mmap_mode not in (None, "r"):
+        raise SerializationError(
+            f"mmap_mode must be None or 'r', got {mmap_mode!r}"
+        )
     if not path.exists():
         raise SerializationError(f"no such file: {path}")
+    mapped_codes = (
+        _memmap_member(path, "codes") if mmap_mode is not None else None
+    )
     with np.load(path) as archive:
         if "meta" not in archive:
             raise SerializationError(f"{path} is not a repro index archive")
@@ -202,7 +277,7 @@ def load_index(path: str | Path) -> RangePQ | RangePQPlus:
                 f"archive format v{meta['format_version']} is newer than "
                 f"supported v{FORMAT_VERSION}"
             )
-        ivf = _unpack_ivf(archive, meta)
+        ivf = _unpack_ivf(archive, meta, codes=mapped_codes)
         policy = _policy_from_dict(meta["l_policy"])
         attrs = dict(
             zip(

@@ -286,6 +286,10 @@ class IVFPQIndex:
         clusters = self.coarse.assign(vectors)
         codes = self.pq.encode(vectors)
         self._grow(len(ids))
+        if not self._codes.flags.writeable:
+            # Mapped read-only (load_index mmap_mode="r"); a reused row
+            # slot needs in-place writes, so adopt a private copy now.
+            self._codes = np.array(self._codes, dtype=self._codes.dtype)
         for oid, cluster, code in zip(ids, clusters, codes):
             row = self._free_rows.pop()
             self._row_of[oid] = row

@@ -384,6 +384,36 @@ class MetricsRegistry:
 REGISTRY = MetricsRegistry()
 
 
+def _reinit_after_fork() -> None:
+    """Give a forked child a fresh registry state.
+
+    The forking thread may be holding any instrument's lock mid-record;
+    in the child that lock would stay acquired forever (its owner thread
+    does not exist there).  Every lock is therefore *replaced* — plain
+    assignment, never acquired — before the values are zeroed, so the
+    child starts with a clean registry while instrument references
+    cached at import time stay valid in both processes.  The tracing
+    span stack inherited across the fork is dropped for the same reason:
+    it belongs to the parent's trace tree.
+    """
+    REGISTRY._lock = threading.Lock()
+    for group in (
+        REGISTRY._counters,
+        REGISTRY._gauges,
+        REGISTRY._histograms,
+    ):
+        for instrument in group.values():
+            instrument._lock = threading.Lock()
+            instrument.reset()
+    from .tracing import _reset_context
+
+    _reset_context()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX only
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
 def counter(name: str) -> Counter:
     """Get or create ``name`` in the process-wide registry."""
     return REGISTRY.counter(name)

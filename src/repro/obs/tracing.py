@@ -129,6 +129,16 @@ def span(name: str):
     return _LiveSpan(name)
 
 
+def _reset_context() -> None:
+    """Drop the span stack inherited across a fork (child-side hook).
+
+    A child forked mid-trace would otherwise attach its spans to the
+    parent's tree through the copied ContextVar.  Called by the
+    ``os.register_at_fork`` handler in :mod:`repro.obs.metrics`.
+    """
+    _ACTIVE.set(None)
+
+
 def active_span() -> Span | None:
     """The innermost open span of the current context, if any."""
     return _ACTIVE.get()

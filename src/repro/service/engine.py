@@ -605,6 +605,24 @@ class IndexService:
         _TABLE_HIT_RATE.set(stats["table"].hit_rate)
         _CENTER_HIT_RATE.set(stats["center"].hit_rate)
 
+    def publish_shared(self, store) -> tuple[dict, int]:
+        """Publish the index into a shared-memory store (read plane).
+
+        Runs under the read lock, so the published blocks are a
+        consistent snapshot of some committed version — the version
+        returned alongside the manifest.  Used by the sharded router's
+        parallel backend to (re)publish a shard after writes.
+
+        Args:
+            store: A :class:`~repro.parallel.shm.SharedIndexStore`.
+
+        Returns:
+            ``(manifest, version)`` for the published snapshot.
+        """
+        with self._lock.read_locked():
+            manifest = store.republish(self._index)
+            return manifest, self._version
+
     def snapshot(self) -> Path:
         """Write a WAL snapshot of the current state.
 

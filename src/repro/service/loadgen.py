@@ -15,6 +15,14 @@ Attribute centers are drawn uniformly or Zipf-skewed (``zipf_s > 0``):
 skew concentrates both query ranges and writes on a hot region of the
 attribute domain, the adversarial case for shard routing and rebuild
 triggers alike.
+
+Besides the closed loop, reads support an **open-loop** mode
+(``open_loop_qps``): arrivals follow a precomputed Poisson schedule at a
+fixed offered rate, reader threads claim arrivals in order, and latency
+is measured from the *scheduled arrival time* — so queueing delay shows
+up in the percentiles instead of silently throttling the offered load.
+That is the mode that lets a parallel backend and a thread baseline be
+compared at matched offered QPS.
 """
 
 from __future__ import annotations
@@ -192,6 +200,7 @@ def run_load(
     num_writers: int,
     writer_oid_base: int = 1_000_000_000,
     on_read=None,
+    open_loop_qps: float | None = None,
 ) -> LoadReport:
     """Drive ``service`` with a closed-loop mixed workload.
 
@@ -209,6 +218,14 @@ def run_load(
         on_read: Optional callback ``(result, version_or_None)`` run by
             reader threads on every completed read — the concurrency tests
             use it to record (version, result) pairs for oracle replay.
+        open_loop_qps: When set, reads switch to open loop: a Poisson
+            arrival schedule at this offered rate is drawn up front
+            (``spec.seed``-deterministic), reader threads claim arrivals
+            in order and sleep until each scheduled instant, and each
+            completed read's latency is measured **from its scheduled
+            arrival** — a service that cannot keep up accumulates
+            queueing delay in the percentiles rather than quietly
+            lowering the offered load.  Writers stay closed-loop.
 
     Returns:
         A :class:`LoadReport`.
@@ -217,6 +234,8 @@ def run_load(
         raise ValueError("thread counts must be >= 0")
     if num_readers + num_writers == 0:
         raise ValueError("need at least one thread")
+    if open_loop_qps is not None and open_loop_qps <= 0:
+        raise ValueError(f"open_loop_qps must be > 0, got {open_loop_qps}")
     reads = OpStats()
     writes = OpStats()
     totals_mutex = threading.Lock()
@@ -225,6 +244,27 @@ def run_load(
     stop = threading.Event()
     start_barrier = threading.Barrier(num_readers + num_writers + 1)
     has_versioned = hasattr(service, "query_versioned")
+
+    schedule: np.ndarray | None = None
+    next_arrival = [0]
+    arrival_mutex = threading.Lock()
+    if open_loop_qps is not None and num_readers > 0:
+        arrival_rng = np.random.default_rng(spec.seed + 777)
+        gaps = arrival_rng.exponential(
+            1.0 / open_loop_qps,
+            size=max(1, int(open_loop_qps * duration_s * 2)),
+        )
+        offsets = np.cumsum(gaps)
+        schedule = offsets[offsets < duration_s]
+
+    def _claim_arrival() -> int | None:
+        """Next unclaimed arrival index, or None when the schedule is done."""
+        with arrival_mutex:
+            index = next_arrival[0]
+            if index >= len(schedule):
+                return None
+            next_arrival[0] = index + 1
+            return index
 
     def reader(thread_number: int) -> None:
         rng = np.random.default_rng(spec.seed + thread_number)
@@ -239,7 +279,17 @@ def run_load(
         else:
             pool_weights = None
         start_barrier.wait()
+        epoch = time.monotonic()
+        target_s: float | None = None
         while not stop.is_set():
+            if schedule is not None:
+                arrival = _claim_arrival()
+                if arrival is None:
+                    break
+                target_s = epoch + float(schedule[arrival])
+                delay = target_s - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
             if pool is not None:
                 vector = pool[rng.choice(len(pool), p=pool_weights)]
             else:
@@ -274,7 +324,14 @@ def run_load(
                     if len(errors) < 5:
                         errors.append(f"read: {error!r}")
                 continue
-            local.latencies_ms.append(timer.ms)
+            if target_s is not None:
+                # Open loop: latency counted from the scheduled arrival,
+                # so time spent waiting for a free thread is included.
+                local.latencies_ms.append(
+                    (time.monotonic() - target_s) * 1000.0
+                )
+            else:
+                local.latencies_ms.append(timer.ms)
             local.completed += 1
             if not _probe_result(result, spec.k):
                 local_violations += 1

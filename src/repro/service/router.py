@@ -25,12 +25,14 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..core.results import QueryResult, QueryStats
-from ..obs import histogram, phase
+from ..obs import counter, histogram, phase
 from .engine import IndexService
 
 __all__ = ["RangeShardedService", "quantile_boundaries"]
 
 _MERGE_MS = histogram("service.merge_ms")
+_PARALLEL_FALLBACKS = counter("parallel.fallbacks")
+_PARALLEL_QUERIES = counter("parallel.queries")
 
 
 def quantile_boundaries(attrs: np.ndarray, num_shards: int) -> list[float]:
@@ -78,6 +80,11 @@ class RangeShardedService:
         self._shards = list(shards)
         self._boundaries = [float(b) for b in boundaries]
         self._map_mutex = threading.Lock()
+        self._parallel_pool = None
+        self._parallel_stores: list = []
+        self._parallel_manifests: list = []
+        self._parallel_versions: list[int] = []
+        self._parallel_mutex = threading.Lock()
         self._shard_of_oid: dict[int, int] = {}
         for number, shard in enumerate(self._shards):
             for oid in shard.index.ivf.ids():
@@ -239,9 +246,134 @@ class RangeShardedService:
             raise ValueError(f"k must be >= 1, got {k}")
         first = self.shard_for_attr(lo)
         last = self.shard_for_attr(hi)
+        numbers = range(first, last + 1)
+        if self._parallel_pool is not None:
+            result = self._query_parallel(
+                query_vector, lo, hi, k, numbers, l_budget
+            )
+            if result is not None:
+                return result
         partials = [
             self._shards[number].query(query_vector, lo, hi, k, l_budget=l_budget)
-            for number in range(first, last + 1)
+            for number in numbers
+        ]
+        if len(partials) == 1:
+            return partials[0]
+        return _merge_topk(partials, k)
+
+    # ------------------------------------------------------------------
+    # Parallel read backend (multiprocess, shared memory)
+    # ------------------------------------------------------------------
+    def attach_parallel(
+        self,
+        num_workers: int = 2,
+        *,
+        start_method: str | None = None,
+        task_timeout_s: float = 60.0,
+    ):
+        """Attach a multiprocess read backend over shared memory.
+
+        Each shard's arrays are published into a
+        :class:`~repro.parallel.shm.SharedIndexStore` (under the shard's
+        read lock, so every published snapshot is a committed version),
+        and scattered range queries execute in a
+        :class:`~repro.parallel.pool.WorkerPool` instead of the calling
+        thread — one task per overlapping shard, merged through the same
+        top-k lexsort as the thread path.  Writes republish lazily: a
+        query republishes any overlapped shard whose service version
+        moved since its last publish.
+
+        Parallel answers drain candidates from the attr-sorted shared
+        layout, so under a truncating ``L`` budget they can differ from
+        the thread path at the truncation boundary (both orders are
+        deterministic; full-budget answers agree).  If a worker batch
+        fails, the query transparently falls back to the thread path.
+
+        Raises:
+            PoolUnavailable: If the workers cannot start (nothing is
+                attached in that case).
+        """
+        from ..parallel.pool import WorkerPool
+        from ..parallel.shm import SharedIndexStore
+
+        if self._parallel_pool is not None:
+            raise RuntimeError("a parallel backend is already attached")
+        pool = WorkerPool(
+            num_workers,
+            start_method=start_method,
+            task_timeout_s=task_timeout_s,
+        )
+        self._parallel_pool = pool
+        self._parallel_stores = [SharedIndexStore() for _ in self._shards]
+        self._parallel_manifests = [None] * len(self._shards)
+        self._parallel_versions = [-1] * len(self._shards)
+        self._refresh_manifests(range(len(self._shards)))
+        return pool
+
+    def detach_parallel(self) -> None:
+        """Stop the parallel backend and unlink its shm blocks.  Idempotent."""
+        pool, self._parallel_pool = self._parallel_pool, None
+        if pool is not None:
+            pool.close()
+        for store in self._parallel_stores:
+            store.close()
+        self._parallel_stores = []
+        self._parallel_manifests = []
+        self._parallel_versions = []
+
+    def _refresh_manifests(self, numbers) -> None:
+        """Republish every listed shard whose committed version moved."""
+        with self._parallel_mutex:
+            for number in numbers:
+                shard = self._shards[number]
+                if shard.version != self._parallel_versions[number]:
+                    manifest, version = shard.publish_shared(
+                        self._parallel_stores[number]
+                    )
+                    self._parallel_manifests[number] = manifest
+                    self._parallel_versions[number] = version
+
+    def _query_parallel(
+        self,
+        query_vector: np.ndarray,
+        lo: float,
+        hi: float,
+        k: int,
+        numbers,
+        l_budget: int | None,
+    ) -> QueryResult | None:
+        """Scatter one query across the pool; None means "use threads"."""
+        from ..parallel.pool import WorkerError
+
+        self._refresh_manifests(numbers)
+        query = np.ascontiguousarray(query_vector, dtype=np.float64)
+        tasks = [
+            (
+                "search",
+                {
+                    "manifest": self._parallel_manifests[number],
+                    "query": query,
+                    "lo": float(lo),
+                    "hi": float(hi),
+                    "k": int(k),
+                    "l_budget": l_budget,
+                },
+            )
+            for number in numbers
+        ]
+        try:
+            replies = self._parallel_pool.run(tasks)
+        except WorkerError:
+            _PARALLEL_FALLBACKS.inc()
+            return None
+        _PARALLEL_QUERIES.inc()
+        partials = [
+            QueryResult(
+                ids=reply["ids"],
+                distances=reply["distances"],
+                stats=reply["stats"],
+            )
+            for reply in replies
         ]
         if len(partials) == 1:
             return partials[0]
@@ -278,7 +410,8 @@ class RangeShardedService:
         }
 
     def close(self) -> None:
-        """Close every shard's WAL."""
+        """Detach the parallel backend (if any) and close every shard's WAL."""
+        self.detach_parallel()
         for shard in self._shards:
             shard.close()
 

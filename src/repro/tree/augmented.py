@@ -204,18 +204,32 @@ def cover_count_in_cluster(cover: RangeCover, cluster: int) -> int:
     return total
 
 
-def cover_iter_cluster(cover: RangeCover, cluster: int) -> Iterator[int]:
-    """Yield the object IDs of ``cluster`` across all cover pieces.
+def _ordered_pieces(cover: RangeCover) -> list[tuple[bool, TreeNode]]:
+    """Cover pieces merged into attribute order.
 
-    The order visits cover pieces in discovery order (subtrees in attribute
-    order within each piece); SearchByCCenters only needs *some* stable
-    enumeration per cluster, as the paper notes ("assuming that the objects
-    are ordered based on nodes in NS").
+    Pieces (full subtrees and singles) span disjoint attribute intervals,
+    so sorting full pieces by their minimum valid attribute (``lp``) and
+    singles by their own attribute produces a globally attribute-ascending
+    enumeration.  SearchByCCenters only needs *some* stable order per
+    cluster ("assuming that the objects are ordered based on nodes in
+    NS"), but a *canonical* one makes truncated drains independent of the
+    tree's shape — the parallel executor's shared attr-sorted layout
+    replays exactly this order, so budget-limited results stay bitwise
+    identical across serial and multiprocess execution.
     """
-    for node in cover.full:
-        yield from iter_cluster_objects(node, cluster)
-    for node in cover.singles:
-        if node.cluster == cluster:
+    pieces = [(True, node) for node in cover.full]
+    pieces += [(False, node) for node in cover.singles]
+    pieces.sort(key=lambda piece: piece[1].lp if piece[0] else piece[1].attr)
+    return pieces
+
+
+def cover_iter_cluster(cover: RangeCover, cluster: int) -> Iterator[int]:
+    """Yield the object IDs of ``cluster`` across all cover pieces, in
+    attribute order (see :func:`_ordered_pieces`)."""
+    for is_full, node in _ordered_pieces(cover):
+        if is_full:
+            yield from iter_cluster_objects(node, cluster)
+        elif node.cluster == cluster:
             yield node.oid
 
 
@@ -231,13 +245,13 @@ def cover_find_kth_in_cluster(cover: RangeCover, cluster: int, rank: int) -> int
     """
     if rank < 1:
         raise IndexError(f"rank must be >= 1, got {rank}")
-    for node in cover.full:
-        count = node.count_in_cluster(cluster)
-        if rank <= count:
-            return find_kth_in_cluster(node, cluster, rank)
-        rank -= count
-    for node in cover.singles:
-        if node.cluster == cluster:
+    for is_full, node in _ordered_pieces(cover):
+        if is_full:
+            count = node.count_in_cluster(cluster)
+            if rank <= count:
+                return find_kth_in_cluster(node, cluster, rank)
+            rank -= count
+        elif node.cluster == cluster:
             if rank == 1:
                 return node.oid
             rank -= 1

@@ -155,6 +155,24 @@ R008_ALLOWED_SRC = textwrap.dedent(
 )
 
 
+PARALLEL = "src/repro/parallel/_fixture.py"
+
+R009_SRC = textwrap.dedent(
+    """
+    def ship(queue, index):
+        queue.put(index.codes)
+    """
+)
+
+R009_ALLOWED_SRC = textwrap.dedent(
+    """
+    def dispatch(task_conn, result_conn, manifest, query, result):
+        task_conn.send((1, "search", {"manifest": manifest, "query": query}))
+        result_conn.send(("done", 1, 0, 3.5, result))
+    """
+)
+
+
 # ----------------------------------------------------------------------
 # Each rule fires exactly once on its fixture
 # ----------------------------------------------------------------------
@@ -169,6 +187,7 @@ R008_ALLOWED_SRC = textwrap.dedent(
         ("R006", R006_SRC, COLD),
         ("R007", R007_SRC, SERVICE),
         ("R008", R008_SRC, HOT),
+        ("R009", R009_SRC, PARALLEL),
     ],
 )
 def test_each_rule_fires_exactly_once(rule_id, source, path):
@@ -261,10 +280,28 @@ def test_render_json_is_parseable():
     assert payload["findings"][0]["rule"] == "R005"
 
 
-def test_rule_catalogue_covers_r001_to_r008():
+def test_rule_catalogue_covers_r001_to_r009():
     assert [rule.id for rule in RULES] == [
-        f"R{n:03d}" for n in range(1, 9)
+        f"R{n:03d}" for n in range(1, 10)
     ]
+
+
+def test_r009_silent_outside_parallel_paths():
+    assert lint_source(R009_SRC, COLD) == []
+
+
+def test_r009_allows_manifest_and_result_payloads():
+    assert lint_source(R009_ALLOWED_SRC, PARALLEL) == []
+
+
+def test_r009_flags_keyword_and_submit_forms():
+    source = textwrap.dedent(
+        """
+        def fan_out(pool, store):
+            pool.submit(work, codebooks=store.codebooks)
+        """
+    )
+    assert [f.rule for f in lint_source(source, PARALLEL)] == ["R009"]
 
 
 def test_r007_silent_outside_service_paths():

@@ -172,3 +172,56 @@ class TestLazyDeletionRoundtrip:
                 save_index(index, path)
         assert path.read_bytes() == before  # old archive untouched
         assert list(tmp_path.glob(".*.tmp")) == []  # temp cleaned up
+
+
+class TestMmapLoad:
+    """``load_index(..., mmap_mode="r")``: zero-copy codes for workers."""
+
+    def test_uncompressed_load_maps_codes(self, dataset, tmp_path):
+        vectors, attrs, _ = dataset
+        index = RangePQ.build(vectors, attrs, **BUILD)
+        path = save_index(index, tmp_path / "flat", compressed=False)
+        loaded = load_index(path, mmap_mode="r")
+        codes = loaded.ivf._codes
+        assert isinstance(codes, np.memmap)
+        assert not codes.flags.writeable
+
+    def test_mapped_index_queries_identically(self, dataset, tmp_path):
+        vectors, attrs, queries = dataset
+        index = RangePQ.build(vectors, attrs, **BUILD)
+        path = save_index(index, tmp_path / "flat", compressed=False)
+        loaded = load_index(path, mmap_mode="r")
+        for query in queries:
+            want = index.query(query, 10.0, 50.0, k=10, l_budget=10**6)
+            got = loaded.query(query, 10.0, 50.0, k=10, l_budget=10**6)
+            assert np.array_equal(want.ids, got.ids)
+            assert np.array_equal(want.distances, got.distances)
+
+    def test_compressed_archive_falls_back_to_copy(self, dataset, tmp_path):
+        vectors, attrs, _ = dataset
+        index = RangePQ.build(vectors, attrs, **BUILD)
+        path = save_index(index, tmp_path / "packed", compressed=True)
+        loaded = load_index(path, mmap_mode="r")
+        assert not isinstance(loaded.ivf._codes, np.memmap)
+        loaded.check_invariants()
+
+    def test_mapped_index_supports_updates_via_copy(self, dataset, tmp_path):
+        """Row reuse needs in-place writes; the index must adopt a private
+        copy of the mapped codes instead of faulting."""
+        vectors, attrs, _ = dataset
+        index = RangePQ.build(vectors, attrs, **BUILD)
+        path = save_index(index, tmp_path / "flat", compressed=False)
+        loaded = load_index(path, mmap_mode="r")
+        loaded.delete(0)
+        loaded.insert(9_000, vectors[0], 30.0)  # reuses the freed row
+        assert loaded.ivf._codes.flags.writeable
+        loaded.check_invariants()
+        got = loaded.query(vectors[0], 29.0, 31.0, k=5, l_budget=10**6)
+        assert 9_000 in got.ids.tolist()
+
+    def test_invalid_mmap_mode_rejected(self, dataset, tmp_path):
+        vectors, attrs, _ = dataset
+        index = RangePQ.build(vectors, attrs, **BUILD)
+        path = save_index(index, tmp_path / "flat", compressed=False)
+        with pytest.raises(SerializationError, match="mmap_mode"):
+            load_index(path, mmap_mode="w")

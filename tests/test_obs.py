@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 import threading
 
 import numpy as np
@@ -366,3 +367,56 @@ class TestExposition:
 
     def test_check_smoke_reports_missing_on_empty_registry(self):
         assert _check_smoke(MetricsRegistry()) != []
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="requires os.fork")
+class TestForkSafety:
+    """Forked children must start with a fresh registry and no inherited
+    span stack, even when the fork happens under an active phase()."""
+
+    def _run_in_child(self, check) -> int:
+        """Fork, run ``check`` in the child, return its exit status."""
+        pid = os.fork()
+        if pid == 0:  # child
+            status = 1
+            try:
+                status = 0 if check() else 1
+            finally:
+                os._exit(status)
+        _, raw_status = os.waitpid(pid, 0)
+        return os.waitstatus_to_exitcode(raw_status)
+
+    def test_child_counters_reset(self):
+        from repro.obs import counter
+
+        probe = counter("test.fork_probe")
+        probe.inc(5)
+
+        def check():
+            same = counter("test.fork_probe")
+            return same is probe and same.value == 0
+
+        assert self._run_in_child(check) == 0
+        assert probe.value == 5  # parent unaffected
+
+    def test_fork_under_active_span_clears_child_stack(self):
+        def check():
+            return active_span() is None
+
+        with trace("parent-work"):
+            with phase("inner"):
+                assert active_span() is not None
+                assert self._run_in_child(check) == 0
+            assert active_span() is not None  # parent stack intact
+
+    def test_child_locks_usable_after_midfork_state(self):
+        from repro.obs import histogram
+
+        hist = histogram("test.fork_hist")
+        hist.observe(1.0)
+
+        def check():
+            hist.observe(2.0)  # would deadlock on a forked-held lock
+            return hist.count == 1
+
+        assert self._run_in_child(check) == 0

@@ -1,0 +1,121 @@
+"""Tests for the worker pool: dispatch, crash detection + respawn,
+per-task timeouts, and graceful shutdown.  Every failure path must
+resolve to a result or a :class:`WorkerError` — never a hang."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RangePQ
+from repro.parallel import SharedIndexStore, WorkerError, WorkerPool
+
+BUILD = dict(num_subspaces=4, num_clusters=8, num_codewords=16, seed=0)
+FULL_BUDGET = 10**6
+
+
+@pytest.fixture(scope="module")
+def published():
+    rng = np.random.default_rng(7)
+    vectors = rng.standard_normal((400, 16))
+    attrs = rng.random(400) * 100.0
+    index = RangePQ.build(vectors, attrs, **BUILD)
+    store = SharedIndexStore()
+    manifest = store.publish(index)
+    yield index, manifest, vectors
+    store.close()
+
+
+@pytest.fixture()
+def pool():
+    with WorkerPool(2, task_timeout_s=30.0) as pool:
+        yield pool
+
+
+class TestDispatch:
+    def test_ping_reaches_every_worker(self, pool):
+        pids = pool.ping()
+        assert len(pids) == 2
+        assert len(set(pids)) == 2
+
+    def test_search_task_matches_serial(self, pool, published):
+        index, manifest, vectors = published
+        payload = {
+            "manifest": manifest,
+            "query": vectors[0],
+            "lo": 20.0,
+            "hi": 70.0,
+            "k": 10,
+            "l_budget": FULL_BUDGET,
+        }
+        (reply,) = pool.run([("search", payload)])
+        want = index.query(vectors[0], 20.0, 70.0, k=10, l_budget=FULL_BUDGET)
+        assert np.array_equal(want.ids, reply["ids"])
+        assert np.array_equal(want.distances, reply["distances"])
+
+    def test_results_keep_task_order(self, pool):
+        replies = pool.run([("ping", {}) for _ in range(6)])
+        assert len(replies) == 6
+        assert all("pid" in reply for reply in replies)
+
+    def test_unknown_kind_is_an_error_not_a_crash(self, pool):
+        with pytest.raises(WorkerError, match="failed in worker"):
+            pool.run([("nonsense", {})])
+        assert pool.alive_workers == 2  # the worker survived
+
+
+class TestCrashes:
+    def test_repeated_crash_fails_with_reason(self, pool):
+        with pytest.raises(WorkerError, match="lost to two worker crashes"):
+            pool.run([("crash", {"code": 9})])
+
+    def test_pool_survives_a_crash_batch(self, pool):
+        with pytest.raises(WorkerError):
+            pool.run([("crash", {})])
+        assert pool.alive_workers == 2  # crashed workers respawned
+        assert len(pool.ping()) == 2  # and the pool still answers
+
+    def test_crash_among_healthy_tasks_never_hangs(self, pool):
+        tasks = [("ping", {}), ("crash", {"code": 9}), ("ping", {})]
+        with pytest.raises(WorkerError, match="crash"):
+            pool.run(tasks)
+        assert len(pool.ping()) == 2
+
+
+class TestTimeouts:
+    def test_stuck_task_killed_and_reported(self):
+        with WorkerPool(1, task_timeout_s=0.5) as pool:
+            with pytest.raises(WorkerError, match="timeout"):
+                pool.run([("sleep", {"seconds": 30.0})])
+            assert len(pool.ping()) == 1  # replacement worker is live
+
+
+class TestShutdown:
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.close()
+        pool.close()
+        assert pool.alive_workers == 0
+
+    def test_run_after_close_raises(self):
+        pool = WorkerPool(1)
+        pool.close()
+        with pytest.raises(WorkerError, match="closed"):
+            pool.run([("ping", {})])
+
+    def test_no_orphan_processes_after_close(self):
+        import multiprocessing
+
+        pool = WorkerPool(2)
+        children = [w.process for w in pool._workers.values()]
+        pool.close()
+        for child in children:
+            assert not child.is_alive()
+        assert not any(
+            p.name.startswith("repro-parallel-")
+            for p in multiprocessing.active_children()
+        )
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            WorkerPool(0)

@@ -1,0 +1,167 @@
+"""Tests for the shared-memory index store: publish/attach round-trip,
+versioned republish, snapshot manifests, and leak-free cleanup."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import RangePQ
+from repro.io import save_index
+from repro.parallel import (
+    SharedIndexSearcher,
+    SharedIndexStore,
+    SharedIndexView,
+    ShmError,
+    extract_index_arrays,
+    snapshot_manifest,
+)
+
+BUILD = dict(num_subspaces=4, num_clusters=8, num_codewords=16, seed=0)
+FULL_BUDGET = 10**6
+
+
+def _shm_entries(store_id: str) -> list[str]:
+    try:
+        return [n for n in os.listdir("/dev/shm") if store_id in n]
+    except FileNotFoundError:  # non-Linux fallback: nothing to assert on
+        return []
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(11)
+    n = 500
+    vectors = rng.standard_normal((n, 16))
+    attrs = rng.random(n) * 100.0
+    queries = rng.standard_normal((4, 16))
+    return vectors, attrs, queries
+
+
+@pytest.fixture()
+def index(dataset):
+    vectors, attrs, _ = dataset
+    return RangePQ.build(vectors, attrs, **BUILD)
+
+
+class TestExtract:
+    def test_arrays_are_attr_sorted(self, index):
+        arrays, params = extract_index_arrays(index)
+        assert params["count"] == len(arrays["oids"])
+        attrs = arrays["attrs"]
+        assert np.all(attrs[:-1] <= attrs[1:])
+        ties = attrs[:-1] == attrs[1:]
+        assert np.all(arrays["oids"][:-1][ties] < arrays["oids"][1:][ties])
+
+    def test_untrained_index_rejected(self):
+        with pytest.raises(ShmError, match="trained"):
+            extract_index_arrays(object())
+
+
+class TestPublishAttach:
+    def test_search_matches_serial_query(self, index, dataset):
+        _, _, queries = dataset
+        with SharedIndexStore() as store:
+            manifest = store.publish(index)
+            searcher = SharedIndexSearcher.attach(manifest)
+            try:
+                for query in queries:
+                    want = index.query(
+                        query, 20.0, 70.0, k=10, l_budget=FULL_BUDGET
+                    )
+                    got = searcher.search(
+                        query, 20.0, 70.0, 10, l_budget=FULL_BUDGET
+                    )
+                    assert np.array_equal(want.ids, got.ids)
+                    assert np.array_equal(want.distances, got.distances)
+            finally:
+                searcher.close()
+
+    def test_view_arrays_read_only(self, index):
+        with SharedIndexStore() as store:
+            view = SharedIndexView.attach(store.publish(index))
+            try:
+                for array in view.arrays.values():
+                    assert not array.flags.writeable
+            finally:
+                view.close()
+
+    def test_manifest_before_publish_raises(self):
+        with SharedIndexStore() as store:
+            with pytest.raises(ShmError, match="published"):
+                store.manifest
+
+
+class TestRepublish:
+    def test_version_bumps_and_old_blocks_unlink(self, index, dataset):
+        vectors, _, _ = dataset
+        with SharedIndexStore() as store:
+            store.publish(index)
+            assert store.version == 1
+            v1_entries = set(_shm_entries(store.store_id))
+            index.insert(9_000, vectors[0], 55.0)
+            store.republish(index)
+            assert store.version == 2
+            v2_entries = set(_shm_entries(store.store_id))
+            if v1_entries:  # /dev/shm visible on this platform
+                assert v1_entries.isdisjoint(v2_entries)
+
+    def test_republished_data_reflects_update(self, index, dataset):
+        vectors, _, _ = dataset
+        with SharedIndexStore() as store:
+            store.publish(index)
+            index.insert(9_001, vectors[1], 55.0)
+            searcher = SharedIndexSearcher.attach(store.republish(index))
+            try:
+                got = searcher.search(
+                    vectors[1], 54.0, 56.0, 5, l_budget=FULL_BUDGET
+                )
+                assert 9_001 in got.ids.tolist()
+            finally:
+                searcher.close()
+
+
+class TestCleanup:
+    def test_close_unlinks_every_block(self, index):
+        store = SharedIndexStore()
+        store.publish(index)
+        assert _shm_entries(store.store_id) or not os.path.isdir("/dev/shm")
+        store.close()
+        assert _shm_entries(store.store_id) == []
+
+    def test_close_is_idempotent(self, index):
+        store = SharedIndexStore()
+        store.publish(index)
+        store.close()
+        store.close()
+        assert _shm_entries(store.store_id) == []
+
+    def test_shm_bytes_gauge_resets(self, index):
+        from repro.obs import gauge
+
+        store = SharedIndexStore()
+        store.publish(index)
+        assert store.shm_bytes > 0
+        store.close()
+        assert gauge("parallel.shm_bytes").value == 0.0
+
+
+class TestSnapshotManifest:
+    def test_attach_from_saved_index(self, index, dataset, tmp_path):
+        _, _, queries = dataset
+        path = tmp_path / "index.npz"
+        save_index(index, path, compressed=False)
+        searcher = SharedIndexSearcher.attach(snapshot_manifest(path))
+        try:
+            want = index.query(
+                queries[0], 20.0, 70.0, k=10, l_budget=FULL_BUDGET
+            )
+            got = searcher.search(
+                queries[0], 20.0, 70.0, 10, l_budget=FULL_BUDGET
+            )
+            assert np.array_equal(want.ids, got.ids)
+            assert np.array_equal(want.distances, got.distances)
+        finally:
+            searcher.close()

@@ -182,3 +182,74 @@ class TestShardMaintenance:
                 time.sleep(0.01)
         assert not router.maintenance_due()
         router.check_invariants()
+
+
+class TestParallelBackend:
+    """Multiprocess scatter-gather through shard shm stores."""
+
+    def test_parallel_matches_thread_path(self, router, dataset):
+        _, _, _, queries = dataset
+        want = [
+            router.query(query, 15.0, 85.0, k=10, l_budget=10**6)
+            for query in queries
+        ]
+        router.attach_parallel(num_workers=2)
+        try:
+            got = [
+                router.query(query, 15.0, 85.0, k=10, l_budget=10**6)
+                for query in queries
+            ]
+        finally:
+            router.detach_parallel()
+        for a, b in zip(want, got):
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.distances, b.distances)
+
+    def test_double_attach_rejected(self, router):
+        router.attach_parallel(num_workers=1)
+        try:
+            with pytest.raises(RuntimeError, match="attached"):
+                router.attach_parallel(num_workers=1)
+        finally:
+            router.detach_parallel()
+
+    def test_detach_is_idempotent(self, router):
+        router.attach_parallel(num_workers=1)
+        router.detach_parallel()
+        router.detach_parallel()
+
+    def test_write_republishes_touched_shard(self, router, dataset):
+        _, vectors, _, _ = dataset
+        router.attach_parallel(num_workers=1)
+        try:
+            versions_before = list(router._parallel_versions)
+            router.insert(8_000, vectors[0], 50.0)
+            got = router.query(
+                vectors[0], 49.0, 51.0, k=5, l_budget=10**6
+            )
+            assert 8_000 in got.ids.tolist()
+            touched = router.shard_for_attr(50.0)
+            assert (
+                router._parallel_versions[touched]
+                > versions_before[touched]
+            )
+        finally:
+            router.detach_parallel()
+
+    def test_close_detaches_and_unlinks(self, dataset):
+        import os
+
+        ids, vectors, attrs, _ = dataset
+        router = RangeShardedService.build(
+            ids, vectors, attrs, num_shards=2, index_factory=factory
+        )
+        router.attach_parallel(num_workers=1)
+        store_ids = [s.store_id for s in router._parallel_stores]
+        router.close()
+        if os.path.isdir("/dev/shm"):
+            leftovers = [
+                name
+                for name in os.listdir("/dev/shm")
+                if any(sid in name for sid in store_ids)
+            ]
+            assert leftovers == []
