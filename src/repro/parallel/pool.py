@@ -15,6 +15,19 @@ vector payloads); each worker caches one attached
 re-attaches when a task arrives with a newer manifest version — this is
 how publisher-side republishes propagate.
 
+Dispatch is *windowed*: each worker holds at most
+``_MAX_INFLIGHT`` dispatched tasks, with the rest queued parent-side
+and topped up as results drain.  Pipes buffer ~64KB; dumping a large
+batch up front can wedge the whole pool (worker blocked sending into a
+full result pipe stops reading tasks, then the parent blocks sending
+into the full task pipe before it ever reaches the gather loop).  The
+window keeps the parent draining between sends, so neither side can
+fill both pipes at once.
+
+:meth:`WorkerPool.run` is thread-safe: an internal mutex serializes
+batches, so concurrent readers (the sharded service's query path) can
+share one pool without stealing each other's result messages.
+
 Failure semantics (the pool never hangs):
 
 * **worker crash** — detected by liveness polling while gathering; the
@@ -42,7 +55,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
+from collections import deque
 from multiprocessing import connection
 
 from ..obs import counter, gauge, histogram
@@ -60,6 +75,12 @@ _UTILIZATION = gauge("parallel.worker_utilization")
 #: How often the gather loop wakes to poll worker liveness / deadlines.
 _POLL_S = 0.05
 
+#: Dispatch window: tasks in flight per worker before the rest queue
+#: parent-side.  Must stay small enough that the window's results fit in
+#: one ~64KB pipe buffer, or a worker can block writing results while
+#: the parent blocks writing tasks (mutual pipe deadlock).
+_MAX_INFLIGHT = 8
+
 
 class WorkerError(RuntimeError):
     """A task failed (crash, timeout, or worker-side exception)."""
@@ -76,6 +97,8 @@ def _execute_task(searchers: dict, kind: str, payload: dict):
     if kind == "sleep":  # test hook: simulate a stuck task
         time.sleep(float(payload["seconds"]))
         return {}
+    if kind == "echo":  # test hook: result as large as its payload
+        return payload
     if kind == "crash":  # test hook: simulate a hard worker death
         os._exit(int(payload.get("code", 42)))
     searcher = _searcher_for(searchers, payload["manifest"])
@@ -168,13 +191,14 @@ def _worker_main(worker_id: int, task_conn, result_conn) -> None:
 class _Worker:
     """Bookkeeping for one worker process."""
 
-    __slots__ = ("process", "task_conn", "result_conn", "inflight")
+    __slots__ = ("process", "task_conn", "result_conn", "inflight", "pending")
 
     def __init__(self, process, task_conn, result_conn) -> None:
         self.process = process
         self.task_conn = task_conn      # parent -> worker (send end)
         self.result_conn = result_conn  # worker -> parent (recv end)
-        self.inflight: dict[int, float] = {}  # task_id -> assign time
+        self.inflight: dict[int, float] = {}  # task_id -> dispatch time
+        self.pending: deque[int] = deque()  # task_ids awaiting dispatch
 
     def shutdown(self) -> None:
         for conn in (self.task_conn, self.result_conn):
@@ -223,6 +247,10 @@ class WorkerPool:
         self._next_worker_id = 0
         self._stale_tasks: set[int] = set()
         self._closed = False
+        # Serializes run()/close(): batches from concurrent reader
+        # threads must not interleave, or one thread's gather loop
+        # drains (and drops) messages belonging to the other's batch.
+        self._run_mutex = threading.Lock()
         try:
             spawned = [self._spawn_worker() for _ in range(num_workers)]
             for worker_id in spawned:
@@ -298,15 +326,25 @@ class WorkerPool:
     def run(self, tasks: list[tuple[str, dict]]) -> list:
         """Execute tasks across the pool; returns results in task order.
 
+        Thread-safe: concurrent callers serialize on an internal mutex
+        (batches never interleave on the result pipes).
+
         Raises:
             WorkerError: If any task fails (crash after retry, timeout,
-                or a worker-side exception).  The pool itself stays
-                usable — dead workers are respawned before raising.
+                respawn failure, or a worker-side exception).  The pool
+                itself stays usable — dead workers are respawned before
+                raising.
         """
+        with self._run_mutex:
+            return self._run_locked(tasks)
+
+    def _run_locked(self, tasks: list[tuple[str, dict]]) -> list:
         if self._closed:
             raise WorkerError("pool is closed")
         if not tasks:
             return []
+        if not self._workers:
+            raise WorkerError("pool has no live workers")
         started = time.monotonic()
         assignments: dict[int, tuple[int, str, dict, int]] = {}
         results: dict[int, object] = {}
@@ -318,15 +356,16 @@ class WorkerPool:
             order.append(task_id)
             assignments[task_id] = (position, kind, payload, 0)
             target = worker_ids[position % len(worker_ids)]
-            self._dispatch(target, task_id, kind, payload)
+            self._workers[target].pending.append(task_id)
         busy_ms = 0.0
         try:
+            for worker_id in list(self._workers):
+                self._top_up(worker_id, assignments)
             while len(results) < len(order):
                 messages = self._drain_messages()
                 if not messages:
                     self._reap_crashes(assignments, results)
                     self._reap_timeouts(assignments, results)
-                    continue
                 for message in messages:
                     tag = message[0]
                     if tag == "ready":
@@ -351,13 +390,18 @@ class WorkerPool:
                             f"task {task_id} failed in worker "
                             f"{message[2]}: {message[3]}"
                         )
+                for worker_id in list(self._workers):
+                    self._top_up(worker_id, assignments)
         except BaseException:  # repro: noqa-R004 — bookkeeping then re-raise
             # Abandon everything still in flight so late results from
-            # this batch are dropped by future run() calls.
-            for task_id in order:
-                if task_id not in results:
-                    self._stale_tasks.add(task_id)
+            # this batch are dropped by future run() calls.  Undispatched
+            # pending tasks can never produce a message, so they are
+            # simply forgotten (never marked stale).
             for worker in self._workers.values():
+                worker.pending.clear()
+                for task_id in worker.inflight:
+                    if task_id not in results:
+                        self._stale_tasks.add(task_id)
                 worker.inflight.clear()
             raise
         _TASKS.inc(len(order))
@@ -397,12 +441,43 @@ class WorkerPool:
         except (BrokenPipeError, OSError):
             pass  # worker already dead; the crash reaper resubmits
 
+    def _top_up(
+        self,
+        worker_id: int,
+        assignments: dict[int, tuple[int, str, dict, int]],
+    ) -> None:
+        """Dispatch pending tasks until the worker's window is full."""
+        worker = self._workers.get(worker_id)
+        if worker is None:
+            return
+        while worker.pending and len(worker.inflight) < _MAX_INFLIGHT:
+            task_id = worker.pending.popleft()
+            _, kind, payload, _ = assignments[task_id]
+            self._dispatch(worker_id, task_id, kind, payload)
+
     def _replace_worker(self, worker_id: int) -> int:
-        """Drop ``worker_id`` and bring up a ready replacement."""
+        """Drop ``worker_id`` and bring up a ready replacement.
+
+        The dead worker's undispatched pending queue carries over to the
+        replacement.  A replacement that fails its own handshake raises
+        :class:`WorkerError` (not :class:`PoolUnavailable`) so run()'s
+        degrade-to-serial callers catch it.
+        """
         worker = self._workers.pop(worker_id)
         worker.shutdown()
         replacement = self._spawn_worker()
-        self._await_ready(replacement, self._start_timeout_s)
+        try:
+            self._await_ready(replacement, self._start_timeout_s)
+        except PoolUnavailable as exc:
+            dead = self._workers.pop(replacement, None)
+            if dead is not None:
+                if dead.process.is_alive():
+                    dead.process.terminate()
+                    dead.process.join(timeout=1.0)
+                dead.shutdown()
+            _WORKERS_ALIVE.set(len(self._workers))
+            raise WorkerError(f"worker respawn failed: {exc}") from exc
+        self._workers[replacement].pending.extend(worker.pending)
         _WORKER_RESTARTS.inc()
         _WORKERS_ALIVE.set(len(self._workers))
         return replacement
@@ -473,7 +548,17 @@ class WorkerPool:
         return [reply["pid"] for reply in replies]
 
     def close(self, *, timeout_s: float = 5.0) -> None:
-        """Stop all workers gracefully; terminate stragglers.  Idempotent."""
+        """Stop all workers gracefully; terminate stragglers.  Idempotent.
+
+        Thread-safe: waits for any in-flight :meth:`run` batch to finish
+        (run is bounded by the task timeout, so this cannot wait forever).
+        """
+        if self._closed:
+            return
+        with self._run_mutex:
+            self._close_locked(timeout_s)
+
+    def _close_locked(self, timeout_s: float) -> None:
         if self._closed:
             return
         self._closed = True

@@ -81,6 +81,21 @@ _OBJECT_BLOCKS = ("attrs", "oids", "clusters", "codes")
 #: Trained-quantizer arrays published to shared memory.
 _STATIC_BLOCKS = ("codebooks", "centers")
 
+#: One-character suffix per block key.  Block names must stay short:
+#: macOS caps POSIX shm names at 31 characters *including* the leading
+#: slash (PSHMNAMLEN), so the full ``<store_id>-v<version>-<code>``
+#: name is budgeted against :data:`_MAX_SHM_NAME`.
+_BLOCK_CODES = {
+    "attrs": "a",
+    "oids": "o",
+    "clusters": "c",
+    "codes": "q",
+    "codebooks": "b",
+    "centers": "n",
+}
+#: Longest allowed block name (31 on macOS, minus the implicit "/").
+_MAX_SHM_NAME = 30
+
 
 class ShmError(RuntimeError):
     """Raised on publish/attach failures or closed-store access."""
@@ -189,9 +204,34 @@ class _AttachedBlock:
             pass
 
 
-def _attach_block(name: str) -> _AttachedBlock:
+class _TrackedBlock:
+    """Fallback attachment for platforms without ``_posixshmem``.
+
+    Windows shared memory is named-mapping based and never touches the
+    POSIX resource tracker, so the stdlib attach path is safe there.
+    """
+
+    __slots__ = ("name", "_shm", "buf")
+
+    def __init__(self, name: str) -> None:
+        self._shm = shared_memory.SharedMemory(name=name)
+        self.buf = self._shm.buf
+        self.name = name
+
+    def close(self) -> None:
+        self.buf = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - caller kept a view
+            pass
+
+
+def _attach_block(name: str):
     """Attach to an existing block without resource-tracker ownership."""
-    return _AttachedBlock(name)
+    try:
+        return _AttachedBlock(name)
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return _TrackedBlock(name)
 
 
 class SharedIndexStore:
@@ -210,9 +250,9 @@ class SharedIndexStore:
     """
 
     def __init__(self, *, store_id: str | None = None) -> None:
-        self.store_id = store_id or (
-            f"repro-{os.getpid()}-{uuid.uuid4().hex[:8]}"
-        )
+        # Short on purpose: the derived block names must fit macOS's
+        # 31-character POSIX shm name limit (see _MAX_SHM_NAME).
+        self.store_id = store_id or f"rp-{uuid.uuid4().hex[:10]}"
         self._version = 0
         self._blocks: dict[str, shared_memory.SharedMemory] = {}
         self._arrays: dict[str, np.ndarray] = {}
@@ -255,7 +295,12 @@ class SharedIndexStore:
         try:
             for key in (*_OBJECT_BLOCKS, *_STATIC_BLOCKS):
                 source = arrays[key]
-                name = f"{prefix}-{key}"
+                name = f"{prefix}-{_BLOCK_CODES[key]}"
+                if len(name) > _MAX_SHM_NAME:
+                    raise ShmError(
+                        f"shm block name {name!r} exceeds {_MAX_SHM_NAME} "
+                        "chars (macOS PSHMNAMLEN); use a shorter store_id"
+                    )
                 block = shared_memory.SharedMemory(
                     create=True, name=name, size=max(1, source.nbytes)
                 )

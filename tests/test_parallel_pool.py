@@ -4,11 +4,18 @@ resolve to a result or a :class:`WorkerError` — never a hang."""
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.core import RangePQ
-from repro.parallel import SharedIndexStore, WorkerError, WorkerPool
+from repro.parallel import (
+    PoolUnavailable,
+    SharedIndexStore,
+    WorkerError,
+    WorkerPool,
+)
 
 BUILD = dict(num_subspaces=4, num_clusters=8, num_codewords=16, seed=0)
 FULL_BUDGET = 10**6
@@ -80,6 +87,77 @@ class TestCrashes:
         with pytest.raises(WorkerError, match="crash"):
             pool.run(tasks)
         assert len(pool.ping()) == 2
+
+
+class TestConcurrency:
+    def test_concurrent_batches_from_reader_threads(self):
+        """run() is safe from many threads: no stolen messages, no
+        60s reaper stalls — every batch completes quickly."""
+        with WorkerPool(2, task_timeout_s=10.0) as pool:
+            errors: list[Exception] = []
+
+            def hammer() -> None:
+                try:
+                    for _ in range(10):
+                        replies = pool.run([("ping", {}) for _ in range(4)])
+                        assert len(replies) == 4
+                        assert all("pid" in reply for reply in replies)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, daemon=True)
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert not any(thread.is_alive() for thread in threads)
+            assert errors == []
+
+
+class TestBackpressure:
+    def test_large_batch_never_fills_both_pipes(self):
+        """Results bigger than the ~64KB pipe buffer in aggregate must
+        not deadlock dispatch (windowed in-flight keeps pipes drained)."""
+        payload = {"pad": "x" * 8192}
+        out: list = []
+        with WorkerPool(2, task_timeout_s=30.0) as pool:
+
+            def run_batch() -> None:
+                try:
+                    out.append(pool.run([("echo", payload)] * 200))
+                except Exception as exc:  # pragma: no cover - failure path
+                    out.append(exc)
+
+            thread = threading.Thread(target=run_batch, daemon=True)
+            thread.start()
+            thread.join(timeout=60.0)
+            assert not thread.is_alive(), "pool deadlocked on full pipes"
+            (replies,) = out
+            assert isinstance(replies, list)
+            assert len(replies) == 200
+            assert all(r["pad"] == payload["pad"] for r in replies)
+
+
+class TestRespawnFailure:
+    def test_respawn_failure_raises_worker_error(self, monkeypatch):
+        """A replacement worker failing its handshake must surface as
+        WorkerError (the degrade-to-serial contract), not
+        PoolUnavailable."""
+        with WorkerPool(1, task_timeout_s=5.0) as pool:
+
+            def fail(worker_id: int, timeout_s: float) -> None:
+                raise PoolUnavailable("injected handshake failure")
+
+            monkeypatch.setattr(pool, "_await_ready", fail)
+            with pytest.raises(WorkerError, match="respawn failed"):
+                pool.run([("crash", {"code": 7})])
+            # With every worker gone, later batches still fail loudly
+            # (and as WorkerError) instead of dividing by zero.
+            with pytest.raises(WorkerError, match="no live workers"):
+                pool.run([("ping", {})])
 
 
 class TestTimeouts:

@@ -46,6 +46,27 @@ def index(dataset):
     return RangePQ.build(vectors, attrs, **BUILD)
 
 
+class TestBlockNames:
+    def test_names_fit_macos_posix_limit(self, index):
+        """macOS caps POSIX shm names at 31 chars including the
+        implicit leading slash (PSHMNAMLEN)."""
+        with SharedIndexStore() as store:
+            manifest = store.publish(index)
+            for spec in manifest["blocks"].values():
+                assert len(spec["shm"]) + 1 <= 31, spec["shm"]
+
+    def test_names_stay_short_across_republishes(self, index):
+        with SharedIndexStore() as store:
+            manifest = store.publish(index, version=999_999)
+            for spec in manifest["blocks"].values():
+                assert len(spec["shm"]) + 1 <= 31, spec["shm"]
+
+    def test_oversized_store_id_rejected(self, index):
+        with SharedIndexStore(store_id="x" * 40) as store:
+            with pytest.raises(ShmError, match="PSHMNAMLEN"):
+                store.publish(index)
+
+
 class TestExtract:
     def test_arrays_are_attr_sorted(self, index):
         arrays, params = extract_index_arrays(index)

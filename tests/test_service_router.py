@@ -205,6 +205,48 @@ class TestParallelBackend:
             assert np.array_equal(a.ids, b.ids)
             assert np.array_equal(a.distances, b.distances)
 
+    def test_concurrent_reader_threads_share_the_pool(self, router, dataset):
+        """query() is a documented concurrent read path: parallel
+        batches from many threads must neither steal each other's
+        worker replies nor stall behind the timeout reaper."""
+        import threading
+
+        _, _, _, queries = dataset
+        want = [
+            router.query(query, 15.0, 85.0, k=10, l_budget=10**6)
+            for query in queries
+        ]
+        router.attach_parallel(num_workers=2, task_timeout_s=10.0)
+        errors: list[Exception] = []
+        try:
+
+            def reader() -> None:
+                try:
+                    for _ in range(3):
+                        for query, expect in zip(queries, want):
+                            got = router.query(
+                                query, 15.0, 85.0, k=10, l_budget=10**6
+                            )
+                            assert np.array_equal(expect.ids, got.ids)
+                            assert np.array_equal(
+                                expect.distances, got.distances
+                            )
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=reader, daemon=True)
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert not any(thread.is_alive() for thread in threads)
+            assert errors == []
+        finally:
+            router.detach_parallel()
+
     def test_double_attach_rejected(self, router):
         router.attach_parallel(num_workers=1)
         try:
