@@ -10,6 +10,13 @@ package machine-checks both on every PR:
   rules (R001–R009), an inline ``# repro: noqa-RXXX`` escape hatch, text and
   JSON reporters, and a committed baseline so pre-existing findings do not
   block CI.  Run it with ``python -m repro.analysis lint src/``.
+* :mod:`repro.analysis.concurrency` — interprocedural lock-discipline
+  analysis: guard-set inference + race detection (C001–C003) and the
+  cross-class lock-order deadlock pass (L001).  Run with
+  ``python -m repro.analysis race`` / ``... locks --graph``.
+* :mod:`repro.analysis.contracts` — numpy dtype/shape contract checking
+  (D001–D003) plus the runtime shm-manifest validator the sanitizer uses.
+  Run with ``python -m repro.analysis contracts``.
 * :mod:`repro.analysis.sanitize` — a runtime sanitizer that audits every
   index structure's ``check_invariants`` after every N mutations, enabled
   globally with ``REPRO_SANITIZE=1`` or per-index with
@@ -18,12 +25,29 @@ package machine-checks both on every PR:
 See ``docs/analysis.md`` for the rule catalogue and workflows.
 """
 
+from .concurrency import (
+    LockEdge,
+    analyze_lock_order,
+    analyze_race_paths,
+    analyze_race_source,
+    collect_lock_edges,
+    render_lock_graph,
+)
+from .contracts import (
+    MANIFEST_BLOCK_DTYPES,
+    NAME_CONTRACTS,
+    analyze_contracts_paths,
+    analyze_contracts_source,
+    contract_for_name,
+    manifest_contract_errors,
+)
 from .lint import (
     Finding,
     apply_baseline,
     lint_paths,
     lint_source,
     load_baseline,
+    prune_baseline,
     render_json,
     render_text,
     write_baseline,
@@ -46,8 +70,21 @@ __all__ = [
     "load_baseline",
     "apply_baseline",
     "write_baseline",
+    "prune_baseline",
     "render_text",
     "render_json",
+    "LockEdge",
+    "analyze_race_source",
+    "analyze_race_paths",
+    "analyze_lock_order",
+    "collect_lock_edges",
+    "render_lock_graph",
+    "NAME_CONTRACTS",
+    "MANIFEST_BLOCK_DTYPES",
+    "contract_for_name",
+    "analyze_contracts_source",
+    "analyze_contracts_paths",
+    "manifest_contract_errors",
     "SanitizedIndex",
     "sanitized",
     "install",

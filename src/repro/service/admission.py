@@ -107,13 +107,15 @@ class AdmissionController:
 
     @property
     def active(self) -> int:
-        """Requests currently executing."""
-        return self._active
+        """Requests currently executing (lock-free monitoring read; int
+        loads are atomic under the GIL and staleness is acceptable)."""
+        return self._active  # repro: noqa-C002
 
     @property
     def waiting(self) -> int:
-        """Requests currently queued."""
-        return self._waiting
+        """Requests currently queued (lock-free monitoring read; int
+        loads are atomic under the GIL and staleness is acceptable)."""
+        return self._waiting  # repro: noqa-C002
 
     def admit(self, kind: str = "read") -> "_Admitted":
         """Acquire an execution slot or raise :class:`AdmissionError`.

@@ -326,8 +326,12 @@ class IndexService:
     # ------------------------------------------------------------------
     @property
     def index(self):
-        """The wrapped index (do not mutate outside the service)."""
-        return self._index
+        """The wrapped index (do not mutate outside the service).
+
+        Lock-free read of the reference: the binding never changes after
+        construction; only the object's *contents* are lock-guarded.
+        """
+        return self._index  # repro: noqa-C002
 
     @property
     def wal(self) -> WriteAheadLog | None:
@@ -336,8 +340,12 @@ class IndexService:
 
     @property
     def version(self) -> int:
-        """Number of committed writes (the snapshot version readers see)."""
-        return self._version
+        """Number of committed writes (the snapshot version readers see).
+
+        Lock-free monitoring read: int loads are atomic under the GIL and
+        a slightly stale version is fine for observers.
+        """
+        return self._version  # repro: noqa-C002
 
     def __len__(self) -> int:
         with self._lock.read_locked():
@@ -535,12 +543,13 @@ class IndexService:
         May read slightly stale counters; the daemon re-validates under
         the write lock before doing anything.
         """
-        if bool(getattr(self._index, "maintenance_due", False)):
+        # Documented lock-free read (see docstring): stale is acceptable.
+        if bool(getattr(self._index, "maintenance_due", False)):  # repro: noqa-C002
             return True
         return (
             self._snapshot_every is not None
             and self._wal is not None
-            and self._writes_since_snapshot >= self._snapshot_every
+            and self._writes_since_snapshot >= self._snapshot_every  # repro: noqa-C002 — documented lock-free check
         )
 
     def run_maintenance(self, *, audit: bool | None = None) -> dict:
@@ -583,7 +592,10 @@ class IndexService:
         if (
             self._snapshot_every is not None
             and self._wal is not None
-            and self._writes_since_snapshot >= self._snapshot_every
+            # Lock-free read after dropping the write lock: snapshot()
+            # re-takes the lock and resets the counter; a stale value only
+            # shifts one snapshot by a cycle.
+            and self._writes_since_snapshot >= self._snapshot_every  # repro: noqa-C002
         ):
             self.snapshot()
             report["snapshotted"] = True
@@ -634,7 +646,10 @@ class IndexService:
             raise RuntimeError("service has no WAL attached")
         with self._lock.read_locked():
             path = self._wal.write_snapshot(self._index)
-            self._writes_since_snapshot = 0
+            # Written under the read side on purpose: the RW lock excludes
+            # writers (the only other mutators of this counter), and two
+            # concurrent snapshots both storing 0 is benign.
+            self._writes_since_snapshot = 0  # repro: noqa-C003
         self.stats.bump(snapshots=1)
         return path
 
@@ -689,13 +704,17 @@ class GlobalLockService:
 
     @property
     def index(self):
-        """The wrapped index (do not mutate outside the service)."""
-        return self._index
+        """The wrapped index (do not mutate outside the service).
+
+        Lock-free read: the binding never changes after construction.
+        """
+        return self._index  # repro: noqa-C002
 
     @property
     def version(self) -> int:
-        """Number of committed writes."""
-        return self._version
+        """Number of committed writes (lock-free monitoring read; int
+        loads are atomic under the GIL and staleness is acceptable)."""
+        return self._version  # repro: noqa-C002
 
     def __len__(self) -> int:
         with self._mutex:

@@ -247,7 +247,10 @@ class RangeShardedService:
         first = self.shard_for_attr(lo)
         last = self.shard_for_attr(hi)
         numbers = range(first, last + 1)
-        if self._parallel_pool is not None:
+        # Lock-free fast path: a stale None just takes the thread path; a
+        # stale pool is re-validated under _parallel_mutex in
+        # _query_parallel before use.
+        if self._parallel_pool is not None:  # repro: noqa-C002
             result = self._query_parallel(
                 query_vector, lo, hi, k, numbers, l_budget
             )
@@ -296,30 +299,44 @@ class RangeShardedService:
         from ..parallel.pool import WorkerPool
         from ..parallel.shm import SharedIndexStore
 
-        if self._parallel_pool is not None:
+        # Lock-free fast-fail; authoritative re-check happens under the
+        # mutex below before the backend is published.
+        if self._parallel_pool is not None:  # repro: noqa-C002
             raise RuntimeError("a parallel backend is already attached")
+        # Spawn the pool before taking the mutex (worker startup is slow
+        # and can fail); publish the backend atomically under it.
         pool = WorkerPool(
             num_workers,
             start_method=start_method,
             task_timeout_s=task_timeout_s,
         )
-        self._parallel_pool = pool
-        self._parallel_stores = [SharedIndexStore() for _ in self._shards]
-        self._parallel_manifests = [None] * len(self._shards)
-        self._parallel_versions = [-1] * len(self._shards)
+        with self._parallel_mutex:
+            if self._parallel_pool is not None:
+                pool.close()
+                raise RuntimeError("a parallel backend is already attached")
+            self._parallel_pool = pool
+            self._parallel_stores = [
+                SharedIndexStore() for _ in self._shards
+            ]
+            self._parallel_manifests = [None] * len(self._shards)
+            self._parallel_versions = [-1] * len(self._shards)
         self._refresh_manifests(range(len(self._shards)))
         return pool
 
     def detach_parallel(self) -> None:
         """Stop the parallel backend and unlink its shm blocks.  Idempotent."""
-        pool, self._parallel_pool = self._parallel_pool, None
+        # Unpublish atomically under the mutex; close the pool and stores
+        # after releasing it (close can block on an in-flight batch).
+        with self._parallel_mutex:
+            pool, self._parallel_pool = self._parallel_pool, None
+            stores = self._parallel_stores
+            self._parallel_stores = []
+            self._parallel_manifests = []
+            self._parallel_versions = []
         if pool is not None:
             pool.close()
-        for store in self._parallel_stores:
+        for store in stores:
             store.close()
-        self._parallel_stores = []
-        self._parallel_manifests = []
-        self._parallel_versions = []
 
     def _refresh_manifests(self, numbers) -> None:
         """Republish every listed shard whose committed version moved."""
@@ -346,12 +363,22 @@ class RangeShardedService:
         from ..parallel.pool import WorkerError
 
         self._refresh_manifests(numbers)
+        # Snapshot the pool and manifests under the mutex so a concurrent
+        # detach/republish cannot hand us a half-replaced backend; run the
+        # batch after releasing it (workers must not serialize on us).
+        with self._parallel_mutex:
+            pool = self._parallel_pool
+            if pool is None:
+                return None
+            manifests = [
+                self._parallel_manifests[number] for number in numbers
+            ]
         query = np.ascontiguousarray(query_vector, dtype=np.float64)
         tasks = [
             (
                 "search",
                 {
-                    "manifest": self._parallel_manifests[number],
+                    "manifest": manifest,
                     "query": query,
                     "lo": float(lo),
                     "hi": float(hi),
@@ -359,10 +386,10 @@ class RangeShardedService:
                     "l_budget": l_budget,
                 },
             )
-            for number in numbers
+            for manifest in manifests
         ]
         try:
-            replies = self._parallel_pool.run(tasks)
+            replies = pool.run(tasks)
         except WorkerError:
             _PARALLEL_FALLBACKS.inc()
             return None

@@ -417,6 +417,69 @@ def test_cli_write_then_gate(tmp_path):
     assert gated.returncode == 0, gated.stdout
 
 
+def test_cli_prune_baseline_drops_stale_entries(tmp_path):
+    (tmp_path / "bad.py").write_text(R006_SRC)
+    _run_cli("bad.py", "--write-baseline", cwd=tmp_path)
+    # Fix the file: every baseline entry becomes stale.
+    (tmp_path / "bad.py").write_text("x = 1\n")
+    pruned = _run_cli("bad.py", "--prune-baseline", cwd=tmp_path)
+    assert pruned.returncode == 0
+    assert "dropped" in pruned.stdout
+    payload = json.loads((tmp_path / "lint-baseline.json").read_text())
+    assert payload["findings"] == []
+
+
+def test_cli_prune_baseline_keeps_live_entries(tmp_path):
+    (tmp_path / "bad.py").write_text(R006_SRC)
+    _run_cli("bad.py", "--write-baseline", cwd=tmp_path)
+    before = json.loads((tmp_path / "lint-baseline.json").read_text())
+    pruned = _run_cli("bad.py", "--prune-baseline", cwd=tmp_path)
+    assert pruned.returncode == 0
+    after = json.loads((tmp_path / "lint-baseline.json").read_text())
+    assert after == before
+
+
+# ----------------------------------------------------------------------
+# R004 regression: over-broad excepts hidden in tuples / attributes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "clause",
+    [
+        "except (Exception,):",
+        "except (ValueError, Exception):",
+        "except builtins.Exception:",
+        "except (ValueError, builtins.BaseException):",
+    ],
+)
+def test_r004_flags_tuple_and_attribute_excepts(clause):
+    src = textwrap.dedent(
+        f"""
+        import builtins
+
+        def load():
+            try:
+                return open("f")
+            {clause}
+                return None
+        """
+    )
+    findings = lint_source(src, COLD)
+    assert [f.rule for f in findings] == ["R004"]
+
+
+def test_r004_narrow_tuple_is_clean():
+    src = textwrap.dedent(
+        """
+        def load():
+            try:
+                return open("f")
+            except (ValueError, OSError):
+                return None
+        """
+    )
+    assert not [f for f in lint_source(src, COLD) if f.rule == "R004"]
+
+
 # ----------------------------------------------------------------------
 # Sanitizer: proxy wrapper
 # ----------------------------------------------------------------------

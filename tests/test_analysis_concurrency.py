@@ -1,0 +1,312 @@
+"""Tests for the lock-discipline race detector (C001-C003) and the
+lock-order deadlock analysis (L001): seeded true positives in fixture
+modules, clean-after-fixes pins over the real tree, noqa/baseline round
+trips, and the CLI subcommands."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    analyze_lock_order,
+    analyze_race_paths,
+    analyze_race_source,
+    apply_baseline,
+    collect_lock_edges,
+    load_baseline,
+    render_lock_graph,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: Worker-pool-shaped fixture: the exact PR 5 bug class.  `_jobs` is only
+#: ever mutated under `_run_mutex` (or in `*_locked` helpers reached from
+#: there), so the lock-free iteration in `ping` must be flagged.
+POOL_RACE_SRC = textwrap.dedent(
+    """
+    import threading
+
+    class Pool:
+        def __init__(self):
+            self._run_mutex = threading.Lock()
+            self._jobs = {}
+            self._closed = False
+
+        def run(self, tasks):
+            with self._run_mutex:
+                return self._run_locked(tasks)
+
+        def _run_locked(self, tasks):
+            for task in tasks:
+                self._jobs[task] = None
+            self._replace(0)
+            return list(self._jobs)
+
+        def _replace(self, job_id):
+            self._jobs.pop(job_id, None)
+            self._jobs[job_id] = object()
+
+        def ping(self):
+            return [job for job in self._jobs]
+
+        def drop_all(self):
+            self._jobs = {}
+    """
+)
+
+#: RWLock-shaped fixture: a write under the shared side is C003, an
+#: unguarded read of a write-locked attribute is C002.
+RWLOCK_SRC = textwrap.dedent(
+    """
+    class Service:
+        def __init__(self, lock):
+            self._lock = lock
+            self._version = 0
+            self._dirty = 0
+
+        def commit(self):
+            with self._lock.write_locked():
+                self._version += 1
+
+        def snapshot(self):
+            with self._lock.read_locked():
+                self._dirty = 0
+
+        def peek(self):
+            return self._version
+    """
+)
+
+#: Two classes acquiring each other's locks in opposite orders.
+DEADLOCK_SRC = textwrap.dedent(
+    """
+    import threading
+
+    class Left:
+        def __init__(self, right: "Right"):
+            self._mutex = threading.Lock()
+            self._right = right
+
+        def poke(self):
+            with self._mutex:
+                self._right.touch()
+
+        def touch(self):
+            with self._mutex:
+                pass
+
+    class Right:
+        def __init__(self, left: Left):
+            self._mutex = threading.Lock()
+            self._left = left
+
+        def poke(self):
+            with self._mutex:
+                self._left.touch()
+
+        def touch(self):
+            with self._mutex:
+                pass
+    """
+)
+
+#: Non-reentrant self-deadlock: method re-acquires the lock it holds.
+SELF_DEADLOCK_SRC = textwrap.dedent(
+    """
+    import threading
+
+    class Once:
+        def __init__(self):
+            self._mutex = threading.Lock()
+
+        def outer(self):
+            with self._mutex:
+                self.inner()
+
+        def inner(self):
+            with self._mutex:
+                pass
+    """
+)
+
+
+class TestRaceDetection:
+    def test_flags_lock_free_iteration_like_pr5_pool_bug(self):
+        findings = analyze_race_source(POOL_RACE_SRC, "pool_fixture.py")
+        pings = [f for f in findings if "ping" in f.message]
+        assert pings and pings[0].rule == "C002"
+        assert "_jobs" in pings[0].message
+
+    def test_flags_unguarded_write(self):
+        findings = analyze_race_source(POOL_RACE_SRC, "pool_fixture.py")
+        drops = [f for f in findings if "drop_all" in f.message]
+        assert drops and drops[0].rule == "C001"
+
+    def test_locked_suffix_helpers_are_wildcard_guarded(self):
+        findings = analyze_race_source(POOL_RACE_SRC, "pool_fixture.py")
+        assert not any(f.message.find("_run_locked") >= 0 for f in findings)
+        # _replace is only reached from _run_locked, so it inherits the
+        # wildcard and must not be flagged either.
+        assert not any("`_replace`" in f.message for f in findings)
+
+    def test_rwlock_read_side_write_is_c003(self):
+        findings = analyze_race_source(RWLOCK_SRC, "rw_fixture.py")
+        c003 = [f for f in findings if f.rule == "C003"]
+        assert len(c003) == 1
+        assert "_dirty" in c003[0].message
+
+    def test_rwlock_unguarded_read_is_c002(self):
+        findings = analyze_race_source(RWLOCK_SRC, "rw_fixture.py")
+        c002 = [f for f in findings if f.rule == "C002"]
+        assert len(c002) == 1
+        assert "_version" in c002[0].message and "peek" in c002[0].message
+
+    def test_init_writes_are_never_flagged(self):
+        findings = analyze_race_source(POOL_RACE_SRC, "pool_fixture.py")
+        assert not any("__init__" in f.message for f in findings)
+
+    def test_noqa_waives_a_race_finding(self):
+        waived = POOL_RACE_SRC.replace(
+            "return [job for job in self._jobs]",
+            "return [job for job in self._jobs]  # repro: noqa-C002",
+        )
+        findings = analyze_race_source(waived, "pool_fixture.py")
+        assert not any("ping" in f.message for f in findings)
+
+    def test_noqa_with_wrong_code_does_not_waive(self):
+        waived = POOL_RACE_SRC.replace(
+            "return [job for job in self._jobs]",
+            "return [job for job in self._jobs]  # repro: noqa-C001",
+        )
+        findings = analyze_race_source(waived, "pool_fixture.py")
+        assert any("ping" in f.message for f in findings)
+
+
+class TestRealTreeRace:
+    """After this PR's fixes + justified waivers the tree is clean."""
+
+    def test_service_and_parallel_are_clean(self):
+        findings = analyze_race_paths(
+            [REPO / "src/repro/service", REPO / "src/repro/parallel"],
+            root=REPO,
+        )
+        assert findings == []
+
+    def test_committed_race_baseline_is_empty(self):
+        baseline = load_baseline(REPO / "race-baseline.json")
+        assert sum(baseline.values()) == 0
+
+
+class TestLockOrder:
+    def test_opposite_order_cycle_is_flagged(self, tmp_path):
+        (tmp_path / "dead.py").write_text(DEADLOCK_SRC)
+        findings, edges = analyze_lock_order([tmp_path], root=tmp_path)
+        assert any(f.rule == "L001" for f in findings)
+        message = findings[0].message
+        assert "Left._mutex" in message and "Right._mutex" in message
+        held = {(e.held, e.acquired) for e in edges}
+        assert ("Left._mutex", "Right._mutex") in held
+        assert ("Right._mutex", "Left._mutex") in held
+
+    def test_self_reacquire_is_flagged(self, tmp_path):
+        (tmp_path / "once.py").write_text(SELF_DEADLOCK_SRC)
+        findings, edges = analyze_lock_order([tmp_path], root=tmp_path)
+        assert any(
+            f.rule == "L001" and "Once._mutex -> Once._mutex" in f.message
+            for f in findings
+        )
+
+    def test_real_tree_has_expected_edges_and_no_cycles(self):
+        findings, edges = analyze_lock_order(
+            [REPO / "src/repro/service", REPO / "src/repro/parallel"],
+            root=REPO,
+        )
+        assert findings == []
+        pairs = {(e.held, e.acquired) for e in edges}
+        # The two structural orderings of the serving stack: stats bumps
+        # nest under the engine RWLock, and shard publishes nest under the
+        # router's parallel mutex.
+        assert ("IndexService._lock", "ServiceStats._mutex") in pairs
+        assert (
+            "RangeShardedService._parallel_mutex",
+            "IndexService._lock",
+        ) in pairs
+
+    def test_committed_locks_baseline_is_empty(self):
+        baseline = load_baseline(REPO / "locks-baseline.json")
+        assert sum(baseline.values()) == 0
+
+    def test_graph_renderers(self, tmp_path):
+        (tmp_path / "dead.py").write_text(DEADLOCK_SRC)
+        edges = collect_lock_edges([tmp_path], root=tmp_path)
+        text = render_lock_graph(edges)
+        assert "Left._mutex -> Right._mutex" in text
+        dot = render_lock_graph(edges, fmt="dot")
+        assert dot.startswith("digraph locks {") and '"Left._mutex"' in dot
+        assert render_lock_graph([]) == "lock graph: no nested acquisitions"
+
+
+def _run_cli(*args, cwd):
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=120,
+    )
+
+
+class TestCli:
+    def test_race_reports_and_exits_nonzero(self, tmp_path):
+        (tmp_path / "bad.py").write_text(POOL_RACE_SRC)
+        result = _run_cli("race", "bad.py", "--no-baseline", cwd=tmp_path)
+        assert result.returncode == 1
+        assert "C002" in result.stdout
+
+    def test_race_baseline_round_trip(self, tmp_path):
+        (tmp_path / "bad.py").write_text(POOL_RACE_SRC)
+        wrote = _run_cli("race", "bad.py", "--write-baseline", cwd=tmp_path)
+        assert wrote.returncode == 0
+        assert (tmp_path / "race-baseline.json").exists()
+        gated = _run_cli("race", "bad.py", cwd=tmp_path)
+        assert gated.returncode == 0, gated.stdout
+
+    def test_locks_finds_cycle_and_prints_graph(self, tmp_path):
+        (tmp_path / "dead.py").write_text(DEADLOCK_SRC)
+        result = _run_cli(
+            "locks", "dead.py", "--no-baseline", "--graph", cwd=tmp_path
+        )
+        assert result.returncode == 1
+        assert "L001" in result.stdout
+        assert "Left._mutex -> Right._mutex" in result.stdout
+
+    def test_locks_dot_graph_is_graph_only(self, tmp_path):
+        (tmp_path / "dead.py").write_text(DEADLOCK_SRC)
+        result = _run_cli(
+            "locks",
+            "dead.py",
+            "--no-baseline",
+            "--graph",
+            "--graph-format",
+            "dot",
+            cwd=tmp_path,
+        )
+        assert result.returncode == 0
+        assert result.stdout.strip().startswith("digraph locks {")
+
+    def test_missing_path_exits_2(self, tmp_path):
+        result = _run_cli("race", "nope.py", cwd=tmp_path)
+        assert result.returncode == 2
+
+    def test_repo_gates_pass_with_committed_baselines(self):
+        for pass_name in ("race", "locks"):
+            result = _run_cli(pass_name, cwd=REPO)
+            assert result.returncode == 0, (pass_name, result.stdout)

@@ -1,0 +1,229 @@
+"""Tests for the dtype/shape contract checker (D001-D003), the contract
+table, the runtime shm-manifest validator, and the contracts CLI gate."""
+
+from __future__ import annotations
+
+import copy
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_contracts_paths,
+    analyze_contracts_source,
+    contract_for_name,
+    load_baseline,
+    manifest_contract_errors,
+)
+from repro.core import RangePQ
+from repro.parallel import SharedIndexStore, SharedIndexView, ShmError
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: Seeded contract violations (path carries the "_fixture" strict marker).
+BAD_SRC = textwrap.dedent(
+    """
+    import numpy as np
+
+    def build(raw, parts):
+        codes = np.zeros((4, 8), dtype=np.float64)
+        oids = np.empty(10)
+        widened = codes.astype(np.float32)
+        merged = np.concatenate([oids, parts.attrs])
+        return codes, oids, widened, merged
+    """
+)
+
+
+class TestStaticRules:
+    def test_d001_wrong_ctor_dtype(self):
+        findings = analyze_contracts_source(BAD_SRC, "parallel/_fixture.py")
+        d001 = [f for f in findings if f.rule == "D001" and "zeros" in f.message]
+        assert len(d001) == 1
+        assert "uint8" in d001[0].message
+
+    def test_d001_widening_astype(self):
+        findings = analyze_contracts_source(BAD_SRC, "parallel/_fixture.py")
+        assert any(
+            f.rule == "D001" and "astype" in f.message and "float32" in f.message
+            for f in findings
+        )
+
+    def test_d001_assignment_target_contract(self):
+        src = "import numpy as np\ndef f(raw):\n    codes = raw.astype(np.int16)\n    return codes\n"
+        findings = analyze_contracts_source(src, "mod.py")
+        assert any(f.rule == "D001" and "int16" in f.message for f in findings)
+
+    def test_d002_defaulting_ctor_in_strict_paths_only(self):
+        findings = analyze_contracts_source(BAD_SRC, "parallel/_fixture.py")
+        d002 = [f for f in findings if f.rule == "D002"]
+        assert len(d002) == 1 and "oids" in d002[0].message
+        # Outside service/parallel the defaulting ctor is tolerated.
+        relaxed = analyze_contracts_source(BAD_SRC, "eval/plots.py")
+        assert not any(f.rule == "D002" for f in relaxed)
+
+    def test_d003_concatenate_mixing_planes(self):
+        findings = analyze_contracts_source(BAD_SRC, "parallel/_fixture.py")
+        d003 = [f for f in findings if f.rule == "D003"]
+        assert len(d003) == 1
+        assert "int64" in d003[0].message and "float64" in d003[0].message
+
+    def test_conforming_code_is_clean(self):
+        src = textwrap.dedent(
+            """
+            import numpy as np
+
+            def publish(raw):
+                codes = np.zeros((4, 8), dtype=np.uint8)
+                oids = np.arange(10, dtype=np.int64)
+                attrs = np.asarray(raw, dtype=np.float64)
+                order = raw.astype(np.int32)
+                return codes, oids, attrs, order
+            """
+        )
+        assert analyze_contracts_source(src, "service/_fixture.py") == []
+
+    def test_noqa_waives_contract_finding(self):
+        waived = BAD_SRC.replace(
+            "codes = np.zeros((4, 8), dtype=np.float64)",
+            "codes = np.zeros((4, 8), dtype=np.float64)  # repro: noqa-D001",
+        )
+        findings = analyze_contracts_source(waived, "parallel/_fixture.py")
+        assert not any(
+            f.rule == "D001" and "zeros" in f.message for f in findings
+        )
+
+    def test_contract_table_lookup(self):
+        assert contract_for_name("codes") == "uint8"
+        assert contract_for_name("_shard_oids") == "int64"
+        assert contract_for_name("query") == "float64"
+        assert contract_for_name("decode") is None
+        assert contract_for_name(None) is None
+
+
+class TestRealTree:
+    def test_src_is_clean_with_justified_waivers(self):
+        findings = analyze_contracts_paths([REPO / "src"], root=REPO)
+        assert findings == []
+
+    def test_committed_contracts_baseline_is_empty(self):
+        baseline = load_baseline(REPO / "contracts-baseline.json")
+        assert sum(baseline.values()) == 0
+
+
+@pytest.fixture()
+def index():
+    rng = np.random.default_rng(7)
+    vectors = rng.standard_normal((300, 16))
+    attrs = rng.random(300) * 50.0
+    return RangePQ.build(
+        vectors, attrs, num_subspaces=4, num_clusters=8, num_codewords=16, seed=0
+    )
+
+
+class TestManifestValidation:
+    def test_published_manifest_is_contract_clean(self, index):
+        with SharedIndexStore() as store:
+            manifest = store.publish(index)
+            assert manifest_contract_errors(manifest) == []
+
+    def test_dtype_violation_is_reported(self, index):
+        with SharedIndexStore() as store:
+            manifest = copy.deepcopy(store.publish(index))
+            manifest["blocks"]["codes"]["dtype"] = np.dtype(np.float64).str
+            errors = manifest_contract_errors(manifest)
+            assert any("uint8 contract" in error for error in errors)
+
+    def test_row_count_mismatch_is_reported(self, index):
+        with SharedIndexStore() as store:
+            manifest = copy.deepcopy(store.publish(index))
+            manifest["blocks"]["oids"]["shape"][0] += 5
+            errors = manifest_contract_errors(manifest)
+            assert any("rows" in error for error in errors)
+
+    def test_stale_version_tag_is_reported(self, index):
+        with SharedIndexStore() as store:
+            manifest = copy.deepcopy(store.publish(index))
+            manifest["version"] += 1
+            errors = manifest_contract_errors(manifest)
+            assert any("version tag" in error for error in errors)
+
+    def test_undersized_block_is_reported(self, index):
+        with SharedIndexStore() as store:
+            manifest = copy.deepcopy(store.publish(index))
+            spec = manifest["blocks"]["attrs"]
+            need = int(np.prod(spec["shape"]))
+            errors = manifest_contract_errors(
+                manifest, {"attrs": need * 8 - 1}
+            )
+            assert any("bytes" in error for error in errors)
+
+    def test_sanitized_attach_rejects_corrupt_manifest(
+        self, index, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        with SharedIndexStore() as store:
+            manifest = copy.deepcopy(store.publish(index))
+            manifest["blocks"]["codes"]["dtype"] = np.dtype(np.uint16).str
+            # The fake dtype doubles the row byte width, so this attach
+            # would otherwise build silently-corrupt views.
+            with pytest.raises(ShmError, match="contract"):
+                SharedIndexView.attach(manifest)
+
+    def test_sanitized_attach_accepts_valid_manifest(self, index, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        with SharedIndexStore() as store:
+            manifest = store.publish(index)
+            view = SharedIndexView.attach(manifest)
+            try:
+                assert view.arrays["codes"].dtype == np.uint8
+            finally:
+                view.close()
+
+    def test_unsanitized_attach_skips_validation(self, index, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        with SharedIndexStore() as store:
+            manifest = copy.deepcopy(store.publish(index))
+            manifest["version"] += 1  # stale tag; only the sanitizer checks
+            view = SharedIndexView.attach(manifest)
+            view.close()
+
+
+def _run_cli(*args, cwd):
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=120,
+    )
+
+
+class TestCli:
+    def test_contracts_reports_and_exits_nonzero(self, tmp_path):
+        (tmp_path / "bad_fixture.py").write_text(BAD_SRC)
+        result = _run_cli(
+            "contracts", "bad_fixture.py", "--no-baseline", cwd=tmp_path
+        )
+        assert result.returncode == 1
+        assert "D001" in result.stdout
+
+    def test_contracts_baseline_round_trip(self, tmp_path):
+        (tmp_path / "bad_fixture.py").write_text(BAD_SRC)
+        wrote = _run_cli(
+            "contracts", "bad_fixture.py", "--write-baseline", cwd=tmp_path
+        )
+        assert wrote.returncode == 0
+        gated = _run_cli("contracts", "bad_fixture.py", cwd=tmp_path)
+        assert gated.returncode == 0, gated.stdout
+
+    def test_repo_gate_passes_with_committed_baseline(self):
+        result = _run_cli("contracts", cwd=REPO)
+        assert result.returncode == 0, result.stdout
