@@ -1,0 +1,174 @@
+"""Kernel-backend microbenchmarks: ``fast`` vs ``reference`` on the hot path.
+
+Times the dispatcher primitives at SIFT-like PQ shapes (``M=8``, ``Z=256``,
+``n >= 100k`` codes) for every registered backend, asserting on every
+repeat that the backends return **bit-identical** arrays before any number
+is reported.  The headline figure is the full-store ADC scan — the paper's
+per-candidate distance kernel — where the fused flat-gather backend is
+expected to clear 1.5x over the verbatim reference.
+
+Standalone (prints the comparison; ``--smoke`` for CI)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke
+
+Also collectable as a pytest-benchmark suite:
+``pytest benchmarks/bench_kernels.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro import kernels
+
+__all__ = ["KernelBenchResult", "run_kernel_bench", "main"]
+
+#: SIFT-like PQ shape: 8 subspaces, 256 codewords (one byte per subspace).
+NUM_SUBSPACES = 8
+NUM_CODEWORDS = 256
+
+
+@dataclass
+class KernelBenchResult:
+    """Timings (seconds per call, best of ``repeats``) keyed by operation
+    then backend, plus the count of bitwise-equivalence violations."""
+
+    n: int
+    repeats: int
+    times: dict[str, dict[str, float]] = field(default_factory=dict)
+    violations: int = 0
+
+    def speedup(self, op: str) -> float:
+        """``reference`` time over ``fast`` time for one operation."""
+        return self.times[op]["reference"] / self.times[op]["fast"]
+
+
+def _workload(n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    table = rng.normal(size=(NUM_SUBSPACES, NUM_CODEWORDS)).astype(np.float64)
+    codes = rng.integers(
+        0, NUM_CODEWORDS, size=(n, NUM_SUBSPACES)
+    ).astype(np.uint8)
+    rows = rng.integers(0, n, size=max(n // 8, 1)).astype(np.int64)
+    center_dist = rng.integers(0, 64, size=4096).astype(np.float64)
+    return table, codes, rows, center_dist
+
+
+def run_kernel_bench(
+    *,
+    n: int = 100_000,
+    repeats: int = 5,
+    probe_limit: int = 64,
+    seed: int = 0,
+    verbose: bool = True,
+) -> KernelBenchResult:
+    """Time each kernel primitive under both backends on one workload.
+
+    Args:
+        n: Number of PQ code rows (the ADC scan length).
+        repeats: Timed repeats per (op, backend); best time is kept.
+        probe_limit: Prefix length for the ``stable_order(limit=)`` case.
+        seed: Workload seed.
+        verbose: Print a per-operation comparison table.
+
+    Returns:
+        A :class:`KernelBenchResult`; ``violations`` counts any repeat where
+        a backend's output differed bitwise from the reference output.
+    """
+    table, codes, rows, center_dist = _workload(n, seed)
+    scan_dist = kernels.adc_distances(table, codes)
+    ops = {
+        "adc_scan": lambda: kernels.adc_distances(table, codes),
+        "adc_gather_rows": lambda: kernels.adc_for_rows(table, codes, rows),
+        "stable_order_limit": lambda: kernels.stable_order(
+            center_dist, limit=probe_limit
+        ),
+        "topk_order": lambda: kernels.topk_order(scan_dist, 10),
+    }
+    result = KernelBenchResult(n=n, repeats=repeats)
+    baselines: dict[str, np.ndarray] = {}
+    for op, fn in ops.items():
+        result.times[op] = {}
+        # Reference first: it produces the baseline the others diff against.
+        for backend in ("reference", "fast"):
+            with kernels.use_backend(backend):
+                best = float("inf")
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    out = fn()
+                    best = min(best, time.perf_counter() - start)
+                if backend == "reference":
+                    baselines[op] = out
+                elif not np.array_equal(out, baselines[op]):
+                    result.violations += 1
+            result.times[op][backend] = best
+    if verbose:
+        print(
+            f"kernel backends @ M={NUM_SUBSPACES} Z={NUM_CODEWORDS} "
+            f"n={n} (best of {repeats})"
+        )
+        for op in ops:
+            ref = result.times[op]["reference"] * 1e3
+            fst = result.times[op]["fast"] * 1e3
+            print(
+                f"  {op:<20} reference {ref:8.3f} ms   fast {fst:8.3f} ms"
+                f"   speedup {result.speedup(op):5.2f}x"
+            )
+        print(f"  equivalence violations: {result.violations}")
+    return result
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (collected by ``pytest benchmarks/``)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+def test_adc_scan_backend(benchmark, backend):
+    """Benchmark the full-store ADC scan under one backend."""
+    table, codes, _, _ = _workload(20_000, seed=0)
+    with kernels.use_backend(backend):
+        expected = kernels.adc_distances(table, codes)
+        out = benchmark(lambda: kernels.adc_distances(table, codes))
+    assert np.array_equal(out, expected)
+
+
+def test_backend_equivalence_smoke(benchmark):
+    """One bench pass asserting zero bitwise violations across all ops."""
+
+    def drive():
+        result = run_kernel_bench(n=20_000, repeats=2, verbose=False)
+        assert result.violations == 0
+        benchmark.extra_info["adc_scan_speedup"] = round(
+            result.speedup("adc_scan"), 2
+        )
+
+    benchmark.pedantic(drive, rounds=1, iterations=1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI driver; returns a non-zero exit code on equivalence violations."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small-n profile for CI (checks equivalence, not speedup)",
+    )
+    parser.add_argument("--n", type=int, default=None, help="code rows")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    n = args.n if args.n is not None else (20_000 if args.smoke else 100_000)
+    repeats = args.repeats if args.repeats is not None else (
+        2 if args.smoke else 5
+    )
+    result = run_kernel_bench(n=n, repeats=repeats, seed=args.seed)
+    return 1 if result.violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

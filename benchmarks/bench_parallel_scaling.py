@@ -22,10 +22,12 @@ collectable as a pytest-benchmark suite:
 
 from __future__ import annotations
 
+import os
 import sys
 
 import pytest
 
+from repro import kernels
 from repro.parallel.bench import ParallelBenchResult, main, run_parallel_bench
 
 __all__ = ["ParallelBenchResult", "main", "run_parallel_bench"]
@@ -55,6 +57,32 @@ def test_parallel_scaling(benchmark, workers):
             result.executor_qps[workers], 1
         )
         benchmark.extra_info["thread_qps"] = round(result.thread_qps, 1)
+
+    benchmark.pedantic(drive, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+def test_parallel_scaling_kernel_backend(benchmark, backend, monkeypatch):
+    """The bitwise serial-vs-parallel check must hold under either kernel
+    backend (the env var propagates the choice into spawned workers; the
+    ``use_backend`` scope covers the in-process serial reference)."""
+    from benchmarks.conftest import SEED
+
+    monkeypatch.setitem(os.environ, kernels.ENV_VAR, backend)
+
+    def drive():
+        with kernels.use_backend(backend):
+            result = run_parallel_bench(
+                n=1200,
+                dim=32,
+                num_queries=8,
+                repeats=1,
+                worker_counts=(2,),
+                baseline_threads=1,
+                seed=SEED,
+                verbose=False,
+            )
+        assert result.violations == 0
 
     benchmark.pedantic(drive, rounds=1, iterations=1)
 

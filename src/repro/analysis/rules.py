@@ -1,4 +1,4 @@
-"""The lint rule catalogue: repo-specific AST checks R001–R009.
+"""The lint rule catalogue: repo-specific AST checks R001–R010.
 
 Each rule is a pure function over a parsed module plus a
 :class:`FileContext`; the engine in :mod:`repro.analysis.lint` handles file
@@ -496,6 +496,64 @@ def _check_r009(
                 break
 
 
+#: Path fragments (posix) where R010 forbids raw kernel-backend imports.
+_R010_FRAGMENTS = ("core/", "ivf/", "tree/")
+
+#: The backend module names behind the repro.kernels dispatcher.
+_R010_BACKENDS = ("reference", "fast")
+
+
+def _check_r010(
+    module: ast.Module, ctx: FileContext
+) -> Iterator[tuple[int, str]]:
+    """R010: raw kernel-backend import bypassing the repro.kernels dispatcher.
+
+    Hot-path call sites in ``repro/core/``, ``repro/ivf/``, and
+    ``repro/tree/`` must go through the dispatcher functions in
+    :mod:`repro.kernels` so ``REPRO_KERNEL_BACKEND`` / ``set_backend()``
+    govern every kernel invocation.  Importing ``repro.kernels.reference``
+    or ``repro.kernels.fast`` (or the ``reference``/``fast`` names out of
+    ``repro.kernels``) pins one implementation and silently exempts that
+    call site from backend selection.  ``repro/kernels/`` itself is exempt
+    (backends may share each other's code).
+    """
+    normalized = ctx.path.replace("\\", "/")
+    if "kernels/" in normalized or not any(
+        fragment in normalized for fragment in _R010_FRAGMENTS
+    ):
+        return
+    backend_suffixes = tuple(f"kernels.{name}" for name in _R010_BACKENDS)
+    for node in ast.walk(module):
+        if isinstance(node, ast.ImportFrom):
+            source = node.module or ""
+            if source.endswith(backend_suffixes):
+                yield (
+                    node.lineno,
+                    f"import from raw kernel backend {source!r}; route "
+                    "through the repro.kernels dispatcher",
+                )
+            elif source == "kernels" or source.endswith(".kernels"):
+                pinned = sorted(
+                    alias.name
+                    for alias in node.names
+                    if alias.name in _R010_BACKENDS
+                )
+                if pinned:
+                    yield (
+                        node.lineno,
+                        f"import of kernel backend module(s) {pinned} "
+                        "bypasses the repro.kernels dispatcher",
+                    )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.endswith(backend_suffixes):
+                    yield (
+                        node.lineno,
+                        f"import of raw kernel backend {alias.name!r}; "
+                        "route through the repro.kernels dispatcher",
+                    )
+
+
 def _check_r007(
     module: ast.Module, ctx: FileContext
 ) -> Iterator[tuple[int, str]]:
@@ -565,5 +623,11 @@ RULES: tuple[Rule, ...] = (
         "bulk vector storage pickled through a task channel in repro/parallel/",
         False,
         _check_r009,
+    ),
+    Rule(
+        "R010",
+        "raw kernel-backend import bypassing the repro.kernels dispatcher",
+        False,
+        _check_r010,
     ),
 )

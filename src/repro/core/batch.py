@@ -34,6 +34,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from .. import kernels
 from ..obs import counter as obs_counter
 from ..obs import histogram, phase
 from .results import QueryResult, QueryStats
@@ -371,7 +372,7 @@ def _materialized_members(plan: QueryPlan) -> Callable[[int], Iterable]:
     def members(cluster: int) -> list:
         cached = store.get(cluster)
         if cached is None:
-            cached = list(source(cluster))
+            cached = kernels.drain(source(cluster), None)
             store[cluster] = cached
         return cached
     return members

@@ -10,10 +10,11 @@ that phase once, parameterized by per-cluster iterators.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from .. import kernels
 from ..ivf import IVFPQIndex
 from ..obs import histogram, phase
 from .results import QueryResult, QueryStats
@@ -94,7 +95,7 @@ def search_by_coarse_centers(
     # deferred into one batched call after collection.
     remaining = l_budget
     collected: list[int] = []
-    take = _take_chunks if chunked else _take
+    take = kernels.drain_chunks if chunked else kernels.drain
     with phase("fetch", metric=_FETCH_MS) as timer:
         for cluster in clusters:
             batch = take(cluster_members(int(cluster)), remaining)
@@ -115,36 +116,6 @@ def search_by_coarse_centers(
     stats.adc_ms += timer.ms
 
     with phase("rerank", metric=_RERANK_MS) as timer:
-        if k < len(ids):
-            part = np.argpartition(distances, k - 1)[:k]
-            order = part[np.argsort(distances[part], kind="stable")]
-        else:
-            order = np.argsort(distances, kind="stable")
+        order = kernels.topk_order(distances, k)
     stats.adc_ms += timer.ms
     return QueryResult(ids=ids[order], distances=distances[order], stats=stats)
-
-
-def _take(iterable: Iterable[int], limit: int) -> list[int]:
-    """First ``limit`` items of ``iterable`` as a list."""
-    out: list[int] = []
-    iterator: Iterator[int] = iter(iterable)
-    for item in iterator:
-        out.append(item)
-        if len(out) >= limit:
-            break
-    return out
-
-
-def _take_chunks(chunks: Iterable[Sequence[int]], limit: int) -> list[int]:
-    """First ``limit`` items across an iterable of ID sequences."""
-    out: list[int] = []
-    for chunk in chunks:
-        need = limit - len(out)
-        if need <= 0:
-            break
-        if len(chunk) > need:
-            # Slice before materializing: lists/ndarrays copy only the
-            # ``need`` items kept, so endpoint-bucket scans stay O(need).
-            chunk = chunk[:need]
-        out.extend(chunk)
-    return out

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
 from ..quantization import assign_to_centroids, kmeans, pairwise_squared_l2
 
 __all__ = ["CoarseQuantizer", "default_num_clusters"]
@@ -118,6 +119,26 @@ class CoarseQuantizer:
         count = min(count, self.num_clusters)
         order = np.argpartition(dist, count - 1)[:count]
         return order[np.argsort(dist[order])]
+
+    def probe_order(
+        self, query: np.ndarray, *, limit: int | None = None
+    ) -> np.ndarray:
+        """Center IDs ascending by distance, ties by ID (stable order).
+
+        Unlike :meth:`nearest_centers` (whose tie order at the cut is
+        unspecified), this is the *stable* probe order the iterator-model
+        paths depend on.  ``limit`` returns only the first ``limit`` IDs —
+        bit-identical to slicing the full order, but computed via a stable
+        argpartition-then-sort instead of a full ``O(K log K)`` sort.
+
+        Args:
+            query: Array of shape ``(d,)``.
+            limit: Optional prefix length.
+
+        Returns:
+            Integer array of cluster IDs.
+        """
+        return kernels.stable_order(self.center_distances(query), limit=limit)
 
     def center_bytes(self) -> int:
         """C-equivalent bytes of the stored centers (float32)."""

@@ -17,14 +17,14 @@ Design notes:
 
 from __future__ import annotations
 
-import operator
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from .. import kernels
 from ..obs import counter
-from ..quantization import ProductQuantizer, adc_distances
+from ..quantization import ProductQuantizer
 from .coarse import CoarseQuantizer, default_num_clusters
 from .table_cache import CacheStats, LRUCache
 
@@ -414,18 +414,23 @@ class IVFPQIndex:
 
         Returns:
             Array of shape ``(len(ids),)``.
+
+        Raises:
+            KeyError: Naming the absent oid(s), if any ID is not stored.
         """
         if len(ids) == 0:
             return np.empty(0, dtype=np.float64)
-        if len(ids) == 1:
-            rows = np.asarray([self._row_of[int(ids[0])]], dtype=np.int64)
-        else:
-            # itemgetter gathers all rows in one C-level call.
-            rows = np.asarray(
-                operator.itemgetter(*[int(oid) for oid in ids])(self._row_of),
-                dtype=np.int64,
-            )
-        return adc_distances(table, self._codes[rows])
+        try:
+            rows = kernels.rows_for_ids(self._row_of, ids)
+        except KeyError:
+            missing = [int(oid) for oid in ids if int(oid) not in self._row_of]
+            shown = ", ".join(str(oid) for oid in missing[:10])
+            if len(missing) > 10:
+                shown += f", ... (+{len(missing) - 10} more)"
+            raise KeyError(
+                f"object id(s) not present in index: {shown}"
+            ) from None
+        return kernels.adc_for_rows(table, self._codes, rows)
 
     def center_distances(self, query: np.ndarray) -> np.ndarray:
         """Squared distances from ``query`` to all ``K`` coarse centers.
@@ -476,9 +481,19 @@ class IVFPQIndex:
             dists[i] = self.center_distances(queries[i])
         return dists
 
-    def probe_order(self, query: np.ndarray) -> np.ndarray:
-        """All coarse cluster IDs sorted ascending by distance to ``query``."""
-        return np.argsort(self.center_distances(query), kind="stable")
+    def probe_order(
+        self, query: np.ndarray, *, limit: int | None = None
+    ) -> np.ndarray:
+        """Coarse cluster IDs sorted ascending by distance to ``query``.
+
+        Args:
+            query: Array of shape ``(d,)``.
+            limit: When given, return only the first ``limit`` cluster IDs
+                of the stable order — bit-identical to slicing the full
+                result, but computed in ``O(K + limit log limit)`` instead
+                of a full ``O(K log K)`` sort over all centers.
+        """
+        return kernels.stable_order(self.center_distances(query), limit=limit)
 
     # ------------------------------------------------------------------
     # Per-query cache management
@@ -576,7 +591,7 @@ class IVFPQIndex:
             if members.size == 0:
                 continue
             distances = self.adc_for_ids(table, members)
-            order = np.argsort(distances, kind="stable")
+            order = kernels.stable_order(distances)
             for idx in order:
                 yield int(members[idx]), float(distances[idx])
 
@@ -641,9 +656,4 @@ def _top_k(
     ids: np.ndarray, distances: np.ndarray, k: int
 ) -> tuple[np.ndarray, np.ndarray]:
     """Select the ``k`` smallest distances, ascending, with matching IDs."""
-    if k >= len(ids):
-        order = np.argsort(distances, kind="stable")
-        return ids[order], distances[order]
-    part = np.argpartition(distances, k - 1)[:k]
-    order = part[np.argsort(distances[part], kind="stable")]
-    return ids[order], distances[order]
+    return kernels.top_k(ids, distances, k)

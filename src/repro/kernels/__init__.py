@@ -1,0 +1,342 @@
+"""Pluggable query-kernel backends for the hot-path primitives.
+
+Every per-candidate operation on the query hot path — ADC table lookups,
+pairwise/squared L2, batched ADC-for-rows gathers, per-cluster candidate
+drains, and top-k select/merge — dispatches through this module to one of
+two interchangeable backends:
+
+* ``reference`` (:mod:`repro.kernels.reference`) — the original numpy
+  code, verbatim.  It defines the bitwise contract.
+* ``fast`` (:mod:`repro.kernels.fast`) — fused/batched numpy (hoisted
+  gather offsets, flat packed-uint8 table gathers, partition-based stable
+  prefixes, C-level drains) that must return bit-identical arrays for
+  every valid input.  This is the default.
+
+Backend selection::
+
+    REPRO_KERNEL_BACKEND=reference python ...   # environment, at import
+    kernels.set_backend("reference")            # programmatic
+    with kernels.use_backend("reference"): ...  # scoped (tests, benches)
+
+Equivalence is enforced by the property suite in ``tests/test_kernels.py``
+and measured by ``benchmarks/bench_kernels.py``; direct imports from the
+backend modules inside ``core/``, ``ivf/``, or ``tree/`` are flagged by
+lint rule R010 so no call site can silently pin one implementation.
+
+Input contracts (validated here, once, for both backends): PQ codes must
+be integers in ``[0, Z)``.  Out-of-range codes are **undefined behaviour**
+— numpy fancy indexing silently wraps negatives, producing wrong distances
+rather than an error — except under ``REPRO_SANITIZE=1``, where the
+dispatcher performs a cheap bounds check and raises ``ValueError``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..analysis.sanitize import sanitize_enabled
+from . import fast, reference
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "backend_name",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "squared_l2",
+    "pairwise_squared_l2",
+    "adc_distances",
+    "adc_for_rows",
+    "rows_for_ids",
+    "top_k",
+    "topk_order",
+    "stable_order",
+    "drain",
+    "drain_chunks",
+]
+
+#: Environment variable read once at import to pick the initial backend.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Backend used when neither the environment nor ``set_backend`` chose one.
+DEFAULT_BACKEND = "fast"
+
+_BACKENDS = {"reference": reference, "fast": fast}
+
+
+def _resolve_initial():
+    name = os.environ.get(ENV_VAR, DEFAULT_BACKEND)
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"{ENV_VAR}={name!r} is not a known kernel backend; "
+            f"choose one of {sorted(_BACKENDS)}"
+        )
+    return name
+
+
+_current_name = _resolve_initial()
+_current = _BACKENDS[_current_name]
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the registered kernel backends."""
+    return tuple(sorted(_BACKENDS))
+
+
+def backend_name() -> str:
+    """Name of the currently selected backend."""
+    return _current_name
+
+
+def get_backend():
+    """The currently selected backend module."""
+    return _current
+
+
+def set_backend(name: str) -> None:
+    """Select the kernel backend for the whole process.
+
+    Args:
+        name: ``"reference"`` or ``"fast"``.
+
+    Raises:
+        ValueError: For an unknown backend name.
+    """
+    global _current, _current_name
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; "
+            f"choose one of {sorted(_BACKENDS)}"
+        )
+    _current = backend
+    _current_name = name
+
+
+@contextmanager
+def use_backend(name: str):
+    """Context manager scoping a backend selection (restores the previous)."""
+    previous = _current_name
+    set_backend(name)
+    try:
+        yield _current
+    finally:
+        set_backend(previous)
+
+
+# ----------------------------------------------------------------------
+# Dispatching wrappers: shared validation, then the selected backend.
+# ----------------------------------------------------------------------
+def squared_l2(points: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance from each row of ``points`` to ``query``.
+
+    Args:
+        points: Array of shape ``(n, d)``.
+        query: Array of shape ``(d,)``.
+
+    Returns:
+        Array of shape ``(n,)`` with ``||points[i] - query||^2``.
+    """
+    points = np.asarray(points)
+    query = np.asarray(query)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    if query.shape != (points.shape[1],):
+        raise ValueError(
+            f"query shape {query.shape} incompatible with points {points.shape}"
+        )
+    return _current.squared_l2(points, query)
+
+
+def pairwise_squared_l2(
+    a: np.ndarray, b: np.ndarray, *, chunk_rows: int | None = None
+) -> np.ndarray:
+    """All-pairs squared Euclidean distances between rows of ``a`` and ``b``.
+
+    Args:
+        a: Array of shape ``(n, d)``.
+        b: Array of shape ``(m, d)``.
+        chunk_rows: Rows of ``a`` materialized per block (bounds peak
+            memory); defaults to :data:`repro.kernels.reference.CHUNK_ROWS`.
+
+    Returns:
+        Array of shape ``(n, m)``, never negative.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError(f"incompatible shapes {a.shape} and {b.shape}")
+    if chunk_rows is None:
+        chunk_rows = reference.CHUNK_ROWS
+    return _current.pairwise_squared_l2(a, b, chunk_rows)
+
+
+def _check_codes(table: np.ndarray, codes: np.ndarray) -> None:
+    """Sanitize-mode bounds check: every code must lie in ``[0, Z)``."""
+    if codes.size == 0:
+        return
+    lo = codes.min()
+    hi = codes.max()
+    if lo < 0 or hi >= table.shape[1]:
+        raise ValueError(
+            f"PQ codes out of range [0, {table.shape[1]}): "
+            f"min {int(lo)}, max {int(hi)}"
+        )
+
+
+def adc_distances(table: np.ndarray, codes: np.ndarray) -> np.ndarray:
+    """Asymmetric distances from a query to PQ-encoded vectors.
+
+    Given the per-query distance table ``A`` (``A[m, z]`` = squared distance
+    between the ``m``-th sub-vector of the query and codeword ``z`` of the
+    ``m``-th sub-codebook) and PQ codes, computes
+    ``d_A(q, x) = sum_m A[m, codes[x, m]]``.
+
+    Contract: ``codes`` entries must be integers in ``[0, Z)``.  Entries
+    ``>= Z`` raise ``IndexError``; **negative entries are not detected** —
+    fancy indexing wraps them, silently producing wrong distances — unless
+    ``REPRO_SANITIZE=1`` is set, in which case any out-of-range entry
+    (either sign) raises ``ValueError`` before the scan.
+
+    Args:
+        table: Array of shape ``(M, Z)``.
+        codes: Integer array of shape ``(n, M)`` with entries in ``[0, Z)``.
+
+    Returns:
+        Array of shape ``(n,)`` of approximate squared distances.
+    """
+    table = np.asarray(table)
+    codes = np.asarray(codes)
+    if codes.ndim == 1:
+        codes = codes[None, :]
+    if table.ndim != 2 or codes.shape[1] != table.shape[0]:
+        raise ValueError(
+            f"codes shape {codes.shape} incompatible with table {table.shape}"
+        )
+    if sanitize_enabled():
+        _check_codes(table, codes)
+    return _current.adc_distances(table, codes)
+
+
+def adc_for_rows(
+    table: np.ndarray, codes: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """ADC distances for specific rows of a stored code matrix.
+
+    Equivalent to ``adc_distances(table, codes[rows])`` but lets the
+    backend fuse the row gather with the table gather (no intermediate
+    code-matrix copy).  Shares :func:`adc_distances`'s code-range contract
+    and ``REPRO_SANITIZE=1`` bounds check.
+
+    Args:
+        table: Array of shape ``(M, Z)``.
+        codes: Integer array of shape ``(N, M)`` (the full code store).
+        rows: Integer array of row indices into ``codes``.
+
+    Returns:
+        Array of shape ``(len(rows),)``.
+    """
+    table = np.asarray(table)
+    codes = np.asarray(codes)
+    rows = np.asarray(rows)
+    if table.ndim != 2 or codes.ndim != 2 or codes.shape[1] != table.shape[0]:
+        raise ValueError(
+            f"codes shape {codes.shape} incompatible with table {table.shape}"
+        )
+    if sanitize_enabled():
+        gathered = codes[rows]
+        _check_codes(table, gathered)
+        return _current.adc_distances(table, gathered)
+    return _current.adc_for_rows(table, codes, rows)
+
+
+def rows_for_ids(row_of: dict, ids: Sequence[int]) -> np.ndarray:
+    """Map object IDs to storage rows through a ``{oid: row}`` dict.
+
+    Args:
+        row_of: The id-to-row mapping.
+        ids: Object IDs; all must be present.
+
+    Returns:
+        int64 array of shape ``(len(ids),)``.
+
+    Raises:
+        KeyError: The bare per-key error for the first absent oid (callers
+            needing a diagnostic naming all missing ids wrap this).
+    """
+    if len(ids) == 0:
+        return np.empty(0, dtype=np.int64)
+    return _current.rows_for_ids(row_of, ids)
+
+
+def top_k(
+    ids: np.ndarray, distances: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Select the ``k`` smallest distances, ascending, with matching IDs.
+
+    Args:
+        ids: Array of shape ``(n,)``.
+        distances: Array of shape ``(n,)``.
+        k: Number of results; ``k >= n`` returns everything sorted.
+
+    Returns:
+        ``(ids, distances)`` of the selected entries, ascending by distance
+        (ties by original position).
+    """
+    return _current.top_k(ids, distances, k)
+
+
+def topk_order(distances: np.ndarray, k: int) -> np.ndarray:
+    """Index order of the ``k`` smallest distances (all of them if ``k >= n``).
+
+    Ties resolve by ascending position (stable sort over the selection) —
+    the rerank contract of ``search_by_coarse_centers``.
+    """
+    return _current.topk_order(distances, k)
+
+
+def stable_order(values: np.ndarray, limit: int | None = None) -> np.ndarray:
+    """Indices sorting ``values`` ascending, ties by position.
+
+    Args:
+        values: 1-D array of finite values.
+        limit: Optional prefix length; the result equals
+            ``stable_order(values)[:limit]`` bit-for-bit, but backends may
+            compute it in ``O(n + limit log limit)`` instead of a full sort.
+
+    Returns:
+        intp index array of length ``min(limit, len(values))`` (or
+        ``len(values)`` when ``limit`` is None).
+    """
+    values = np.asarray(values)
+    return _current.stable_order(values, limit)
+
+
+def drain(iterable: Iterable[int], limit: int | None) -> list[int]:
+    """First ``limit`` items of ``iterable`` as a list (all if ``None``).
+
+    The per-cluster candidate-drain primitive of Alg. 2: enumeration stops
+    as soon as the budget is met, so tree iterators are never over-walked.
+    """
+    if limit is not None and limit <= 0:
+        return []
+    return _current.drain(iterable, limit)
+
+
+def drain_chunks(
+    chunks: Iterable[Sequence[int]], limit: int | None
+) -> list[int]:
+    """First ``limit`` items across an iterable of ID sequences.
+
+    The chunked drain used by RangePQ+'s bucket layout: whole chunks are
+    consumed without per-object Python iteration, and an over-long final
+    chunk is sliced before materialization.
+    """
+    if limit is not None and limit <= 0:
+        return []
+    return _current.drain_chunks(chunks, limit)

@@ -4,11 +4,19 @@ All kernels operate on ``float32``/``float64`` numpy arrays and return squared
 Euclidean distances.  Squared distances are used throughout the library (as in
 the paper and in PQ practice) because the square root is monotone and therefore
 irrelevant for nearest-neighbor ranking.
+
+Since the kernel-backend refactor these are thin wrappers over the
+:mod:`repro.kernels` dispatcher: the actual implementations live in the
+``reference``/``fast`` backends (selected by ``REPRO_KERNEL_BACKEND`` or
+:func:`repro.kernels.set_backend`), which are bitwise-equivalent by
+contract.  Importing from this module remains the supported public API.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from .. import kernels
 
 __all__ = [
     "squared_l2",
@@ -32,16 +40,7 @@ def squared_l2(points: np.ndarray, query: np.ndarray) -> np.ndarray:
     Returns:
         Array of shape ``(n,)`` with ``||points[i] - query||^2``.
     """
-    points = np.asarray(points)
-    query = np.asarray(query)
-    if points.ndim != 2:
-        raise ValueError(f"points must be 2-D, got shape {points.shape}")
-    if query.shape != (points.shape[1],):
-        raise ValueError(
-            f"query shape {query.shape} incompatible with points {points.shape}"
-        )
-    diff = points - query
-    return np.einsum("ij,ij->i", diff, diff)
+    return kernels.squared_l2(points, query)
 
 
 def pairwise_squared_l2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -58,22 +57,7 @@ def pairwise_squared_l2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     Returns:
         Array of shape ``(n, m)``.
     """
-    a = np.asarray(a)
-    b = np.asarray(b)
-    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
-        raise ValueError(f"incompatible shapes {a.shape} and {b.shape}")
-    b_norms = np.einsum("ij,ij->i", b, b)
-    out = np.empty((a.shape[0], b.shape[0]), dtype=np.result_type(a, b, np.float32))
-    for start in range(0, a.shape[0], CHUNK_ROWS):
-        stop = min(start + CHUNK_ROWS, a.shape[0])
-        chunk = a[start:stop]
-        block = chunk @ b.T
-        block *= -2.0
-        block += np.einsum("ij,ij->i", chunk, chunk)[:, None]
-        block += b_norms[None, :]
-        np.maximum(block, 0.0, out=block)
-        out[start:stop] = block
-    return out
+    return kernels.pairwise_squared_l2(a, b, chunk_rows=CHUNK_ROWS)
 
 
 def adc_distances(table: np.ndarray, codes: np.ndarray) -> np.ndarray:
@@ -84,6 +68,12 @@ def adc_distances(table: np.ndarray, codes: np.ndarray) -> np.ndarray:
     ``m``-th sub-codebook) and PQ codes, computes
     ``d_A(q, x) = sum_m A[m, codes[x, m]]``.
 
+    Contract: ``codes`` entries must be integers in ``[0, Z)``.  Entries
+    ``>= Z`` raise ``IndexError``; **negative entries are not detected** —
+    fancy indexing wraps them, silently producing wrong distances — unless
+    ``REPRO_SANITIZE=1`` is set, in which case the kernel dispatcher
+    bounds-checks the codes and raises ``ValueError``.
+
     Args:
         table: Array of shape ``(M, Z)``.
         codes: Integer array of shape ``(n, M)`` with entries in ``[0, Z)``.
@@ -91,13 +81,4 @@ def adc_distances(table: np.ndarray, codes: np.ndarray) -> np.ndarray:
     Returns:
         Array of shape ``(n,)`` of approximate squared distances.
     """
-    table = np.asarray(table)
-    codes = np.asarray(codes)
-    if codes.ndim == 1:
-        codes = codes[None, :]
-    if table.ndim != 2 or codes.shape[1] != table.shape[0]:
-        raise ValueError(
-            f"codes shape {codes.shape} incompatible with table {table.shape}"
-        )
-    m = table.shape[0]
-    return table[np.arange(m)[None, :], codes].sum(axis=1)
+    return kernels.adc_distances(table, codes)

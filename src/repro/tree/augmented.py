@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from .. import kernels
 from .wbt import RangeTree, TreeNode
 
 __all__ = [
@@ -29,7 +30,9 @@ __all__ = [
     "iter_range_objects",
     "find_kth_in_cluster",
     "iter_cluster_objects",
+    "take_cluster_objects",
     "cover_iter_cluster",
+    "cover_take_cluster",
     "cover_count_in_cluster",
     "cover_find_kth_in_cluster",
 ]
@@ -223,6 +226,19 @@ def _ordered_pieces(cover: RangeCover) -> list[tuple[bool, TreeNode]]:
     return pieces
 
 
+def take_cluster_objects(
+    node: TreeNode | None, cluster: int, limit: int | None
+) -> list[int]:
+    """First ``limit`` object IDs of ``cluster`` beneath ``node``, attr order.
+
+    The budget-limited form of :func:`iter_cluster_objects`: traversal
+    stops as soon as ``limit`` objects are drained, and the drain itself
+    runs through the :mod:`repro.kernels` dispatcher so backends can stop
+    iterator consumption at C level.
+    """
+    return kernels.drain(iter_cluster_objects(node, cluster), limit)
+
+
 def cover_iter_cluster(cover: RangeCover, cluster: int) -> Iterator[int]:
     """Yield the object IDs of ``cluster`` across all cover pieces, in
     attribute order (see :func:`_ordered_pieces`)."""
@@ -231,6 +247,18 @@ def cover_iter_cluster(cover: RangeCover, cluster: int) -> Iterator[int]:
             yield from iter_cluster_objects(node, cluster)
         elif node.cluster == cluster:
             yield node.oid
+
+
+def cover_take_cluster(
+    cover: RangeCover, cluster: int, limit: int | None
+) -> list[int]:
+    """First ``limit`` object IDs of ``cluster`` across the cover, attr order.
+
+    The budget-limited cluster drain of Alg. 2 as a single call: exactly
+    the prefix a fresh :func:`cover_iter_cluster` iterator would yield,
+    drained through the kernel dispatcher without over-walking the tree.
+    """
+    return kernels.drain(cover_iter_cluster(cover, cluster), limit)
 
 
 def cover_find_kth_in_cluster(cover: RangeCover, cluster: int, rank: int) -> int:

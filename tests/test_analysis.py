@@ -280,10 +280,59 @@ def test_render_json_is_parseable():
     assert payload["findings"][0]["rule"] == "R005"
 
 
-def test_rule_catalogue_covers_r001_to_r009():
+def test_rule_catalogue_covers_r001_to_r010():
     assert [rule.id for rule in RULES] == [
-        f"R{n:03d}" for n in range(1, 10)
+        f"R{n:03d}" for n in range(1, 11)
     ]
+
+
+R010_SRC = textwrap.dedent(
+    """
+    from repro.kernels.fast import adc_distances
+
+    def scan(table, codes):
+        return adc_distances(table, codes)
+    """
+)
+
+
+def test_r010_flags_backend_import_forms():
+    forms = [
+        "from repro.kernels.reference import adc_distances\n",
+        "from ..kernels.fast import stable_order\n",
+        "from repro.kernels import fast\n",
+        "from ..kernels import reference, fast\n",
+        "import repro.kernels.reference\n",
+    ]
+    for source in forms:
+        assert [f.rule for f in lint_source(source, HOT)] == ["R010"], source
+
+
+def test_r010_allows_dispatcher_import():
+    source = "from .. import kernels\n\nfrom repro import kernels as k2\n"
+    assert lint_source(source, HOT) == []
+    assert lint_source("from ..kernels import stable_order\n", HOT) == []
+
+
+def test_r010_silent_outside_hot_layers():
+    assert lint_source(R010_SRC, COLD) == []
+    assert lint_source(R010_SRC, "benchmarks/bench_kernels.py") == []
+
+
+def test_r010_exempt_inside_kernels_package():
+    assert lint_source(R010_SRC, "src/repro/kernels/_fixture.py") == []
+
+
+def test_r010_applies_to_core_and_tree():
+    for path in ("src/repro/core/_fixture.py", "src/repro/tree/_fixture.py"):
+        assert [f.rule for f in lint_source(R010_SRC, path)] == ["R010"]
+
+
+def test_r010_waivable_inline():
+    waived = (
+        "from repro.kernels.fast import adc_distances  # repro: noqa-R010\n"
+    )
+    assert lint_source(waived, HOT) == []
 
 
 def test_r009_silent_outside_parallel_paths():

@@ -1,0 +1,404 @@
+"""Kernel-backend tests: fast-vs-reference bitwise equivalence + bugfix pins.
+
+The ``fast`` backend's contract is *bit-identical* output to ``reference``
+for every valid input, so every comparison here is
+``np.testing.assert_array_equal`` (never ``allclose``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.ivf import CoarseQuantizer, IVFPQIndex
+from repro.kernels import fast, reference
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+_TABLE_DTYPES = st.sampled_from([np.float64, np.float32])
+_CODE_DTYPES = st.sampled_from([np.uint8, np.int32, np.int64])
+
+
+@st.composite
+def adc_cases(draw):
+    """A random (table, codes) pair with matching (M, Z) / (n, M) shapes."""
+    m = draw(st.integers(1, 12))
+    z = draw(st.integers(1, 64))
+    n = draw(st.integers(0, 50))
+    seed = draw(st.integers(0, 2**31 - 1))
+    tdtype = draw(_TABLE_DTYPES)
+    cdtype = draw(_CODE_DTYPES)
+    rng = np.random.default_rng(seed)
+    table = rng.normal(size=(m, z)).astype(tdtype)
+    codes = rng.integers(0, z, size=(n, m)).astype(cdtype)
+    return table, codes
+
+
+@st.composite
+def value_arrays(draw):
+    """1-D float arrays with deliberately heavy ties (small value alphabet)."""
+    n = draw(st.integers(0, 120))
+    seed = draw(st.integers(0, 2**31 - 1))
+    alphabet = draw(st.integers(1, 6))
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, alphabet, size=n).astype(np.float64)
+
+
+# ----------------------------------------------------------------------
+# Property tests: fast == reference, bitwise
+# ----------------------------------------------------------------------
+class TestBackendEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(case=adc_cases())
+    def test_adc_distances_bitwise(self, case):
+        table, codes = case
+        ref = reference.adc_distances(table, codes)
+        fst = fast.adc_distances(table, codes)
+        assert fst.dtype == ref.dtype
+        np.testing.assert_array_equal(fst, ref)
+
+    @settings(max_examples=80, deadline=None)
+    @given(case=adc_cases(), seed=st.integers(0, 2**31 - 1))
+    def test_adc_for_rows_bitwise(self, case, seed):
+        table, codes = case
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, max(len(codes), 1), size=30)
+        rows = rows[rows < len(codes)].astype(np.int64)
+        ref = reference.adc_for_rows(table, codes, rows)
+        fst = fast.adc_for_rows(table, codes, rows)
+        np.testing.assert_array_equal(fst, ref)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_m8_column_path_bitwise_at_scale(self, dtype):
+        """The SIFT-shaped (M=8, Z=256) fused column path, at a size large
+        enough to exercise numpy's blocked pairwise summation per row."""
+        rng = np.random.default_rng(99)
+        table = rng.normal(size=(8, 256)).astype(dtype)
+        codes = rng.integers(0, 256, size=(50_000, 8)).astype(np.uint8)
+        ref = reference.adc_distances(table, codes)
+        fst = fast.adc_distances(table, codes)
+        assert fst.dtype == ref.dtype
+        np.testing.assert_array_equal(fst, ref)
+
+    @settings(max_examples=80, deadline=None)
+    @given(case=adc_cases())
+    def test_noncontiguous_table_bitwise(self, case):
+        """Fortran-ordered / sliced tables still gather correctly."""
+        table, codes = case
+        for variant in (np.asfortranarray(table), table[:, ::1]):
+            np.testing.assert_array_equal(
+                fast.adc_distances(variant, codes),
+                reference.adc_distances(variant, codes),
+            )
+
+    @settings(max_examples=120, deadline=None)
+    @given(values=value_arrays(), limit=st.integers(-1, 130) | st.none())
+    def test_stable_order_prefix_bitwise(self, values, limit):
+        """Partitioned prefix == slicing the full stable argsort, ties incl."""
+        full = reference.stable_order(values, None)
+        expected = full if limit is None else full[: max(limit, 0)]
+        got = fast.stable_order(values, limit)
+        np.testing.assert_array_equal(got, expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(0, 60),
+        k=st.integers(0, 80),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_topk_primitives_match(self, n, k, seed):
+        """`top_k`/`topk_order` are shared code, but pin k>n and empty n."""
+        rng = np.random.default_rng(seed)
+        distances = rng.integers(0, 5, size=n).astype(np.float64)
+        ids = rng.permutation(n).astype(np.int64)
+        ref_ids, ref_dist = reference.top_k(ids, distances, k)
+        fst_ids, fst_dist = fast.top_k(ids, distances, k)
+        np.testing.assert_array_equal(fst_ids, ref_ids)
+        np.testing.assert_array_equal(fst_dist, ref_dist)
+        np.testing.assert_array_equal(
+            fast.topk_order(distances, k), reference.topk_order(distances, k)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(0, 40),
+        limit=st.integers(0, 50) | st.none(),
+    )
+    def test_drain_matches(self, n, limit):
+        """Compared through the dispatcher: it owns the ``limit <= 0``
+        guard (the verbatim reference loop appends before checking)."""
+        items = list(range(n))
+        with kernels.use_backend("fast"):
+            fst = kernels.drain(iter(items), limit)
+        with kernels.use_backend("reference"):
+            ref = kernels.drain(iter(items), limit)
+        assert fst == ref
+
+    def test_drain_stops_consuming_at_limit(self):
+        """The budget drain must not over-walk the source iterator."""
+        seen: list[int] = []
+
+        def source():
+            for i in range(100):
+                seen.append(i)
+                yield i
+
+        for backend in (reference, fast):
+            seen.clear()
+            assert backend.drain(source(), 5) == [0, 1, 2, 3, 4]
+            assert len(seen) == 5
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(0, 6), max_size=8),
+        limit=st.integers(0, 30) | st.none(),
+    )
+    def test_drain_chunks_matches(self, sizes, limit):
+        def chunks():
+            start = 0
+            for size in sizes:
+                yield list(range(start, start + size))
+                start += size
+
+        with kernels.use_backend("fast"):
+            fst = kernels.drain_chunks(chunks(), limit)
+        with kernels.use_backend("reference"):
+            ref = kernels.drain_chunks(chunks(), limit)
+        assert fst == ref
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 50),
+        d=st.integers(1, 12),
+        m=st.integers(1, 20),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_l2_kernels_shared(self, n, d, m, seed):
+        """fast reuses the reference L2 kernels — same object, same bits."""
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(n, d))
+        b = rng.normal(size=(m, d))
+        assert fast.squared_l2 is reference.squared_l2
+        assert fast.pairwise_squared_l2 is reference.pairwise_squared_l2
+        np.testing.assert_array_equal(
+            kernels.pairwise_squared_l2(a, b),
+            reference.pairwise_squared_l2(a, b, reference.CHUNK_ROWS),
+        )
+        np.testing.assert_array_equal(
+            kernels.squared_l2(a, b[0]), reference.squared_l2(a, b[0])
+        )
+
+    def test_rows_for_ids_matches(self):
+        row_of = {10: 0, 11: 1, 30: 2, 7: 3}
+        ids = [30, 7, 10]
+        ref = reference.rows_for_ids(row_of, ids)
+        fst = fast.rows_for_ids(row_of, ids)
+        np.testing.assert_array_equal(fst, ref)
+        assert fst.dtype == np.int64
+        np.testing.assert_array_equal(
+            fast.rows_for_ids(row_of, np.asarray(ids, dtype=np.int64)), ref
+        )
+
+    def test_degenerate_empty_cluster(self):
+        """Zero candidates: (0,) results, correct dtypes, no crashes."""
+        table = np.ones((4, 16))
+        codes = np.empty((0, 4), dtype=np.uint8)
+        for backend in (reference, fast):
+            assert backend.adc_distances(table, codes).shape == (0,)
+            rows = np.empty(0, dtype=np.int64)
+            assert backend.adc_for_rows(table, codes, rows).shape == (0,)
+        assert kernels.rows_for_ids({}, []).shape == (0,)
+        assert kernels.rows_for_ids({}, []).dtype == np.int64
+
+
+# ----------------------------------------------------------------------
+# Dispatcher: selection, validation, sanitize-mode bounds check
+# ----------------------------------------------------------------------
+class TestDispatcher:
+    def test_available_and_default(self):
+        assert kernels.available_backends() == ("fast", "reference")
+        assert kernels.backend_name() in kernels.available_backends()
+
+    def test_set_backend_roundtrip(self):
+        before = kernels.backend_name()
+        try:
+            kernels.set_backend("reference")
+            assert kernels.backend_name() == "reference"
+            assert kernels.get_backend() is reference
+            kernels.set_backend("fast")
+            assert kernels.get_backend() is fast
+        finally:
+            kernels.set_backend(before)
+
+    def test_set_backend_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.set_backend("simd")
+
+    def test_use_backend_scopes_and_restores(self):
+        before = kernels.backend_name()
+        other = "reference" if before == "fast" else "fast"
+        with kernels.use_backend(other) as backend:
+            assert kernels.backend_name() == other
+            assert backend is kernels.get_backend()
+        assert kernels.backend_name() == before
+
+    def test_use_backend_restores_on_error(self):
+        before = kernels.backend_name()
+        with pytest.raises(RuntimeError):
+            with kernels.use_backend("reference"):
+                raise RuntimeError("boom")
+        assert kernels.backend_name() == before
+
+    def test_env_var_rejected_at_import(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "warp")
+        with pytest.raises(ValueError, match="REPRO_KERNEL_BACKEND"):
+            kernels._resolve_initial()
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "reference")
+        assert kernels._resolve_initial() == "reference"
+        monkeypatch.delenv(kernels.ENV_VAR)
+        assert kernels._resolve_initial() == kernels.DEFAULT_BACKEND
+
+    def test_adc_normalizes_1d_codes(self):
+        table = np.arange(8.0).reshape(2, 4)
+        np.testing.assert_array_equal(
+            kernels.adc_distances(table, np.array([1, 2], dtype=np.uint8)),
+            kernels.adc_distances(table, np.array([[1, 2]], dtype=np.uint8)),
+        )
+
+    def test_adc_shape_mismatch_raises(self):
+        table = np.zeros((2, 4))
+        with pytest.raises(ValueError, match="incompatible"):
+            kernels.adc_distances(table, np.zeros((3, 5), dtype=np.uint8))
+        with pytest.raises(ValueError, match="incompatible"):
+            kernels.adc_for_rows(
+                table, np.zeros((3, 5), dtype=np.uint8), np.array([0])
+            )
+
+    def test_drain_nonpositive_limit_is_empty(self):
+        for backend in kernels.available_backends():
+            with kernels.use_backend(backend):
+                assert kernels.drain(iter([1, 2, 3]), 0) == []
+                assert kernels.drain(iter([1, 2, 3]), -4) == []
+                assert kernels.drain_chunks(iter([[1, 2]]), 0) == []
+
+
+class TestSanitizeBoundsCheck:
+    """Bugfix pin: out-of-range PQ codes rejected under REPRO_SANITIZE=1."""
+
+    @pytest.fixture()
+    def sanitize(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+
+    def test_negative_codes_raise(self, sanitize):
+        table = np.ones((2, 4))
+        codes = np.array([[0, -1]], dtype=np.int64)
+        with pytest.raises(ValueError, match=r"out of range \[0, 4\)"):
+            kernels.adc_distances(table, codes)
+
+    def test_overflow_codes_raise(self, sanitize):
+        table = np.ones((2, 4))
+        codes = np.array([[0, 4]], dtype=np.int64)
+        with pytest.raises(ValueError, match="min 0, max 4"):
+            kernels.adc_distances(table, codes)
+
+    def test_adc_for_rows_checks_gathered_rows_only(self, sanitize):
+        """Only the *gathered* rows are checked — stale rows may be dirty."""
+        table = np.ones((2, 4))
+        codes = np.array([[0, 1], [99, 99]], dtype=np.int64)
+        result = kernels.adc_for_rows(table, codes, np.array([0]))
+        np.testing.assert_array_equal(result, np.array([2.0]))
+        with pytest.raises(ValueError, match="out of range"):
+            kernels.adc_for_rows(table, codes, np.array([1]))
+
+    def test_valid_codes_pass_both_backends(self, sanitize):
+        table = np.arange(8.0).reshape(2, 4)
+        codes = np.array([[3, 0]], dtype=np.uint8)
+        for backend in kernels.available_backends():
+            with kernels.use_backend(backend):
+                np.testing.assert_array_equal(
+                    kernels.adc_distances(table, codes), np.array([7.0])
+                )
+
+    def test_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        table = np.ones((2, 4))
+        codes = np.array([[0, -1]], dtype=np.int64)
+        # Undefined behaviour, but must not raise ValueError when off.
+        kernels.adc_distances(table, codes)
+
+
+# ----------------------------------------------------------------------
+# Bugfix pins on the index layer
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_index():
+    rng = np.random.default_rng(7)
+    data = rng.normal(size=(200, 8))
+    index = IVFPQIndex(num_subspaces=2, num_clusters=5, num_codewords=16, seed=0)
+    index.train(data)
+    index.add(range(len(data)), data)
+    return index, data
+
+
+class TestAdcForIdsKeyError:
+    """Bugfix pin: missing oids produce a diagnostic KeyError, not a bare one."""
+
+    def test_names_missing_ids(self, small_index):
+        index, data = small_index
+        table = index.distance_table(data[0])
+        with pytest.raises(KeyError, match="not present in index: 997, 999"):
+            index.adc_for_ids(table, [0, 997, 1, 999])
+
+    def test_truncates_long_missing_lists(self, small_index):
+        index, data = small_index
+        table = index.distance_table(data[0])
+        missing = list(range(1000, 1015))
+        with pytest.raises(KeyError, match=r"\(\+5 more\)"):
+            index.adc_for_ids(table, missing)
+
+    def test_valid_ids_match_per_id_lookups(self, small_index):
+        index, data = small_index
+        table = index.distance_table(data[3])
+        ids = [5, 0, 199, 42]
+        got = index.adc_for_ids(table, ids)
+        singles = [float(index.adc_for_ids(table, [oid])[0]) for oid in ids]
+        np.testing.assert_array_equal(got, np.asarray(singles))
+
+
+class TestProbeOrderLimit:
+    """Bugfix pin: probe_order(limit=m) == probe_order()[:m], ties included."""
+
+    def test_ivfpq_prefix_identical(self, small_index):
+        index, data = small_index
+        query = data[17]
+        full = index.probe_order(query)
+        assert len(full) == index.num_clusters
+        for limit in (0, 1, 2, index.num_clusters, index.num_clusters + 3):
+            np.testing.assert_array_equal(
+                index.probe_order(query, limit=limit), full[:limit]
+            )
+
+    def test_coarse_quantizer_prefix_identical(self, rng, blob_data):
+        cq = CoarseQuantizer(6, seed=0).fit(blob_data)
+        query = rng.normal(size=blob_data.shape[1])
+        full = cq.probe_order(query)
+        for limit in (1, 3, 6, 10):
+            np.testing.assert_array_equal(
+                cq.probe_order(query, limit=limit), full[:limit]
+            )
+
+    def test_crafted_ties_keep_stable_order(self):
+        """Equidistant centers must resolve ties by cluster ID in the prefix."""
+        values = np.array([2.0, 1.0, 1.0, 0.5, 1.0, 2.0])
+        full = kernels.stable_order(values)
+        np.testing.assert_array_equal(full, [3, 1, 2, 4, 0, 5])
+        for limit in range(len(values) + 1):
+            np.testing.assert_array_equal(
+                kernels.stable_order(values, limit=limit), full[:limit]
+            )
