@@ -6,9 +6,15 @@ force) so a fresh install can be validated with one command.
 
 Subcommands::
 
+    serve [...]         run the asyncio TCP front door over a freshly
+                        built index (length-prefixed JSON protocol,
+                        multi-tenant fair share, micro-batching; see
+                        docs/serving.md)
     serve-bench [...]   IndexService vs global-lock throughput comparison
                         (flags forwarded to repro.service.bench; --smoke
-                        for the tiny CI profile)
+                        for the tiny CI profile; --net runs the network
+                        front-door bench instead, --open-qps drives reads
+                        open-loop)
     parallel-bench [..] multiprocess executor QPS vs the GIL-bound thread
                         baseline over worker counts (flags forwarded to
                         repro.parallel.bench; --smoke for the tiny CI
@@ -99,6 +105,10 @@ def _query_main(argv: list[str]) -> int:
 def main(argv: list[str] | None = None) -> int:
     """Dispatch a subcommand, or print the banner and run the smoke test."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        from repro.frontend.server import main as serve_main
+
+        return serve_main(argv[1:])
     if argv and argv[0] == "serve-bench":
         from repro.service.bench import main as serve_bench_main
 
@@ -119,7 +129,8 @@ def main(argv: list[str] | None = None) -> int:
     print("entry points:")
     print("  python -m repro.eval.harness --figure <3..12>   regenerate a figure")
     print("  python -m repro.eval.regression                 reproduction CI")
-    print("  python -m repro serve-bench [--smoke]           serving throughput")
+    print("  python -m repro serve [--port N]                asyncio TCP front door")
+    print("  python -m repro serve-bench [--smoke] [--net]   serving throughput")
     print("  python -m repro parallel-bench [--smoke]        multiprocess scaling")
     print("  python -m repro metrics-dump [--smoke] [--json] metrics exposition")
     print("  python -m repro query [--trace]                 one traced query")

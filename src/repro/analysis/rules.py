@@ -1,4 +1,4 @@
-"""The lint rule catalogue: repo-specific AST checks R001–R010.
+"""The lint rule catalogue: repo-specific AST checks R001–R011.
 
 Each rule is a pure function over a parsed module plus a
 :class:`FileContext`; the engine in :mod:`repro.analysis.lint` handles file
@@ -554,6 +554,100 @@ def _check_r010(
                     )
 
 
+#: Path fragment (posix) where R011 forbids blocking calls in coroutines.
+_R011_FRAGMENT = "frontend/"
+
+#: Identifier fragments naming synchronization primitives (R011: a
+#: blocking ``.acquire()`` on one of these stalls the event loop).
+_R011_LOCK_HINTS = ("lock", "mutex", "sem", "condition")
+
+
+def _r011_lock_root(expr: ast.expr) -> bool:
+    """Whether an attribute chain's identifiers suggest a sync primitive."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        if isinstance(expr, ast.Attribute):
+            if any(hint in expr.attr.lower() for hint in _R011_LOCK_HINTS):
+                return True
+            expr = expr.value
+        else:
+            expr = expr.value
+    return isinstance(expr, ast.Name) and any(
+        hint in expr.id.lower() for hint in _R011_LOCK_HINTS
+    )
+
+
+def _r011_blocking_call(node: ast.Call) -> str | None:
+    """The diagnostic for a blocking primitive call, or None."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "synchronous open() blocks the event loop on file I/O"
+    if not isinstance(func, ast.Attribute):
+        return None
+    root = func.value
+    if (
+        isinstance(root, ast.Name)
+        and root.id == "time"
+        and func.attr == "sleep"
+    ):
+        return "time.sleep() stalls the event loop; await asyncio.sleep()"
+    if isinstance(root, ast.Name) and root.id == "socket":
+        return (
+            f"synchronous socket.{func.attr}(...) in a coroutine; use "
+            "asyncio streams"
+        )
+    if func.attr == "acquire" and _r011_lock_root(root):
+        nonblocking = any(
+            isinstance(arg, ast.Constant) and arg.value is False
+            for arg in node.args
+        ) or any(
+            kw.arg == "blocking"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is False
+            for kw in node.keywords
+        )
+        if not nonblocking:
+            return (
+                "blocking .acquire() on a sync primitive stalls the event "
+                "loop; use asyncio.Lock or acquire(blocking=False)"
+            )
+    return None
+
+
+def _r011_scan(node: ast.AST) -> Iterator[tuple[int, str]]:
+    """Scan one coroutine-body statement, stopping at nested scopes
+    (a nested ``def`` may legitimately run on an executor thread)."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    if isinstance(node, ast.Call):
+        diagnostic = _r011_blocking_call(node)
+        if diagnostic is not None:
+            yield (node.lineno, diagnostic)
+    for child in ast.iter_child_nodes(node):
+        yield from _r011_scan(child)
+
+
+def _check_r011(
+    module: ast.Module, ctx: FileContext
+) -> Iterator[tuple[int, str]]:
+    """R011: blocking primitive inside a coroutine body in repro/frontend/.
+
+    The front door's contract is that the event loop never blocks: every
+    slow operation either awaits or runs on the executor.  Inside any
+    ``async def`` in ``repro/frontend/``, this rule flags ``time.sleep``,
+    a blocking ``.acquire()`` on a lock/mutex/semaphore (unless called
+    with ``blocking=False``), synchronous ``socket`` module calls, and
+    builtin ``open()``.  Statements inside nested ``def``s are exempt —
+    those run on executor threads by construction here.
+    """
+    if _R011_FRAGMENT not in ctx.path.replace("\\", "/"):
+        return
+    for func in ast.walk(module):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        for statement in func.body:
+            yield from _r011_scan(statement)
+
+
 def _check_r007(
     module: ast.Module, ctx: FileContext
 ) -> Iterator[tuple[int, str]]:
@@ -629,5 +723,11 @@ RULES: tuple[Rule, ...] = (
         "raw kernel-backend import bypassing the repro.kernels dispatcher",
         False,
         _check_r010,
+    ),
+    Rule(
+        "R011",
+        "blocking primitive inside a coroutine body in repro/frontend/",
+        False,
+        _check_r011,
     ),
 )

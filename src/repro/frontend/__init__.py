@@ -1,0 +1,56 @@
+"""repro.frontend — the asyncio multi-tenant serving front door.
+
+Serves :class:`~repro.service.engine.IndexService` (and the sharded
+router) over TCP with a length-prefixed JSON protocol, weighted
+fair-share tenancy, client-deadline propagation, and p99-aware
+micro-batching.  See ``docs/serving.md`` for the wire spec and the
+tuning model.
+"""
+
+from .batcher import BatchWindowPolicy, MicroBatcher
+from .client import FrontendClient
+from .deadlines import Deadline, DeadlineExceeded
+from .protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    REQUEST_TYPES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    read_frame,
+    validate_request,
+)
+from .server import FrontendServer
+from .tenancy import (
+    FairShareScheduler,
+    QuotaExceeded,
+    TenantConfig,
+    TenantStats,
+)
+
+__all__ = [
+    "BatchWindowPolicy",
+    "MicroBatcher",
+    "FrontendClient",
+    "Deadline",
+    "DeadlineExceeded",
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "REQUEST_TYPES",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "read_frame",
+    "validate_request",
+    "FrontendServer",
+    "FairShareScheduler",
+    "QuotaExceeded",
+    "TenantConfig",
+    "TenantStats",
+]

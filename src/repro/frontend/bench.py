@@ -1,0 +1,435 @@
+"""Network load generator for the front door (``serve-bench --net``).
+
+Runs the full client → TCP → fair-share queue → micro-batch → executor
+path against a freshly built index and checks the serving-layer claims
+that matter:
+
+* **Batching pays** — the same open-loop Poisson schedule is replayed
+  against an unbatched server (``max_batch=1``, zero window) and a
+  micro-batched one; batched completed-QPS must not be lower.
+* **No starvation** — every tenant's share of completions must be within
+  2x of its weight share (a lower bound: with unsaturated equal offered
+  load, light tenants legitimately complete *more* than their weight
+  share).
+* **No event-loop blocking** — the whole bench runs under asyncio debug
+  mode; any "Executing ... took N seconds" slow-callback warning fails
+  the run.
+
+The driver is open-loop: arrivals follow a Poisson process fixed by seed,
+independent of completions, so a slow server accumulates lateness instead
+of silently throttling the offered load.  Both scheduled-arrival latency
+(from intended arrival) and service latency (from actual send) are
+reported, mirroring the in-process load generator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import random
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..service.admission import AdmissionError
+from .batcher import BatchWindowPolicy
+from .client import FrontendClient
+from .server import FrontendServer
+from .tenancy import TenantConfig
+
+__all__ = ["main", "run_net_bench"]
+
+
+@dataclass
+class _TenantLoad:
+    """One tenant's outcomes for one phase."""
+
+    weight: float
+    scheduled: int = 0
+    completed: int = 0
+    deadline_exceeded: int = 0
+    rejected: int = 0
+    connection_errors: int = 0
+    failed: int = 0
+    latencies_ms: list = field(default_factory=list)
+    sched_latencies_ms: list = field(default_factory=list)
+
+
+def _percentile(values: list, q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+async def _drive_tenant(
+    client: FrontendClient,
+    tenant: str,
+    load: _TenantLoad,
+    *,
+    qps: float,
+    duration_s: float,
+    queries: np.ndarray,
+    ranges: list,
+    k: int,
+    deadline_ms: float | None,
+    seed: int,
+) -> None:
+    """Open-loop Poisson driver for one tenant over one connection."""
+    loop = asyncio.get_running_loop()
+    rng = random.Random(seed)
+    start = loop.time()
+    next_arrival = start
+    inflight: list[asyncio.Future] = []
+    index = 0
+    while True:
+        next_arrival += rng.expovariate(qps)
+        if next_arrival - start > duration_s:
+            break
+        delay = next_arrival - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        load.scheduled += 1
+        inflight.append(
+            asyncio.ensure_future(
+                _one_query(
+                    client,
+                    tenant,
+                    load,
+                    queries[index % len(queries)],
+                    ranges[index % len(ranges)],
+                    k,
+                    deadline_ms,
+                    next_arrival,
+                )
+            )
+        )
+        index += 1
+    if inflight:
+        await asyncio.gather(*inflight)
+
+
+async def _one_query(
+    client, tenant, load, vector, query_range, k, deadline_ms, scheduled_at
+) -> None:
+    loop = asyncio.get_running_loop()
+    sent_at = loop.time()
+    try:
+        await client.query(
+            vector,
+            query_range[0],
+            query_range[1],
+            k,
+            tenant=tenant,
+            deadline_ms=deadline_ms,
+        )
+    except TimeoutError:
+        load.deadline_exceeded += 1
+        return
+    except AdmissionError:
+        load.rejected += 1
+        return
+    except (ConnectionError, OSError):
+        load.connection_errors += 1
+        return
+    except Exception:  # repro: noqa-R004 — loadgen outcome barrier: any other failure is an outcome category, not a crash
+        load.failed += 1
+        return
+    done = loop.time()
+    load.completed += 1
+    load.latencies_ms.append((done - sent_at) * 1000.0)
+    load.sched_latencies_ms.append((done - scheduled_at) * 1000.0)
+
+
+async def _run_phase(
+    service,
+    *,
+    name: str,
+    batched: bool,
+    tenants: list[TenantConfig],
+    qps: float,
+    duration_s: float,
+    queries: np.ndarray,
+    ranges: list,
+    k: int,
+    deadline_ms: float | None,
+    threads: int,
+    max_batch: int,
+    seed: int,
+) -> dict:
+    server = FrontendServer(
+        service,
+        tenants=tenants,
+        executor_threads=threads,
+        max_batch=max_batch if batched else 1,
+        window_policy=None if batched else BatchWindowPolicy.disabled(),
+    )
+    host, port = await server.start()
+    loads = {t.name: _TenantLoad(weight=t.weight) for t in tenants}
+    clients = {t.name: await FrontendClient.connect(host, port) for t in tenants}
+    started = time.monotonic()
+    try:
+        await asyncio.gather(
+            *(
+                _drive_tenant(
+                    clients[t.name],
+                    t.name,
+                    loads[t.name],
+                    qps=qps,
+                    duration_s=duration_s,
+                    queries=queries,
+                    ranges=ranges,
+                    k=k,
+                    deadline_ms=deadline_ms,
+                    # Same per-tenant seed in both phases: identical
+                    # arrival schedules make the QPS comparison paired.
+                    seed=seed + 7919 * position,
+                )
+                for position, t in enumerate(tenants)
+            )
+        )
+    finally:
+        elapsed_s = time.monotonic() - started
+        mean_batch = server.batcher.mean_batch_size
+        for client in clients.values():
+            await client.close()
+        await server.stop()
+    all_lat = [v for load in loads.values() for v in load.latencies_ms]
+    all_sched = [v for load in loads.values() for v in load.sched_latencies_ms]
+    completed = sum(load.completed for load in loads.values())
+    return {
+        "name": name,
+        "elapsed_s": elapsed_s,
+        "qps": completed / elapsed_s if elapsed_s > 0 else 0.0,
+        "completed": completed,
+        "scheduled": sum(load.scheduled for load in loads.values()),
+        "deadline_exceeded": sum(l.deadline_exceeded for l in loads.values()),
+        "rejected": sum(l.rejected for l in loads.values()),
+        "connection_errors": sum(l.connection_errors for l in loads.values()),
+        "failed": sum(l.failed for l in loads.values()),
+        "p50_ms": _percentile(all_lat, 50),
+        "p99_ms": _percentile(all_lat, 99),
+        "sched_p99_ms": _percentile(all_sched, 99),
+        "mean_batch_size": mean_batch,
+        "tenants": {
+            tenant: {"weight": load.weight, "completed": load.completed}
+            for tenant, load in loads.items()
+        },
+    }
+
+
+def fairness_violations(tenants: dict) -> list[str]:
+    """Tenants whose completion share is under half their weight share.
+
+    ``tenants`` maps name -> {"weight", "completed"}.  The check is a
+    lower bound only — exceeding one's weight share is legitimate
+    whenever heavier tenants do not saturate the server.
+    """
+    total_completed = sum(t["completed"] for t in tenants.values())
+    total_weight = sum(t["weight"] for t in tenants.values())
+    if total_completed == 0 or total_weight <= 0:
+        return []
+    violations = []
+    for name, t in sorted(tenants.items()):
+        weight_share = t["weight"] / total_weight
+        completion_share = t["completed"] / total_completed
+        if completion_share * 2.0 < weight_share:
+            violations.append(
+                f"tenant {name!r}: completion share {completion_share:.3f} "
+                f"< half its weight share {weight_share:.3f}"
+            )
+    return violations
+
+
+class _SlowCallbackCounter(logging.Handler):
+    """Counts asyncio debug-mode slow-callback ("Executing ... took")
+    warnings, which indicate the event loop was blocked."""
+
+    def __init__(self) -> None:
+        super().__init__(level=logging.WARNING)
+        self.count = 0
+        self.samples: list[str] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        message = record.getMessage()
+        if "Executing" in message and "took" in message:
+            self.count += 1
+            if len(self.samples) < 3:
+                self.samples.append(message)
+
+
+def run_net_bench(
+    *,
+    n: int = 20_000,
+    dim: int = 64,
+    duration_s: float = 4.0,
+    qps: float = 150.0,
+    k: int = 10,
+    threads: int = 4,
+    max_batch: int = 64,
+    deadline_ms: float | None = 500.0,
+    tenant_weights: dict | None = None,
+    seed: int = 0,
+) -> dict:
+    """Build an index, serve it, and drive both phases; returns a report
+    dict with ``phases`` (unbatched first), ``fairness_violations``, and
+    ``blocking_warnings``."""
+    from ..core import AdaptiveLPolicy, RangePQPlus
+    from ..datasets import load_workload
+    from ..eval.harness import scaled_l_base
+    from ..service.engine import IndexService
+
+    tenant_weights = tenant_weights or {"free": 1.0, "paid": 3.0}
+    tenants = [
+        TenantConfig(name=name, weight=weight)
+        for name, weight in sorted(tenant_weights.items())
+    ]
+    workload = load_workload("sift", n=n, d=dim, num_queries=32, seed=seed)
+    index = RangePQPlus.build(
+        workload.vectors,
+        workload.attrs,
+        seed=seed,
+        l_policy=AdaptiveLPolicy(l_base=scaled_l_base("sift", n), r_base=0.10),
+    )
+    service = IndexService(index, defer_maintenance=True)
+    queries = workload.queries
+    range_rng = np.random.default_rng(seed + 1)
+    ranges = [
+        tuple(float(v) for v in workload.range_for_coverage(coverage, range_rng))
+        for coverage in (0.05, 0.10, 0.20, 0.40)
+        for _ in range(2)
+    ]
+
+    counter = _SlowCallbackCounter()
+    asyncio_logger = logging.getLogger("asyncio")
+    asyncio_logger.addHandler(counter)
+    previous_level = asyncio_logger.level
+    if asyncio_logger.level > logging.WARNING or asyncio_logger.level == 0:
+        asyncio_logger.setLevel(logging.WARNING)
+
+    async def _both_phases() -> list:
+        phases = []
+        for name, batched in (("unbatched", False), ("batched", True)):
+            phases.append(
+                await _run_phase(
+                    service,
+                    name=name,
+                    batched=batched,
+                    tenants=tenants,
+                    qps=qps,
+                    duration_s=duration_s,
+                    queries=queries,
+                    ranges=ranges,
+                    k=k,
+                    deadline_ms=deadline_ms,
+                    threads=threads,
+                    max_batch=max_batch,
+                    seed=seed,
+                )
+            )
+        return phases
+
+    try:
+        phases = asyncio.run(_both_phases(), debug=True)
+    finally:
+        asyncio_logger.removeHandler(counter)
+        asyncio_logger.setLevel(previous_level)
+
+    batched_phase = phases[-1]
+    return {
+        "phases": phases,
+        "fairness_violations": fairness_violations(batched_phase["tenants"]),
+        "blocking_warnings": counter.count,
+        "blocking_samples": counter.samples,
+    }
+
+
+def _format_report(report: dict) -> str:
+    lines = []
+    for phase in report["phases"]:
+        lines.append(
+            f"[{phase['name']:>9}] qps={phase['qps']:8.1f}  "
+            f"p50={phase['p50_ms']:6.2f}ms  p99={phase['p99_ms']:7.2f}ms  "
+            f"sched_p99={phase['sched_p99_ms']:7.2f}ms  "
+            f"batch={phase['mean_batch_size']:5.2f}"
+        )
+        lines.append(
+            f"            completed={phase['completed']}/{phase['scheduled']}  "
+            f"deadline_exceeded={phase['deadline_exceeded']}  "
+            f"rejected={phase['rejected']}  "
+            f"conn_errors={phase['connection_errors']}  "
+            f"failed={phase['failed']}"
+        )
+        shares = "  ".join(
+            f"{name}:{t['completed']}(w={t['weight']:g})"
+            for name, t in sorted(phase["tenants"].items())
+        )
+        lines.append(f"            tenants: {shares}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """``python -m repro serve-bench --net`` entry; exit 1 on any failed
+    serving-layer check."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve-bench --net",
+        description="Open-loop network bench of the asyncio front door.",
+    )
+    parser.add_argument("--smoke", action="store_true", help="tiny CI run")
+    parser.add_argument("--n", type=int, default=20_000)
+    parser.add_argument("--dim", type=int, default=64)
+    parser.add_argument("--duration", type=float, default=4.0)
+    parser.add_argument("--qps", type=float, default=150.0)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--deadline-ms", type=float, default=500.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.n = min(args.n, 4000)
+        args.dim = min(args.dim, 32)
+        args.duration = min(args.duration, 1.2)
+        args.qps = min(args.qps, 60.0)
+
+    report = run_net_bench(
+        n=args.n,
+        dim=args.dim,
+        duration_s=args.duration,
+        qps=args.qps,
+        k=args.k,
+        threads=args.threads,
+        max_batch=args.max_batch,
+        deadline_ms=args.deadline_ms,
+        seed=args.seed,
+    )
+    print(_format_report(report))
+
+    failures = []
+    unbatched, batched = report["phases"][0], report["phases"][-1]
+    if batched["qps"] < unbatched["qps"] * 0.98:
+        failures.append(
+            f"batched qps {batched['qps']:.1f} below unbatched "
+            f"{unbatched['qps']:.1f}"
+        )
+    failures.extend(report["fairness_violations"])
+    if report["blocking_warnings"]:
+        failures.append(
+            f"{report['blocking_warnings']} event-loop blocking warning(s): "
+            + "; ".join(report["blocking_samples"])
+        )
+    for phase in report["phases"]:
+        if phase["connection_errors"] or phase["failed"]:
+            failures.append(
+                f"phase {phase['name']}: {phase['connection_errors']} "
+                f"connection errors, {phase['failed']} failures"
+            )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("net-bench checks passed: batched >= unbatched qps, fair shares, no loop blocking")
+    return 0

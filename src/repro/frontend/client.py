@@ -1,0 +1,197 @@
+"""Async client for the front door's length-prefixed JSON protocol.
+
+:class:`FrontendClient` speaks :mod:`repro.frontend.protocol` over one TCP
+connection and pipelines requests: every call gets a fresh ``id``, frames
+go out as they are made, and a background reader task resolves each
+response to its caller's future.  One client is therefore safe to share
+among many concurrent coroutines (the network load generator drives all
+of a tenant's traffic through one connection).
+
+Server-side failures come back as exceptions mirroring the direct-call
+API, so call sites are oblivious to the network hop:
+
+* ``DEADLINE_EXCEEDED`` → :class:`~repro.frontend.deadlines.DeadlineExceeded`
+  (a :class:`TimeoutError`);
+* ``OVER_QUOTA`` / ``ADMISSION_REJECTED`` →
+  :class:`~repro.service.admission.AdmissionError`;
+* every other code → :class:`~repro.frontend.protocol.ProtocolError`;
+* a lost connection → :class:`ConnectionError` for every pending call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+import numpy as np
+
+from ..service.admission import AdmissionError
+from .deadlines import DeadlineExceeded
+from .protocol import PROTOCOL_VERSION, ProtocolError, encode_frame, read_frame
+
+__all__ = ["FrontendClient"]
+
+
+class FrontendClient:  # repro: noqa-R005 — a wire stub, not an index; invariants live server-side
+    """One pipelined protocol connection; build with :meth:`connect`."""
+
+    def __init__(self, reader, writer) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._send_lock = asyncio.Lock()
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self._closing = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "FrontendClient":
+        """Open a connection to a :class:`FrontendServer`."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        """Close the connection; pending calls get :class:`ConnectionError`."""
+        self._closing = True
+        self._writer.close()
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._fail_pending(ConnectionError("client closed"))
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    async def query(
+        self,
+        vector,
+        lo: float,
+        hi: float,
+        k: int,
+        *,
+        l_budget: int | None = None,
+        tenant: str = "default",
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Range-filtered k-NN; returns ``{"ids": [...], "distances": [...]}``."""
+        result = await self._request(
+            {
+                "type": "query",
+                "tenant": tenant,
+                "deadline_ms": deadline_ms,
+                "vector": np.asarray(vector, dtype=np.float64).tolist(),
+                "lo": float(lo),
+                "hi": float(hi),
+                "k": int(k),
+                "l_budget": l_budget,
+            }
+        )
+        return result
+
+    async def insert(
+        self,
+        oid: int,
+        vector,
+        attr: float,
+        *,
+        tenant: str = "default",
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Insert one vector; returns ``{"applied": True, "version": ...}``."""
+        return await self._request(
+            {
+                "type": "insert",
+                "tenant": tenant,
+                "deadline_ms": deadline_ms,
+                "oid": int(oid),
+                "vector": np.asarray(vector, dtype=np.float64).tolist(),
+                "attr": float(attr),
+            }
+        )
+
+    async def delete(
+        self,
+        oid: int,
+        *,
+        tenant: str = "default",
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Delete one vector by id."""
+        return await self._request(
+            {
+                "type": "delete",
+                "tenant": tenant,
+                "deadline_ms": deadline_ms,
+                "oid": int(oid),
+            }
+        )
+
+    async def stats(self) -> dict:
+        """The server's live stats snapshot."""
+        return await self._request({"type": "stats"})
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    async def _request(self, message: dict) -> dict:
+        if self._closing:
+            raise ConnectionError("client closed")
+        request_id = next(self._ids)
+        message = {"v": PROTOCOL_VERSION, "id": request_id, **message}
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        frame = encode_frame(message)
+        try:
+            async with self._send_lock:
+                self._writer.write(frame)
+                await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            self._pending.pop(request_id, None)
+            raise ConnectionError(f"send failed: {error}")
+        try:
+            response = await future
+        finally:
+            self._pending.pop(request_id, None)
+        if response.get("ok", False):
+            return response["result"]
+        raise self._error_from(message, response)
+
+    @staticmethod
+    def _error_from(request: dict, response: dict) -> Exception:
+        code = response.get("code", "INTERNAL")
+        message = response.get("error", "")
+        if code == "DEADLINE_EXCEEDED":
+            return DeadlineExceeded(message or "deadline exceeded")
+        if code == "OVER_QUOTA":
+            return AdmissionError("over-quota", request.get("type", "request"))
+        if code == "ADMISSION_REJECTED":
+            return AdmissionError("rejected", request.get("type", "request"))
+        try:
+            return ProtocolError(code, message)
+        except ValueError:
+            return ProtocolError("INTERNAL", f"{code}: {message}")
+
+    async def _read_loop(self) -> None:
+        error: Exception = ConnectionError("connection closed by server")
+        try:
+            while True:
+                response = await read_frame(self._reader)
+                if response is None:
+                    break
+                request_id = response.get("id")
+                future = self._pending.get(request_id)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as caught:  # repro: noqa-R004 — connection fault barrier: every pending call must observe the loss
+            error = ConnectionError(f"connection lost: {caught}")
+        self._fail_pending(error)
+
+    def _fail_pending(self, error: Exception) -> None:
+        for future in list(self._pending.values()):
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()

@@ -1,0 +1,87 @@
+"""Client deadlines, propagated end-to-end through the front door.
+
+A request's ``deadline_ms`` becomes a :class:`Deadline` at arrival and
+rides the request object through the tenant queue, the micro-batcher, and
+into execution.  Deadlines are enforced *cooperatively* at the points
+where enforcement is cheap and safe:
+
+* **at arrival** — an already-expired request is answered
+  ``DEADLINE_EXCEEDED`` without ever touching a queue;
+* **at batch assembly** — an expired queued request is shed instead of
+  occupying a batch slot, an admission slot, and an executor thread;
+* **at completion** — a result that arrives after the deadline is
+  discarded and the client told ``DEADLINE_EXCEEDED`` (the client has, by
+  contract, stopped waiting);
+* **in the worker pool** — when the service executes queries on a
+  :class:`~repro.parallel.pool.WorkerPool`, the remaining budget becomes
+  that batch's per-task timeout (``WorkerPool.run(tasks, timeout_s=...)``),
+  so a stuck worker is killed rather than occupied past the deadline.
+
+:class:`DeadlineExceeded` subclasses :class:`TimeoutError`, so generic
+timeout handling (including the load generator's outcome classification)
+needs no knowledge of this module.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Deadline", "DeadlineExceeded"]
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request's client-supplied deadline elapsed before completion.
+
+    Attributes:
+        code: The structured protocol error code (``"DEADLINE_EXCEEDED"``).
+    """
+
+    code = "DEADLINE_EXCEEDED"
+
+    def __init__(self, message: str = "deadline exceeded") -> None:
+        super().__init__(message)
+
+
+class Deadline:
+    """An absolute monotonic-clock expiry instant.
+
+    Built once at request arrival so queueing, batching, and execution
+    all measure against the same instant — the propagation contract is
+    "time left", never "timeout restarted at each hop".
+    """
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float) -> None:
+        self.expires_at = float(expires_at)
+
+    @classmethod
+    def after(cls, timeout_s: float) -> "Deadline":
+        """A deadline ``timeout_s`` seconds from now (>= 0)."""
+        if timeout_s < 0:
+            raise ValueError(f"timeout_s must be >= 0, got {timeout_s}")
+        return cls(time.monotonic() + timeout_s)
+
+    @classmethod
+    def from_ms(cls, deadline_ms: float | None) -> "Deadline | None":
+        """A deadline from a request's ``deadline_ms`` field (None passes)."""
+        if deadline_ms is None:
+            return None
+        return cls.after(deadline_ms / 1000.0)
+
+    def remaining_s(self) -> float:
+        """Seconds left before expiry (negative once past it)."""
+        return self.expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        """Whether the deadline has passed."""
+        return time.monotonic() >= self.expires_at
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed."""
+        if self.expired:
+            raise DeadlineExceeded(f"{what} deadline exceeded")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining_s={self.remaining_s():.4f})"

@@ -1,0 +1,262 @@
+"""Length-prefixed JSON wire protocol for the serving front door.
+
+One frame is a 4-byte big-endian unsigned length followed by exactly that
+many bytes of UTF-8 JSON.  JSON keeps the protocol debuggable (``nc`` plus
+``printf`` can speak it) and still round-trips query results *bitwise*:
+``float`` serialization uses ``repr``, which is exact for every finite
+IEEE-754 double, and ``allow_nan=False`` rejects the values that would
+not survive the trip.
+
+Messages are versioned dicts.  Requests carry::
+
+    {"v": 1, "type": "query", "id": 7, "tenant": "acme",
+     "deadline_ms": 50.0, "vector": [...], "lo": 0.2, "hi": 0.8,
+     "k": 10, "l_budget": null}
+
+with ``type`` one of :data:`REQUEST_TYPES` (``query`` / ``insert`` /
+``delete`` / ``stats``).  Responses echo the request ``id``::
+
+    {"v": 1, "id": 7, "ok": true,  "result": {...}}
+    {"v": 1, "id": 7, "ok": false, "code": "DEADLINE_EXCEEDED",
+     "error": "..."}
+
+Structured error codes (:data:`ERROR_CODES`) are the machine-readable
+half of every failure; the ``error`` string is advisory.  Framing or
+validation problems raise :class:`ProtocolError`, which carries the code
+to respond with.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Sequence
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "REQUEST_TYPES",
+    "ERROR_CODES",
+    "ProtocolError",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "ok_response",
+    "error_response",
+    "validate_request",
+]
+
+#: Current wire version; mismatches are rejected with UNSUPPORTED_VERSION.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's JSON payload (defends both sides against a
+#: corrupt or hostile length prefix).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: The request message types the server understands.
+REQUEST_TYPES = ("query", "insert", "delete", "stats")
+
+#: Every structured error code a response may carry.
+ERROR_CODES = (
+    "BAD_REQUEST",          # malformed frame, field, or value
+    "UNSUPPORTED_VERSION",  # protocol version mismatch
+    "UNKNOWN_TYPE",         # type not in REQUEST_TYPES
+    "OVER_QUOTA",           # tenant queue quota exhausted
+    "ADMISSION_REJECTED",   # shed by the service's admission controller
+    "DEADLINE_EXCEEDED",    # client deadline elapsed before completion
+    "SHUTTING_DOWN",        # server is draining; retry elsewhere
+    "INTERNAL",             # unexpected server-side failure
+)
+
+_HEADER = struct.Struct("!I")
+
+
+class ProtocolError(RuntimeError):
+    """A frame or request that violates the protocol.
+
+    Attributes:
+        code: The structured error code to answer with (one of
+            :data:`ERROR_CODES`).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message dict into a length-prefixed frame."""
+    payload = json.dumps(
+        message, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "BAD_REQUEST",
+            f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}",
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> dict:
+    """Parse one frame's JSON payload (header already stripped)."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError("BAD_REQUEST", f"undecodable frame: {error}")
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "BAD_REQUEST", f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one complete frame; ``None`` on clean EOF between frames.
+
+    Raises:
+        ProtocolError: On a truncated frame or an oversized length prefix
+            (the connection should be closed — framing sync is lost).
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("BAD_REQUEST", "truncated frame header")
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "BAD_REQUEST",
+            f"frame length {length} exceeds {MAX_FRAME_BYTES}",
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("BAD_REQUEST", "truncated frame payload")
+    return decode_frame(payload)
+
+
+def ok_response(request_id: int | None, result: dict) -> dict:
+    """A success response echoing ``request_id``."""
+    return {"v": PROTOCOL_VERSION, "id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: int | None, code: str, message: str) -> dict:
+    """An error response with a structured code."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "code": code,
+        "error": message,
+    }
+
+
+def _require_number(message: dict, field: str) -> float:
+    value = message.get(field)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ProtocolError(
+            "BAD_REQUEST", f"field {field!r} must be a number, got {value!r}"
+        )
+    return float(value)
+
+
+def _require_vector(message: dict) -> Sequence[float]:
+    vector = message.get("vector")
+    if (
+        not isinstance(vector, list)
+        or not vector
+        or not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in vector
+        )
+    ):
+        raise ProtocolError(
+            "BAD_REQUEST", "field 'vector' must be a non-empty number list"
+        )
+    return vector
+
+
+def validate_request(message: dict) -> dict:
+    """Validate one inbound request and return its normalized form.
+
+    The normalized dict always carries ``type``, ``id``, ``tenant``
+    (defaulted to ``"default"``), and ``deadline_ms`` (``None`` when the
+    client set no deadline), plus the per-type payload fields coerced to
+    plain Python types.
+
+    Raises:
+        ProtocolError: Carrying the error code to respond with.
+    """
+    version = message.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "UNSUPPORTED_VERSION",
+            f"protocol version {version!r} unsupported (speak {PROTOCOL_VERSION})",
+        )
+    rtype = message.get("type")
+    if rtype not in REQUEST_TYPES:
+        raise ProtocolError(
+            "UNKNOWN_TYPE", f"unknown request type {rtype!r}"
+        )
+    request_id = message.get("id")
+    if not isinstance(request_id, int) or isinstance(request_id, bool):
+        raise ProtocolError("BAD_REQUEST", "field 'id' must be an integer")
+    tenant = message.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError(
+            "BAD_REQUEST", "field 'tenant' must be a non-empty string"
+        )
+    deadline_ms = message.get("deadline_ms")
+    if deadline_ms is not None:
+        if (
+            not isinstance(deadline_ms, (int, float))
+            or isinstance(deadline_ms, bool)
+            or deadline_ms < 0
+        ):
+            raise ProtocolError(
+                "BAD_REQUEST", "field 'deadline_ms' must be a number >= 0"
+            )
+        deadline_ms = float(deadline_ms)
+    normalized: dict = {
+        "type": rtype,
+        "id": request_id,
+        "tenant": tenant,
+        "deadline_ms": deadline_ms,
+    }
+    if rtype == "query":
+        normalized["vector"] = _require_vector(message)
+        normalized["lo"] = _require_number(message, "lo")
+        normalized["hi"] = _require_number(message, "hi")
+        k = message.get("k")
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ProtocolError("BAD_REQUEST", "field 'k' must be an int >= 1")
+        normalized["k"] = k
+        l_budget = message.get("l_budget")
+        if l_budget is not None and (
+            not isinstance(l_budget, int)
+            or isinstance(l_budget, bool)
+            or l_budget < 1
+        ):
+            raise ProtocolError(
+                "BAD_REQUEST", "field 'l_budget' must be an int >= 1 or null"
+            )
+        normalized["l_budget"] = l_budget
+    elif rtype == "insert":
+        oid = message.get("oid")
+        if not isinstance(oid, int) or isinstance(oid, bool):
+            raise ProtocolError("BAD_REQUEST", "field 'oid' must be an integer")
+        normalized["oid"] = oid
+        normalized["vector"] = _require_vector(message)
+        normalized["attr"] = _require_number(message, "attr")
+    elif rtype == "delete":
+        oid = message.get("oid")
+        if not isinstance(oid, int) or isinstance(oid, bool):
+            raise ProtocolError("BAD_REQUEST", "field 'oid' must be an integer")
+        normalized["oid"] = oid
+    return normalized

@@ -1,0 +1,295 @@
+"""Per-tenant namespaces: quotas and weighted fair-share scheduling.
+
+Every request entering the front door belongs to a *tenant*.  Tenants get
+three things a single undifferentiated queue cannot provide:
+
+* **Quota accounting** — each tenant's queue depth is bounded
+  (``max_queue``); beyond it the request is rejected with ``OVER_QUOTA``
+  instead of letting one tenant's backlog consume the whole server's
+  memory and everyone else's latency.
+* **Weighted fair share** — dequeue order follows *stride scheduling*
+  (Waldspurger & Weihl, OSDI '95): each tenant holds a ``pass`` value and
+  a ``stride`` inversely proportional to its weight; the scheduler always
+  serves the backlogged tenant with the smallest pass, then advances that
+  tenant's pass by its stride.  Over any interval in which tenants stay
+  backlogged, tenant throughput is proportional to weight to within one
+  request — deterministic, O(#tenants) per dequeue, and **starvation-free**
+  (every backlogged tenant's pass is eventually minimal because passes of
+  served tenants strictly increase).
+* **Idle-credit clamping** — a tenant re-entering after idling has its
+  pass clamped up to the scheduler's virtual time, so sleeping does not
+  bank an arbitrarily large burst entitlement that would starve active
+  tenants on return.
+
+The scheduler is single-threaded by design: it lives on the asyncio event
+loop (enqueue from connection coroutines, dequeue from the batcher task)
+and therefore needs no locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = [
+    "QuotaExceeded",
+    "TenantConfig",
+    "TenantStats",
+    "FairShareScheduler",
+]
+
+#: Stride numerator; large so integer strides stay precise across weights.
+_STRIDE_SCALE = 1 << 20
+
+
+class QuotaExceeded(RuntimeError):
+    """A tenant's queue quota is exhausted.
+
+    Attributes:
+        code: The structured protocol error code (``"OVER_QUOTA"``).
+        tenant: The tenant whose quota was hit.
+    """
+
+    code = "OVER_QUOTA"
+
+    def __init__(self, tenant: str, max_queue: int) -> None:
+        super().__init__(
+            f"tenant {tenant!r} queue quota exhausted ({max_queue} waiting)"
+        )
+        self.tenant = tenant
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Static per-tenant policy.
+
+    Attributes:
+        name: Tenant namespace (the wire ``tenant`` field).
+        weight: Fair-share weight (> 0); a weight-2 tenant gets twice the
+            dequeue rate of a weight-1 tenant while both are backlogged.
+        max_queue: Most requests the tenant may have waiting (>= 1).
+    """
+
+    name: str
+    weight: float = 1.0
+    max_queue: int = 256
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+
+
+@dataclass
+class TenantStats:
+    """Monotonic outcome counters for one tenant.
+
+    Attributes:
+        enqueued: Requests accepted into the tenant's queue.
+        completed: Requests answered with a result.
+        rejected_quota: Requests refused with ``OVER_QUOTA``.
+        rejected_admission: Requests shed by admission control.
+        deadline_exceeded: Requests answered ``DEADLINE_EXCEEDED``.
+        failed: Requests that failed for any other reason.
+    """
+
+    enqueued: int = 0
+    completed: int = 0
+    rejected_quota: int = 0
+    rejected_admission: int = 0
+    deadline_exceeded: int = 0
+    failed: int = 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view (for the ``stats`` protocol message)."""
+        return {
+            "enqueued": self.enqueued,
+            "completed": self.completed,
+            "rejected_quota": self.rejected_quota,
+            "rejected_admission": self.rejected_admission,
+            "deadline_exceeded": self.deadline_exceeded,
+            "failed": self.failed,
+        }
+
+
+@dataclass
+class _TenantState:
+    """One tenant's live scheduling state."""
+
+    config: TenantConfig
+    stride: int
+    pass_value: int = 0
+    queue: list = field(default_factory=list)
+    head: int = 0  # pop index into queue (amortized O(1) FIFO)
+    stats: TenantStats = field(default_factory=TenantStats)
+
+    @property
+    def backlog(self) -> int:
+        return len(self.queue) - self.head
+
+    def pop(self):
+        item = self.queue[self.head]
+        self.queue[self.head] = None  # drop the reference for GC
+        self.head += 1
+        if self.head > 64 and self.head * 2 >= len(self.queue):
+            del self.queue[: self.head]
+            self.head = 0
+        return item
+
+
+class FairShareScheduler:
+    """Stride-scheduled, quota-bounded request queues, one per tenant.
+
+    Args:
+        tenants: Optional iterable of :class:`TenantConfig` to pre-register.
+        default_weight: Weight given to tenants first seen on the wire.
+        default_max_queue: Queue quota for auto-registered tenants.
+        auto_register: Whether unknown tenant names are accepted (with the
+            defaults above) or rejected with :class:`KeyError`.
+    """
+
+    def __init__(
+        self,
+        tenants: Iterable[TenantConfig] | None = None,
+        *,
+        default_weight: float = 1.0,
+        default_max_queue: int = 256,
+        auto_register: bool = True,
+    ) -> None:
+        if default_weight <= 0:
+            raise ValueError(f"default_weight must be > 0, got {default_weight}")
+        self._tenants: dict[str, _TenantState] = {}
+        self._default_weight = default_weight
+        self._default_max_queue = default_max_queue
+        self._auto_register = auto_register
+        self._virtual_time = 0
+        self._pending = 0
+        for config in tenants or ():
+            self.register(config)
+
+    # ------------------------------------------------------------------
+    # Registration / introspection
+    # ------------------------------------------------------------------
+    def register(self, config: TenantConfig) -> None:
+        """Add (or replace the policy of) one tenant."""
+        state = self._tenants.get(config.name)
+        stride = max(1, round(_STRIDE_SCALE / config.weight))
+        if state is None:
+            self._tenants[config.name] = _TenantState(
+                config=config, stride=stride, pass_value=self._virtual_time
+            )
+        else:
+            state.config = config
+            state.stride = stride
+
+    def _state_for(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            if not self._auto_register:
+                raise KeyError(f"unknown tenant {tenant!r}")
+            self.register(
+                TenantConfig(
+                    name=tenant,
+                    weight=self._default_weight,
+                    max_queue=self._default_max_queue,
+                )
+            )
+            state = self._tenants[tenant]
+        return state
+
+    @property
+    def pending(self) -> int:
+        """Total requests waiting across every tenant."""
+        return self._pending
+
+    def tenant_names(self) -> list[str]:
+        """Registered tenant names, sorted."""
+        return sorted(self._tenants)
+
+    def weight_of(self, tenant: str) -> float:
+        """The tenant's configured weight (KeyError when unknown)."""
+        return self._tenants[tenant].config.weight
+
+    def stats_of(self, tenant: str) -> TenantStats:
+        """The tenant's live outcome counters (KeyError when unknown)."""
+        return self._tenants[tenant].stats
+
+    def touch(self, tenant: str) -> TenantStats:
+        """The tenant's counters, registering it first when unseen.
+
+        Outcome accounting must work even for a tenant whose first-ever
+        request never reaches :meth:`enqueue` (e.g. shed on arrival with
+        an already-expired deadline).  Raises KeyError when the tenant is
+        unknown and ``auto_register`` is off.
+        """
+        return self._state_for(tenant).stats
+
+    def snapshot(self) -> dict:
+        """Per-tenant policy + counters (for the ``stats`` message)."""
+        return {
+            name: {
+                "weight": state.config.weight,
+                "max_queue": state.config.max_queue,
+                "waiting": state.backlog,
+                **state.stats.snapshot(),
+            }
+            for name, state in sorted(self._tenants.items())
+        }
+
+    # ------------------------------------------------------------------
+    # Queue operations (event-loop thread only)
+    # ------------------------------------------------------------------
+    def enqueue(self, tenant: str, item) -> None:
+        """Append ``item`` to the tenant's queue.
+
+        Raises:
+            QuotaExceeded: When the tenant is at its ``max_queue`` bound.
+            KeyError: Unknown tenant with ``auto_register`` off.
+        """
+        state = self._state_for(tenant)
+        if state.backlog >= state.config.max_queue:
+            state.stats.rejected_quota += 1
+            raise QuotaExceeded(tenant, state.config.max_queue)
+        if state.backlog == 0:
+            # Re-activating after idle: no banked credit from the past.
+            state.pass_value = max(state.pass_value, self._virtual_time)
+        state.queue.append(item)
+        state.stats.enqueued += 1
+        self._pending += 1
+
+    def take_one(self):
+        """Dequeue the next item in weighted fair order.
+
+        Returns ``(tenant_name, item)``, or ``None`` when every queue is
+        empty.
+        """
+        chosen: _TenantState | None = None
+        for state in self._tenants.values():
+            if state.backlog == 0:
+                continue
+            if chosen is None or state.pass_value < chosen.pass_value:
+                chosen = state
+        if chosen is None:
+            return None
+        self._virtual_time = chosen.pass_value
+        chosen.pass_value += chosen.stride
+        self._pending -= 1
+        return chosen.config.name, chosen.pop()
+
+    def earliest_deadline(self):
+        """The soonest ``deadline`` attribute among queued items, or None.
+
+        Items without a ``deadline`` attribute (or with it set to None)
+        do not constrain the result.  Used by the micro-batcher to avoid
+        sleeping a batching tick past a queued request's deadline.
+        """
+        earliest = None
+        for state in self._tenants.values():
+            for position in range(state.head, len(state.queue)):
+                deadline = getattr(state.queue[position], "deadline", None)
+                if deadline is None:
+                    continue
+                if earliest is None or deadline.expires_at < earliest.expires_at:
+                    earliest = deadline
+        return earliest

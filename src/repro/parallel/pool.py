@@ -62,7 +62,7 @@ from multiprocessing import connection
 
 from ..obs import counter, gauge, histogram
 
-__all__ = ["WorkerError", "PoolUnavailable", "WorkerPool"]
+__all__ = ["WorkerError", "WorkerTimeout", "PoolUnavailable", "WorkerPool"]
 
 _TASKS = counter("parallel.tasks")
 _TASK_ERRORS = counter("parallel.task_errors")
@@ -84,6 +84,16 @@ _MAX_INFLIGHT = 8
 
 class WorkerError(RuntimeError):
     """A task failed (crash, timeout, or worker-side exception)."""
+
+
+class WorkerTimeout(WorkerError):
+    """A task's in-flight ceiling elapsed (its worker was killed).
+
+    Subclasses :class:`WorkerError` so degrade-to-serial callers keep
+    working unchanged; deadline-aware callers (the sharded router when
+    given an explicit per-query ``timeout_s``) catch this subclass to
+    surface a timeout instead of silently retrying in-process.
+    """
 
 
 class PoolUnavailable(RuntimeError):
@@ -324,31 +334,58 @@ class WorkerPool:
             1 for w in self._workers.values() if w.process.is_alive()  # repro: noqa-C002
         )
 
+    @property
+    def inflight_tasks(self) -> int:
+        """Tasks currently dispatched and unanswered (approximate: read
+        lock-free for monitoring/sanitize assertions; between batches —
+        when no :meth:`run` is active — this is exactly 0, because
+        ``_run_locked`` clears every worker's inflight map on both the
+        success and the failure path)."""
+        return sum(
+            len(w.inflight) for w in self._workers.values()  # repro: noqa-C002
+        )
+
     # ------------------------------------------------------------------
     # Task execution
     # ------------------------------------------------------------------
-    def run(self, tasks: list[tuple[str, dict]]) -> list:
+    def run(
+        self, tasks: list[tuple[str, dict]], *, timeout_s: float | None = None
+    ) -> list:
         """Execute tasks across the pool; returns results in task order.
 
         Thread-safe: concurrent callers serialize on an internal mutex
         (batches never interleave on the result pipes).
 
+        Args:
+            tasks: ``(kind, payload)`` pairs.
+            timeout_s: Per-task in-flight ceiling for this batch only,
+                overriding the pool's ``task_timeout_s`` (deadline
+                propagation: a caller with a client deadline passes the
+                remaining budget here).
+
         Raises:
-            WorkerError: If any task fails (crash after retry, timeout,
+            WorkerTimeout: If any task overran the effective timeout
+                (its worker was killed and respawned).
+            WorkerError: If any task fails otherwise (crash after retry,
                 respawn failure, or a worker-side exception).  The pool
                 itself stays usable — dead workers are respawned before
                 raising.
         """
         with self._run_mutex:
-            return self._run_locked(tasks)
+            return self._run_locked(tasks, timeout_s=timeout_s)
 
-    def _run_locked(self, tasks: list[tuple[str, dict]]) -> list:
+    def _run_locked(
+        self, tasks: list[tuple[str, dict]], *, timeout_s: float | None = None
+    ) -> list:
         if self._closed:
             raise WorkerError("pool is closed")
         if not tasks:
             return []
         if not self._workers:
             raise WorkerError("pool has no live workers")
+        effective_timeout_s = (
+            self.task_timeout_s if timeout_s is None else float(timeout_s)
+        )
         started = time.monotonic()
         assignments: dict[int, tuple[int, str, dict, int]] = {}
         results: dict[int, object] = {}
@@ -369,7 +406,7 @@ class WorkerPool:
                 messages = self._drain_messages()
                 if not messages:
                     self._reap_crashes(assignments, results)
-                    self._reap_timeouts(assignments, results)
+                    self._reap_timeouts(results, effective_timeout_s)
                 for message in messages:
                     tag = message[0]
                     if tag == "ready":
@@ -519,9 +556,7 @@ class WorkerPool:
                 self._dispatch(replacement, task_id, kind, payload)
 
     def _reap_timeouts(
-        self,
-        assignments: dict[int, tuple[int, str, dict, int]],
-        results: dict[int, object],
+        self, results: dict[int, object], timeout_s: float
     ) -> None:
         """Kill workers holding tasks past the deadline; fail the task."""
         now = time.monotonic()
@@ -530,16 +565,15 @@ class WorkerPool:
             overdue = [
                 task_id
                 for task_id, assigned in worker.inflight.items()
-                if task_id not in results
-                and now - assigned > self.task_timeout_s
+                if task_id not in results and now - assigned > timeout_s
             ]
             if not overdue:
                 continue
             worker.process.terminate()
             worker.process.join(timeout=5.0)
             self._replace_worker(worker_id)
-            raise WorkerError(
-                f"task {overdue[0]} exceeded the {self.task_timeout_s}s "
+            raise WorkerTimeout(
+                f"task {overdue[0]} exceeded the {timeout_s}s "
                 f"timeout in worker {worker_id} (worker killed)"
             )
 

@@ -21,7 +21,7 @@ import threading
 import time
 from dataclasses import dataclass
 
-from ..obs import counter, gauge
+from ..obs import counter, gauge, histogram
 
 __all__ = ["AdmissionError", "AdmissionStats", "AdmissionController"]
 
@@ -29,6 +29,10 @@ _ADM_ACTIVE = gauge("service.admission.active")
 _ADM_WAITING = gauge("service.admission.waiting")
 _ADM_ADMITTED = counter("service.admission.admitted")
 _ADM_REJECTED = counter("service.admission.rejected")
+#: Queue wait before an execution slot, for admitted requests.  Shared
+#: with the asyncio front door, which waits on the loop instead of a
+#: condition variable but records into the same instrument.
+_ADM_WAIT_MS = histogram("service.admission.wait_ms")
 
 
 class AdmissionError(RuntimeError):
@@ -122,7 +126,8 @@ class AdmissionController:
 
         Returns a context manager releasing the slot on exit.
         """
-        deadline = time.monotonic() + self.timeout_s
+        started = time.monotonic()
+        deadline = started + self.timeout_s
         with self._mutex:
             if self._active >= self.max_concurrent:
                 if self._waiting >= self.max_queue:
@@ -144,6 +149,25 @@ class AdmissionController:
                 finally:
                     self._waiting -= 1
                     _ADM_WAITING.set(self._waiting)
+            self._active += 1
+            self.stats.admitted += 1
+            _ADM_ACTIVE.set(self._active)
+            _ADM_ADMITTED.inc()
+            _ADM_WAIT_MS.observe((time.monotonic() - started) * 1000.0)
+        return _Admitted(self)
+
+    def try_admit(self, kind: str = "read") -> "_Admitted | None":
+        """Acquire an execution slot without blocking.
+
+        Returns the slot context manager, or ``None`` when the service is
+        at ``max_concurrent`` — without waiting and **without** counting a
+        rejection (the caller is expected to retry; the asyncio front door
+        polls this from the event loop and records its own wait into the
+        ``service.admission.wait_ms`` histogram).
+        """
+        with self._mutex:
+            if self._active >= self.max_concurrent:
+                return None
             self._active += 1
             self.stats.admitted += 1
             _ADM_ACTIVE.set(self._active)

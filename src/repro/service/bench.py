@@ -90,6 +90,7 @@ def run_serve_bench(
     k: int = 10,
     max_batch: int = 64,
     seed: int = 0,
+    open_loop_qps: float | None = None,
     verbose: bool = True,
 ) -> ServeBenchResult:
     """Run the head-to-head throughput comparison.
@@ -139,6 +140,7 @@ def run_serve_bench(
         duration_s=duration_s,
         num_readers=num_readers,
         num_writers=num_writers,
+        open_loop_qps=open_loop_qps,
     )
 
     service = IndexService(
@@ -151,6 +153,7 @@ def run_serve_bench(
             duration_s=duration_s,
             num_readers=num_readers,
             num_writers=num_writers,
+            open_loop_qps=open_loop_qps,
         )
 
     result = ServeBenchResult(
@@ -180,9 +183,22 @@ def run_serve_bench(
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI for the comparison; exit 1 on violations (or, in the full
-    profile, when the snapshot service fails to beat the baseline)."""
-    import argparse
+    profile, when the snapshot service fails to beat the baseline).
 
+    With ``--net``, delegates to the network bench
+    (:mod:`repro.frontend.bench`): the asyncio front door is driven over
+    TCP, batched vs unbatched, with fairness and event-loop-blocking
+    checks.
+    """
+    import argparse
+    import sys as _sys
+
+    argv = list(_sys.argv[1:] if argv is None else argv)
+    if "--net" in argv:
+        from ..frontend.bench import main as net_bench_main
+
+        argv.remove("--net")
+        return net_bench_main(argv)
     parser = argparse.ArgumentParser(
         description="IndexService vs global-lock baseline throughput."
     )
@@ -197,6 +213,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--k", type=int, default=10)
     parser.add_argument("--max-batch", type=int, default=64)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--open-qps",
+        type=float,
+        default=None,
+        help="drive reads open-loop at this offered QPS (Poisson "
+        "arrivals); reports scheduled-arrival percentiles alongside "
+        "service percentiles",
+    )
     parser.add_argument(
         "--smoke",
         action="store_true",
@@ -220,6 +244,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         k=args.k,
         max_batch=args.max_batch,
         seed=args.seed,
+        open_loop_qps=args.open_qps,
     )
     if result.violations:
         print(f"FAIL: {result.violations} consistency violation(s)")

@@ -87,20 +87,54 @@ class OpStats:
     Attributes:
         completed: Requests that returned a result.
         rejected: Requests shed by admission control.
+        deadline_exceeded: Requests that timed out (any
+            :class:`TimeoutError`, including the front door's
+            ``DEADLINE_EXCEEDED`` responses).
+        connection_errors: Requests lost to a broken transport
+            (:class:`ConnectionError` / :class:`OSError`).
         failed: Requests that raised anything else.
-        latencies_ms: Latency of each completed request.
+        latencies_ms: Service latency of each completed request
+            (request issued → response).
+        sched_latencies_ms: Open-loop only — latency of each completed
+            request measured from its *scheduled arrival*, so queueing
+            delay behind a saturated service is visible.
     """
 
     completed: int = 0
     rejected: int = 0
+    deadline_exceeded: int = 0
+    connection_errors: int = 0
     failed: int = 0
     latencies_ms: list = field(default_factory=list)
+    sched_latencies_ms: list = field(default_factory=list)
 
     def percentile(self, q: float) -> float:
-        """Latency percentile in ms (0.0 when nothing completed)."""
+        """Service-latency percentile in ms (0.0 when nothing completed)."""
         if not self.latencies_ms:
             return 0.0
         return float(np.percentile(self.latencies_ms, q))
+
+    def sched_percentile(self, q: float) -> float:
+        """Scheduled-arrival latency percentile in ms (open loop only;
+        0.0 when the run was closed-loop)."""
+        if not self.sched_latencies_ms:
+            return 0.0
+        return float(np.percentile(self.sched_latencies_ms, q))
+
+
+def _classify_failure(error: BaseException) -> str:
+    """The :class:`OpStats` counter an exception belongs to.
+
+    Order matters: :class:`TimeoutError` and :class:`ConnectionError`
+    both subclass :class:`OSError`, so the deadline check runs first.
+    """
+    if isinstance(error, TimeoutError):
+        return "deadline_exceeded"
+    if getattr(error, "code", None) == "DEADLINE_EXCEEDED":
+        return "deadline_exceeded"
+    if isinstance(error, (ConnectionError, OSError)):
+        return "connection_errors"
+    return "failed"
 
 
 @dataclass
@@ -158,11 +192,30 @@ class LoadReport:
                 f" {self.writes.rejected} writes"
             ),
             (
+                f"deadline        {self.reads.deadline_exceeded:8d} reads,"
+                f" {self.writes.deadline_exceeded} writes"
+            ),
+            (
+                f"conn errors     {self.reads.connection_errors:8d} reads,"
+                f" {self.writes.connection_errors} writes"
+            ),
+            (
                 f"failed          {self.reads.failed:8d} reads,"
                 f" {self.writes.failed} writes"
             ),
             f"violations      {self.violations:8d}",
         ]
+        if self.reads.sched_latencies_ms:
+            lines.insert(
+                3,
+                (
+                    f"reads (sched)   {'':8s}"
+                    f"  (open loop,"
+                    f" p50 {self.reads.sched_percentile(50):.2f} ms,"
+                    f" p95 {self.reads.sched_percentile(95):.2f} ms,"
+                    f" p99 {self.reads.sched_percentile(99):.2f} ms)"
+                ),
+            )
         if self.errors:
             lines.append(f"first errors    {self.errors}")
         return "\n".join(lines)
@@ -222,10 +275,13 @@ def run_load(
             arrival schedule at this offered rate is drawn up front
             (``spec.seed``-deterministic), reader threads claim arrivals
             in order and sleep until each scheduled instant, and each
-            completed read's latency is measured **from its scheduled
-            arrival** — a service that cannot keep up accumulates
-            queueing delay in the percentiles rather than quietly
-            lowering the offered load.  Writers stay closed-loop.
+            completed read records **two** latencies: service latency
+            (into ``latencies_ms``) and scheduled-arrival latency (into
+            ``sched_latencies_ms``) — a service that cannot keep up
+            accumulates queueing delay in the sched percentiles rather
+            than quietly lowering the offered load, while the service
+            percentiles stay comparable with closed-loop runs.  Writers
+            stay closed-loop.
 
     Returns:
         A :class:`LoadReport`.
@@ -319,19 +375,20 @@ def run_load(
                 local.rejected += 1
                 continue
             except BaseException as error:  # repro: noqa-R004 - tallied
-                local.failed += 1
-                with totals_mutex:
-                    if len(errors) < 5:
-                        errors.append(f"read: {error!r}")
+                category = _classify_failure(error)
+                setattr(local, category, getattr(local, category) + 1)
+                if category == "failed":
+                    with totals_mutex:
+                        if len(errors) < 5:
+                            errors.append(f"read: {error!r}")
                 continue
+            local.latencies_ms.append(timer.ms)
             if target_s is not None:
-                # Open loop: latency counted from the scheduled arrival,
-                # so time spent waiting for a free thread is included.
-                local.latencies_ms.append(
+                # Open loop: also count from the scheduled arrival, so
+                # time spent waiting for a free thread is visible.
+                local.sched_latencies_ms.append(
                     (time.monotonic() - target_s) * 1000.0
                 )
-            else:
-                local.latencies_ms.append(timer.ms)
             local.completed += 1
             if not _probe_result(result, spec.k):
                 local_violations += 1
@@ -369,10 +426,16 @@ def run_load(
                     owned.append(victim)  # not deleted; still live
                 continue
             except BaseException as error:  # repro: noqa-R004 - tallied
-                local.failed += 1
-                with totals_mutex:
-                    if len(errors) < 5:
-                        errors.append(f"write: {error!r}")
+                category = _classify_failure(error)
+                setattr(local, category, getattr(local, category) + 1)
+                if do_delete:
+                    # Outcome unknown or failed; assume still live so a
+                    # later delete retries rather than orphaning the oid.
+                    owned.append(victim)
+                if category == "failed":
+                    with totals_mutex:
+                        if len(errors) < 5:
+                            errors.append(f"write: {error!r}")
                 continue
             local.latencies_ms.append(timer.ms)
             local.completed += 1
@@ -406,5 +469,8 @@ def run_load(
 def _merge(total: OpStats, local: OpStats) -> None:
     total.completed += local.completed
     total.rejected += local.rejected
+    total.deadline_exceeded += local.deadline_exceeded
+    total.connection_errors += local.connection_errors
     total.failed += local.failed
     total.latencies_ms.extend(local.latencies_ms)
+    total.sched_latencies_ms.extend(local.sched_latencies_ms)

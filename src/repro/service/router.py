@@ -235,15 +235,27 @@ class RangeShardedService:
         k: int,
         *,
         l_budget: int | None = None,
+        timeout_s: float | None = None,
     ) -> QueryResult:
         """Scatter a range query to overlapping shards, merge top-``k``.
 
         Only shards whose attribute interval intersects ``[lo, hi]`` are
         consulted; their per-shard top-``k`` answers merge by approximate
         distance (ties broken by oid for determinism).
+
+        Args:
+            timeout_s: Remaining deadline budget for this query.  On the
+                parallel backend it becomes the worker batch's per-task
+                timeout, and an overrun raises :class:`TimeoutError`
+                instead of silently falling back to threads (the client
+                has stopped waiting; re-running serially would only burn
+                capacity).  The in-process thread path has no preemption
+                point, so there the budget is only checked up front.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise TimeoutError("query deadline exhausted before execution")
         first = self.shard_for_attr(lo)
         last = self.shard_for_attr(hi)
         numbers = range(first, last + 1)
@@ -252,7 +264,7 @@ class RangeShardedService:
         # _query_parallel before use.
         if self._parallel_pool is not None:  # repro: noqa-C002
             result = self._query_parallel(
-                query_vector, lo, hi, k, numbers, l_budget
+                query_vector, lo, hi, k, numbers, l_budget, timeout_s
             )
             if result is not None:
                 return result
@@ -358,9 +370,10 @@ class RangeShardedService:
         k: int,
         numbers,
         l_budget: int | None,
+        timeout_s: float | None = None,
     ) -> QueryResult | None:
         """Scatter one query across the pool; None means "use threads"."""
-        from ..parallel.pool import WorkerError
+        from ..parallel.pool import WorkerError, WorkerTimeout
 
         self._refresh_manifests(numbers)
         # Snapshot the pool and manifests under the mutex so a concurrent
@@ -389,7 +402,14 @@ class RangeShardedService:
             for manifest in manifests
         ]
         try:
-            replies = pool.run(tasks)
+            replies = pool.run(tasks, timeout_s=timeout_s)
+        except WorkerTimeout as exc:
+            if timeout_s is not None:
+                # An explicit deadline overran: surface it rather than
+                # re-running serially for a client that stopped waiting.
+                raise TimeoutError(str(exc)) from exc
+            _PARALLEL_FALLBACKS.inc()
+            return None
         except WorkerError:
             _PARALLEL_FALLBACKS.inc()
             return None

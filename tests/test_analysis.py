@@ -280,9 +280,9 @@ def test_render_json_is_parseable():
     assert payload["findings"][0]["rule"] == "R005"
 
 
-def test_rule_catalogue_covers_r001_to_r010():
+def test_rule_catalogue_covers_r001_to_r011():
     assert [rule.id for rule in RULES] == [
-        f"R{n:03d}" for n in range(1, 11)
+        f"R{n:03d}" for n in range(1, 12)
     ]
 
 
@@ -632,3 +632,62 @@ def test_env_variable_installs_at_import_time():
     )
     assert result.returncode == 0, result.stderr
     assert "sanitized" in result.stdout
+
+
+# ----------------------------------------------------------------------
+# R011: blocking primitives inside frontend coroutine bodies
+# ----------------------------------------------------------------------
+
+FRONTEND = "src/repro/frontend/_fixture.py"
+
+
+def test_r011_flags_blocking_primitives_in_coroutines():
+    forms = [
+        "async def f():\n    time.sleep(1)\n",
+        "async def f(self):\n    self._mutex.acquire()\n",
+        "async def f(self):\n    self._slot_lock.acquire(blocking=True)\n",
+        "async def f():\n    sock = socket.create_connection(('h', 1))\n",
+        "async def f():\n    data = open('x').read()\n",
+    ]
+    for source in forms:
+        assert [f.rule for f in lint_source(source, FRONTEND)] == [
+            "R011"
+        ], source
+
+
+def test_r011_allows_nonblocking_and_awaited_forms():
+    ok = [
+        "async def f():\n    await asyncio.sleep(1)\n",
+        "async def f(self):\n    self._mutex.acquire(blocking=False)\n",
+        "async def f(self):\n    got = lock.acquire(False)\n",
+        "async def f(self):\n    self.sock_name = 'x'\n",
+    ]
+    for source in ok:
+        assert lint_source(source, FRONTEND) == [], source
+
+
+def test_r011_exempts_sync_functions_and_nested_defs():
+    # A sync function may block (it runs on an executor thread), and a
+    # def nested inside a coroutine is an executor payload by contract.
+    ok = [
+        "def f():\n    time.sleep(1)\n",
+        (
+            "async def f(self):\n"
+            "    def work():\n"
+            "        time.sleep(1)\n"
+            "    await loop.run_in_executor(None, work)\n"
+        ),
+    ]
+    for source in ok:
+        assert lint_source(source, FRONTEND) == [], source
+
+
+def test_r011_silent_outside_frontend():
+    source = "async def f():\n    time.sleep(1)\n"
+    assert lint_source(source, COLD) == []
+    assert lint_source(source, HOT) == []
+
+
+def test_r011_waivable_inline():
+    waived = "async def f():\n    time.sleep(1)  # repro: noqa-R011\n"
+    assert lint_source(waived, FRONTEND) == []

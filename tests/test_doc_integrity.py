@@ -16,6 +16,7 @@ DOCS = [
     REPO / "docs" / "analysis.md",
     REPO / "docs" / "service.md",
     REPO / "docs" / "observability.md",
+    REPO / "docs" / "serving.md",
 ]
 
 #: Backticked tokens that look like repo paths: segments/with/slashes ending

@@ -1,0 +1,195 @@
+"""Deadline propagation: client deadline → server shed/cancel →
+WorkerPool timeout, with no leaked slots or orphaned tasks."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import RangePQ
+from repro.frontend import FrontendClient, FrontendServer
+from repro.frontend.deadlines import Deadline, DeadlineExceeded
+from repro.parallel.pool import (
+    PoolUnavailable,
+    WorkerError,
+    WorkerPool,
+    WorkerTimeout,
+)
+from repro.service import IndexService
+from repro.service.router import RangeShardedService
+
+BUILD = dict(num_subspaces=4, num_clusters=8, num_codewords=16, seed=0)
+
+
+class TestDeadlineObject:
+    def test_after_and_remaining(self):
+        deadline = Deadline.after(10.0)
+        assert 9.0 < deadline.remaining_s() <= 10.0
+        assert not deadline.expired
+
+    def test_from_ms(self):
+        deadline = Deadline.from_ms(50.0)
+        assert 0.0 < deadline.remaining_s() <= 0.05
+
+    def test_expired_check_raises(self):
+        deadline = Deadline.after(0.0)
+        assert deadline.expired
+        assert deadline.remaining_s() <= 0.0
+        with pytest.raises(DeadlineExceeded):
+            deadline.check()
+
+    def test_unexpired_check_passes(self):
+        Deadline.after(60.0).check()
+
+    def test_exception_is_a_timeout_with_wire_code(self):
+        # The two properties error mapping relies on: except TimeoutError
+        # catches it, and .code selects the wire error code.
+        assert issubclass(DeadlineExceeded, TimeoutError)
+        assert DeadlineExceeded.code == "DEADLINE_EXCEEDED"
+
+
+def _service() -> IndexService:
+    rng = np.random.default_rng(21)
+    vectors = rng.standard_normal((200, 16))
+    attrs = rng.random(200) * 100.0
+    return IndexService(RangePQ.build(vectors, attrs, **BUILD))
+
+
+class _SlowService:
+    """Wraps an IndexService, sleeping longer than the test deadlines."""
+
+    def __init__(self, inner, delay_s: float) -> None:
+        self._inner = inner
+        self._delay_s = delay_s
+        self.calls = 0
+
+    def query(self, *args, **kwargs):
+        self.calls += 1
+        time.sleep(self._delay_s)
+        return self._inner.query(*args, **kwargs)
+
+    def insert(self, *args, **kwargs):
+        return self._inner.insert(*args, **kwargs)
+
+    def delete(self, *args, **kwargs):
+        return self._inner.delete(*args, **kwargs)
+
+
+class TestServerDeadlines:
+    def test_zero_deadline_rejected_at_arrival(self):
+        slow = _SlowService(_service(), delay_s=0.2)
+
+        async def go():
+            server = FrontendServer(slow)
+            host, port = await server.start()
+            client = await FrontendClient.connect(host, port)
+            try:
+                with pytest.raises(DeadlineExceeded):
+                    await client.query(
+                        np.zeros(16), 0.0, 100.0, 3, deadline_ms=0.0
+                    )
+                return server.scheduler.stats_of("default").deadline_exceeded
+            finally:
+                await client.close()
+                await server.stop()
+
+        # Shed before touching the service: no call, counted as exceeded.
+        assert asyncio.run(go()) == 1
+        assert slow.calls == 0
+
+    def test_short_deadline_releases_slot_and_orphans_nothing(self):
+        """A deadline shorter than the query latency must surface as
+        DEADLINE_EXCEEDED, release the admission slot, and leave no
+        queued or in-flight work behind."""
+        slow = _SlowService(_service(), delay_s=0.25)
+
+        async def go():
+            server = FrontendServer(slow, executor_threads=1)
+            host, port = await server.start()
+            client = await FrontendClient.connect(host, port)
+            try:
+                with pytest.raises(DeadlineExceeded):
+                    await client.query(
+                        np.zeros(16), 0.0, 100.0, 3, deadline_ms=60.0
+                    )
+                # A follow-up query without a deadline must still get an
+                # admission slot — proof the timed-out request released
+                # its slot rather than leaking it.
+                result = await client.query(np.zeros(16), 0.0, 100.0, 3)
+                assert len(result["ids"]) == 3
+                stats = server.scheduler.stats_of("default")
+                return (
+                    server.admission.active,
+                    server.scheduler.pending,
+                    stats.deadline_exceeded,
+                    stats.completed,
+                )
+            finally:
+                await client.close()
+                await server.stop()
+
+        active, pending, exceeded, completed = asyncio.run(go())
+        assert active == 0
+        assert pending == 0
+        assert exceeded == 1
+        assert completed == 1
+
+
+def _pool(num_workers: int = 1, **kwargs) -> WorkerPool:
+    try:
+        return WorkerPool(num_workers, **kwargs)
+    except PoolUnavailable as exc:  # pragma: no cover - sandboxed CI
+        pytest.skip(f"worker pool unavailable: {exc}")
+
+
+class TestWorkerPoolTimeout:
+    def test_worker_timeout_is_a_worker_error(self):
+        assert issubclass(WorkerTimeout, WorkerError)
+
+    def test_per_call_timeout_overrides_pool_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        with _pool(1, task_timeout_s=30.0) as pool:
+            started = time.monotonic()
+            with pytest.raises(WorkerTimeout):
+                pool.run([("sleep", {"seconds": 5.0})], timeout_s=0.2)
+            # The per-call budget governed, not the 30s pool default.
+            assert time.monotonic() - started < 5.0
+            # Inflight accounting drains on the failure path too: no
+            # orphaned worker task survives the timeout.
+            assert pool.inflight_tasks == 0
+            # The pool replaced the stuck worker and remains usable.
+            assert pool.run([("ping", {})])[0]["pid"] > 0
+
+    def test_timeout_none_uses_pool_default(self):
+        with _pool(1, task_timeout_s=0.2) as pool:
+            with pytest.raises(WorkerTimeout):
+                pool.run([("sleep", {"seconds": 5.0})])
+
+
+class TestRouterTimeout:
+    def test_exhausted_budget_raises_before_execution(self):
+        rng = np.random.default_rng(31)
+        n = 400
+        vectors = rng.standard_normal((n, 16))
+        attrs = rng.random(n) * 100.0
+        ids = np.arange(n, dtype=np.int64)
+        router = RangeShardedService.build(
+            ids,
+            vectors,
+            attrs,
+            num_shards=2,
+            index_factory=lambda i, v, a: RangePQ.build(
+                v, a, ids=i, **BUILD
+            ),
+        )
+        query = rng.standard_normal(16)
+        with pytest.raises(TimeoutError):
+            router.query(query, 0.0, 100.0, 5, timeout_s=0.0)
+        with pytest.raises(TimeoutError):
+            router.query(query, 0.0, 100.0, 5, timeout_s=-1.0)
+        # And with budget remaining it answers normally.
+        result = router.query(query, 0.0, 100.0, 5, timeout_s=30.0)
+        assert len(result.ids) == 5

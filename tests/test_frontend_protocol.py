@@ -1,0 +1,205 @@
+"""Wire protocol: framing, float round-trips, and request validation."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+
+from repro.frontend.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    read_frame,
+    validate_request,
+)
+
+
+def _strip_header(frame: bytes) -> bytes:
+    (length,) = struct.unpack("!I", frame[:4])
+    assert length == len(frame) - 4
+    return frame[4:]
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"v": 1, "type": "stats", "id": 3}
+        assert decode_frame(_strip_header(encode_frame(message))) == message
+
+    def test_floats_round_trip_bitwise(self):
+        # repr-based JSON floats are exact for finite doubles — the
+        # property the network/direct equivalence guarantee rests on.
+        rng = np.random.default_rng(7)
+        values = rng.standard_normal(64).tolist() + [
+            1e-308, 1.7976931348623157e308, -0.0, 1 / 3
+        ]
+        out = decode_frame(_strip_header(encode_frame({"x": values})))["x"]
+        assert all(a == b for a, b in zip(out, values))
+
+    def test_nan_rejected_at_encode(self):
+        with pytest.raises(ValueError):
+            encode_frame({"x": float("nan")})
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_frame(b"[1, 2]")
+        assert excinfo.value.code == "BAD_REQUEST"
+
+    def test_undecodable_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\xff\xfe not json")
+
+
+class TestReadFrame:
+    def _reader_with(self, data: bytes) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return reader
+
+    def test_clean_eof_returns_none(self):
+        async def go():
+            return await read_frame(self._reader_with(b""))
+
+        assert asyncio.run(go()) is None
+
+    def test_reads_back_to_back_frames(self):
+        async def go():
+            reader = self._reader_with(
+                encode_frame({"id": 1}) + encode_frame({"id": 2})
+            )
+            return [await read_frame(reader), await read_frame(reader)]
+
+        assert [m["id"] for m in asyncio.run(go())] == [1, 2]
+
+    def test_truncated_header_raises(self):
+        async def go():
+            return await read_frame(self._reader_with(b"\x00\x00"))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(go())
+
+    def test_truncated_payload_raises(self):
+        async def go():
+            frame = encode_frame({"id": 1})
+            return await read_frame(self._reader_with(frame[:-2]))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(go())
+
+    def test_oversized_length_prefix_raises(self):
+        async def go():
+            header = struct.pack("!I", MAX_FRAME_BYTES + 1)
+            return await read_frame(self._reader_with(header))
+
+        with pytest.raises(ProtocolError):
+            asyncio.run(go())
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        response = ok_response(9, {"ids": [1]})
+        assert response == {
+            "v": PROTOCOL_VERSION,
+            "id": 9,
+            "ok": True,
+            "result": {"ids": [1]},
+        }
+
+    def test_error_response_requires_known_code(self):
+        assert error_response(1, "OVER_QUOTA", "x")["code"] == "OVER_QUOTA"
+        with pytest.raises(ValueError):
+            error_response(1, "NO_SUCH_CODE", "x")
+
+    def test_protocol_error_requires_known_code(self):
+        assert ProtocolError("BAD_REQUEST", "x").code in ERROR_CODES
+        with pytest.raises(ValueError):
+            ProtocolError("NOT_A_CODE", "x")
+
+
+def _query(**overrides) -> dict:
+    message = {
+        "v": 1,
+        "type": "query",
+        "id": 1,
+        "vector": [0.1, 0.2],
+        "lo": 0.0,
+        "hi": 1.0,
+        "k": 5,
+    }
+    message.update(overrides)
+    return message
+
+
+class TestValidation:
+    def test_query_normalized(self):
+        normalized = validate_request(_query())
+        assert normalized["tenant"] == "default"
+        assert normalized["deadline_ms"] is None
+        assert normalized["l_budget"] is None
+        assert normalized["k"] == 5
+
+    def test_missing_version_defaults_to_current(self):
+        message = _query()
+        del message["v"]
+        assert validate_request(message)["type"] == "query"
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            validate_request(_query(v=2))
+        assert excinfo.value.code == "UNSUPPORTED_VERSION"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            validate_request(_query(type="snapshot"))
+        assert excinfo.value.code == "UNKNOWN_TYPE"
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"id": "seven"},
+            {"id": True},
+            {"tenant": ""},
+            {"tenant": 4},
+            {"deadline_ms": -1.0},
+            {"deadline_ms": True},
+            {"vector": []},
+            {"vector": [1.0, "x"]},
+            {"vector": [True, False]},
+            {"lo": "low"},
+            {"k": 0},
+            {"k": True},
+            {"l_budget": 0},
+        ],
+    )
+    def test_bad_query_fields_rejected(self, overrides):
+        with pytest.raises(ProtocolError) as excinfo:
+            validate_request(_query(**overrides))
+        assert excinfo.value.code == "BAD_REQUEST"
+
+    def test_insert_and_delete_normalized(self):
+        insert = validate_request(
+            {"type": "insert", "id": 2, "oid": 7, "vector": [1.0], "attr": 3}
+        )
+        assert insert["attr"] == 3.0 and insert["oid"] == 7
+        delete = validate_request({"type": "delete", "id": 3, "oid": 7})
+        assert delete["oid"] == 7
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            {"type": "insert", "id": 2, "oid": "x", "vector": [1.0], "attr": 3},
+            {"type": "insert", "id": 2, "oid": 7, "vector": [1.0]},
+            {"type": "delete", "id": 3, "oid": 1.5},
+        ],
+    )
+    def test_bad_write_fields_rejected(self, message):
+        with pytest.raises(ProtocolError):
+            validate_request(message)

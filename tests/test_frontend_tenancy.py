@@ -1,0 +1,169 @@
+"""Fair-share scheduling: stride weights, quotas, starvation-freedom."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend.deadlines import Deadline
+from repro.frontend.tenancy import (
+    FairShareScheduler,
+    QuotaExceeded,
+    TenantConfig,
+)
+
+
+def _drain(scheduler: FairShareScheduler) -> list[str]:
+    order = []
+    while True:
+        taken = scheduler.take_one()
+        if taken is None:
+            return order
+        order.append(taken[0])
+
+
+class TestQuota:
+    def test_enqueue_beyond_quota_rejected(self):
+        scheduler = FairShareScheduler(
+            [TenantConfig(name="a", max_queue=2)]
+        )
+        scheduler.enqueue("a", "r1")
+        scheduler.enqueue("a", "r2")
+        with pytest.raises(QuotaExceeded) as excinfo:
+            scheduler.enqueue("a", "r3")
+        assert excinfo.value.code == "OVER_QUOTA"
+        assert scheduler.stats_of("a").rejected_quota == 1
+        assert scheduler.pending == 2
+
+    def test_quota_frees_as_items_are_taken(self):
+        scheduler = FairShareScheduler([TenantConfig(name="a", max_queue=1)])
+        scheduler.enqueue("a", "r1")
+        scheduler.take_one()
+        scheduler.enqueue("a", "r2")  # no raise
+
+    def test_unknown_tenant_auto_registers_with_defaults(self):
+        scheduler = FairShareScheduler(default_weight=2.0, default_max_queue=3)
+        scheduler.enqueue("newcomer", "r1")
+        assert scheduler.weight_of("newcomer") == 2.0
+
+    def test_auto_register_off_rejects_unknown(self):
+        scheduler = FairShareScheduler(auto_register=False)
+        with pytest.raises(KeyError):
+            scheduler.enqueue("stranger", "r1")
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            TenantConfig(name="a", weight=0.0)
+        with pytest.raises(ValueError):
+            TenantConfig(name="a", max_queue=0)
+        with pytest.raises(ValueError):
+            FairShareScheduler(default_weight=-1.0)
+
+
+class TestFairShare:
+    def test_fifo_within_one_tenant(self):
+        scheduler = FairShareScheduler()
+        for i in range(5):
+            scheduler.enqueue("a", i)
+        assert [scheduler.take_one()[1] for _ in range(5)] == list(range(5))
+
+    def test_dequeues_proportional_to_weight(self):
+        scheduler = FairShareScheduler(
+            [
+                TenantConfig(name="light", weight=1.0, max_queue=1000),
+                TenantConfig(name="heavy", weight=3.0, max_queue=1000),
+            ]
+        )
+        for i in range(400):
+            scheduler.enqueue("light", i)
+            scheduler.enqueue("heavy", i)
+        first_200 = [scheduler.take_one()[0] for _ in range(200)]
+        heavy = first_200.count("heavy")
+        # Stride scheduling: within one request of exact 3:1 over any
+        # backlogged window; allow slack of a few for pass-tie ordering.
+        assert 145 <= heavy <= 155
+
+    def test_no_starvation_under_heavy_competition(self):
+        scheduler = FairShareScheduler(
+            [
+                TenantConfig(name="tiny", weight=0.01),
+                TenantConfig(name="huge", weight=100.0, max_queue=4000),
+            ]
+        )
+        for i in range(2000):
+            scheduler.enqueue("huge", i)
+        for i in range(3):
+            scheduler.enqueue("tiny", i)
+        served = [scheduler.take_one()[0] for _ in range(2003)]
+        # The tiny tenant is eventually served (pass values of served
+        # tenants strictly increase), all of its items included.
+        assert served.count("tiny") == 3
+
+    def test_idle_tenant_banks_no_credit(self):
+        scheduler = FairShareScheduler(
+            [
+                TenantConfig(name="sleeper", weight=1.0),
+                TenantConfig(name="worker", weight=1.0),
+            ]
+        )
+        # The worker churns alone for a while, advancing virtual time.
+        for i in range(100):
+            scheduler.enqueue("worker", i)
+        for _ in range(100):
+            scheduler.take_one()
+        # Sleeper wakes: it must NOT get 100 back-to-back dequeues.
+        for i in range(50):
+            scheduler.enqueue("sleeper", i)
+            scheduler.enqueue("worker", i)
+        first_20 = [scheduler.take_one()[0] for _ in range(20)]
+        assert 8 <= first_20.count("sleeper") <= 12
+
+    def test_take_one_empty_returns_none(self):
+        assert FairShareScheduler().take_one() is None
+
+    def test_register_replaces_policy(self):
+        scheduler = FairShareScheduler([TenantConfig(name="a", weight=1.0)])
+        scheduler.register(TenantConfig(name="a", weight=5.0))
+        assert scheduler.weight_of("a") == 5.0
+        assert scheduler.tenant_names() == ["a"]
+
+
+class _Req:
+    def __init__(self, deadline):
+        self.deadline = deadline
+
+
+class TestDeadlineScan:
+    def test_earliest_deadline_across_tenants(self):
+        scheduler = FairShareScheduler()
+        late = Deadline.after(10.0)
+        soon = Deadline.after(0.5)
+        scheduler.enqueue("a", _Req(late))
+        scheduler.enqueue("b", _Req(soon))
+        scheduler.enqueue("b", _Req(None))
+        assert scheduler.earliest_deadline() is soon
+
+    def test_no_deadlines_returns_none(self):
+        scheduler = FairShareScheduler()
+        scheduler.enqueue("a", _Req(None))
+        scheduler.enqueue("b", "plain-item")
+        assert scheduler.earliest_deadline() is None
+
+
+class TestSnapshot:
+    def test_snapshot_reports_policy_and_counters(self):
+        scheduler = FairShareScheduler([TenantConfig(name="a", weight=2.0)])
+        scheduler.enqueue("a", "r1")
+        snapshot = scheduler.snapshot()
+        assert snapshot["a"]["weight"] == 2.0
+        assert snapshot["a"]["waiting"] == 1
+        assert snapshot["a"]["enqueued"] == 1
+
+    def test_queue_compaction_keeps_fifo(self):
+        scheduler = FairShareScheduler(default_max_queue=1000)
+        # Enough churn to trigger the head-index compaction path.
+        expected = []
+        for i in range(300):
+            scheduler.enqueue("a", i)
+        for i in range(300):
+            expected.append(scheduler.take_one()[1])
+        assert expected == list(range(300))
