@@ -134,6 +134,15 @@ class MicroBatcher:
         """Wake the tick loop (call after every enqueue)."""
         self._wakeup.set()
 
+    def note_shed(self, tenant, request) -> None:
+        """Shed one expired request: count it and invoke the shed
+        callback.  The server routes execution-time sheds (expiry found
+        after dispatch, before the service call) through here too, so
+        ``shed_expired`` stays consistent with the per-tenant
+        ``deadline_exceeded`` counters."""
+        self.shed_expired += 1
+        self._shed(tenant, request)
+
     def request_stop(self) -> None:
         """Ask :meth:`run` to exit once the queues are drained."""
         self._stopping = True
@@ -166,8 +175,7 @@ class MicroBatcher:
                 tenant, request = taken
                 deadline = getattr(request, "deadline", None)
                 if deadline is not None and deadline.expired:
-                    self.shed_expired += 1
-                    self._shed(tenant, request)
+                    self.note_shed(tenant, request)
                     continue
                 batch.append((tenant, request))
             if batch:

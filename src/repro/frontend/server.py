@@ -23,7 +23,8 @@ surface) without ever blocking the event loop:
   :class:`~repro.frontend.deadlines.Deadline` objects enforced at
   arrival, at batch assembly, and at completion; services whose ``query``
   accepts ``timeout_s`` (the sharded router's worker-pool path) get the
-  remaining budget propagated as the per-task timeout.
+  remaining budget propagated as the per-task timeout, and a
+  ``query_batch`` that accepts it gets the group's minimum budget.
 * **Graceful drain** — :meth:`stop` closes the listener, answers queued
   work, then closes connections; nothing admitted is dropped.
 
@@ -143,22 +144,30 @@ class FrontendServer:
             max_batch=max_batch,
         )
         self._has_query_batch = hasattr(service, "query_batch")
-        self._query_accepts_timeout = self._detect_timeout_support(service)
+        self._query_accepts_timeout = self._accepts_timeout(
+            getattr(service, "query", None)
+        )
+        self._batch_accepts_timeout = self._has_query_batch and (
+            self._accepts_timeout(service.query_batch)
+        )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.AbstractServer | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._batcher_task: asyncio.Task | None = None
         self._tasks: set[asyncio.Task] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
         self._slot_event = asyncio.Event()
         self._draining = False
 
     @staticmethod
-    def _detect_timeout_support(service) -> bool:
+    def _accepts_timeout(call) -> bool:
         import inspect
 
+        if call is None:
+            return False
         try:
-            signature = inspect.signature(service.query)
+            signature = inspect.signature(call)
         except (TypeError, ValueError):
             return False
         return "timeout_s" in signature.parameters
@@ -208,7 +217,6 @@ class FrontendServer:
             return
         self._draining = True
         self._server.close()
-        await self._server.wait_closed()
         self._batcher.request_stop()
         if self._batcher_task is not None:
             await self._batcher_task
@@ -231,9 +239,25 @@ class FrontendServer:
             )
         if self._tasks:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        # Hang up on still-connected clients: cancel every connection
+        # handler (they exit quietly) and close its transport.  This must
+        # precede Server.wait_closed(), which since CPython 3.12.1
+        # (gh-79033) also waits for the per-connection handlers — awaiting
+        # it with clients still connected would deadlock the drain.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks), return_exceptions=True)
+        self._conn_tasks.clear()
         for writer in list(self._writers):
             writer.close()
         self._writers.clear()
+        await self._server.wait_closed()
+        # Requests that raced in after the gather above were answered
+        # SHUTTING_DOWN (or had their writes dropped on the closed
+        # transport); reap their tasks — no new ones can spawn now.
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -260,6 +284,8 @@ class FrontendServer:
     # Connection plane
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
         self._writers.add(writer)
         send_lock = asyncio.Lock()
         try:
@@ -280,9 +306,12 @@ class FrontendServer:
                     self._serve_request(message, writer, send_lock)
                 )
                 self._track(task)
+        except asyncio.CancelledError:
+            pass  # stop() hung up on us; exit without teardown noise
         except (ConnectionError, OSError):
             pass  # client went away mid-read; nothing to answer
         finally:
+            self._conn_tasks.discard(task)
             self._writers.discard(writer)
             writer.close()
 
@@ -421,7 +450,7 @@ class FrontendServer:
             live: list[tuple[str, _Request]] = []
             for tenant, request in queries:
                 if request.deadline is not None and request.deadline.expired:
-                    self._shed_expired(tenant, request)
+                    self._batcher.note_shed(tenant, request)
                 else:
                     live.append((tenant, request))
             if not live:
@@ -459,7 +488,15 @@ class FrontendServer:
 
     def _query_batch_sync(self, requests: list[_Request]) -> list:
         """Executor thread: answer a query group, one service call per
-        ``(k, l_budget)`` parameter class (mirrors the read combiner)."""
+        ``(k, l_budget)`` parameter class (mirrors the read combiner).
+
+        When the service's ``query_batch`` accepts ``timeout_s``, the
+        minimum remaining budget across the group's deadlines is passed
+        so a coalesced batch cannot occupy workers past every member's
+        deadline.  Services without that parameter run the batch to
+        completion; expiry is then only detected at completion (the
+        per-request ``query`` path propagates budgets individually).
+        """
         outcomes: list = [None] * len(requests)
         groups: dict[tuple[int, int | None], list[int]] = {}
         for position, request in enumerate(requests):
@@ -475,9 +512,18 @@ class FrontendServer:
                     (requests[i].payload["lo"], requests[i].payload["hi"])
                     for i in positions
                 ]
+                kwargs: dict = {"l_budget": l_budget}
+                if self._batch_accepts_timeout:
+                    budgets = [
+                        requests[i].deadline.remaining_s()
+                        for i in positions
+                        if requests[i].deadline is not None
+                    ]
+                    if budgets:
+                        kwargs["timeout_s"] = max(min(budgets), 0.0)
                 try:
                     batch_result = self._service.query_batch(
-                        vectors, ranges, k, l_budget=l_budget
+                        vectors, ranges, k, **kwargs
                     )
                 except BaseException as error:  # repro: noqa-R004 — per-request fault barrier: marshalled to each caller
                     for position in positions:
@@ -522,7 +568,7 @@ class FrontendServer:
         slot = await self._acquire_slot("write")
         try:
             if request.deadline is not None and request.deadline.expired:
-                self._shed_expired(tenant, request)
+                self._batcher.note_shed(tenant, request)
                 return
             try:
                 await self._loop.run_in_executor(

@@ -159,14 +159,17 @@ class AdmissionController:
     def try_admit(self, kind: str = "read") -> "_Admitted | None":
         """Acquire an execution slot without blocking.
 
-        Returns the slot context manager, or ``None`` when the service is
-        at ``max_concurrent`` — without waiting and **without** counting a
-        rejection (the caller is expected to retry; the asyncio front door
-        polls this from the event loop and records its own wait into the
-        ``service.admission.wait_ms`` histogram).
+        Returns the slot context manager, or ``None`` — without waiting
+        and **without** counting a rejection — when the service is at
+        ``max_concurrent`` *or* when threads are already blocked in
+        :meth:`admit`: freed slots go to queued waiters first, so a
+        polling caller (the asyncio front door re-polls this from the
+        event loop, recording its wait into the
+        ``service.admission.wait_ms`` histogram) cannot starve the
+        blocking plane on a shared controller.
         """
         with self._mutex:
-            if self._active >= self.max_concurrent:
+            if self._waiting > 0 or self._active >= self.max_concurrent:
                 return None
             self._active += 1
             self.stats.admitted += 1

@@ -268,6 +268,31 @@ class TestDrain:
         result = asyncio.run(go())
         assert len(result["ids"]) == 2
 
+    def test_stop_completes_with_clients_still_connected(self, population):
+        """Regression: since CPython 3.12.1 Server.wait_closed() also
+        waits for per-connection handlers (gh-79033), so stop() must
+        close client transports before awaiting it or the drain
+        deadlocks while any client is still connected."""
+        service = _service(population)
+
+        async def go():
+            server = FrontendServer(service)
+            host, port = await server.start()
+            clients = [
+                await FrontendClient.connect(host, port) for _ in range(3)
+            ]
+            try:
+                result = await clients[0].query(np.zeros(16), 0.0, 100.0, 2)
+                assert len(result["ids"]) == 2
+                # All three clients idle but connected: stop() must not
+                # wait for them to hang up.
+                await asyncio.wait_for(server.stop(), timeout=10.0)
+            finally:
+                for client in clients:
+                    await client.close()
+
+        asyncio.run(go())
+
     def test_stop_is_idempotent(self, population):
         service = _service(population)
 

@@ -299,6 +299,44 @@ class TestAdmission:
             assert time.monotonic() - began >= 0.04
         assert controller.stats.rejected_timeout == 1
 
+    def test_try_admit_never_blocks_or_counts_rejections(self):
+        controller = AdmissionController(max_concurrent=1, max_queue=0)
+        slot = controller.try_admit("read")
+        assert slot is not None
+        assert controller.try_admit("read") is None
+        assert controller.stats.rejected == 0
+        with slot:
+            pass
+        with controller.try_admit("read"):
+            pass
+        assert controller.stats.admitted == 2
+
+    def test_try_admit_yields_to_blocked_waiters(self):
+        """A polling caller must not barge ahead of threads already
+        blocked in admit() on a shared controller (priority inversion
+        would starve the thread plane under sustained polling)."""
+        controller = AdmissionController(
+            max_concurrent=1, max_queue=4, timeout_s=5.0
+        )
+        first = controller.try_admit("read")
+        assert first is not None
+        admitted = []
+
+        def waiter():
+            with controller.admit("read"):
+                admitted.append(True)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        deadline = time.monotonic() + 5.0
+        while controller.waiting == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert controller.waiting == 1
+        assert controller.try_admit("read") is None
+        first.__exit__(None, None, None)
+        t.join(timeout=5)
+        assert admitted == [True]
+
     def test_service_sheds_on_saturation(self):
         stub = _SlowIndex()
         controller = AdmissionController(
