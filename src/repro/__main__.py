@@ -19,6 +19,12 @@ Subcommands::
                         baseline over worker counts (flags forwarded to
                         repro.parallel.bench; --smoke for the tiny CI
                         profile, which checks bitwise correctness only)
+    cluster-bench [...] WAL-shipping replication bench: shard primaries +
+                        socket-fed replicas, gated bitwise against a
+                        single-process oracle (flags forwarded to
+                        repro.cluster.bench; --smoke for the tiny CI
+                        profile, --chaos to SIGKILL + restart nodes
+                        mid-run)
     metrics-dump [...]  dump the process metrics registry (Prometheus text
                         or --json; --smoke runs a tiny serving workload
                         first and verifies the expected metrics populated)
@@ -117,6 +123,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.parallel.bench import main as parallel_bench_main
 
         return parallel_bench_main(argv[1:])
+    if argv and argv[0] == "cluster-bench":
+        from repro.cluster.bench import main as cluster_bench_main
+
+        return cluster_bench_main(argv[1:])
     if argv and argv[0] == "metrics-dump":
         from repro.obs.exposition import main as metrics_dump_main
 
@@ -132,6 +142,7 @@ def main(argv: list[str] | None = None) -> int:
     print("  python -m repro serve [--port N]                asyncio TCP front door")
     print("  python -m repro serve-bench [--smoke] [--net]   serving throughput")
     print("  python -m repro parallel-bench [--smoke]        multiprocess scaling")
+    print("  python -m repro cluster-bench [--smoke]         replicated cluster")
     print("  python -m repro metrics-dump [--smoke] [--json] metrics exposition")
     print("  python -m repro query [--trace]                 one traced query")
     print("  pytest tests/                                   test suite")

@@ -1,4 +1,4 @@
-"""The lint rule catalogue: repo-specific AST checks R001–R011.
+"""The lint rule catalogue: repo-specific AST checks R001–R012.
 
 Each rule is a pure function over a parsed module plus a
 :class:`FileContext`; the engine in :mod:`repro.analysis.lint` handles file
@@ -648,6 +648,48 @@ def _check_r011(
             yield from _r011_scan(statement)
 
 
+#: Path fragments (posix) where raw socket use is sanctioned (R012).
+_R012_ALLOWED_FRAGMENTS = ("cluster/", "frontend/")
+
+
+def _check_r012(
+    module: ast.Module, ctx: FileContext
+) -> Iterator[tuple[int, str]]:
+    """R012: raw ``socket`` import outside the sanctioned network layers.
+
+    All network I/O in this repo lives in exactly two places:
+    ``repro/frontend/`` (the async front door and its framing) and
+    ``repro/cluster/`` (the replication stream and node serving).  A
+    ``socket`` import anywhere else is a side channel: it bypasses the
+    length-prefixed framing, the protocol error codes, and the
+    supervision/chaos story those layers provide.  Route new network
+    code through them (or extend them) instead.
+    """
+    normalized = ctx.path.replace("\\", "/")
+    if any(
+        fragment in normalized for fragment in _R012_ALLOWED_FRAGMENTS
+    ):
+        return
+    for node in ast.walk(module):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "socket" or alias.name.startswith("socket."):
+                    yield (
+                        node.lineno,
+                        "raw socket import outside repro/cluster/ and "
+                        "repro/frontend/; network I/O belongs in those "
+                        "layers (length-prefixed framing, supervision)",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if (node.module or "") == "socket":
+                yield (
+                    node.lineno,
+                    "raw socket import outside repro/cluster/ and "
+                    "repro/frontend/; network I/O belongs in those "
+                    "layers (length-prefixed framing, supervision)",
+                )
+
+
 def _check_r007(
     module: ast.Module, ctx: FileContext
 ) -> Iterator[tuple[int, str]]:
@@ -729,5 +771,11 @@ RULES: tuple[Rule, ...] = (
         "blocking primitive inside a coroutine body in repro/frontend/",
         False,
         _check_r011,
+    ),
+    Rule(
+        "R012",
+        "raw socket import outside repro/cluster/ and repro/frontend/",
+        False,
+        _check_r012,
     ),
 )

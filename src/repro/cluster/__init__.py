@@ -1,0 +1,42 @@
+"""repro.cluster: WAL-shipping replication over attribute-range shards.
+
+Each shard of the attribute domain becomes a **primary** process that
+serializes writes through its :class:`~repro.service.wal.WriteAheadLog`
+plus N **replica** processes that tail shipped WAL records over
+localhost sockets and serve snapshot-isolated reads; new (and
+restarted) replicas catch up from the newest ``snapshot-<seq>.npz``
+plus the records beyond it.
+
+* :class:`~repro.cluster.ship.WalShipper` /
+  :func:`~repro.cluster.ship.apply_stream` — the replication stream
+  (length-prefixed JSON frames, O(new bytes) log tailing, log-horizon
+  resync).
+* :class:`~repro.cluster.node.ClusterSupervisor` /
+  :func:`~repro.cluster.node.seed_shards` — node processes and their
+  one-pipe-pair-per-peer supervision; SIGKILL chaos + restart.
+* :class:`~repro.cluster.coordinator.ClusterCoordinator` — client-side
+  routing (writes → primaries, scattered reads → replicas) merging
+  through the router's :func:`~repro.service.router.merge_topk`, so
+  answers stay bitwise comparable to a single-process index.
+* :func:`~repro.cluster.bench.run_cluster_bench` — throughput bench
+  with a bitwise single-process oracle gate
+  (``python -m repro cluster-bench``).
+
+See ``docs/cluster.md`` for the topology, the catch-up protocol, and
+the failure matrix.
+"""
+
+from .coordinator import ClusterCoordinator, ClusterError
+from .node import ClusterSupervisor, NodeError, seed_shards
+from .ship import NeedsResync, WalShipper, apply_stream
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterError",
+    "ClusterSupervisor",
+    "NodeError",
+    "seed_shards",
+    "NeedsResync",
+    "WalShipper",
+    "apply_stream",
+]

@@ -1,0 +1,243 @@
+"""Cluster bench: replicated write/read throughput + a bitwise oracle gate.
+
+Seeds a sharded cluster (:func:`~repro.cluster.node.seed_shards`),
+brings it up under a :class:`~repro.cluster.node.ClusterSupervisor`,
+and drives it through a :class:`~repro.cluster.coordinator.ClusterCoordinator`:
+
+1. **write phase** — a deterministic mix of inserts and deletes routed
+   to the shard primaries (reported as write QPS);
+2. **sync** — block until every replica applied its primary's last
+   write (reported as catch-up seconds);
+3. **read phase** — scattered range queries served by replicas
+   (reported as read QPS);
+4. **oracle gate** — every answer is compared *bitwise* (ids and
+   distances) against a single-process
+   :class:`~repro.service.router.RangeShardedService` that applied the
+   identical operation sequence.  Any mismatch fails the run: the
+   cluster must be a transparent replacement for the in-process router.
+
+``--chaos`` additionally SIGKILLs a replica mid-writes and a primary
+between acknowledged writes, restarts both, and requires the oracle
+gate to still hold — the CLI twin of the chaos tests.
+
+Entry point: ``python -m repro cluster-bench [--smoke] [--chaos]``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..service.router import RangeShardedService
+from .coordinator import ClusterCoordinator
+from .node import ClusterSupervisor, seed_shards
+
+__all__ = ["ClusterBenchResult", "run_cluster_bench", "main"]
+
+#: Index build profile shared by the cluster shards and the oracle.
+BUILD = dict(num_subspaces=4, num_clusters=8, num_codewords=16, seed=0)
+
+
+class ClusterBenchResult:
+    """Throughput numbers plus the oracle-gate accounting.
+
+    Attributes:
+        write_qps: Acknowledged primary writes per second.
+        sync_s: Seconds until every replica caught up after the writes.
+        read_qps: Replica-served scattered queries per second.
+        violations: Queries whose cluster answer was not bitwise equal
+            to the single-process oracle's.
+        ops: Total write operations acknowledged.
+        queries: Total queries answered.
+    """
+
+    def __init__(self) -> None:
+        self.write_qps = 0.0
+        self.sync_s = 0.0
+        self.read_qps = 0.0
+        self.violations = 0
+        self.ops = 0
+        self.queries = 0
+
+
+def _factory(ids, vectors, attrs):
+    """Build one shard's index (shared by cluster seeding and oracle)."""
+    from ..core import RangePQ
+
+    return RangePQ.build(vectors, attrs, ids=ids, **BUILD)
+
+
+def run_cluster_bench(
+    *,
+    n: int = 2000,
+    dim: int = 16,
+    num_shards: int = 3,
+    replicas: int = 2,
+    writes: int = 200,
+    num_queries: int = 50,
+    k: int = 10,
+    seed: int = 0,
+    chaos: bool = False,
+    verbose: bool = True,
+) -> ClusterBenchResult:
+    """Run the replicated-cluster benchmark against its in-process oracle.
+
+    The oracle is a :class:`RangeShardedService` built from the same
+    seed data with the same factory and fed the same operation
+    sequence, so after :meth:`~repro.cluster.coordinator.ClusterCoordinator.sync`
+    every scattered query must match it bitwise.
+    """
+    rng = np.random.default_rng(seed)
+    vectors = rng.standard_normal((n, dim))
+    attrs = rng.random(n) * 100.0
+    ids = np.arange(n, dtype=np.int64)
+
+    # The identical deterministic op sequence both sides will apply.
+    num_deletes = min(writes // 4, n // 2)
+    delete_ids = rng.choice(ids, size=num_deletes, replace=False)
+    num_inserts = writes - num_deletes
+    insert_ids = np.arange(n, n + num_inserts, dtype=np.int64)
+    insert_vectors = rng.standard_normal((num_inserts, dim))
+    insert_attrs = rng.random(num_inserts) * 100.0
+    operations: list[tuple] = [
+        ("insert", int(insert_ids[i]), insert_vectors[i], float(insert_attrs[i]))
+        for i in range(num_inserts)
+    ]
+    for oid in delete_ids:
+        operations.append(("delete", int(oid)))
+    rng.shuffle(operations)
+
+    query_vectors = rng.standard_normal((num_queries, dim))
+    query_ranges = np.sort(rng.random((num_queries, 2)) * 100.0, axis=1)
+
+    result = ClusterBenchResult()
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tempdir:
+        seed_shards(
+            tempdir, ids, vectors, attrs,
+            num_shards=num_shards, index_factory=_factory,
+        )
+        with ClusterSupervisor(tempdir, replicas=replicas) as supervisor:
+            coordinator = ClusterCoordinator(supervisor)
+
+            chaos_at = len(operations) // 2
+            started = time.monotonic()
+            for position, op in enumerate(operations):
+                if chaos and position == chaos_at:
+                    # Kill a replica mid-stream and a primary between
+                    # acknowledged writes; both must recover.
+                    supervisor.kill_replica(0, 0)
+                    supervisor.kill_primary(0)
+                    supervisor.restart_primary(0)
+                    supervisor.restart_replica(0, 0)
+                if op[0] == "insert":
+                    coordinator.insert(op[1], op[2], op[3])
+                else:
+                    coordinator.delete(op[1])
+                result.ops += 1
+            write_elapsed = time.monotonic() - started
+            result.write_qps = result.ops / max(write_elapsed, 1e-9)
+
+            started = time.monotonic()
+            coordinator.sync(timeout_s=60.0)
+            result.sync_s = time.monotonic() - started
+
+            # The single-process oracle applies the same sequence.
+            oracle = RangeShardedService.build(
+                ids, vectors, attrs,
+                num_shards=num_shards, index_factory=_factory,
+            )
+            for op in operations:
+                if op[0] == "insert":
+                    oracle.insert(op[1], op[2], op[3])
+                else:
+                    oracle.delete(op[1])
+
+            started = time.monotonic()
+            for i in range(num_queries):
+                lo, hi = float(query_ranges[i][0]), float(query_ranges[i][1])
+                got = coordinator.query(query_vectors[i], lo, hi, k)
+                expected = oracle.query(query_vectors[i], lo, hi, k)
+                result.queries += 1
+                if not (
+                    np.array_equal(expected.ids, got.ids)
+                    and np.array_equal(expected.distances, got.distances)
+                ):
+                    result.violations += 1
+            read_elapsed = time.monotonic() - started
+            result.read_qps = result.queries / max(read_elapsed, 1e-9)
+            coordinator.close()
+            oracle.close()
+
+    if verbose:
+        print(
+            f"cluster bench — n={n}, d={dim}, {num_shards} shards x "
+            f"{replicas} replicas, {result.ops} writes, "
+            f"{result.queries} queries, k={k}"
+            + (", chaos on" if chaos else "")
+        )
+        print(f"  write                 {result.write_qps:10.1f} qps")
+        print(f"  replica catch-up      {result.sync_s:10.3f} s")
+        print(f"  read (replicas)       {result.read_qps:10.1f} qps")
+        print(f"  oracle violations     {result.violations:10d}")
+    return result
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI for the cluster bench; exit 1 on any bitwise oracle mismatch."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cluster-bench",
+        description=(
+            "WAL-shipping replication bench: primaries + socket-fed "
+            "replicas vs a single-process bitwise oracle."
+        ),
+    )
+    parser.add_argument("--n", type=int, default=2000)
+    parser.add_argument("--dim", type=int, default=16)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--writes", type=int, default=200)
+    parser.add_argument("--queries", type=int, default=50)
+    parser.add_argument("-k", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="SIGKILL + restart a replica and a primary mid-run",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI profile (n=500, 2 shards x 1 replica, 40 writes, "
+        "12 queries); the oracle gate still applies",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.n, args.shards, args.replicas = 500, 2, 1
+        args.writes, args.queries = 40, 12
+    result = run_cluster_bench(
+        n=args.n,
+        dim=args.dim,
+        num_shards=args.shards,
+        replicas=args.replicas,
+        writes=args.writes,
+        num_queries=args.queries,
+        k=args.k,
+        seed=args.seed,
+        chaos=args.chaos,
+    )
+    if result.violations:
+        print(f"FAIL: {result.violations} bitwise oracle mismatch(es)")
+        return 1
+    print("OK: every scattered query matched the single-process oracle bitwise")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

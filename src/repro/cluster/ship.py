@@ -1,0 +1,202 @@
+"""WAL shipping: the primary → replica replication stream.
+
+One primary per shard serializes writes through its
+:class:`~repro.service.wal.WriteAheadLog`; replicas subscribe over a
+socket and receive every durable record beyond the sequence number they
+already hold.  The stream reuses the front door's length-prefixed JSON
+framing (:mod:`repro.frontend.protocol`) in blocking-socket form, so a
+record's vector round-trips *bitwise* (``repr``-exact floats) — the
+property that lets chaos tests compare a recovered cluster against a
+single-process oracle to the last ULP.
+
+Frames on the wire, primary → replica only::
+
+    {"type": "records", "records": [<WalRecord.payload()>, ...],
+     "last_seq": <primary's durable seq>}
+    {"type": "heartbeat", "last_seq": <primary's durable seq>}
+    {"type": "resync", "snapshot_seq": <newest snapshot seq>}
+
+``records`` batches carry records in sequence order.  ``heartbeat``
+keeps lag observable when no writes flow.  ``resync`` means the
+subscriber's position fell behind the log horizon — snapshot-time
+truncation discarded the records it would need — so it must reload the
+newest ``snapshot-<seq>.npz`` and subscribe again from there
+(:class:`NeedsResync` on the replica side).
+
+The shipper tails the log through a persistent
+:class:`~repro.service.wal.WalCursor`, so each poll costs O(new bytes):
+continuous replication does not re-parse the log (the quadratic trap
+``records_since`` per poll would be).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..frontend.protocol import recv_frame, send_frame
+from ..obs import counter
+from ..service.wal import WalRecord, WriteAheadLog, record_from_payload
+
+__all__ = ["NeedsResync", "WalShipper", "apply_stream"]
+
+_SHIP_RECORDS = counter("cluster.ship.records")
+_SHIP_BATCHES = counter("cluster.ship.batches")
+_SHIP_RESYNCS = counter("cluster.ship.resyncs")
+_SHIP_SUBSCRIBERS = counter("cluster.ship.subscribers")
+
+
+class NeedsResync(RuntimeError):
+    """The primary's log no longer reaches back to this subscriber.
+
+    Raised on the replica side when a ``resync`` frame arrives: the
+    replica must reload the newest snapshot (at ``snapshot_seq`` or
+    later) and subscribe again from its sequence number.
+
+    Attributes:
+        snapshot_seq: The newest snapshot sequence the primary reported.
+    """
+
+    def __init__(self, snapshot_seq: int) -> None:
+        super().__init__(
+            f"subscriber position predates the log horizon; reload "
+            f"snapshot seq {snapshot_seq} and re-subscribe"
+        )
+        self.snapshot_seq = int(snapshot_seq)
+
+
+class WalShipper:
+    """Primary-side shipping of one WAL's records to subscribers.
+
+    One ``serve`` call per subscriber connection, each from its own
+    handler thread; the shipper itself is stateless across subscribers
+    (every subscriber gets a private :class:`WalCursor`), so any number
+    may tail the same log concurrently.
+
+    Args:
+        wal: The primary's :class:`~repro.service.wal.WriteAheadLog`.
+        poll_interval_s: How long to sleep between polls that found no
+            new records.
+        batch_max: Most records shipped in one ``records`` frame.
+        heartbeat_interval_s: Ship a ``heartbeat`` frame after this long
+            with nothing to send, keeping replica lag observable.
+    """
+
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        *,
+        poll_interval_s: float = 0.01,
+        batch_max: int = 512,
+        heartbeat_interval_s: float = 0.25,
+    ) -> None:
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        self.wal = wal
+        self.poll_interval_s = float(poll_interval_s)
+        self.batch_max = int(batch_max)
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
+
+    def serve(self, sock, start_seq: int, stop: threading.Event) -> None:
+        """Ship records beyond ``start_seq`` until disconnect or stop.
+
+        Blocking loop (call from the connection's handler thread).
+        Returns when the subscriber disconnects, ``stop`` is set, or a
+        ``resync`` frame was sent (the subscriber must reconnect after
+        reloading a snapshot).  Socket errors propagate as ``OSError``
+        for the caller to treat as a disconnect.
+        """
+        _SHIP_SUBSCRIBERS.inc()
+        cursor = self.wal.cursor(after_seq=int(start_seq))
+        if self._behind_horizon(cursor.last_seq):
+            self._send_resync(sock)
+            return
+        idle_since = time.monotonic()
+        while not stop.is_set():
+            batch: list[dict] = []
+            for record in cursor.poll():
+                batch.append(record.payload())
+                if len(batch) >= self.batch_max:
+                    break  # ship now; the cursor resumes where it stopped
+            if self._behind_horizon(cursor.last_seq):
+                # Snapshot-time truncation overtook this subscriber
+                # mid-stream (we tailed too slowly); it must resync.
+                self._send_resync(sock)
+                return
+            if batch:
+                send_frame(
+                    sock,
+                    {
+                        "type": "records",
+                        "records": batch,
+                        "last_seq": self.wal.last_seq,
+                    },
+                )
+                _SHIP_BATCHES.inc()
+                _SHIP_RECORDS.inc(len(batch))
+                idle_since = time.monotonic()
+                continue
+            if time.monotonic() - idle_since >= self.heartbeat_interval_s:
+                send_frame(
+                    sock,
+                    {"type": "heartbeat", "last_seq": self.wal.last_seq},
+                )
+                idle_since = time.monotonic()
+            stop.wait(self.poll_interval_s)
+
+    def _behind_horizon(self, seq: int) -> bool:
+        """Whether a subscriber at ``seq`` can no longer be fed from the log.
+
+        After a snapshot the log is truncated to records beyond the
+        snapshot seq; a subscriber below that horizon is missing records
+        that only the snapshot still holds.
+        """
+        horizon = self.wal.latest_snapshot_seq()
+        return horizon is not None and seq < horizon
+
+    def _send_resync(self, sock) -> None:
+        horizon = self.wal.latest_snapshot_seq() or 0
+        send_frame(sock, {"type": "resync", "snapshot_seq": horizon})
+        _SHIP_RESYNCS.inc()
+
+
+def apply_stream(
+    sock,
+    apply: Callable[[list[WalRecord], int], None],
+    *,
+    peer: str = "<primary>",
+) -> None:
+    """Replica-side receive loop over one subscription socket.
+
+    Decodes shipped frames and hands each batch to ``apply(records,
+    primary_last_seq)`` in arrival (= sequence) order; heartbeats call
+    ``apply([], primary_last_seq)`` so the caller can refresh its lag
+    gauge.  Returns on clean EOF (the primary closed the stream —
+    reconnect and re-subscribe).  To stop the loop from another thread,
+    close the socket: the blocked ``recv`` raises ``OSError``, which
+    propagates to the caller.
+
+    Raises:
+        NeedsResync: The primary sent a ``resync`` frame; reload the
+            newest snapshot, then reconnect.
+        WALError: A shipped record failed validation.
+        ProtocolError: The stream lost framing sync.
+    """
+    while True:
+        frame = recv_frame(sock)
+        if frame is None:
+            return
+        ftype = frame.get("type")
+        if ftype == "resync":
+            raise NeedsResync(frame.get("snapshot_seq", 0))
+        if ftype == "heartbeat":
+            apply([], int(frame.get("last_seq", 0)))
+        elif ftype == "records":
+            records = [
+                record_from_payload(payload, peer)
+                for payload in frame.get("records", [])
+            ]
+            apply(records, int(frame.get("last_seq", 0)))
+        # Unknown frame types are skipped: a newer primary may ship
+        # advisory frames an older replica does not understand.

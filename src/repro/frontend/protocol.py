@@ -24,6 +24,11 @@ Structured error codes (:data:`ERROR_CODES`) are the machine-readable
 half of every failure; the ``error`` string is advisory.  Framing or
 validation problems raise :class:`ProtocolError`, which carries the code
 to respond with.
+
+The same framing serves two transports: the async front door
+(:func:`read_frame` over asyncio streams) and the blocking-socket
+twins :func:`send_frame` / :func:`recv_frame`, which the cluster
+replication stream (:mod:`repro.cluster`) speaks from plain threads.
 """
 
 from __future__ import annotations
@@ -42,6 +47,8 @@ __all__ = [
     "encode_frame",
     "decode_frame",
     "read_frame",
+    "send_frame",
+    "recv_frame",
     "ok_response",
     "error_response",
     "validate_request",
@@ -137,6 +144,55 @@ async def read_frame(reader: asyncio.StreamReader) -> dict | None:
     except asyncio.IncompleteReadError:
         raise ProtocolError("BAD_REQUEST", "truncated frame payload")
     return decode_frame(payload)
+
+
+def send_frame(sock, message: dict) -> None:
+    """Send one frame over a blocking socket (sync twin of the streams).
+
+    Args:
+        sock: Anything with ``sendall(bytes)`` (a connected
+            ``socket.socket``).
+    """
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exactly(sock, count: int, *, allow_eof: bool = False) -> bytes | None:
+    """Read exactly ``count`` bytes from a blocking socket.
+
+    Returns ``None`` on a clean EOF before any byte arrived (only when
+    ``allow_eof``); raises :class:`ProtocolError` on a mid-read EOF —
+    framing sync is lost and the connection should be closed.
+    """
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            if allow_eof and not chunks:
+                return None
+            raise ProtocolError("BAD_REQUEST", "truncated frame")
+        chunks += chunk
+    return bytes(chunks)
+
+
+def recv_frame(sock) -> dict | None:
+    """Receive one complete frame from a blocking socket.
+
+    ``None`` on clean EOF between frames, mirroring :func:`read_frame`.
+
+    Raises:
+        ProtocolError: On a truncated frame or an oversized length
+            prefix.
+    """
+    header = _recv_exactly(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "BAD_REQUEST",
+            f"frame length {length} exceeds {MAX_FRAME_BYTES}",
+        )
+    return decode_frame(_recv_exactly(sock, length))
 
 
 def ok_response(request_id: int | None, result: dict) -> dict:

@@ -24,8 +24,15 @@ from .admission import AdmissionController, AdmissionError, AdmissionStats
 from .engine import GlobalLockService, IndexService, RWLock, ServiceStats
 from .loadgen import LoadReport, OpStats, WorkloadSpec, run_load
 from .maintenance import MaintenanceDaemon, MaintenanceStats
-from .router import RangeShardedService, quantile_boundaries
-from .wal import WALError, WriteAheadLog, recover_index
+from .router import RangeShardedService, merge_topk, quantile_boundaries
+from .wal import (
+    WALError,
+    WalCursor,
+    WriteAheadLog,
+    latest_snapshot,
+    record_from_payload,
+    recover_index,
+)
 
 __all__ = [
     "AdmissionController",
@@ -42,8 +49,12 @@ __all__ = [
     "MaintenanceDaemon",
     "MaintenanceStats",
     "RangeShardedService",
+    "merge_topk",
     "quantile_boundaries",
     "WALError",
+    "WalCursor",
     "WriteAheadLog",
+    "latest_snapshot",
+    "record_from_payload",
     "recover_index",
 ]

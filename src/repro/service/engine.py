@@ -288,6 +288,13 @@ class IndexService:
             writes (checked by the maintenance plane); ``None`` disables
             periodic snapshots.
         max_batch: Largest combined read batch.
+        read_only: Replica apply mode — the public write plane
+            (``insert``/``delete`` and friends) raises, and state only
+            advances through :meth:`apply_records`, fed by a replication
+            stream of another service's WAL records.  Reads keep the
+            full snapshot-isolation contract.  Incompatible with
+            ``wal_dir``: a replica replays someone else's log rather
+            than owning one.
     """
 
     def __init__(
@@ -300,7 +307,14 @@ class IndexService:
         defer_maintenance: bool = True,
         snapshot_every: int | None = None,
         max_batch: int = 64,
+        read_only: bool = False,
     ) -> None:
+        if read_only and wal_dir is not None:
+            raise ValueError(
+                "a read-only (replica) service cannot own a WAL; it "
+                "applies shipped records from the primary's log instead"
+            )
+        self._read_only = bool(read_only)
         self._index = index
         self._lock = RWLock()
         self._version = 0
@@ -337,6 +351,11 @@ class IndexService:
     def wal(self) -> WriteAheadLog | None:
         """The attached write-ahead log, if any."""
         return self._wal
+
+    @property
+    def read_only(self) -> bool:
+        """Whether this service is in replica apply mode."""
+        return self._read_only
 
     @property
     def version(self) -> int:
@@ -463,8 +482,64 @@ class IndexService:
     # ------------------------------------------------------------------
     # Write plane (serialized)
     # ------------------------------------------------------------------
+    def _check_writable(self) -> None:
+        if self._read_only:
+            raise RuntimeError(
+                "service is read-only (replica apply mode); writes go to "
+                "the primary and arrive here as shipped WAL records"
+            )
+
+    def apply_records(self, records: Sequence) -> int:
+        """Apply replicated WAL records as one committed version step.
+
+        The replica write path: records shipped from a primary's
+        :class:`~repro.service.wal.WriteAheadLog` (in sequence order)
+        are applied under the exclusive lock, so concurrent readers keep
+        seeing consistent snapshots.  Nothing is re-logged — durability
+        belongs to the primary; a restarted replica catches up from the
+        newest snapshot plus the shipped tail.
+
+        Args:
+            records: :class:`~repro.service.wal.WalRecord`-shaped
+                objects (``op``/``oid``/``attr``/``vector``).
+
+        Returns:
+            The number of records applied.
+
+        Raises:
+            RuntimeError: If this service owns a WAL (applying unlogged
+                mutations would silently fork its durable history).
+            ValueError: On an unknown record op.
+        """
+        if self._wal is not None:
+            raise RuntimeError(
+                "apply_records on a WAL-owning service would fork its "
+                "durable history; replicas must not own a WAL"
+            )
+        applied = 0
+        with phase("service_write", metric=_WRITE_MS):
+            with self._lock.write_locked():
+                for record in records:
+                    if record.op == "insert":
+                        self._index.insert(
+                            record.oid,
+                            np.asarray(record.vector, dtype=np.float64),
+                            record.attr,
+                        )
+                    elif record.op == "delete":
+                        self._index.delete(record.oid)
+                    else:
+                        raise ValueError(f"unknown record op {record.op!r}")
+                    applied += 1
+                if applied:
+                    self._commit_write_unlocked()
+        if applied:
+            self._signal_maintenance()
+        return applied
+
     def insert(self, oid: int, vector: np.ndarray, attr: float) -> None:
         """Insert one object; durable once the call returns (WAL mode)."""
+        self._check_writable()
         vector = np.asarray(vector, dtype=np.float64)
         with phase("service_write", metric=_WRITE_MS):
             with self._admit("write"):
@@ -482,6 +557,7 @@ class IndexService:
         attrs: Sequence[float],
     ) -> None:
         """Insert a batch of objects as one committed version step."""
+        self._check_writable()
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
         with phase("service_write", metric=_WRITE_MS):
             with self._admit("write"):
@@ -497,6 +573,7 @@ class IndexService:
 
     def delete(self, oid: int) -> None:
         """Delete one object; durable once the call returns (WAL mode)."""
+        self._check_writable()
         with phase("service_write", metric=_WRITE_MS):
             with self._admit("write"):
                 with self._lock.write_locked():
@@ -508,6 +585,7 @@ class IndexService:
 
     def delete_many(self, ids: Sequence[int]) -> None:
         """Delete a batch of objects as one committed version step."""
+        self._check_writable()
         ids = list(ids)
         with phase("service_write", metric=_WRITE_MS):
             with self._admit("write"):

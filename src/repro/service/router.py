@@ -28,7 +28,7 @@ from ..core.results import QueryResult, QueryStats
 from ..obs import counter, histogram, phase
 from .engine import IndexService
 
-__all__ = ["RangeShardedService", "quantile_boundaries"]
+__all__ = ["RangeShardedService", "merge_topk", "quantile_boundaries"]
 
 _MERGE_MS = histogram("service.merge_ms")
 _PARALLEL_FALLBACKS = counter("parallel.fallbacks")
@@ -274,7 +274,7 @@ class RangeShardedService:
         ]
         if len(partials) == 1:
             return partials[0]
-        return _merge_topk(partials, k)
+        return merge_topk(partials, k)
 
     # ------------------------------------------------------------------
     # Parallel read backend (multiprocess, shared memory)
@@ -424,7 +424,7 @@ class RangeShardedService:
         ]
         if len(partials) == 1:
             return partials[0]
-        return _merge_topk(partials, k)
+        return merge_topk(partials, k)
 
     # ------------------------------------------------------------------
     # Maintenance plane (shard-local)
@@ -463,8 +463,15 @@ class RangeShardedService:
             shard.close()
 
 
-def _merge_topk(partials: Sequence[QueryResult], k: int) -> QueryResult:
-    """Merge per-shard top-``k`` answers into one global top-``k``."""
+def merge_topk(partials: Sequence[QueryResult], k: int) -> QueryResult:
+    """Merge per-shard top-``k`` answers into one global top-``k``.
+
+    Order is by approximate distance with ties broken by oid, exactly
+    the ordering one un-sharded index produces — every scatter-gather
+    consumer (the in-process router, the parallel executor, and the
+    cluster coordinator) merges through this one function so their
+    answers stay bitwise comparable.
+    """
     with phase("merge", metric=_MERGE_MS):
         ids = np.concatenate([p.ids for p in partials])
         distances = np.concatenate([p.distances for p in partials])
@@ -487,3 +494,7 @@ def _merge_topk(partials: Sequence[QueryResult], k: int) -> QueryResult:
     return QueryResult(
         ids=ids[order], distances=distances[order], stats=stats
     )
+
+
+#: Backwards-compatible private alias (pre-cluster name).
+_merge_topk = merge_topk

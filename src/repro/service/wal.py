@@ -18,6 +18,13 @@ Recovery = load the newest snapshot, then replay every record with a
 sequence number beyond it, in order.  Snapshots never block recovery
 correctness: records at or below the snapshot's seq are skipped, so a
 crash between "snapshot written" and "log truncated" is harmless.
+
+Continuous readers (the replication shipper in :mod:`repro.cluster`)
+tail the log through a :class:`WalCursor`: it remembers the byte offset
+after the last complete record it consumed, so polling for new records
+reads O(new bytes) instead of re-parsing the whole log, and it survives
+the snapshot-time truncation rewrite by detecting the file swap and
+re-scanning (skipping records it already delivered by sequence number).
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ import json
 import os
 import re
 import tempfile
+import threading
 import zlib
 from pathlib import Path
 from typing import Iterator
@@ -34,7 +42,15 @@ import numpy as np
 
 from ..obs import counter, histogram, phase
 
-__all__ = ["WALError", "WalRecord", "WriteAheadLog", "recover_index"]
+__all__ = [
+    "WALError",
+    "WalRecord",
+    "WalCursor",
+    "WriteAheadLog",
+    "latest_snapshot",
+    "record_from_payload",
+    "recover_index",
+]
 
 _WAL_APPEND_MS = histogram("wal.append_ms")
 _WAL_FSYNC_MS = histogram("wal.fsync_ms")
@@ -43,7 +59,10 @@ _WAL_APPENDS = counter("wal.appends")
 _WAL_TAIL_REPAIRS = counter("wal.tail_repairs")
 
 WAL_NAME = "wal.log"
-_SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{12})\.npz$")
+# ``_snapshot_path`` zero-pads to 12 digits but seq keeps growing past
+# that, so the pattern must accept 12-or-more digits; sorting is numeric
+# (int seq), never lexical, so the padding is cosmetic only.
+_SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{12,})\.npz$")
 
 
 class WALError(RuntimeError):
@@ -64,6 +83,18 @@ class WalRecord:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"WalRecord(seq={self.seq}, op={self.op!r}, oid={self.oid})"
+
+    def payload(self) -> dict:
+        """The JSON-serializable form of this record (log and wire).
+
+        Round-trips exactly through :func:`record_from_payload`; the
+        replication stream ships records in this shape.
+        """
+        payload: dict = {"seq": self.seq, "op": self.op, "oid": self.oid}
+        if self.op == "insert":
+            payload["attr"] = self.attr
+            payload["vec"] = self.vector
+        return payload
 
 
 def _encode(payload: dict) -> str:
@@ -114,6 +145,142 @@ def _list_snapshots(directory: Path) -> list[tuple[int, Path]]:
     return found
 
 
+def latest_snapshot(directory: str | Path) -> tuple[int, Path] | None:
+    """The newest ``(seq, path)`` snapshot in a durability directory.
+
+    Replicas use this to pick their catch-up base without owning a
+    :class:`WriteAheadLog`.  Returns ``None`` when the directory holds no
+    snapshot.  Ordering is numeric on the sequence number, so snapshots
+    whose seq outgrew the 12-digit zero padding sort correctly.
+    """
+    snapshots = _list_snapshots(Path(directory))
+    return snapshots[-1] if snapshots else None
+
+
+def record_from_payload(payload: dict, path: str | Path = "<payload>") -> WalRecord:
+    """Build one :class:`WalRecord` from a decoded payload, validating it.
+
+    Inverse of :meth:`WalRecord.payload`; ``path`` names the source (a
+    log file or a replication peer) in error messages.
+
+    Raises:
+        WALError: On a malformed payload or an unknown op.
+    """
+    try:
+        record = WalRecord(
+            seq=int(payload["seq"]),
+            op=str(payload["op"]),
+            oid=int(payload["oid"]),
+            attr=payload.get("attr"),
+            vector=payload.get("vec"),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise WALError(f"{path}: malformed record: {error}") from error
+    if record.op not in ("insert", "delete"):
+        raise WALError(f"{path}: unknown op {record.op!r}")
+    return record
+
+
+class WalCursor:
+    """Incremental, truncation-aware reader over one WAL file.
+
+    The cursor remembers the byte offset just past the last complete
+    record it consumed, so each :meth:`poll` reads only the bytes
+    appended since the previous one — O(new bytes), not O(whole log).
+    That is the property that makes continuous tailing (the replication
+    shipper polling every few milliseconds) affordable; the naive
+    re-parse makes total shipping work quadratic in the log length.
+
+    Truncation safety: the snapshot path atomically rewrites ``wal.log``
+    keeping only records beyond the snapshot (a new inode, usually
+    shorter).  The cursor detects the swap (inode change or a file
+    shorter than its offset) and resets to offset 0, re-scanning the
+    now-small log and skipping records at or below the last sequence
+    number it already delivered — records are never duplicated and never
+    skipped.
+
+    Tail tolerance matches :func:`recover_index`: an incomplete final
+    line (no newline yet — an append in flight or a torn crash tail) is
+    left unconsumed for the next poll; a complete line that fails its
+    CRC is tolerated only while nothing valid follows it, and raises
+    :class:`WALError` as soon as later records prove the log corrupt in
+    the middle.
+
+    Attributes:
+        path: The log file being tailed.
+        bytes_read: Total bytes read off disk so far (tests pin the
+            incrementality contract on this).
+        records_read: Total records delivered so far.
+    """
+
+    def __init__(self, path: str | Path, *, after_seq: int = 0) -> None:
+        self.path = Path(path)
+        self.bytes_read = 0
+        self.records_read = 0
+        self._offset = 0
+        self._inode: int | None = None
+        self._last_seq = int(after_seq)
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last record delivered (or the floor)."""
+        return self._last_seq
+
+    def poll(self) -> Iterator[WalRecord]:
+        """Yield records appended (or still undelivered) since last poll.
+
+        Raises:
+            WALError: On mid-log corruption, a malformed record, or a
+                non-monotonic sequence number.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                stat = os.fstat(handle.fileno())
+                if self._inode is not None and (
+                    stat.st_ino != self._inode or stat.st_size < self._offset
+                ):
+                    # Truncation rewrite: new file, re-scan from the top.
+                    self._offset = 0
+                self._inode = stat.st_ino
+                handle.seek(self._offset)
+                data = handle.read()
+        except FileNotFoundError:
+            return
+        self.bytes_read += len(data)
+        end = data.rfind(b"\n")
+        if end < 0:
+            return  # no complete record yet; keep the offset where it is
+        lines = data[: end + 1].split(b"\n")[:-1]
+        payloads = [_decode_bytes(line) for line in lines]
+        # A decode failure is a tolerated torn tail only while nothing
+        # valid follows it; otherwise the log is corrupt in the middle.
+        valid_until = len(payloads)
+        while valid_until > 0 and payloads[valid_until - 1] is None:
+            valid_until -= 1
+        if any(payload is None for payload in payloads[:valid_until]):
+            bad = payloads.index(None)
+            raise WALError(
+                f"{self.path}: corrupt record at byte offset "
+                f"{self._offset + sum(len(l) + 1 for l in lines[:bad])} is "
+                "followed by valid records; refusing an untrusted tail"
+            )
+        previous_seq: int | None = None
+        for line, payload in zip(lines[:valid_until], payloads[:valid_until]):
+            record = record_from_payload(payload, self.path)
+            if previous_seq is not None and record.seq <= previous_seq:
+                raise WALError(
+                    f"{self.path}: non-monotonic sequence {record.seq} "
+                    f"after {previous_seq}"
+                )
+            previous_seq = record.seq
+            self._offset += len(line) + 1
+            if record.seq <= self._last_seq:
+                continue  # already delivered before a truncation re-scan
+            self._last_seq = record.seq
+            self.records_read += 1
+            yield record
+
+
 class WriteAheadLog:
     """Append-only durable log of index mutations, plus snapshot management.
 
@@ -141,6 +308,11 @@ class WriteAheadLog:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync
         self.keep_snapshots = keep_snapshots
+        # Guards the append plane against the snapshot plane: appends,
+        # the truncation rewrite (which swaps self._file), and close all
+        # serialize here, so a maintenance-thread snapshot can never
+        # close the file out from under a concurrent writer.
+        self._mutex = threading.Lock()
         self._repair_tail()
         self._last_seq = self._scan_last_seq()
         self._file = open(  # noqa: SIM115 - lifetime == WAL lifetime
@@ -207,21 +379,35 @@ class WriteAheadLog:
 
     @property
     def last_seq(self) -> int:
-        """Highest sequence number made durable so far (0 if none)."""
-        return self._last_seq
+        """Highest sequence number made durable so far (0 if none).
+
+        Lock-free monitoring read: int loads are atomic under the GIL
+        and a slightly stale value is fine for observers.
+        """
+        return self._last_seq  # repro: noqa-C002
 
     def latest_snapshot_seq(self) -> int | None:
         """Sequence number of the newest snapshot, or None."""
         snapshots = _list_snapshots(self.directory)
         return snapshots[-1][0] if snapshots else None
 
+    def cursor(self, *, after_seq: int = 0) -> WalCursor:
+        """A fresh :class:`WalCursor` over this log.
+
+        The cursor delivers every durable record with sequence number
+        beyond ``after_seq``; keep it and re-poll to tail new appends
+        incrementally (O(new bytes) per poll).
+        """
+        return WalCursor(self.directory / WAL_NAME, after_seq=after_seq)
+
     def records_since(self, seq: int) -> list[WalRecord]:
-        """All durable records with sequence number > ``seq``, in order."""
-        return [
-            record
-            for record in _read_records(self.directory / WAL_NAME)
-            if record.seq > seq
-        ]
+        """All durable records with sequence number > ``seq``, in order.
+
+        One-shot convenience over :meth:`cursor`; a caller polling
+        repeatedly should hold its own cursor instead, which reads only
+        the appended bytes on each poll.
+        """
+        return list(self.cursor(after_seq=seq).poll())
 
     # ------------------------------------------------------------------
     # Appends
@@ -230,30 +416,31 @@ class WriteAheadLog:
         self, oid: int, attr: float, vector: np.ndarray
     ) -> int:
         """Append one insert record; returns its sequence number."""
-        payload = {
-            "seq": self._last_seq + 1,
-            "op": "insert",
-            "oid": int(oid),
-            "attr": float(attr),
-            "vec": np.asarray(vector, dtype=np.float64).tolist(),
-        }
-        return self._append(payload)
+        return self._append(
+            "insert",
+            oid=int(oid),
+            attr=float(attr),
+            vec=np.asarray(vector, dtype=np.float64).tolist(),
+        )
 
     def append_delete(self, oid: int) -> int:
         """Append one delete record; returns its sequence number."""
-        payload = {"seq": self._last_seq + 1, "op": "delete", "oid": int(oid)}
-        return self._append(payload)
+        return self._append("delete", oid=int(oid))
 
-    def _append(self, payload: dict) -> int:
+    def _append(self, op: str, **fields) -> int:
         with phase("wal_append", metric=_WAL_APPEND_MS):
-            self._file.write(_encode(payload))
-            self._file.flush()
-            if self.fsync:
-                with phase("wal_fsync", metric=_WAL_FSYNC_MS):
-                    os.fsync(self._file.fileno())
+            with self._mutex:
+                # Sequence assignment happens under the mutex so appends
+                # racing a truncation (or each other) stay gapless.
+                payload = {"seq": self._last_seq + 1, "op": op, **fields}
+                self._file.write(_encode(payload))
+                self._file.flush()
+                if self.fsync:
+                    with phase("wal_fsync", metric=_WAL_FSYNC_MS):
+                        os.fsync(self._file.fileno())
+                self._last_seq = payload["seq"]
         _WAL_APPENDS.inc()
-        self._last_seq = payload["seq"]
-        return self._last_seq
+        return payload["seq"]
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -269,32 +456,36 @@ class WriteAheadLog:
         from ..io.serialization import save_index
 
         with phase("wal_snapshot", metric=_WAL_SNAPSHOT_MS):
-            path = _snapshot_path(self.directory, self._last_seq)
+            with self._mutex:
+                snapshot_seq = self._last_seq
+            path = _snapshot_path(self.directory, snapshot_seq)
             save_index(index, path)
-            self._truncate_log(self._last_seq)
+            self._truncate_log(snapshot_seq)
             self._prune_snapshots()
         return path
 
     def _truncate_log(self, seq: int) -> None:
-        """Atomically rewrite the log keeping only records beyond ``seq``."""
-        keep = [
-            record
-            for record in _read_records(self.directory / WAL_NAME)
-            if record.seq > seq
-        ]
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=".wal.", suffix=".tmp"
-        )
-        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-            for record in keep:
-                handle.write(_encode(_record_payload(record)))
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._file.close()
-        os.replace(temp_name, self.directory / WAL_NAME)
-        self._file = open(  # noqa: SIM115 - lifetime == WAL lifetime
-            self.directory / WAL_NAME, "a", encoding="utf-8"
-        )
+        """Atomically rewrite the log keeping only records beyond ``seq``.
+
+        Holds the WAL mutex for the whole read-rewrite-swap: a record
+        appended mid-rewrite would land in the *old* file and be lost by
+        the ``os.replace`` otherwise.
+        """
+        with self._mutex:
+            keep = list(self.cursor(after_seq=seq).poll())
+            descriptor, temp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".wal.", suffix=".tmp"
+            )
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                for record in keep:
+                    handle.write(_encode(record.payload()))
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._file.close()
+            os.replace(temp_name, self.directory / WAL_NAME)
+            self._file = open(  # noqa: SIM115 - lifetime == WAL lifetime
+                self.directory / WAL_NAME, "a", encoding="utf-8"
+            )
 
     def _prune_snapshots(self) -> None:
         snapshots = _list_snapshots(self.directory)
@@ -305,63 +496,29 @@ class WriteAheadLog:
                 pass
 
     def close(self) -> None:
-        """Flush and close the log file."""
-        if not self._file.closed:
-            self._file.flush()
-            self._file.close()
+        """Flush (and, in fsync mode, fsync) then close the log file.
 
-
-def _record_payload(record: WalRecord) -> dict:
-    payload: dict = {"seq": record.seq, "op": record.op, "oid": record.oid}
-    if record.op == "insert":
-        payload["attr"] = record.attr
-        payload["vec"] = record.vector
-    return payload
+        An fsync-mode log must fsync on clean shutdown too: the final
+        appends would otherwise sit in the page cache only, so a power
+        loss after a *clean* close could still lose the tail — exactly
+        the failure mode ``fsync=True`` promises to exclude.
+        """
+        with self._mutex:
+            if not self._file.closed:
+                self._file.flush()
+                if self.fsync:
+                    os.fsync(self._file.fileno())
+                self._file.close()
 
 
 def _read_records(path: Path) -> Iterator[WalRecord]:
-    """Decode a log file, tolerating only a torn final line.
+    """Decode a whole log file, tolerating only a torn final line.
 
-    Raises:
-        WALError: When a corrupt line is followed by valid records, or a
-            record is malformed / out of order — the tail cannot be
-            trusted in either case.
+    One-shot wrapper over :class:`WalCursor` (which carries the
+    validation rules: CRC, op, monotonic sequence, untrusted-tail
+    rejection).
     """
-    if not path.exists():
-        return
-    with open(path, "r", encoding="utf-8") as handle:
-        lines = handle.readlines()
-    torn_at: int | None = None
-    previous_seq = None
-    for number, line in enumerate(lines):
-        payload = _decode(line)
-        if payload is None:
-            torn_at = number
-            continue
-        if torn_at is not None:
-            raise WALError(
-                f"{path}: corrupt record at line {torn_at + 1} is followed "
-                "by valid records; refusing to replay an untrusted tail"
-            )
-        try:
-            record = WalRecord(
-                seq=int(payload["seq"]),
-                op=str(payload["op"]),
-                oid=int(payload["oid"]),
-                attr=payload.get("attr"),
-                vector=payload.get("vec"),
-            )
-        except (KeyError, TypeError, ValueError) as error:
-            raise WALError(f"{path}: malformed record: {error}") from error
-        if record.op not in ("insert", "delete"):
-            raise WALError(f"{path}: unknown op {record.op!r}")
-        if previous_seq is not None and record.seq <= previous_seq:
-            raise WALError(
-                f"{path}: non-monotonic sequence {record.seq} after "
-                f"{previous_seq}"
-            )
-        previous_seq = record.seq
-        yield record
+    yield from WalCursor(path).poll()
 
 
 def recover_index(directory: str | Path):
@@ -384,15 +541,13 @@ def recover_index(directory: str | Path):
     from ..io.serialization import load_index
 
     directory = Path(directory)
-    snapshots = _list_snapshots(directory)
-    if not snapshots:
+    newest = latest_snapshot(directory)
+    if newest is None:
         raise WALError(f"{directory}: no snapshot to recover from")
-    snapshot_seq, snapshot_file = snapshots[-1]
+    snapshot_seq, snapshot_file = newest
     index = load_index(snapshot_file)
     last_seq = snapshot_seq
-    for record in _read_records(directory / WAL_NAME):
-        if record.seq <= snapshot_seq:
-            continue
+    for record in WalCursor(directory / WAL_NAME, after_seq=snapshot_seq).poll():
         if record.op == "insert":
             index.insert(
                 record.oid,

@@ -280,9 +280,9 @@ def test_render_json_is_parseable():
     assert payload["findings"][0]["rule"] == "R005"
 
 
-def test_rule_catalogue_covers_r001_to_r011():
+def test_rule_catalogue_covers_r001_to_r012():
     assert [rule.id for rule in RULES] == [
-        f"R{n:03d}" for n in range(1, 12)
+        f"R{n:03d}" for n in range(1, 13)
     ]
 
 
@@ -691,3 +691,43 @@ def test_r011_silent_outside_frontend():
 def test_r011_waivable_inline():
     waived = "async def f():\n    time.sleep(1)  # repro: noqa-R011\n"
     assert lint_source(waived, FRONTEND) == []
+
+
+# ----------------------------------------------------------------------
+# R012: raw socket imports outside the sanctioned network layers
+# ----------------------------------------------------------------------
+
+CLUSTER = "src/repro/cluster/_fixture.py"
+
+
+def test_r012_flags_socket_import_outside_network_layers():
+    forms = [
+        "import socket\n",
+        "import socket as net\n",
+        "from socket import create_connection\n",
+    ]
+    for source in forms:
+        for path in (HOT, COLD):
+            assert [f.rule for f in lint_source(source, path)] == [
+                "R012"
+            ], (source, path)
+
+
+def test_r012_allows_cluster_and_frontend():
+    for path in (CLUSTER, FRONTEND):
+        assert lint_source("import socket\n", path) == []
+        assert lint_source("from socket import socketpair\n", path) == []
+
+
+def test_r012_ignores_unrelated_imports():
+    ok = [
+        "import socketserver\n",  # a different module, not a socket alias
+        "import struct\n",
+    ]
+    for source in ok:
+        assert lint_source(source, COLD) == [], source
+
+
+def test_r012_waivable_inline():
+    waived = "import socket  # repro: noqa-R012\n"
+    assert lint_source(waived, COLD) == []

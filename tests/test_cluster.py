@@ -1,0 +1,333 @@
+"""Tests for repro.cluster: WAL shipping, supervision, chaos, oracle gate."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterSupervisor,
+    NeedsResync,
+    NodeError,
+    WalShipper,
+    apply_stream,
+    seed_shards,
+)
+from repro.cluster.bench import run_cluster_bench
+from repro.core import RangePQ
+from repro.frontend.protocol import recv_frame
+from repro.service import WriteAheadLog
+from repro.service.router import RangeShardedService
+from repro.service.wal import latest_snapshot, record_from_payload
+
+BUILD = dict(num_subspaces=4, num_clusters=6, num_codewords=8, seed=0)
+
+
+def factory(ids, vectors, attrs):
+    return RangePQ.build(vectors, attrs, ids=ids, **BUILD)
+
+
+@pytest.fixture(scope="module")
+def seeddata():
+    rng = np.random.default_rng(21)
+    n, dim = 240, 8
+    vectors = rng.standard_normal((n, dim))
+    attrs = rng.random(n) * 100.0
+    ids = np.arange(n, dtype=np.int64)
+    return ids, vectors, attrs
+
+
+def tiny_index():
+    rng = np.random.default_rng(4)
+    vectors = rng.standard_normal((120, 8))
+    attrs = rng.random(120) * 100.0
+    return RangePQ.build(vectors, attrs, **BUILD)
+
+
+# ----------------------------------------------------------------------
+# The replication stream (shipper + apply_stream over a socketpair)
+# ----------------------------------------------------------------------
+class TestWalShipper:
+    def serve_in_thread(self, shipper, sock, start_seq, stop):
+        thread = threading.Thread(
+            target=shipper.serve, args=(sock, start_seq, stop), daemon=True
+        )
+        thread.start()
+        return thread
+
+    def test_ships_backlog_then_tails_live_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        vector = np.arange(4, dtype=np.float64)
+        wal.append_insert(1, 5.5, vector)
+        wal.append_delete(1)
+        shipper = WalShipper(
+            wal, poll_interval_s=0.002, heartbeat_interval_s=60.0
+        )
+        server, client = socket.socketpair()
+        stop = threading.Event()
+        thread = self.serve_in_thread(shipper, server, 0, stop)
+        try:
+            frame = recv_frame(client)
+            assert frame["type"] == "records"
+            assert [p["seq"] for p in frame["records"]] == [1, 2]
+            assert frame["last_seq"] == 2
+            first = record_from_payload(frame["records"][0])
+            assert (first.op, first.oid, first.attr) == ("insert", 1, 5.5)
+            assert first.vector == vector.tolist()
+            wal.append_delete(7)  # appended while the stream is live
+            frame = recv_frame(client)
+            assert [p["seq"] for p in frame["records"]] == [3]
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+            server.close()
+            client.close()
+        assert not thread.is_alive()
+        wal.close()
+
+    def test_heartbeats_keep_lag_observable_when_idle(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append_delete(1)
+        shipper = WalShipper(
+            wal, poll_interval_s=0.001, heartbeat_interval_s=0.01
+        )
+        server, client = socket.socketpair()
+        stop = threading.Event()
+        thread = self.serve_in_thread(shipper, server, 1, stop)
+        try:
+            frame = recv_frame(client)  # already caught up: only heartbeats
+            assert frame == {"type": "heartbeat", "last_seq": 1}
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+            server.close()
+            client.close()
+        wal.close()
+
+    def test_subscriber_behind_log_horizon_gets_resync(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for oid in range(1, 4):
+            wal.append_delete(oid)
+        wal.write_snapshot(tiny_index())  # horizon 3; records 1..3 folded
+        shipper = WalShipper(wal)
+        server, client = socket.socketpair()
+        stop = threading.Event()
+        thread = self.serve_in_thread(shipper, server, 0, stop)
+        try:
+            with pytest.raises(NeedsResync) as info:
+                apply_stream(client, lambda records, last_seq: None)
+            assert info.value.snapshot_seq == 3
+            thread.join(timeout=5.0)  # serve returns after sending resync
+            assert not thread.is_alive()
+        finally:
+            stop.set()
+            server.close()
+            client.close()
+        wal.close()
+
+    def test_apply_stream_returns_on_clean_eof(self, tmp_path):
+        server, client = socket.socketpair()
+        server.close()  # the primary went away cleanly
+        batches: list = []
+        assert (
+            apply_stream(client, lambda records, seq: batches.append(records))
+            is None
+        )
+        assert batches == []
+        client.close()
+
+
+# ----------------------------------------------------------------------
+# Seeding and supervision plumbing
+# ----------------------------------------------------------------------
+class TestSeeding:
+    def test_seed_shards_lays_out_directories(self, seeddata, tmp_path):
+        ids, vectors, attrs = seeddata
+        boundaries = seed_shards(
+            tmp_path, ids, vectors, attrs, num_shards=2, index_factory=factory
+        )
+        assert len(boundaries) == 1
+        assert (tmp_path / "cluster.json").exists()
+        for shard in range(2):
+            newest = latest_snapshot(tmp_path / f"shard-{shard}")
+            assert newest is not None and newest[0] == 0
+
+    def test_seed_shards_rejects_empty_shard(self, tmp_path):
+        attrs = np.full(64, 50.0)  # all mass on one value: shard 0 empty
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="empty"):
+            seed_shards(
+                tmp_path,
+                np.arange(64, dtype=np.int64),
+                rng.standard_normal((64, 8)),
+                attrs,
+                num_shards=2,
+                index_factory=factory,
+            )
+
+    def test_supervisor_requires_manifest(self, tmp_path):
+        with pytest.raises(NodeError, match="cluster.json"):
+            ClusterSupervisor(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: cluster answers must be bitwise-identical to the
+# single-process RangeShardedService oracle.
+# ----------------------------------------------------------------------
+def _oracle(seeddata):
+    ids, vectors, attrs = seeddata
+    return RangeShardedService.build(
+        ids, vectors, attrs, num_shards=2, index_factory=factory
+    )
+
+
+def _assert_matches_oracle(coordinator, oracle, rng, num_queries=8, k=5):
+    """Scattered cluster queries == oracle queries, to the last bit."""
+    for _ in range(num_queries):
+        vector = rng.standard_normal(8)
+        lo, hi = np.sort(rng.random(2) * 100.0)
+        got = coordinator.query(vector, float(lo), float(hi), k)
+        want = oracle.query(vector, float(lo), float(hi), k)
+        np.testing.assert_array_equal(want.ids, got.ids)
+        np.testing.assert_array_equal(want.distances, got.distances)
+
+
+class TestClusterEndToEnd:
+    def test_cluster_matches_oracle_bitwise(self, seeddata, tmp_path):
+        ids, vectors, attrs = seeddata
+        seed_shards(
+            tmp_path, ids, vectors, attrs, num_shards=2, index_factory=factory
+        )
+        oracle = _oracle(seeddata)
+        rng = np.random.default_rng(3)
+        with ClusterSupervisor(tmp_path, replicas=1) as supervisor:
+            with ClusterCoordinator(supervisor) as coordinator:
+                assert len(coordinator) == len(ids)
+                for i in range(10):
+                    vector = rng.standard_normal(8)
+                    attr = float(rng.random() * 100.0)
+                    coordinator.insert(1000 + i, vector, attr)
+                    oracle.insert(1000 + i, vector, attr)
+                for oid in (3, 5, 7):
+                    coordinator.delete(oid)
+                    oracle.delete(oid)
+                coordinator.sync()
+                coordinator.check_invariants()
+                _assert_matches_oracle(coordinator, oracle, rng)
+        oracle.close()
+
+    def test_chaos_kill_replica_and_primary_then_recover(
+        self, seeddata, tmp_path
+    ):
+        """The acceptance chaos test: SIGKILL mid-run, recover, match oracle.
+
+        A replica dies mid-stream and a primary dies between acknowledged
+        writes; both are restarted from durable state (newest snapshot +
+        WAL tail), replicas catch up over the stream, and the recovered
+        cluster's scattered reads stay bitwise-identical to the oracle.
+        """
+        ids, vectors, attrs = seeddata
+        seed_shards(
+            tmp_path, ids, vectors, attrs, num_shards=2, index_factory=factory
+        )
+        oracle = _oracle(seeddata)
+        rng = np.random.default_rng(9)
+        with ClusterSupervisor(tmp_path, replicas=1) as supervisor:
+            coordinator = ClusterCoordinator(supervisor)
+            for i in range(6):
+                vector = rng.standard_normal(8)
+                attr = float(rng.random() * 100.0)
+                coordinator.insert(2000 + i, vector, attr)
+                oracle.insert(2000 + i, vector, attr)
+
+            supervisor.kill_replica(0, 0)  # mid-stream
+            supervisor.kill_primary(0)  # between acknowledged writes
+            supervisor.restart_primary(0)
+            supervisor.restart_replica(0, 0)
+
+            for i in range(6, 12):
+                vector = rng.standard_normal(8)
+                attr = float(rng.random() * 100.0)
+                coordinator.insert(2000 + i, vector, attr)
+                oracle.insert(2000 + i, vector, attr)
+            for oid in (2, 4):
+                coordinator.delete(oid)
+                oracle.delete(oid)
+
+            coordinator.sync(timeout_s=60.0)
+            report = coordinator.stats()
+            for shard in report["shards"]:
+                target = shard["primary"]["last_seq"]
+                for replica in shard["replicas"]:
+                    assert replica is not None
+                    assert replica["applied_seq"] == target
+                    assert replica["lag"] == 0
+            coordinator.check_invariants()
+            _assert_matches_oracle(coordinator, oracle, rng)
+            coordinator.close()
+        oracle.close()
+
+    def test_restarted_replica_catches_up_from_snapshot_plus_tail(
+        self, seeddata, tmp_path
+    ):
+        """A dead replica's records can be folded into a snapshot.
+
+        While the replica is down, the primary keeps writing *and*
+        snapshots (truncating the log past the replica's old position).
+        The restart must bootstrap from the newest snapshot and apply
+        only the tail beyond it — exactly the catch-up protocol.
+        """
+        ids, vectors, attrs = seeddata
+        seed_shards(
+            tmp_path, ids, vectors, attrs, num_shards=2, index_factory=factory
+        )
+        oracle = _oracle(seeddata)
+        rng = np.random.default_rng(17)
+        with ClusterSupervisor(tmp_path, replicas=1) as supervisor:
+            coordinator = ClusterCoordinator(supervisor)
+            low_attr = supervisor.boundaries[0] / 2.0  # routes to shard 0
+
+            vector = rng.standard_normal(8)
+            coordinator.insert(3000, vector, low_attr)
+            oracle.insert(3000, vector, low_attr)
+
+            supervisor.kill_replica(0, 0)
+            for i in range(5):
+                vector = rng.standard_normal(8)
+                coordinator.insert(3100 + i, vector, low_attr)
+                oracle.insert(3100 + i, vector, low_attr)
+            snapshot_seq = coordinator.snapshot(0)  # folds the log
+            for i in range(3):
+                vector = rng.standard_normal(8)
+                coordinator.insert(3200 + i, vector, low_attr)
+                oracle.insert(3200 + i, vector, low_attr)
+
+            supervisor.restart_replica(0, 0)
+            coordinator.sync(timeout_s=60.0)
+            replica = coordinator.stats()["shards"][0]["replicas"][0]
+            assert replica is not None
+            assert replica["applied_seq"] > snapshot_seq  # tail applied
+            _assert_matches_oracle(coordinator, oracle, rng)
+            coordinator.close()
+        oracle.close()
+
+
+class TestClusterBench:
+    def test_smoke_chaos_profile_has_no_oracle_violations(self):
+        result = run_cluster_bench(
+            n=300,
+            num_shards=2,
+            replicas=1,
+            writes=30,
+            num_queries=8,
+            seed=1,
+            chaos=True,
+            verbose=False,
+        )
+        assert result.ops == 30
+        assert result.queries == 8
+        assert result.violations == 0

@@ -17,6 +17,8 @@ DOCS = [
     REPO / "docs" / "service.md",
     REPO / "docs" / "observability.md",
     REPO / "docs" / "serving.md",
+    REPO / "docs" / "parallel.md",
+    REPO / "docs" / "cluster.md",
 ]
 
 #: Backticked tokens that look like repo paths: segments/with/slashes ending

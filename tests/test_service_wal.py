@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import shutil
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -14,7 +16,7 @@ from repro.service import (
     WriteAheadLog,
     recover_index,
 )
-from repro.service.wal import WAL_NAME
+from repro.service.wal import WAL_NAME, _encode, latest_snapshot
 
 BUILD = dict(num_subspaces=4, num_clusters=12, num_codewords=32, seed=0)
 
@@ -275,3 +277,192 @@ class TestRecovery:
         revived = IndexService.recover(tmp_path)
         assert 40_000 in revived
         assert len(revived) == 401
+
+
+class TestSnapshotNaming:
+    """Snapshot discovery must sort numerically past the 12-digit padding.
+
+    ``_snapshot_path`` zero-pads the sequence to 12 digits, but a
+    long-lived log outgrows that; the old pattern (exactly 12 digits)
+    silently ignored wider snapshots, and a lexical sort would rank
+    ``snapshot-999999999999`` above ``snapshot-1000000000000``.
+    """
+
+    def test_wide_seq_beats_lexically_larger_narrow_seq(self, tmp_path):
+        (tmp_path / "snapshot-999999999999.npz").touch()
+        (tmp_path / "snapshot-1000000000000.npz").touch()
+        (tmp_path / "snapshot-abc.npz").touch()  # never a snapshot
+        (tmp_path / "snapshot-123.npz").touch()  # pre-padding junk
+        seq, path = latest_snapshot(tmp_path)
+        assert seq == 1_000_000_000_000
+        assert path.name == "snapshot-1000000000000.npz"
+
+    def test_wal_resumes_sequence_past_wide_snapshot(self, tmp_path):
+        (tmp_path / "snapshot-1000000000000.npz").touch()
+        wal = WriteAheadLog(tmp_path)
+        assert wal.last_seq == 1_000_000_000_000
+        assert wal.append_delete(1) == 1_000_000_000_001
+        wal.close()
+
+
+class TestFsyncOnClose:
+    """``close()`` must fsync in fsync mode (clean-shutdown durability)."""
+
+    @pytest.fixture
+    def fsync_calls(self, monkeypatch):
+        import os as os_module
+
+        calls = []
+        real = os_module.fsync
+
+        def spy(descriptor):
+            calls.append(descriptor)
+            return real(descriptor)
+
+        monkeypatch.setattr(os_module, "fsync", spy)
+        return calls
+
+    def test_close_fsyncs_when_enabled(self, tmp_path, fsync_calls):
+        wal = WriteAheadLog(tmp_path, fsync=True)
+        wal.append_delete(1)
+        fsync_calls.clear()
+        wal.close()
+        assert len(fsync_calls) == 1
+
+    def test_close_skips_fsync_when_disabled(self, tmp_path, fsync_calls):
+        wal = WriteAheadLog(tmp_path)
+        wal.append_delete(1)
+        fsync_calls.clear()
+        wal.close()
+        assert fsync_calls == []
+
+    def test_close_is_idempotent(self, tmp_path, fsync_calls):
+        wal = WriteAheadLog(tmp_path, fsync=True)
+        wal.append_delete(1)
+        wal.close()
+        fsync_calls.clear()
+        wal.close()  # second close: file already closed, no fsync attempt
+        assert fsync_calls == []
+
+
+class TestWalCursor:
+    """Incremental tailing: O(new bytes) polls, truncation-aware resets."""
+
+    def test_poll_reads_only_new_bytes(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for oid in range(50):
+            wal.append_delete(oid)
+        cursor = wal.cursor()
+        assert len(list(cursor.poll())) == 50
+        size_before = (tmp_path / WAL_NAME).stat().st_size
+        assert cursor.bytes_read == size_before
+        wal.append_delete(99)
+        size_after = (tmp_path / WAL_NAME).stat().st_size
+        read_before = cursor.bytes_read
+        assert [record.oid for record in cursor.poll()] == [99]
+        # The incrementality contract: the second poll read exactly the
+        # appended bytes, not the whole log again.
+        assert cursor.bytes_read - read_before == size_after - size_before
+        cursor_poll_cost = cursor.bytes_read
+        assert list(cursor.poll()) == []  # nothing new: zero bytes read
+        assert cursor.bytes_read == cursor_poll_cost
+
+    def test_cursor_after_seq_skips_delivered_prefix(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for oid in range(1, 6):
+            wal.append_delete(oid)
+        cursor = wal.cursor(after_seq=3)
+        assert [record.seq for record in cursor.poll()] == [4, 5]
+        assert cursor.records_read == 2
+
+    def test_survives_snapshot_truncation_without_dup_or_skip(
+        self, dataset, tmp_path
+    ):
+        index = build_index(dataset)
+        wal = WriteAheadLog(tmp_path)
+        for oid in range(1, 4):
+            wal.append_delete(oid)
+        cursor = wal.cursor()
+        assert [record.seq for record in cursor.poll()] == [1, 2, 3]
+        # Snapshot folds the log: the file is atomically replaced by a
+        # (here empty) rewrite — new inode, shorter than the offset.
+        wal.write_snapshot(index)
+        wal.append_delete(7)
+        wal.append_delete(8)
+        assert [record.seq for record in cursor.poll()] == [4, 5]
+
+    def test_rescan_skips_records_already_delivered(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for oid in range(1, 6):
+            wal.append_delete(oid)
+        cursor = wal.cursor()
+        assert [record.seq for record in cursor.poll()] == [1, 2, 3, 4, 5]
+        # A truncation that *keeps* records the cursor already consumed
+        # (the snapshot landed behind the cursor's position): the re-scan
+        # must skip them by sequence number, not deliver them again.
+        wal._truncate_log(2)
+        assert list(cursor.poll()) == []
+        wal.append_delete(9)
+        assert [record.seq for record in cursor.poll()] == [6]
+
+    def test_inflight_append_left_for_next_poll(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append_delete(1)
+        cursor = wal.cursor()
+        assert [record.seq for record in cursor.poll()] == [1]
+        line = _encode({"seq": 2, "op": "delete", "oid": 5}).encode("utf-8")
+        log = tmp_path / WAL_NAME
+        with open(log, "ab") as handle:
+            handle.write(line[:10])  # an append caught mid-write
+        assert list(cursor.poll()) == []
+        with open(log, "ab") as handle:
+            handle.write(line[10:])
+        assert [(r.seq, r.oid) for r in cursor.poll()] == [(2, 5)]
+
+
+class TestWriterVsSnapshotterStress:
+    """Concurrent appends and snapshots must never lose or tear a record.
+
+    ``write_snapshot`` rewrites and atomically swaps ``wal.log``; before
+    the WAL mutex covered the whole read-rewrite-swap, an append racing
+    the swap could land in the doomed old file and vanish.  The
+    contiguity check below catches exactly that: a lost append leaves a
+    sequence gap in the surviving tail.
+    """
+
+    def test_no_records_lost_across_concurrent_snapshots(
+        self, dataset, tmp_path
+    ):
+        index = build_index(dataset)
+        wal = WriteAheadLog(tmp_path)
+        total = 300
+        errors: list[Exception] = []
+
+        def writer() -> None:
+            try:
+                for oid in range(1, total + 1):
+                    wal.append_delete(oid)
+                    if oid % 50 == 0:
+                        time.sleep(0.001)  # let snapshots interleave
+            except Exception as error:  # pragma: no cover - fails the test
+                errors.append(error)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        snapshots = 0
+        while thread.is_alive() and snapshots < 100:
+            wal.write_snapshot(index)
+            snapshots += 1
+        thread.join()
+        assert not errors
+        assert snapshots > 0
+        assert wal.last_seq == total
+        snapshot_seq = wal.latest_snapshot_seq()
+        tail = wal.records_since(snapshot_seq)
+        assert [r.seq for r in tail] == list(range(snapshot_seq + 1, total + 1))
+        wal.close()
+        # Reopening re-validates the whole surviving log (CRCs, monotonic
+        # sequence); corruption from a torn concurrent rewrite would raise.
+        reopened = WriteAheadLog(tmp_path)
+        assert reopened.last_seq == total
+        reopened.close()
