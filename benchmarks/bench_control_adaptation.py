@@ -1,0 +1,61 @@
+"""Extension — control-plane adaptation under a workload shift.
+
+Drives the :mod:`repro.control` feedback loop end to end: a sharded
+index served through the tiered (hot shm / cold mmap) read path sees its
+range-width distribution shift wide, p99 inflates under the open-loop
+adaptive-L formula, and the :class:`repro.control.ControlDaemon` walks
+``l_base`` down inside its :class:`~repro.control.KnobEnvelope` until
+p99 recovers — with a brute-force recall probe gating every move and a
+cold→hot promotion checked bitwise.
+
+Standalone (prints the decision log; ``--smoke`` for CI)::
+
+    PYTHONPATH=src python benchmarks/bench_control_adaptation.py
+    PYTHONPATH=src python benchmarks/bench_control_adaptation.py --smoke
+
+equivalently: ``python -m repro control-bench [--smoke]``.  Also
+collectable as a pytest-benchmark suite:
+``pytest benchmarks/bench_control_adaptation.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.control.bench import ControlBenchResult, main, run_control_bench
+
+__all__ = ["ControlBenchResult", "main", "run_control_bench"]
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point (collected by ``pytest benchmarks/``)
+# ----------------------------------------------------------------------
+def test_control_adaptation(benchmark):
+    """Benchmark the adaptation scenario at the CI profile."""
+    from benchmarks.conftest import SEED
+
+    def drive():
+        result = run_control_bench(
+            n=2000,
+            dim=16,
+            queries_per_batch=40,
+            max_cycles=6,
+            seed=SEED,
+            verbose=False,
+        )
+        assert result.bitwise_ok
+        assert result.recall_held
+        benchmark.extra_info["shifted_p99_ms"] = round(
+            result.shifted_p99_ms, 2
+        )
+        benchmark.extra_info["adapted_p99_ms"] = round(
+            result.adapted_p99_ms, 2
+        )
+        benchmark.extra_info["l_base_final"] = result.l_base_final
+        benchmark.extra_info["rollbacks"] = result.rollbacks
+
+    benchmark.pedantic(drive, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,12 @@ Subcommands::
                         repro.cluster.bench; --smoke for the tiny CI
                         profile, --chaos to SIGKILL + restart nodes
                         mid-run)
+    control-bench [...] self-tuning control plane under a workload shift:
+                        tiered cold->hot placement gated bitwise, then the
+                        feedback controller recovers p99 inside its knob
+                        envelopes without breaching the recall-probe floor
+                        (flags forwarded to repro.control.bench; --smoke
+                        for the tiny CI profile)
     metrics-dump [...]  dump the process metrics registry (Prometheus text
                         or --json; --smoke runs a tiny serving workload
                         first and verifies the expected metrics populated)
@@ -127,6 +133,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.cluster.bench import main as cluster_bench_main
 
         return cluster_bench_main(argv[1:])
+    if argv and argv[0] == "control-bench":
+        from repro.control.bench import main as control_bench_main
+
+        return control_bench_main(argv[1:])
     if argv and argv[0] == "metrics-dump":
         from repro.obs.exposition import main as metrics_dump_main
 
@@ -143,6 +153,7 @@ def main(argv: list[str] | None = None) -> int:
     print("  python -m repro serve-bench [--smoke] [--net]   serving throughput")
     print("  python -m repro parallel-bench [--smoke]        multiprocess scaling")
     print("  python -m repro cluster-bench [--smoke]         replicated cluster")
+    print("  python -m repro control-bench [--smoke]         self-tuning control plane")
     print("  python -m repro metrics-dump [--smoke] [--json] metrics exposition")
     print("  python -m repro query [--trace]                 one traced query")
     print("  pytest tests/                                   test suite")

@@ -1,4 +1,4 @@
-"""The lint rule catalogue: repo-specific AST checks R001–R012.
+"""The lint rule catalogue: repo-specific AST checks R001–R013.
 
 Each rule is a pure function over a parsed module plus a
 :class:`FileContext`; the engine in :mod:`repro.analysis.lint` handles file
@@ -690,6 +690,76 @@ def _check_r012(
                 )
 
 
+#: Attribute names (underscores stripped) that are controller-managed
+#: serving knobs (rule R013).
+_R013_KNOBS = frozenset(
+    {"l_policy", "l_base", "r_base", "nprobe", "override_ms"}
+)
+
+#: Path fragments (posix) R013 scans — the serving layers whose knobs the
+#: control plane owns.
+_R013_FRAGMENTS = ("service/", "frontend/", "cluster/")
+
+
+def _r013_scan(node: ast.AST) -> Iterator[tuple[int, str]]:
+    """Scan one statement for knob writes, stopping at nested scopes
+    (nested functions and classes are scanned by their own visit)."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    for target in targets:
+        for sub in ast.walk(target):
+            if (
+                isinstance(sub, ast.Attribute)
+                and sub.attr.lstrip("_") in _R013_KNOBS
+            ):
+                yield (
+                    node.lineno,
+                    f"direct write to controller-managed knob {sub.attr!r}; "
+                    "go through the sanctioned setter "
+                    "(IndexService.set_l_policy / "
+                    "BatchWindowPolicy.set_override) so the control plane's "
+                    "envelopes and rollback stay authoritative",
+                )
+    for child in ast.iter_child_nodes(node):
+        yield from _r013_scan(child)
+
+
+def _check_r013(
+    module: ast.Module, ctx: FileContext
+) -> Iterator[tuple[int, str]]:
+    """R013: direct write to a controller-managed knob outside repro/control/.
+
+    The feedback controller (:mod:`repro.control`) owns the serving knobs
+    — L policies (``l_policy``/``l_base``/``r_base``/``nprobe``) and the
+    micro-batch window override — and guarantees every value stays inside
+    its :class:`~repro.control.KnobEnvelope` with one-step rollback.  A
+    direct attribute write in the serving layers (``repro/service/``,
+    ``repro/frontend/``, ``repro/cluster/``) bypasses the envelope clamp,
+    the version bump that republishes shared/tiered placements, and the
+    decision log.  Exempt: ``__init__`` (seeding a knob before any
+    controller exists) and ``repro/control/`` itself.  The sanctioned
+    setters carry inline ``# repro: noqa-R013`` waivers at the single
+    write each performs.
+    """
+    normalized = ctx.path.replace("\\", "/")
+    if "control/" in normalized or not any(
+        fragment in normalized for fragment in _R013_FRAGMENTS
+    ):
+        return
+    for func in ast.walk(module):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if func.name == "__init__":
+            continue
+        for statement in func.body:
+            yield from _r013_scan(statement)
+
+
 def _check_r007(
     module: ast.Module, ctx: FileContext
 ) -> Iterator[tuple[int, str]]:
@@ -777,5 +847,11 @@ RULES: tuple[Rule, ...] = (
         "raw socket import outside repro/cluster/ and repro/frontend/",
         False,
         _check_r012,
+    ),
+    Rule(
+        "R013",
+        "direct write to a controller-managed knob outside repro/control/",
+        False,
+        _check_r013,
     ),
 )

@@ -107,7 +107,88 @@ def _accept_loop(
 # ----------------------------------------------------------------------
 # Primary process
 # ----------------------------------------------------------------------
-def _primary_request_reply(service: IndexService, request: dict) -> dict:
+def _start_primary_controller(service: IndexService):
+    """Build and start a per-primary feedback controller, or ``None``.
+
+    A primary holds only PQ codes, so the probe is the self-referential
+    :class:`~repro.control.probes.BudgetRecallProbe` (current policy vs
+    exhaustive budget) synthesized from the index's own trained state.
+    The ``l_base`` envelope is derived from the recovered policy: one
+    quarter to four times the seeded value, stepped in quarters.  Shards
+    whose index carries no L policy have no knob to manage and run
+    uncontrolled.
+    """
+    from ..control import (
+        BudgetRecallProbe,
+        ControlDaemon,
+        KnobEnvelope,
+        ServiceLKnob,
+    )
+    from ..core.adaptive import FixedLPolicy
+
+    policy = service.knobs()["l_policy"]
+    if policy is None:
+        return None
+    l0 = int(policy.l if isinstance(policy, FixedLPolicy) else policy.l_base)
+    envelope = KnobEnvelope(
+        min_value=max(1, l0 // 4),
+        max_value=4 * max(1, l0),
+        step=max(1, l0 // 4),
+    )
+
+    def query_fn(vector, lo, hi, k, l_budget=None):
+        return service.query(vector, lo, hi, k, l_budget=l_budget)
+
+    daemon = ControlDaemon(
+        BudgetRecallProbe.from_index(service.index),
+        query_fn,
+        l_knobs=[ServiceLKnob(service, envelope)],
+        recall_floor=0.95,
+        interval_s=1.0,
+    )
+    daemon.start()
+    return daemon
+
+
+def _control_reply(controller, request: dict) -> dict:
+    """Answer a ``control`` request: controller stats, knobs, decisions.
+
+    ``{"type": "control", "cycle": true}`` additionally drives one
+    synchronous :meth:`~repro.control.ControlDaemon.run_cycle` before
+    answering — the deterministic hook tests and operators use instead
+    of waiting out the background interval (cycles are serialized by the
+    daemon's internal mutex, so racing the background thread is safe).
+    """
+    if controller is None:
+        return {"ok": True, "enabled": False}
+    from dataclasses import asdict
+
+    reply: dict = {"ok": True, "enabled": True}
+    if request.get("cycle"):
+        report = controller.run_cycle()
+        reply["cycle_report"] = {
+            "recall": report["recall"],
+            "window_p99_ms": report["window_p99_ms"],
+            "adjusted": [asdict(d) for d in report["adjusted"]],
+            "rolled_back": [asdict(d) for d in report["rolled_back"]],
+        }
+    stats = controller.stats
+    reply.update(
+        {
+            "cycles": stats.cycles,
+            "adjustments": stats.adjustments,
+            "rollbacks": stats.rollbacks,
+            "probe_passes": stats.probe_passes,
+            "knobs": controller.knob_values(),
+            "decisions": [asdict(d) for d in list(controller.decisions)[-16:]],
+        }
+    )
+    return reply
+
+
+def _primary_request_reply(
+    service: IndexService, request: dict, controller=None
+) -> dict:
     """Answer one non-subscribe request on a primary connection.
 
     Writes are idempotent — an insert of an oid already present (or a
@@ -148,6 +229,8 @@ def _primary_request_reply(service: IndexService, request: dict) -> dict:
             "last_seq": service.wal.last_seq,
             "size": len(service),
         }
+    if rtype == "control":
+        return _control_reply(controller, request)
     return {"ok": False, "error": f"unknown request type {rtype!r}"}
 
 
@@ -156,6 +239,7 @@ def _serve_primary_connection(
     service: IndexService,
     shipper: WalShipper,
     stop: threading.Event,
+    controller=None,
 ) -> None:
     """One primary connection: request/reply, or a subscription stream."""
     with sock:
@@ -173,7 +257,7 @@ def _serve_primary_connection(
                     pass  # subscriber went away mid-stream
                 return
             try:
-                reply = _primary_request_reply(service, request)
+                reply = _primary_request_reply(service, request, controller)
             except Exception as error:  # repro: noqa-R004 — connection fault barrier: any request error must become an error reply, not kill the node
                 reply = {"ok": False, "error": f"{type(error).__name__}: {error}"}
             try:
@@ -182,7 +266,9 @@ def _serve_primary_connection(
                 return
 
 
-def _primary_main(shard: int, wal_dir: str, ctrl_recv, status_send) -> None:
+def _primary_main(
+    shard: int, wal_dir: str, control: bool, ctrl_recv, status_send
+) -> None:
     """Primary process entry point: recover, listen, serve until stopped.
 
     Recovers the shard service from its durability directory (newest
@@ -190,9 +276,13 @@ def _primary_main(shard: int, wal_dir: str, ctrl_recv, status_send) -> None:
     reports ``("ready", port, last_seq)`` on the status pipe.  The main
     thread then blocks on the control pipe; connections are served by
     daemon threads, so a ``("stop",)`` command (or parent death closing
-    the pipe) shuts the node down promptly.
+    the pipe) shuts the node down promptly.  With ``control`` on, a
+    per-primary :class:`~repro.control.ControlDaemon` self-tunes the
+    shard's ``l_base`` against a budget-recall probe; query it (or drive
+    a cycle) with a ``{"type": "control"}`` request.
     """
     service = IndexService.recover(wal_dir)
+    controller = _start_primary_controller(service) if control else None
     shipper = WalShipper(service.wal)
     stop = threading.Event()
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -203,7 +293,9 @@ def _primary_main(shard: int, wal_dir: str, ctrl_recv, status_send) -> None:
         target=_accept_loop,
         args=(
             listener,
-            lambda conn: _serve_primary_connection(conn, service, shipper, stop),
+            lambda conn: _serve_primary_connection(
+                conn, service, shipper, stop, controller
+            ),
             stop,
         ),
         daemon=True,
@@ -219,6 +311,8 @@ def _primary_main(shard: int, wal_dir: str, ctrl_recv, status_send) -> None:
             break
     stop.set()
     listener.close()
+    if controller is not None:
+        controller.stop()
     service.close()
     try:
         status_send.send(("stopped",))
@@ -573,6 +667,9 @@ class ClusterSupervisor:
         start_method: Multiprocessing start method; default prefers
             ``fork``.
         ready_timeout_s: How long to wait for a node's ready handshake.
+        control: Run a self-tuning :class:`~repro.control.ControlDaemon`
+            inside every primary (per-shard ``l_base`` feedback against
+            a budget-recall probe; see :mod:`repro.control`).
     """
 
     def __init__(
@@ -582,6 +679,7 @@ class ClusterSupervisor:
         replicas: int = 1,
         start_method: str | None = None,
         ready_timeout_s: float = 60.0,
+        control: bool = False,
     ) -> None:
         if replicas < 0:
             raise ValueError(f"replicas must be >= 0, got {replicas}")
@@ -601,6 +699,7 @@ class ClusterSupervisor:
                     f"{self.directory}: missing shard-{number} directory"
                 )
         self.replicas = int(replicas)
+        self.control = bool(control)
         self._ready_timeout_s = float(ready_timeout_s)
         methods = multiprocessing.get_all_start_methods()
         if start_method is None:
@@ -663,7 +762,7 @@ class ClusterSupervisor:
             shard,
             None,
             _primary_main,
-            (shard, str(wal_dir)),
+            (shard, str(wal_dir), self.control),
             f"repro-cluster-p{shard}",
         )
         return handle

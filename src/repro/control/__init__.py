@@ -1,0 +1,51 @@
+"""repro.control — self-tuning control plane + tiered shard storage.
+
+Closes the feedback loop around the serving stack's knobs and takes
+shard placement past all-in-RAM:
+
+* :mod:`repro.control.probes` — recall probes, the ground-truth signal
+  that keeps adaptation honest (:class:`RecallProbe` scores against
+  brute force; :class:`BudgetRecallProbe` scores truncation loss alone,
+  for nodes without raw vectors).
+* :mod:`repro.control.controller` — :class:`ControlDaemon`, a bounded
+  hill-climber over :class:`KnobEnvelope`-guarded knobs (per-service
+  ``l_base``, the frontend micro-batch window) with one-step rollback on
+  recall regression; decisions export as ``control.*`` metrics and a
+  bounded decision log.
+* :mod:`repro.control.tiering` — :class:`TieredReadPath`, per-shard
+  hot (shared-memory-pinned) vs cold (page-cached snapshot) placement
+  driven by an access-frequency EWMA, with lease-guarded demotion and
+  version-checked republish.  Answers are bitwise independent of
+  placement.
+
+``python -m repro control-bench [--smoke]`` demonstrates the loop: a
+synthetic workload shift inflates p99, the controller walks ``l_base``
+down inside its envelope until p99 recovers, and the recall probe gates
+the whole trajectory above the configured floor.  See
+``docs/control.md``.
+"""
+
+from .controller import (
+    BatchWindowKnob,
+    ControlDaemon,
+    ControlStats,
+    Decision,
+    KnobEnvelope,
+    ServiceLKnob,
+)
+from .probes import BudgetRecallProbe, ProbeReport, RecallProbe
+from .tiering import TieredReadPath, TierStats
+
+__all__ = [
+    "BatchWindowKnob",
+    "ControlDaemon",
+    "ControlStats",
+    "Decision",
+    "KnobEnvelope",
+    "ServiceLKnob",
+    "BudgetRecallProbe",
+    "ProbeReport",
+    "RecallProbe",
+    "TieredReadPath",
+    "TierStats",
+]

@@ -1,0 +1,541 @@
+"""control-bench: the workload-shift adaptation scenario, gated.
+
+Demonstrates the whole control plane on one synthetic story:
+
+1. **Placement gate.**  A sharded index is served through the
+   :class:`~repro.control.tiering.TieredReadPath`.  A probe query is
+   answered from the **cold** tier, the touched shard is promoted
+   **hot** (access EWMA + rebalance), and the identical query must come
+   back **bitwise identical** — ids and distances — from shared memory.
+2. **Workload shift.**  A narrow-range workload (the calibration regime
+   of ``L = max(L_base · r_Q / r_base, L_base)``) runs as the baseline;
+   then the range-width distribution shifts wide.  The open-loop formula
+   scales ``L`` with coverage from a now-stale calibration point, so the
+   candidate drain balloons and rolling-window p99 jumps.
+3. **Adaptation.**  A :class:`~repro.control.controller.ControlDaemon`
+   cycles between query batches: its recall probe replays wide-range
+   queries through the live tiered path, its latency signal is the
+   rolling-window p99 of the same path, and it walks every shard's
+   ``l_base`` down inside a hard envelope until p99 recovers — or rolls
+   back one step the moment the probe's recall dips under the floor.
+
+Exit is non-zero unless (a) the promotion round-trip was bitwise
+identical, (b) adapted p99 is strictly below the open-loop p99 — the
+two measured *interleaved* at the converged knobs (the adapted policy
+vs an explicit ``l_budget`` forced back to the stale formula's choice),
+so host drift between the scenario's phases cannot decide the gate —
+and (c) probe recall after adaptation holds the configured floor.  The
+recall floor is set *relative to the index's own pre-shift recall* on
+the wide workload, so the gate measures what the controller changed —
+truncation — not the PQ quantization error it cannot affect.
+
+Entry points: ``python -m repro control-bench [--smoke]`` and
+``benchmarks/bench_control_adaptation.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..obs import histogram
+from .controller import ControlDaemon, KnobEnvelope, ServiceLKnob
+from .probes import RecallProbe
+from .tiering import TieredReadPath
+
+__all__ = ["ControlBenchResult", "run_control_bench"]
+
+#: Allowed probe-recall drop below the pre-shift reference.
+RECALL_SLACK = 0.02
+
+
+class ControlBenchResult:
+    """Everything the gates and the report need from one run.
+
+    Attributes:
+        baseline_p99_ms: Exact p99 on the narrow workload (best batch).
+        shifted_p99_ms: Exact p99 right after the shift, pre-adaptation.
+        adapted_p99_ms: Exact p99 after the controller converged/stopped.
+        counterfactual_p99_ms: Open-loop-budget p99 measured interleaved
+            with ``adapted_p99_ms`` — the drift-free recovery reference.
+        recall_before: Wide-workload probe recall at the build-time knobs.
+        recall_after: Same probe after adaptation.
+        recall_floor: The envelope floor the controller enforced.
+        l_base_initial / l_base_final: First shard's knob trajectory.
+        cycles: Controller cycles driven.
+        adjustments / rollbacks: Controller move counts.
+        promotions / demotions: Tiering placement changes over the run.
+        bitwise_ok: Cold→hot promotion served identical results.
+        decisions: The controller's decision log (list of Decision).
+    """
+
+    def __init__(self, **fields) -> None:
+        self.__dict__.update(fields)
+
+    @property
+    def recovered(self) -> bool:
+        """Whether adaptation measurably recovered p99.
+
+        Judged against the *counterfactual* open-loop p99 measured in
+        the same interleaved window as the adapted p99, so machine
+        drift between the scenario's phases cannot fake (or mask) a
+        recovery.
+        """
+        return self.adapted_p99_ms < self.counterfactual_p99_ms
+
+    @property
+    def recall_held(self) -> bool:
+        """Whether post-adaptation recall holds the floor."""
+        return self.recall_after >= self.recall_floor
+
+    def format(self) -> str:
+        """Human-readable report: p99s, recalls, knob walk, decision log."""
+        lines = [
+            f"baseline p99      {self.baseline_p99_ms:8.2f} ms  (narrow ranges)",
+            f"shifted  p99      {self.shifted_p99_ms:8.2f} ms  (wide ranges, open-loop L)",
+            f"adapted  p99      {self.adapted_p99_ms:8.2f} ms  "
+            f"({self.cycles} cycles, {self.adjustments} adjustments, "
+            f"{self.rollbacks} rollbacks)",
+            f"open-loop p99     {self.counterfactual_p99_ms:8.2f} ms  "
+            f"(counterfactual, interleaved with adapted)",
+            f"recall  before    {self.recall_before:8.3f}      floor {self.recall_floor:.3f}",
+            f"recall  after     {self.recall_after:8.3f}",
+            f"l_base            {self.l_base_initial:.0f} -> {self.l_base_final:.0f}",
+            f"tiering           {self.promotions} promotion(s), "
+            f"{self.demotions} demotion(s), bitwise "
+            f"{'OK' if self.bitwise_ok else 'MISMATCH'}",
+        ]
+        if self.decisions:
+            lines.append("decision log:")
+            for d in self.decisions:
+                tag = "ROLLBACK" if d.rolled_back else d.reason
+                lines.append(
+                    f"  cycle {d.cycle:3d}  {d.knob:20s} "
+                    f"{d.old:8.1f} -> {d.new:8.1f}  [{tag}]  "
+                    f"recall={d.recall:.3f} p99={d.p99_ms:.2f}ms"
+                )
+        return "\n".join(lines)
+
+
+def _drive(tiered, queries, ranges, k: int) -> None:
+    """Serve one batch of (query, range) pairs through the tiered path."""
+    for query, (lo, hi) in zip(queries, ranges):
+        tiered.query(query, lo, hi, k)
+
+
+def _measured_p99(tiered, queries, ranges_fn, k, batches, reduce="pooled") -> float:
+    """Exact p99 (ms) over ``batches`` fresh batches of timed queries.
+
+    The *controller* reads the rolling-window histogram — that is the
+    signal being demonstrated — but the acceptance gate cannot: the
+    histogram's doubling buckets quantize any two values within 2× of
+    each other onto the same interpolated estimate, which erases a real
+    recovery.  The gate therefore times each query directly and takes
+    the pooled exact percentile.  (The queries still record into the
+    histogram as they run, feeding the controller's view.)
+    """
+    samples = []
+    batch_p99s = []
+    for _ in range(batches):
+        batch = []
+        for query, (lo, hi) in zip(queries, ranges_fn()):
+            started = time.perf_counter()
+            tiered.query(query, lo, hi, k)
+            batch.append((time.perf_counter() - started) * 1e3)
+        samples.extend(batch)
+        batch_p99s.append(np.percentile(batch, 99.0))
+    if reduce == "floor":
+        # Steady-state floor: the best batch's p99.  Used for the
+        # baseline reference so one scheduler hiccup during the narrow
+        # phase cannot inflate the controller's latency target past the
+        # degraded p99 it is supposed to recover from.
+        return float(min(batch_p99s))
+    return float(np.percentile(samples, 99.0))
+
+
+def run_control_bench(
+    *,
+    n: int = 20_000,
+    dim: int = 32,
+    num_shards: int = 2,
+    k: int = 10,
+    queries_per_batch: int = 120,
+    max_cycles: int = 10,
+    narrow_coverage: float = 0.05,
+    wide_coverage: float = 0.50,
+    l_envelope_min: int | None = None,
+    measure_batches: int = 3,
+    seed: int = 0,
+    snapshot_dir: str | None = None,
+    verbose: bool = True,
+) -> ControlBenchResult:
+    """Run the workload-shift scenario; see the module docstring."""
+    import shutil
+    import tempfile
+
+    from ..core import AdaptiveLPolicy, RangePQ
+    from ..datasets import load_workload
+    from ..eval.harness import scaled_l_base
+    from ..service.router import RangeShardedService
+
+    workload = load_workload(
+        "sift", n=n, d=dim, num_queries=queries_per_batch, seed=seed
+    )
+    l_base0 = scaled_l_base("sift", n)
+    ids = np.arange(workload.num_objects, dtype=np.int64)
+
+    def factory(shard_ids, shard_vectors, shard_attrs):
+        return RangePQ.build(
+            shard_vectors,
+            shard_attrs,
+            ids=shard_ids,
+            seed=seed,
+            l_policy=AdaptiveLPolicy(l_base=l_base0, r_base=0.10),
+        )
+
+    router = RangeShardedService.build(
+        ids,
+        workload.vectors,
+        workload.attrs,
+        num_shards=num_shards,
+        index_factory=factory,
+    )
+    owns_dir = snapshot_dir is None
+    snapshot_dir = snapshot_dir or tempfile.mkdtemp(prefix="repro-control-")
+    tiered = TieredReadPath.for_router(
+        router, snapshot_dir=snapshot_dir, hot_capacity=max(1, num_shards // 2)
+    )
+    try:
+        return _run_scenario(
+            workload,
+            router,
+            tiered,
+            ids=ids,
+            k=k,
+            l_base0=l_base0,
+            queries_per_batch=queries_per_batch,
+            max_cycles=max_cycles,
+            narrow_coverage=narrow_coverage,
+            wide_coverage=wide_coverage,
+            l_envelope_min=l_envelope_min,
+            measure_batches=measure_batches,
+            seed=seed,
+            verbose=verbose,
+        )
+    finally:
+        tiered.close()
+        router.close()
+        if owns_dir:
+            shutil.rmtree(snapshot_dir, ignore_errors=True)
+
+
+def _run_scenario(
+    workload,
+    router,
+    tiered,
+    *,
+    ids,
+    k,
+    l_base0,
+    queries_per_batch,
+    max_cycles,
+    narrow_coverage,
+    wide_coverage,
+    l_envelope_min,
+    measure_batches,
+    seed,
+    verbose,
+):
+    from ..core import AdaptiveLPolicy
+
+    rng = np.random.default_rng(seed + 7)
+    read_ms = histogram("control.tiered_read_ms")
+    query_pool = np.asarray(workload.queries, dtype=np.float64)
+
+    def batch_ranges(coverage):
+        return [
+            workload.range_for_coverage(coverage, rng)
+            for _ in range(len(query_pool))
+        ]
+
+    # ------------------------------------------------------------------
+    # Gate 1: cold→hot promotion is bitwise invisible.
+    # ------------------------------------------------------------------
+    probe_query = query_pool[0]
+    lo, hi = workload.range_for_coverage(
+        narrow_coverage, np.random.default_rng(seed + 11)
+    )
+    cold_result = tiered.query(probe_query, lo, hi, k)
+    touched = tiered.shard_for_attr(lo)
+    for _ in range(8):
+        tiered.record_access(touched)
+    promotion_report = tiered.rebalance()
+    hot_result = tiered.query(probe_query, lo, hi, k)
+    bitwise_ok = bool(
+        np.array_equal(cold_result.ids, hot_result.ids)
+        and np.array_equal(cold_result.distances, hot_result.distances)
+    )
+
+    # ------------------------------------------------------------------
+    # Warmup (unmeasured): fault the cold tier's pages in and warm the
+    # numpy kernels on both range widths, so the measured windows see
+    # steady-state serving cost — the thing the controller can actually
+    # influence — rather than first-touch page faults.
+    # ------------------------------------------------------------------
+    _drive(tiered, query_pool, batch_ranges(wide_coverage), k)
+    _drive(tiered, query_pool, batch_ranges(narrow_coverage), k)
+
+    # ------------------------------------------------------------------
+    # Baseline: narrow ranges (the calibration regime).
+    # ------------------------------------------------------------------
+    baseline_p99 = _measured_p99(
+        tiered, query_pool,
+        lambda: batch_ranges(narrow_coverage), k, measure_batches,
+        reduce="floor",
+    )
+
+    # Wide-range probe set + the pre-shift recall reference.
+    wide_rng = np.random.default_rng(seed + 13)
+    probe_count = min(12, len(query_pool))
+    probe = RecallProbe(
+        workload.vectors,
+        workload.attrs,
+        ids,
+        query_pool[:probe_count],
+        [workload.range_for_coverage(wide_coverage, wide_rng)
+         for _ in range(probe_count)],
+        k=k,
+    )
+    recall_before = probe.measure(
+        lambda q, plo, phi, pk: tiered.query(q, plo, phi, pk)
+    ).recall
+    recall_floor = max(0.0, recall_before - RECALL_SLACK)
+
+    # ------------------------------------------------------------------
+    # Shift: the range-width distribution moves wide.
+    # ------------------------------------------------------------------
+    shifted_p99 = _measured_p99(
+        tiered, query_pool,
+        lambda: batch_ranges(wide_coverage), k, measure_batches,
+    )
+
+    # ------------------------------------------------------------------
+    # Adaptation: controller cycles between wide-range batches.
+    # ------------------------------------------------------------------
+    envelope = KnobEnvelope(
+        min_value=(
+            l_envelope_min
+            if l_envelope_min is not None
+            else max(2 * k, l_base0 // 4)
+        ),
+        max_value=4 * l_base0,
+        step=max(1, l_base0 // 4),
+    )
+    knobs = ServiceLKnob.for_router(router, envelope)
+    controller = ControlDaemon(
+        probe,
+        lambda q, plo, phi, pk: tiered.query(q, plo, phi, pk),
+        l_knobs=knobs,
+        recall_floor=recall_floor,
+        recall_margin=0.0,
+        # Aim back near the calibration-regime latency; the envelope
+        # floor decides how close the controller can actually get.  The
+        # target is additionally capped below the measured degraded p99
+        # — an operator recovering from a shift always sets the target
+        # under the latency they are suffering, and without the cap a
+        # noise-inflated baseline can park the target above the shifted
+        # p99 and the controller (correctly) never engages.
+        p99_target_ms=min(1.25 * baseline_p99, 0.9 * shifted_p99),
+        latency_histogram=read_ms,
+        min_window_samples=8,
+        rollback_cooldown=1,
+        tiering=tiered,
+        interval_s=60.0,  # driven synchronously below
+    )
+    adapted_p99 = shifted_p99
+    cycles = 0
+    started = time.perf_counter()
+    for _ in range(max_cycles):
+        cycles += 1
+        controller.run_cycle()
+        tiered.warm()
+        cycle_window = read_ms.window()
+        _drive(tiered, query_pool, batch_ranges(wide_coverage), k)
+        adapted_p99 = cycle_window.take((99.0,)).p(99)
+        at_floor = all(
+            knob.get() <= knob.envelope.min_value for knob in knobs
+        )
+        if adapted_p99 <= controller.p99_target_ms or at_floor:
+            break
+    # The gated comparison is a *paired* measurement at the converged
+    # knobs: adapted-policy queries interleaved with counterfactual
+    # queries forced back to the open-loop budget (the formula's choice
+    # at the stale calibration point), in the same time window.  The
+    # earlier shifted p99 is measured seconds before the adapted one,
+    # so CPU-frequency/host drift between the phases can dwarf the
+    # recovery; interleaving bills any drift to both arms equally.
+    # Warm first: the last cycle's rebalance may have moved placements,
+    # and an inline rebuild on the first query would be billed to the
+    # measurement.
+    tiered.warm()
+    # The counterfactual budget must reproduce the open-loop *rule*,
+    # not a global average: the searcher scales L by the range's
+    # coverage of its own shard's rows, so a 50%-of-domain range that
+    # blankets one whole shard gets the policy's full-coverage budget
+    # there.  Per query, apply the original policy to the widest
+    # per-shard row coverage among the shards the range overlaps.
+    open_loop_policy = AdaptiveLPolicy(l_base=l_base0, r_base=0.10)
+    shard_of = np.searchsorted(router.boundaries, workload.attrs, side="right")
+    shard_attrs = [
+        np.sort(workload.attrs[shard_of == s])
+        for s in range(router.num_shards)
+    ]
+
+    def open_loop_budget(lo, hi):
+        coverage = 0.0
+        for s in range(tiered.shard_for_attr(lo), tiered.shard_for_attr(hi) + 1):
+            attrs = shard_attrs[s]
+            rows = np.searchsorted(attrs, hi, side="right") - np.searchsorted(
+                attrs, lo, side="left"
+            )
+            coverage = max(coverage, rows / max(len(attrs), 1))
+        return open_loop_policy.choose(coverage)
+
+    adapted_samples: list[float] = []
+    counterfactual_samples: list[float] = []
+    pair_index = 0
+    for _ in range(measure_batches):
+        for query, (lo, hi) in zip(query_pool, batch_ranges(wide_coverage)):
+            # Alternate which arm goes first: the second call on the
+            # same (query, range) runs with the first call's rows hot
+            # in the CPU caches, and a fixed order would hand that
+            # discount to one arm systematically.  Each arm is timed
+            # twice and keeps its best: a scheduler/GC spike lands on
+            # one call, so min-of-2 keeps the p99 comparison about the
+            # L budget rather than about which arm caught more spikes.
+            arms = [(True, None), (False, open_loop_budget(lo, hi))]
+            if pair_index % 2:
+                arms.reverse()
+            timings = {True: [], False: []}
+            for _ in range(2):
+                for is_adapted, budget in arms:
+                    t0 = time.perf_counter()
+                    tiered.query(query, lo, hi, k, l_budget=budget)
+                    timings[is_adapted].append(
+                        (time.perf_counter() - t0) * 1e3
+                    )
+            adapted_samples.append(min(timings[True]))
+            counterfactual_samples.append(min(timings[False]))
+            pair_index += 1
+    adapted_p99 = float(np.percentile(adapted_samples, 99.0))
+    counterfactual_p99 = float(np.percentile(counterfactual_samples, 99.0))
+    elapsed_s = time.perf_counter() - started
+    recall_after = probe.measure(
+        lambda q, plo, phi, pk: tiered.query(q, plo, phi, pk)
+    ).recall
+
+    result = ControlBenchResult(
+        baseline_p99_ms=baseline_p99,
+        shifted_p99_ms=shifted_p99,
+        adapted_p99_ms=adapted_p99,
+        counterfactual_p99_ms=counterfactual_p99,
+        recall_before=recall_before,
+        recall_after=recall_after,
+        recall_floor=recall_floor,
+        l_base_initial=float(l_base0),
+        l_base_final=knobs[0].get(),
+        cycles=cycles,
+        adjustments=controller.stats.adjustments,
+        rollbacks=controller.stats.rollbacks,
+        promotions=tiered.stats.promotions,
+        demotions=tiered.stats.demotions,
+        bitwise_ok=bitwise_ok,
+        decisions=list(controller.decisions),
+        promotion_report=promotion_report,
+        adaptation_s=elapsed_s,
+    )
+    if verbose:
+        print(
+            f"control-bench — n={workload.num_objects}, d={workload.dim}, "
+            f"{router.num_shards} shards, l_base {l_base0}, "
+            f"coverage {narrow_coverage:.0%} -> {wide_coverage:.0%}, "
+            f"adaptation {elapsed_s:.1f}s"
+        )
+        print(result.format())
+    return result
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry; exit 1 when any acceptance gate fails."""
+    import argparse
+    import sys as _sys
+
+    argv = list(_sys.argv[1:] if argv is None else argv)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro control-bench",
+        description=(
+            "Self-tuning control plane under a workload shift: tiered "
+            "placement bitwise gate, then p99 recovery via bounded "
+            "hill-climbing with a recall-probe envelope."
+        ),
+    )
+    parser.add_argument("--n", type=int, default=20_000)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--batch", type=int, default=120)
+    parser.add_argument("--cycles", type=int, default=10)
+    parser.add_argument("--narrow", type=float, default=0.05)
+    parser.add_argument("--wide", type=float, default=0.50)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI profile (n=8000, 40-query batches)",
+    )
+    args = parser.parse_args(argv)
+    measure_batches = 3
+    if args.smoke:
+        # Large enough that the L budget dominates the tiered path's
+        # wall clock — at n=2000 the fixed per-query overhead swamps
+        # the drain and the recovery gate rides on scheduler noise.
+        # The small batches need more measurement passes: the gated
+        # p99 must sit past the handful of L-independent scheduler/GC
+        # spikes (~1 in 200 queries), so each phase needs a few hundred
+        # timed samples.
+        args.n, args.dim = 8000, 32
+        args.batch, args.cycles = 40, 6
+        measure_batches = 10
+    result = run_control_bench(
+        n=args.n,
+        dim=args.dim,
+        num_shards=args.shards,
+        k=args.k,
+        queries_per_batch=args.batch,
+        max_cycles=args.cycles,
+        narrow_coverage=args.narrow,
+        wide_coverage=args.wide,
+        measure_batches=measure_batches,
+        seed=args.seed,
+    )
+    failures = []
+    if not result.bitwise_ok:
+        failures.append("cold->hot promotion changed query results")
+    if not result.recovered:
+        failures.append(
+            f"p99 did not recover ({result.adapted_p99_ms:.2f} ms adapted "
+            f"vs {result.counterfactual_p99_ms:.2f} ms open-loop, "
+            f"interleaved)"
+        )
+    if not result.recall_held:
+        failures.append(
+            f"recall {result.recall_after:.3f} fell below the floor "
+            f"{result.recall_floor:.3f}"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    return 0

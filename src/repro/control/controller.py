@@ -1,0 +1,542 @@
+"""The feedback controller: bounded hill-climbing over serving knobs.
+
+Closes the loop the paper leaves open.  The adaptive-L rule
+``L = max(L_base · r_Q / r_base, L_base)`` fixes ``L_base`` at build
+time; when the workload's range-width distribution shifts, the formula
+keeps scaling from a calibration point that no longer matches the
+traffic, and either p99 blows up (ranges got wider) or recall is bought
+with budget nobody needs (ranges got narrower).  :class:`ControlDaemon`
+re-calibrates online, under two hard guarantees borrowed from the
+learned-index literature's *bounded fallback* principle:
+
+1. **Envelopes.**  Every knob carries a :class:`KnobEnvelope` —
+   ``[min, max]`` bounds plus a step size — and the controller can only
+   move a knob one clamped step per cycle.  The reachable state space is
+   a box the operator chose, not whatever the optimizer wanders into.
+2. **One-step rollback.**  Every recall-bearing adjustment (a lowering
+   of L — the move that can cause a recall breach) is provisional until
+   the *next* cycle's recall probe (:mod:`repro.control.probes`)
+   confirms the envelope's recall floor still holds; a regression
+   reverts the whole move and puts the controller in a cooldown.
+   Raises cannot regress recall and commit immediately.
+
+The control loop (one :meth:`ControlDaemon.run_cycle`):
+
+* read the **rolling-window** p99 from the service latency histogram
+  (:meth:`repro.obs.Histogram.window_percentiles` semantics — lifetime
+  percentiles cannot see a shift that happened after 10^6 samples);
+* run the recall probe through the live serving path;
+* validate the previous cycle's move (rollback on regression);
+* otherwise pick at most one *direction* — raise L when recall is under
+  the floor, lower L when p99 exceeds its target and recall has margin —
+  and step every registered L knob one envelope-clamped step; when all L
+  knobs are pinned at the relevant bound, step the micro-batch window
+  knob instead;
+* drive the tiered storage manager's rebalance (promotion/demotion by
+  access EWMA), when one is attached.
+
+Decisions, rollbacks, and the current knob values are exported as
+``control.*`` metrics and kept in a bounded in-memory decision log.
+Knob mutations go exclusively through the services' sanctioned setters
+(``IndexService.set_l_policy``, ``BatchWindowPolicy.set_override``) —
+lint rule R013 flags any other write to these knobs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, replace
+
+from ..core.adaptive import FixedLPolicy
+from ..obs import counter, gauge, histogram, phase
+
+__all__ = [
+    "KnobEnvelope",
+    "Decision",
+    "ServiceLKnob",
+    "BatchWindowKnob",
+    "ControlStats",
+    "ControlDaemon",
+]
+
+_CYCLE_MS = histogram("control.cycle_ms")
+_CYCLES = counter("control.cycles")
+_ADJUSTMENTS = counter("control.adjustments")
+_ROLLBACKS = counter("control.rollbacks")
+_RECALL = gauge("control.probe_recall")
+_WINDOW_P99 = gauge("control.read_p99_ms")
+
+
+@dataclass(frozen=True)
+class KnobEnvelope:
+    """The hard operating region of one knob.
+
+    Attributes:
+        min_value: Inclusive lower bound; the controller never sets below.
+        max_value: Inclusive upper bound; the controller never sets above.
+        step: Magnitude of one hill-climbing move.
+    """
+
+    min_value: float
+    max_value: float
+    step: float
+
+    def __post_init__(self) -> None:
+        if self.min_value > self.max_value:
+            raise ValueError(
+                f"need min <= max, got [{self.min_value}, {self.max_value}]"
+            )
+        if self.step <= 0:
+            raise ValueError(f"step must be > 0, got {self.step}")
+
+    def clamp(self, value: float) -> float:
+        """Project ``value`` into the envelope."""
+        return min(max(value, self.min_value), self.max_value)
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` already lies inside the envelope."""
+        return self.min_value <= value <= self.max_value
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One entry of the controller's decision log.
+
+    Attributes:
+        cycle: The cycle number the decision was made in.
+        knob: Knob name (e.g. ``l_base[shard0]``, ``batch_window_ms``).
+        old: Value before the move.
+        new: Value after the move.
+        reason: Why — ``"recall_low"``, ``"p99_high"``, or ``"rollback"``.
+        recall: Probe recall observed when deciding.
+        p99_ms: Rolling-window read p99 observed when deciding.
+        rolled_back: True for rollback entries (the move that *undoes*).
+    """
+
+    cycle: int
+    knob: str
+    old: float
+    new: float
+    reason: str
+    recall: float
+    p99_ms: float
+    rolled_back: bool = False
+
+
+class ServiceLKnob:
+    """``l_base`` of one service's L policy, set through the sanctioned
+    :meth:`~repro.service.engine.IndexService.set_l_policy` swap.
+
+    Works over anything exposing ``knobs()`` / ``set_l_policy()`` — a
+    single :class:`IndexService` or one shard of a
+    :class:`~repro.service.router.RangeShardedService` (use
+    :meth:`for_router` to enumerate the shard knobs).  Preserves the
+    policy's other fields (``r_base``) across moves; a
+    :class:`~repro.core.adaptive.FixedLPolicy` is stepped through its
+    ``l`` field instead.
+    """
+
+    def __init__(self, service, envelope: KnobEnvelope, *, name: str = "l_base") -> None:
+        self.name = name
+        self.envelope = envelope
+        self._service = service
+
+    @classmethod
+    def for_router(cls, router, envelope: KnobEnvelope) -> list["ServiceLKnob"]:
+        """One knob per shard of a sharded router."""
+        return [
+            cls(shard, envelope, name=f"l_base[shard{number}]")
+            for number, shard in enumerate(router.shards)
+        ]
+
+    def get(self) -> float:
+        """The policy's current L base (or fixed L)."""
+        policy = self._service.knobs()["l_policy"]
+        if isinstance(policy, FixedLPolicy):
+            return float(policy.l)
+        return float(policy.l_base)
+
+    def set(self, value: float) -> None:
+        """Swap in a policy with the clamped, rounded value."""
+        value = int(round(self.envelope.clamp(value)))
+        policy = self._service.knobs()["l_policy"]
+        if isinstance(policy, FixedLPolicy):
+            new_policy = replace(policy, l=value)
+        else:
+            new_policy = replace(policy, l_base=value)
+        self._service.set_l_policy(new_policy)
+
+
+class BatchWindowKnob:
+    """The frontend micro-batch window, set through
+    :meth:`~repro.frontend.batcher.BatchWindowPolicy.set_override`.
+
+    A latency-only knob: moving it cannot regress recall, so it is never
+    rolled back — but it stays inside its envelope like every other knob
+    (and inside the policy's own ``[floor_ms, cap_ms]``, which
+    ``set_override`` enforces independently).
+    """
+
+    def __init__(
+        self,
+        policy,
+        envelope: KnobEnvelope,
+        *,
+        name: str = "batch_window_ms",
+    ) -> None:
+        self.name = name
+        self.envelope = envelope
+        self._policy = policy
+
+    def get(self) -> float:
+        """The override if set, else the policy's live window."""
+        override = self._policy.override_ms
+        if override is not None:
+            return float(override)
+        return float(self._policy.window_s() * 1000.0)
+
+    def set(self, value: float) -> None:
+        """Install the clamped value as the window override."""
+        self._policy.set_override(self.envelope.clamp(value))
+
+
+@dataclass
+class ControlStats:
+    """Counters of one controller's lifetime activity.
+
+    Attributes:
+        cycles: :meth:`ControlDaemon.run_cycle` calls completed.
+        adjustments: Individual knob moves applied (excluding rollbacks).
+        rollbacks: Individual knob moves reverted on recall regression.
+        probe_passes: Recall probe passes executed.
+        skipped_cold: Cycles skipped for lack of window samples.
+        rebalances: Tiering rebalance passes driven.
+        errors: Cycles that raised (daemon keeps running).
+    """
+
+    cycles: int = 0
+    adjustments: int = 0
+    rollbacks: int = 0
+    probe_passes: int = 0
+    skipped_cold: int = 0
+    rebalances: int = 0
+    errors: int = 0
+
+
+class _PendingMove:
+    """One applied-but-unvalidated knob move."""
+
+    __slots__ = ("knob", "old", "new")
+
+    def __init__(self, knob, old: float, new: float) -> None:
+        self.knob = knob
+        self.old = old
+        self.new = new
+
+
+class ControlDaemon:
+    """Background feedback controller over a set of serving knobs.
+
+    Args:
+        probe: A :class:`~repro.control.probes.RecallProbe` or
+            :class:`~repro.control.probes.BudgetRecallProbe`.
+        query_fn: The serving-path callable the probe replays through
+            (``fn(vector, lo, hi, k, ...) -> QueryResult``).  Probe
+            traffic takes the same locks and caches as client traffic.
+        l_knobs: The :class:`ServiceLKnob` list under management (the
+            knobs a rollback protects).
+        window_knob: Optional :class:`BatchWindowKnob`, stepped only when
+            every L knob is pinned at the bound the cycle wants to move
+            toward.
+        recall_floor: Hard lower bound of acceptable probe recall — the
+            guaranteed operating region's recall edge.
+        recall_margin: Extra recall headroom required before the
+            controller trades recall for latency (lowering L only when
+            ``recall >= floor + margin``).
+        p99_target_ms: Rolling-window read p99 the controller steers
+            toward.
+        latency_histogram: Histogram whose *window* p99 drives decisions;
+            defaults to ``service.read_latency_ms``.
+        min_window_samples: Window observations required before a cycle
+            may adjust anything (a cold window carries no signal).
+        rollback_cooldown: Cycles to hold still after a rollback before
+            probing a new direction.
+        tiering: Optional
+            :class:`~repro.control.tiering.TieredReadPath`; its
+            :meth:`rebalance` runs at the end of every cycle.
+        interval_s: Background polling period of :meth:`start`'s thread.
+        max_log: Decision-log retention (oldest entries dropped).
+
+    The daemon is a context manager like
+    :class:`~repro.service.maintenance.MaintenanceDaemon`; a cycle that
+    raises is counted in ``stats.errors`` and remembered in
+    :attr:`last_error` but does not kill the thread.  :meth:`run_cycle`
+    is also public and synchronous — tests and benches drive the loop
+    deterministically without sleeping.
+    """
+
+    def __init__(
+        self,
+        probe,
+        query_fn,
+        *,
+        l_knobs,
+        window_knob: BatchWindowKnob | None = None,
+        recall_floor: float = 0.90,
+        recall_margin: float = 0.03,
+        p99_target_ms: float = 50.0,
+        latency_histogram=None,
+        min_window_samples: int = 16,
+        rollback_cooldown: int = 2,
+        tiering=None,
+        interval_s: float = 0.25,
+        max_log: int = 256,
+    ) -> None:
+        if not 0.0 <= recall_floor <= 1.0:
+            raise ValueError(
+                f"recall_floor must be in [0, 1], got {recall_floor}"
+            )
+        if recall_margin < 0.0:
+            raise ValueError(
+                f"recall_margin must be >= 0, got {recall_margin}"
+            )
+        if p99_target_ms <= 0.0:
+            raise ValueError(
+                f"p99_target_ms must be > 0, got {p99_target_ms}"
+            )
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self._probe = probe
+        self._query_fn = query_fn
+        self._l_knobs = list(l_knobs)
+        self._window_knob = window_knob
+        self.recall_floor = float(recall_floor)
+        self.recall_margin = float(recall_margin)
+        self.p99_target_ms = float(p99_target_ms)
+        if latency_histogram is None:
+            latency_histogram = histogram("service.read_latency_ms")
+        self._window = latency_histogram.window()
+        self._min_window_samples = int(min_window_samples)
+        self._rollback_cooldown = int(rollback_cooldown)
+        self._tiering = tiering
+        self._interval_s = float(interval_s)
+        self._pending: list[_PendingMove] = []
+        self._cooldown = 0
+        self._cycle_mutex = threading.Lock()
+        self._wakeup = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.stats = ControlStats()
+        self.last_error: BaseException | None = None
+        self.decisions: deque[Decision] = deque(maxlen=int(max_log))
+        self._knob_gauges = {
+            knob.name: gauge(f"control.knob.{knob.name}")
+            for knob in self._all_knobs()
+        }
+        for knob in self._all_knobs():
+            current = knob.get()
+            if not knob.envelope.contains(current):
+                raise ValueError(
+                    f"knob {knob.name} starts at {current}, outside its "
+                    f"envelope [{knob.envelope.min_value}, "
+                    f"{knob.envelope.max_value}]"
+                )
+            self._knob_gauges[knob.name].set(current)
+
+    def _all_knobs(self):
+        yield from self._l_knobs
+        if self._window_knob is not None:
+            yield self._window_knob
+
+    def knob_values(self) -> dict:
+        """Current value of every managed knob, by name."""
+        return {knob.name: knob.get() for knob in self._all_knobs()}
+
+    # ------------------------------------------------------------------
+    # Lifecycle (the MaintenanceDaemon shape)
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the daemon thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ControlDaemon":
+        """Start the background thread (idempotent)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-control", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread and join it."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._wakeup.set()
+        self._thread.join()
+        self._thread = None
+
+    def poke(self) -> None:
+        """Wake the loop early (e.g. after a known workload change)."""
+        self._wakeup.set()
+
+    def __enter__(self) -> "ControlDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> bool:
+        self.stop()
+        return False
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._wakeup.wait(self._interval_s)
+            self._wakeup.clear()
+            if self._stop.is_set():
+                return
+            try:
+                self.run_cycle()
+            except BaseException as error:  # repro: noqa-R004 - daemon survives
+                self.stats.errors += 1
+                self.last_error = error
+
+    # ------------------------------------------------------------------
+    # The control loop
+    # ------------------------------------------------------------------
+    def run_cycle(self) -> dict:
+        """One synchronous control cycle; returns a report dict.
+
+        Serialized by an internal mutex, so an explicit call racing the
+        background thread never interleaves probe/adjust/rollback steps.
+        """
+        with self._cycle_mutex, phase("control_cycle", metric=_CYCLE_MS):
+            return self._cycle_locked()
+
+    def _cycle_locked(self) -> dict:
+        self.stats.cycles += 1
+        _CYCLES.inc()
+        window = self._window.take((50.0, 99.0))
+        p99 = window.p(99)
+        report = self._probe.measure(self._query_fn)
+        self.stats.probe_passes += 1
+        _RECALL.set(report.recall)
+        _WINDOW_P99.set(p99)
+        out = {
+            "cycle": self.stats.cycles,
+            "recall": report.recall,
+            "window_p99_ms": p99,
+            "window_samples": window.count,
+            "adjusted": [],
+            "rolled_back": [],
+            "rebalance": None,
+        }
+        if self._pending and report.recall < self.recall_floor:
+            self._rollback(report.recall, p99, out)
+        elif self._pending:
+            # Previous lowering move validated: recall held the floor.
+            self._pending = []
+        if not out["rolled_back"]:
+            self._maybe_adjust(report.recall, p99, window.count, out)
+        if self._tiering is not None:
+            out["rebalance"] = self._tiering.rebalance()
+            self.stats.rebalances += 1
+        return out
+
+    def _rollback(self, recall: float, p99: float, out: dict) -> None:
+        """Revert every move of the previous cycle (one-step rollback)."""
+        for move in reversed(self._pending):
+            move.knob.set(move.old)
+            self.stats.rollbacks += 1
+            _ROLLBACKS.inc()
+            self._knob_gauges[move.knob.name].set(move.knob.get())
+            decision = Decision(
+                cycle=self.stats.cycles,
+                knob=move.knob.name,
+                old=move.new,
+                new=move.old,
+                reason="rollback",
+                recall=recall,
+                p99_ms=p99,
+                rolled_back=True,
+            )
+            self.decisions.append(decision)
+            out["rolled_back"].append(decision)
+        self._pending = []
+        self._cooldown = self._rollback_cooldown
+
+    def _maybe_adjust(
+        self, recall: float, p99: float, samples: int, out: dict
+    ) -> None:
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        if recall < self.recall_floor:
+            direction, reason = +1, "recall_low"
+        elif samples < self._min_window_samples:
+            # No latency signal yet; only a recall breach (above) may
+            # adjust on a cold window.
+            self.stats.skipped_cold += 1
+            return
+        elif p99 > self.p99_target_ms and recall >= (
+            self.recall_floor + self.recall_margin
+        ):
+            direction, reason = -1, "p99_high"
+        else:
+            return
+        moves: list[_PendingMove] = []
+        for knob in self._l_knobs:
+            old = knob.get()
+            new = knob.envelope.clamp(old + direction * knob.envelope.step)
+            if new == old:
+                continue
+            knob.set(new)
+            moves.append(_PendingMove(knob, old, knob.get()))
+        if not moves and self._window_knob is not None and direction < 0:
+            # Every L knob is pinned at its floor; shed batching delay
+            # instead.  Window moves cannot regress recall, so they are
+            # not added to the rollback set.
+            knob = self._window_knob
+            old = knob.get()
+            new = knob.envelope.clamp(old + direction * knob.envelope.step)
+            if new != old:
+                knob.set(new)
+                self.stats.adjustments += 1
+                _ADJUSTMENTS.inc()
+                self._knob_gauges[knob.name].set(knob.get())
+                decision = Decision(
+                    cycle=self.stats.cycles,
+                    knob=knob.name,
+                    old=old,
+                    new=knob.get(),
+                    reason=reason,
+                    recall=recall,
+                    p99_ms=p99,
+                )
+                self.decisions.append(decision)
+                out["adjusted"].append(decision)
+            return
+        for move in moves:
+            self.stats.adjustments += 1
+            _ADJUSTMENTS.inc()
+            self._knob_gauges[move.knob.name].set(move.new)
+            decision = Decision(
+                cycle=self.stats.cycles,
+                knob=move.knob.name,
+                old=move.old,
+                new=move.new,
+                reason=reason,
+                recall=recall,
+                p99_ms=p99,
+            )
+            self.decisions.append(decision)
+            out["adjusted"].append(decision)
+        # Only the lowering direction is provisional: lowering L is the
+        # move that can *cause* a recall breach, so it must survive the
+        # next probe or be undone.  A raise cannot regress recall — and
+        # marking it provisional would make the next still-below-floor
+        # probe revert the very move that was helping.
+        self._pending = moves if direction < 0 else []

@@ -66,6 +66,7 @@ class BatchWindowPolicy:
         self.floor_ms = float(floor_ms)
         self.cap_ms = float(cap_ms)
         self.fraction = float(fraction)
+        self._override_ms: float | None = None
         self._histogram = (
             latency_histogram if latency_histogram is not None else BATCH_EXEC_MS
         )
@@ -75,8 +76,34 @@ class BatchWindowPolicy:
         """A zero-window policy (per-request dispatch, no coalescing)."""
         return cls(floor_ms=0.0, cap_ms=0.0, fraction=0.0)
 
+    @property
+    def override_ms(self) -> float | None:
+        """The controller's fixed window override, if one is set."""
+        return self._override_ms
+
+    def set_override(self, window_ms: float | None) -> None:
+        """Pin the tick length, bypassing the p99-derived window.
+
+        The control plane's sanctioned knob setter (lint rule R013 flags
+        direct window mutation elsewhere): the controller calls this with
+        a value inside its envelope, or ``None`` to restore the adaptive
+        ``fraction × p99`` derivation.  The override is still clamped to
+        ``[floor_ms, cap_ms]`` so no caller can push the tick outside the
+        policy's hard bounds.
+        """
+        if window_ms is None:
+            self._override_ms = None  # repro: noqa-R013
+            return
+        window_ms = float(window_ms)
+        if window_ms < 0:
+            raise ValueError(f"window_ms must be >= 0, got {window_ms}")
+        clamped = min(max(window_ms, self.floor_ms), self.cap_ms)
+        self._override_ms = clamped  # repro: noqa-R013
+
     def window_s(self) -> float:
         """The current tick length in seconds."""
+        if self._override_ms is not None:
+            return self._override_ms / 1000.0
         if self._histogram.count < _MIN_SAMPLES:
             return self.floor_ms / 1000.0
         window_ms = self.fraction * self._histogram.percentile(99)
@@ -124,6 +151,12 @@ class MicroBatcher:
         self.batches = 0
         self.batched_requests = 0
         self.shed_expired = 0
+
+    @property
+    def policy(self) -> BatchWindowPolicy:
+        """The tick-length policy (the controller adjusts it via
+        :meth:`BatchWindowPolicy.set_override`)."""
+        return self._policy
 
     @property
     def mean_batch_size(self) -> float:

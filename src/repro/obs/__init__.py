@@ -23,7 +23,9 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    HistogramWindow,
     MetricsRegistry,
+    WindowStats,
     counter,
     gauge,
     histogram,
@@ -46,7 +48,9 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistogramWindow",
     "MetricsRegistry",
+    "WindowStats",
     "counter",
     "gauge",
     "histogram",

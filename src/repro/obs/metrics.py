@@ -25,6 +25,8 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistogramWindow",
+    "WindowStats",
     "MetricsRegistry",
     "REGISTRY",
     "metrics_enabled",
@@ -173,6 +175,7 @@ class Histogram:
         "_min",
         "_max",
         "_lock",
+        "_own_window",
     )
 
     def __init__(
@@ -198,6 +201,7 @@ class Histogram:
         self._min = float("inf")
         self._max = 0.0
         self._lock = threading.Lock()
+        self._own_window: HistogramWindow | None = None
 
     @property
     def bounds(self) -> tuple[float, ...]:
@@ -265,24 +269,37 @@ class Histogram:
             counts = list(self._counts)
             count = self._count
             low, high = self._min, self._max
-        if count == 0:
-            return 0.0
-        rank = (q / 100.0) * count
-        cumulative = 0
-        lower = 0.0
-        for slot, bucket in enumerate(counts):
-            if bucket == 0:
-                continue
-            upper = (
-                self._bounds[slot] if slot < len(self._bounds) else high
-            )
-            lower = self._bounds[slot - 1] if slot > 0 else 0.0
-            if cumulative + bucket >= rank:
-                fraction = (rank - cumulative) / bucket
-                value = lower + (upper - lower) * fraction
-                return min(max(value, low), high)
-            cumulative += bucket
-        return high
+        return _interpolated_percentile(
+            self._bounds, counts, count, low, high, q
+        )
+
+    def window(self) -> "HistogramWindow":
+        """A fresh rolling-delta view over this histogram.
+
+        Each consumer creates its own window; independent windows never
+        disturb each other or the cumulative view.  The window's first
+        :meth:`HistogramWindow.take` covers samples recorded *after* this
+        call.
+        """
+        return HistogramWindow(self)
+
+    def window_percentiles(
+        self, qs: Iterable[float] = (50.0, 95.0, 99.0)
+    ) -> "WindowStats":
+        """Percentiles of the samples recorded since the previous call.
+
+        A rolling snapshot/delta view: unlike :meth:`percentile` — which
+        aggregates the histogram's whole lifetime — this reads only the
+        traffic since the last ``window_percentiles`` call on this
+        histogram, so a controller sees *recent* p99, not an average
+        diluted by hours of old samples.  Uses one internal window per
+        histogram; components that must not share a cursor should hold
+        their own :meth:`window`.
+        """
+        with self._lock:
+            if self._own_window is None:
+                self._own_window = HistogramWindow(self, _locked=True)
+        return self._own_window.take(qs)
 
     def reset(self) -> None:
         """Drop all samples (tests / registry reset)."""
@@ -292,6 +309,126 @@ class Histogram:
             self._sum = 0.0
             self._min = float("inf")
             self._max = 0.0
+
+
+def _interpolated_percentile(
+    bounds: tuple[float, ...],
+    counts: list[int],
+    count: int,
+    low: float,
+    high: float,
+    q: float,
+) -> float:
+    """Shared percentile estimate over one set of bucket counts.
+
+    Linear interpolation inside the matched bucket, clamped to
+    ``[low, high]``; used by both the cumulative and windowed views so
+    the two stay comparable.
+    """
+    if count == 0:
+        return 0.0
+    rank = (q / 100.0) * count
+    cumulative = 0
+    for slot, bucket in enumerate(counts):
+        if bucket == 0:
+            continue
+        upper = bounds[slot] if slot < len(bounds) else high
+        lower = bounds[slot - 1] if slot > 0 else 0.0
+        if cumulative + bucket >= rank:
+            fraction = (rank - cumulative) / bucket
+            value = lower + (upper - lower) * fraction
+            return min(max(value, low), high)
+        cumulative += bucket
+    return high
+
+
+class WindowStats:
+    """One window's worth of histogram traffic (plain data).
+
+    Attributes:
+        count: Samples recorded inside the window.
+        sum: Sum of those samples.
+        percentiles: Requested quantile → estimated value (0.0 when the
+            window is empty).
+    """
+
+    __slots__ = ("count", "sum", "percentiles")
+
+    def __init__(
+        self, count: int, total: float, percentiles: dict[float, float]
+    ) -> None:
+        self.count = count
+        self.sum = total
+        self.percentiles = percentiles
+
+    @property
+    def mean(self) -> float:
+        """Mean of the window's samples (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def p(self, q: float) -> float:
+        """The estimate for quantile ``q`` (must have been requested)."""
+        return self.percentiles[float(q)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"p{quantile:g}={value:.3f}"
+            for quantile, value in self.percentiles.items()
+        )
+        return f"WindowStats(count={self.count}, {inner})"
+
+
+class HistogramWindow:
+    """Rolling delta cursor over one :class:`Histogram`.
+
+    Remembers the histogram's bucket counts at the previous
+    :meth:`take`; each ``take`` returns statistics of only the samples
+    recorded since then, and advances the cursor.  If the underlying
+    histogram was reset (tests, fork) the deltas would go negative; the
+    window detects that, re-baselines, and reports an empty window for
+    that one take instead of garbage.
+    """
+
+    __slots__ = ("_histogram", "_counts", "_count", "_sum")
+
+    def __init__(self, hist: Histogram, *, _locked: bool = False) -> None:
+        self._histogram = hist
+        if _locked:
+            self._counts = list(hist._counts)
+            self._count = hist._count
+            self._sum = hist._sum
+        else:
+            with hist._lock:
+                self._counts = list(hist._counts)
+                self._count = hist._count
+                self._sum = hist._sum
+
+    def take(
+        self, qs: Iterable[float] = (50.0, 95.0, 99.0)
+    ) -> WindowStats:
+        """Stats of the samples since the previous take; advances the cursor."""
+        hist = self._histogram
+        with hist._lock:
+            counts = list(hist._counts)
+            count = hist._count
+            total = hist._sum
+            high = hist._max
+        delta = [now - before for now, before in zip(counts, self._counts)]
+        delta_count = count - self._count
+        delta_sum = total - self._sum
+        self._counts = counts
+        self._count = count
+        self._sum = total
+        if delta_count < 0 or any(d < 0 for d in delta):
+            # Underlying histogram was reset mid-window: re-baseline.
+            return WindowStats(0, 0.0, {float(q): 0.0 for q in qs})
+        percentiles = {
+            float(q): _interpolated_percentile(
+                hist.bounds, delta, delta_count, 0.0, high, float(q)
+            )
+            for q in qs
+        }
+        return WindowStats(delta_count, delta_sum, percentiles)
 
 
 class MetricsRegistry:

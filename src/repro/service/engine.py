@@ -695,6 +695,69 @@ class IndexService:
         _TABLE_HIT_RATE.set(stats["table"].hit_rate)
         _CENTER_HIT_RATE.set(stats["center"].hit_rate)
 
+    # ------------------------------------------------------------------
+    # Control plane (knob get/set)
+    # ------------------------------------------------------------------
+    def knobs(self) -> dict:
+        """Snapshot of the controller-managed knobs (read plane).
+
+        Returns the current ``l_policy`` (the frozen policy object itself
+        — immutable, so sharing the reference is safe) together with the
+        committed version it was read at.
+        """
+        with self._lock.read_locked():
+            return {
+                "l_policy": getattr(self._index, "l_policy", None),
+                "version": self._version,
+            }
+
+    def set_l_policy(self, policy) -> int:
+        """Atomically swap the index's L policy (write plane).
+
+        The whole frozen policy object is replaced under the exclusive
+        lock; in-flight queries hold the shared side for their full
+        execution, so each observes either the old or the new policy,
+        never a torn mix.  The service version is bumped — without the
+        write counters, a knob change is not a data write — so
+        version-keyed consumers (the parallel backend's manifests embed
+        the policy; tiered placements key on version) republish before
+        serving again.
+
+        This is the sanctioned mutation point for serving knobs: lint
+        rule R013 flags direct ``l_policy`` assignment anywhere else in
+        the serving layers.
+
+        Returns:
+            The new committed version.
+        """
+        if not hasattr(policy, "choose"):
+            raise TypeError(
+                f"policy must implement choose(coverage), got {policy!r}"
+            )
+        with self._lock.write_locked():
+            self._index.l_policy = policy  # repro: noqa-R013
+            self._version += 1
+            return self._version
+
+    def export_snapshot(
+        self, path: str | Path, *, compressed: bool = False
+    ) -> tuple[Path, int]:
+        """Save the index to ``path`` under the read lock.
+
+        Unlike :meth:`snapshot` this needs no WAL: it serves the tiered
+        storage manager, which wants an *uncompressed* archive it can
+        later map zero-copy with ``load_index(..., mmap_mode="r")``.
+
+        Returns:
+            ``(written_path, version)`` — the committed version the
+            archive corresponds to.
+        """
+        from ..io import save_index
+
+        with self._lock.read_locked():
+            written = save_index(self._index, path, compressed=compressed)
+            return written, self._version
+
     def publish_shared(self, store) -> tuple[dict, int]:
         """Publish the index into a shared-memory store (read plane).
 

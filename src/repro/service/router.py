@@ -427,6 +427,24 @@ class RangeShardedService:
         return merge_topk(partials, k)
 
     # ------------------------------------------------------------------
+    # Control plane (per-shard knobs)
+    # ------------------------------------------------------------------
+    def shard_knobs(self) -> list[dict]:
+        """Per-shard knob snapshots (see :meth:`IndexService.knobs`)."""
+        return [shard.knobs() for shard in self._shards]
+
+    def set_shard_l_policy(self, number: int, policy) -> int:
+        """Swap one shard's L policy atomically.
+
+        Delegates to :meth:`IndexService.set_l_policy`; the shard's
+        version bump makes the parallel backend republish that shard's
+        manifest (which embeds the policy) before the next scattered
+        query touches it, so in-process and worker answers stay
+        consistent with the new knob.
+        """
+        return self._shards[number].set_l_policy(policy)
+
+    # ------------------------------------------------------------------
     # Maintenance plane (shard-local)
     # ------------------------------------------------------------------
     def attach_maintenance_wakeup(self, event: threading.Event) -> None:

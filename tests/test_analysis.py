@@ -1,4 +1,4 @@
-"""The lint pass (rules R001-R008, noqa, baselines, CLI) and the sanitizer."""
+"""The lint pass (rules R001-R013, noqa, baselines, CLI) and the sanitizer."""
 
 import json
 import os
@@ -280,9 +280,9 @@ def test_render_json_is_parseable():
     assert payload["findings"][0]["rule"] == "R005"
 
 
-def test_rule_catalogue_covers_r001_to_r012():
+def test_rule_catalogue_covers_r001_to_r013():
     assert [rule.id for rule in RULES] == [
-        f"R{n:03d}" for n in range(1, 13)
+        f"R{n:03d}" for n in range(1, 14)
     ]
 
 
@@ -731,3 +731,59 @@ def test_r012_ignores_unrelated_imports():
 def test_r012_waivable_inline():
     waived = "import socket  # repro: noqa-R012\n"
     assert lint_source(waived, COLD) == []
+
+
+# ----------------------------------------------------------------------
+# R013: direct writes to controller-managed knobs outside repro/control/
+# ----------------------------------------------------------------------
+
+CONTROL = "src/repro/control/_fixture.py"
+
+
+def test_r013_flags_knob_writes_in_serving_layers():
+    forms = [
+        "def swap(self, policy):\n    self._index.l_policy = policy\n",
+        "def tune(self):\n    self.policy.l_base = 32\n",
+        "def widen(self):\n    self._policy.r_base += 0.1\n",
+        "def probe(self):\n    self.index.nprobe = 8\n",
+        "def window(self):\n    self._override_ms = 2.0\n",
+        "def ann(self):\n    self.l_base: int = 4\n",
+    ]
+    for source in forms:
+        for path in (SERVICE, FRONTEND, CLUSTER):
+            assert [f.rule for f in lint_source(source, path)] == [
+                "R013"
+            ], (source, path)
+
+
+def test_r013_exempts_init_control_and_other_layers():
+    init = (
+        "class P:\n"
+        "    def __init__(self):\n"
+        "        self._override_ms = None\n"
+        "        self.l_base = 16\n"
+    )
+    assert lint_source(init, SERVICE) == []
+    write = "def swap(self, policy):\n    self._index.l_policy = policy\n"
+    assert lint_source(write, CONTROL) == []
+    assert lint_source(write, COLD) == []
+    assert lint_source(write, HOT) == []
+
+
+def test_r013_ignores_reads_and_unrelated_attributes():
+    ok = [
+        "def get(self):\n    return self._index.l_policy\n",
+        "def use(self):\n    value = self.policy.l_base + 1\n",
+        "def other(self):\n    self.l_bases = [1]\n",
+        "def local(self):\n    l_base = 4\n",
+    ]
+    for source in ok:
+        assert lint_source(source, SERVICE) == [], source
+
+
+def test_r013_waivable_inline():
+    waived = (
+        "def swap(self, policy):\n"
+        "    self._index.l_policy = policy  # repro: noqa-R013\n"
+    )
+    assert lint_source(waived, SERVICE) == []

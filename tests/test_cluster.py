@@ -331,3 +331,81 @@ class TestClusterBench:
         assert result.ops == 30
         assert result.queries == 8
         assert result.violations == 0
+
+
+# ----------------------------------------------------------------------
+# Per-primary self-tuning controller (repro.control inside the node)
+# ----------------------------------------------------------------------
+class TestClusterControl:
+    def _control_factory(self, ids, vectors, attrs):
+        from repro.core.adaptive import AdaptiveLPolicy
+
+        return RangePQ.build(
+            vectors,
+            attrs,
+            ids=ids,
+            l_policy=AdaptiveLPolicy(l_base=64, r_base=0.1),
+            **BUILD,
+        )
+
+    def _ask(self, sock, request):
+        from repro.frontend.protocol import send_frame
+
+        send_frame(sock, request)
+        return recv_frame(sock)
+
+    def test_primary_controller_serves_control_requests(
+        self, seeddata, tmp_path
+    ):
+        ids, vectors, attrs = seeddata
+        seed_shards(
+            tmp_path,
+            ids,
+            vectors,
+            attrs,
+            num_shards=2,
+            index_factory=self._control_factory,
+        )
+        with ClusterSupervisor(tmp_path, replicas=0, control=True) as sup:
+            sock = socket.create_connection(
+                ("127.0.0.1", sup.primary_port(0)), timeout=10.0
+            )
+            try:
+                reply = self._ask(sock, {"type": "control"})
+                assert reply["ok"] and reply["enabled"]
+                assert reply["knobs"] == {"l_base": 64.0}
+                reply = self._ask(sock, {"type": "control", "cycle": True})
+                assert reply["cycles"] >= 1
+                assert reply["probe_passes"] >= 1
+                assert 0.0 <= reply["cycle_report"]["recall"] <= 1.0
+                # The query plane keeps serving alongside the controller.
+                reply = self._ask(
+                    sock,
+                    {
+                        "type": "query",
+                        "vector": vectors[0].tolist(),
+                        "lo": 0.0,
+                        "hi": 100.0,
+                        "k": 5,
+                    },
+                )
+                assert reply["ok"] and len(reply["ids"]) == 5
+            finally:
+                sock.close()
+
+    def test_control_disabled_by_default(self, seeddata, tmp_path):
+        ids, vectors, attrs = seeddata
+        seed_shards(
+            tmp_path, ids, vectors, attrs, num_shards=2, index_factory=factory
+        )
+        with ClusterSupervisor(tmp_path, replicas=0) as sup:
+            sock = socket.create_connection(
+                ("127.0.0.1", sup.primary_port(0)), timeout=10.0
+            )
+            try:
+                assert self._ask(sock, {"type": "control"}) == {
+                    "ok": True,
+                    "enabled": False,
+                }
+            finally:
+                sock.close()

@@ -420,3 +420,86 @@ class TestForkSafety:
             return hist.count == 1
 
         assert self._run_in_child(check) == 0
+
+
+class TestHistogramWindow:
+    """Rolling-window percentile views (the control plane's p99 source)."""
+
+    def test_window_sees_only_samples_after_creation(self):
+        hist = Histogram("t.window.delta")
+        for _ in range(100):
+            hist.observe(1.0)
+        window = hist.window()
+        empty = window.take()
+        assert empty.count == 0
+        assert empty.p(99) == 0.0 and empty.mean == 0.0
+        for _ in range(10):
+            hist.observe(8.0)
+        stats = window.take((50.0, 99.0))
+        assert stats.count == 10
+        assert stats.sum == pytest.approx(80.0)
+        assert stats.p(99) == pytest.approx(8.0, rel=0.5)
+
+    def test_window_p99_diverges_from_diluted_cumulative_after_shift(self):
+        """The reason the controller reads windows: 10k fast samples then
+        100 slow ones leave the lifetime p99 at the fast mode while the
+        window reports the shifted traffic."""
+        hist = Histogram("t.window.shift")
+        for _ in range(10_000):
+            hist.observe(1.0)
+        window = hist.window()
+        for _ in range(100):
+            hist.observe(64.0)
+        recent = window.take((99.0,)).p(99)
+        lifetime = hist.percentile(99.0)
+        assert lifetime < 2.0  # diluted by the 10k-sample past
+        assert recent > 32.0  # the window sees the shift
+        assert recent > 8 * lifetime
+
+    def test_take_advances_the_cursor(self):
+        hist = Histogram("t.window.cursor")
+        window = hist.window()
+        hist.observe(5.0)
+        assert window.take().count == 1
+        assert window.take().count == 0  # consumed by the previous take
+
+    def test_independent_windows_do_not_share_a_cursor(self):
+        hist = Histogram("t.window.indep")
+        first, second = hist.window(), hist.window()
+        hist.observe(1.0)
+        assert first.take().count == 1
+        assert second.take().count == 1
+
+    def test_reset_rebaselines_instead_of_negative_deltas(self):
+        hist = Histogram("t.window.reset")
+        window = hist.window()
+        hist.observe(5.0)
+        hist.observe(5.0)
+        assert window.take().count == 2
+        hist.observe(3.0)
+        hist.reset()
+        stats = window.take()  # would be negative; must re-baseline empty
+        assert stats.count == 0 and stats.p(95) == 0.0
+        hist.observe(2.0)
+        assert window.take().count == 1
+
+    def test_histogram_own_window_percentiles(self):
+        hist = Histogram("t.window.own")
+        hist.observe(4.0)
+        assert hist.window_percentiles((50.0,)).count == 0  # baselining call
+        hist.observe(2.0)
+        hist.observe(2.0)
+        stats = hist.window_percentiles((50.0,))
+        assert stats.count == 2
+        assert stats.p(50) == pytest.approx(2.0, rel=0.5)
+
+    def test_window_and_cumulative_agree_on_uniform_traffic(self):
+        """Same interpolation on both paths: with no shift, the two views
+        estimate the same percentile."""
+        hist = Histogram("t.window.agree")
+        window = hist.window()
+        for value in (1.0, 2.0, 4.0, 8.0) * 25:
+            hist.observe(value)
+        recent = window.take((50.0, 99.0))
+        assert recent.p(99) == pytest.approx(hist.percentile(99.0))
+        assert recent.p(50) == pytest.approx(hist.percentile(50.0))
